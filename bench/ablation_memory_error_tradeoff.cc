@@ -1,0 +1,72 @@
+// Ablation: the empirical memory/accuracy tradeoff behind the constraint
+// system. Fix b and h, sweep the buffer size k, and measure the observed
+// worst rank error over a quantile grid (mean of several trials). The
+// analytical bound says error ~ c1/k (tree) + c2/sqrt(k * leaves)
+// (sampling): halving memory should roughly double the error, and the
+// observed curve should sit well under the certified eps(k) line — the
+// guarantee is conservative, as a high-probability bound must be.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "core/unknown_n.h"
+#include "stream/generator.h"
+
+namespace {
+
+double MeanWorstError(int b, std::size_t k, int h, std::size_t n,
+                      int trials) {
+  double total = 0;
+  for (int t = 0; t < trials; ++t) {
+    mrl::StreamSpec spec;
+    spec.n = n;
+    spec.seed = 300 + static_cast<std::uint64_t>(t);
+    mrl::Dataset ds = mrl::GenerateStream(spec);
+    mrl::UnknownNParams p;
+    p.b = b;
+    p.k = k;
+    p.h = h;
+    p.alpha = 0.5;
+    mrl::UnknownNOptions options;
+    options.params = p;
+    options.seed = 900 + static_cast<std::uint64_t>(t);
+    mrl::UnknownNSketch sketch =
+        std::move(mrl::UnknownNSketch::Create(options)).value();
+    for (mrl::Value v : ds.values()) sketch.Add(v);
+    double worst = 0;
+    for (double phi : {0.1, 0.25, 0.5, 0.75, 0.9}) {
+      worst = std::max(worst,
+                       ds.QuantileError(sketch.Query(phi).value(), phi));
+    }
+    total += worst;
+  }
+  return total / trials;
+}
+
+}  // namespace
+
+int main() {
+  const int b = 5;
+  const int h = 4;
+  const std::size_t n = 300'000;
+  const int trials = 5;
+
+  std::printf("Ablation: memory vs observed error, b=%d, h=%d, N=%zu, "
+              "%d trials per point\n\n",
+              b, h, n, trials);
+  std::printf("%-8s %12s %16s %18s\n", "k", "memory b*k", "mean worst err",
+              "certified eps(k)");
+  std::printf("------------------------------------------------------------\n");
+  for (std::size_t k : {32u, 64u, 128u, 256u, 512u, 1024u, 2048u}) {
+    const double err = MeanWorstError(b, k, h, n, trials);
+    // Invert Eq. 2 with alpha = 0.5: eps >= (h + 1) / (2 * alpha * k).
+    const double certified =
+        static_cast<double>(h + 1) / (2.0 * 0.5 * static_cast<double>(k));
+    std::printf("%-8zu %12zu %16.5f %18.5f\n", k,
+                static_cast<std::size_t>(b) * k, err, certified);
+  }
+  std::printf("\nexpected shape: observed error shrinks roughly like 1/k and "
+              "stays a comfortable factor below the certified bound at "
+              "every memory point\n");
+  return 0;
+}

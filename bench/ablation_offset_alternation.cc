@@ -1,0 +1,92 @@
+// Ablation: the Collapse even-weight offset alternation (Section 3.2).
+// When w(Y) is even there is no exact middle position; always taking the
+// low choice rounds every collapse's selection downward and the bias
+// compounds multiplicatively over the tree. The effect is visible exactly
+// when collapse inputs have EQUAL weights (every output weight is even and
+// the +-1 weighted-position shift crosses an element boundary), so we use
+// Munro-Paterson-style binary collapses of weight-1 leaves: weights
+// 2, 4, 8, ... — all even, every level.
+//
+// Measured: signed normalized rank error of the median (estimate rank
+// minus N/2, over N), averaged across trials. Alternation centers it;
+// freezing the low offset drags it negative by an amount that grows with
+// the tree height.
+
+#include <cmath>
+#include <cstdio>
+
+#include "core/collapse_policy.h"
+#include "core/framework.h"
+#include "core/output.h"
+#include "stream/generator.h"
+
+namespace {
+
+double SignedMedianError(const mrl::Dataset& ds, std::size_t k,
+                         bool alternation) {
+  const int b = 12;  // room for a full binary tree over the leaves
+  mrl::CollapseFramework fw(
+      b, k, mrl::MakeCollapsePolicy(mrl::CollapsePolicyKind::kMunroPaterson));
+  fw.SetOffsetAlternationEnabled(alternation);
+  std::size_t slot = 0;
+  bool filling = false;
+  for (mrl::Value v : ds.values()) {
+    if (!filling) {
+      slot = fw.AcquireEmptySlot();
+      fw.buffer(slot).StartFill();
+      filling = true;
+    }
+    fw.buffer(slot).Append(v);
+    if (fw.buffer(slot).size() == k) {
+      fw.CommitFull(slot, 1, 0);
+      filling = false;
+    }
+  }
+  mrl::Value est =
+      mrl::WeightedQuantile(fw.FullBufferRuns(), 0.5).value();
+  auto iv = ds.RankOf(est);
+  double rank =
+      0.5 * (static_cast<double>(iv.lo) + static_cast<double>(iv.hi));
+  double n = static_cast<double>(fw.FullWeight());
+  return (rank - 0.5 * n) / n;
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t k = 16;         // small buffers -> deep trees
+  const std::size_t n = 16 * 4096;  // 4096 leaves -> 12 binary levels
+  const int trials = 100;
+
+  std::printf("Ablation: even-weight offset alternation under binary "
+              "equal-weight collapses (k=%zu, %zu leaves, %d trials)\n\n",
+              k, n / k, trials);
+
+  double sum_alt = 0, sum_frozen = 0, sq_alt = 0, sq_frozen = 0;
+  for (int t = 0; t < trials; ++t) {
+    mrl::StreamSpec spec;
+    spec.n = n;
+    spec.seed = 100 + static_cast<std::uint64_t>(t);
+    mrl::Dataset ds = mrl::GenerateStream(spec);
+    double alt = SignedMedianError(ds, k, /*alternation=*/true);
+    double frozen = SignedMedianError(ds, k, /*alternation=*/false);
+    sum_alt += alt;
+    sum_frozen += frozen;
+    sq_alt += alt * alt;
+    sq_frozen += frozen * frozen;
+  }
+  auto stderr_of = [&](double sum, double sq) {
+    double mean = sum / trials;
+    return std::sqrt((sq / trials - mean * mean) / trials);
+  };
+  std::printf("%-22s %14s %12s\n", "variant", "mean signed", "stderr");
+  std::printf("--------------------------------------------------\n");
+  std::printf("%-22s %14.5f %12.5f\n", "alternating (paper)",
+              sum_alt / trials, stderr_of(sum_alt, sq_alt));
+  std::printf("%-22s %14.5f %12.5f\n", "frozen low offset",
+              sum_frozen / trials, stderr_of(sum_frozen, sq_frozen));
+  std::printf("\nexpected shape: the alternating variant's mean signed error "
+              "sits near zero; freezing the offset biases the median "
+              "estimate consistently downward (~6x at these parameters)\n");
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Ablation: WHY the block sampler must pick uniformly at random within
+// each block (Section 3.1). The deterministic alternative — take the first
+// element of every block ("systematic sampling") — looks equivalent on
+// shuffled data but is catastrophically biased when the arrival order is
+// periodic with a period related to the sampling rate, which real operator
+// pipelines produce all the time (round-robin merges, clustered scans).
+//
+// Stream construction: v(i) = (i mod P) * 1000 + small noise. Once the
+// sampling rate reaches P (or a multiple), first-of-block only ever sees
+// residue-0 elements: the sample covers one P-th of the value space.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "core/unknown_n.h"
+#include "stream/dataset.h"
+#include "util/random.h"
+
+namespace {
+
+mrl::Dataset PeriodicStream(std::size_t n, int period, std::uint64_t seed) {
+  mrl::Random rng(seed);
+  std::vector<mrl::Value> values;
+  values.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    values.push_back(1000.0 * static_cast<double>(i % static_cast<std::size_t>(
+                                  period)) +
+                     rng.UniformDouble());
+  }
+  return mrl::Dataset(std::move(values));
+}
+
+double WorstError(const mrl::Dataset& ds, bool first_of_block,
+                  std::uint64_t seed) {
+  mrl::UnknownNParams p;
+  p.b = 4;
+  p.k = 128;
+  p.h = 3;
+  p.alpha = 0.5;
+  mrl::UnknownNOptions options;
+  options.params = p;  // small params: sampling rate climbs quickly
+  options.seed = seed;
+  options.ablation_first_of_block_sampling = first_of_block;
+  mrl::UnknownNSketch sketch =
+      std::move(mrl::UnknownNSketch::Create(options)).value();
+  for (mrl::Value v : ds.values()) sketch.Add(v);
+  double worst = 0;
+  for (double phi : {0.1, 0.25, 0.5, 0.75, 0.9}) {
+    worst = std::max(worst,
+                     ds.QuantileError(sketch.Query(phi).value(), phi));
+  }
+  return worst;
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t n = 400'000;
+  std::printf("Ablation: uniform within-block pick vs deterministic "
+              "first-of-block, periodic arrival order, N=%zu\n\n",
+              n);
+  std::printf("%-10s %18s %18s\n", "period", "uniform (paper)",
+              "first-of-block");
+  std::printf("------------------------------------------------\n");
+  for (int period : {2, 4, 8, 16}) {
+    mrl::Dataset ds = PeriodicStream(n, period, 7);
+    double uniform = WorstError(ds, /*first_of_block=*/false, 11);
+    double systematic = WorstError(ds, /*first_of_block=*/true, 11);
+    std::printf("%-10d %18.5f %18.5f\n", period, uniform, systematic);
+  }
+  std::printf("\nexpected shape: the uniform pick stays within the small-"
+              "parameter budget (~0.05) on every period; first-of-block "
+              "collapses to sampling a single residue class and its error "
+              "explodes toward (period-1)/(2*period)\n");
+  return 0;
+}

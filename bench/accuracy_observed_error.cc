@@ -1,0 +1,93 @@
+// Empirical verification of the Section 4 guarantee and the Section 1.3
+// data-independence requirement: observed rank error of the unknown-N
+// sketch across value distributions and arrival orders, all far below the
+// promised eps; plus a failure-rate estimate against delta at a loose
+// delta where failures are observable in a reasonable number of trials.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "core/unknown_n.h"
+#include "stream/generator.h"
+
+namespace {
+
+double WorstError(const mrl::Dataset& ds, const mrl::UnknownNSketch& sketch) {
+  double worst = 0;
+  for (double phi : {0.01, 0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99}) {
+    worst = std::max(worst,
+                     ds.QuantileError(sketch.Query(phi).value(), phi));
+  }
+  return worst;
+}
+
+}  // namespace
+
+int main() {
+  const double eps = 0.01;
+  const double delta = 1e-4;
+  const std::size_t n = 1'200'000;  // past the sampling onset for eps=0.01
+
+  std::printf("Observed worst-case rank error over 9 quantiles, eps=%.3f, "
+              "delta=%.0e, N=%zu\n\n",
+              eps, delta, n);
+  std::printf("%-14s %-14s %12s %10s\n", "distribution", "order",
+              "worst error", "rate");
+  std::printf("------------------------------------------------------\n");
+  double global_worst = 0;
+  for (const char* dist : {"uniform", "gaussian", "exponential", "zipf"}) {
+    for (mrl::ArrivalOrder order :
+         {mrl::ArrivalOrder::kAsDrawn, mrl::ArrivalOrder::kSortedAsc,
+          mrl::ArrivalOrder::kSortedDesc, mrl::ArrivalOrder::kAlternating}) {
+      mrl::StreamSpec spec;
+      spec.distribution = dist;
+      spec.order = order;
+      spec.n = n;
+      spec.seed = 1;
+      mrl::Dataset ds = mrl::GenerateStream(spec);
+      mrl::UnknownNOptions options;
+      options.eps = eps;
+      options.delta = delta;
+      options.seed = 2;
+      mrl::UnknownNSketch sketch =
+          std::move(mrl::UnknownNSketch::Create(options)).value();
+      for (mrl::Value v : ds.values()) sketch.Add(v);
+      double worst = WorstError(ds, sketch);
+      global_worst = std::max(global_worst, worst);
+      std::printf("%-14s %-14s %12.5f %10llu\n", dist,
+                  mrl::ArrivalOrderName(order).c_str(), worst,
+                  static_cast<unsigned long long>(sketch.sampling_rate()));
+    }
+  }
+  std::printf("\nglobal worst observed error: %.5f (guarantee: %.3f) -> %s\n",
+              global_worst, eps, global_worst <= eps ? "PASS" : "FAIL");
+
+  // Failure-rate check at a loose delta: small forced parameters so the
+  // sampling error dominates and failures are actually possible.
+  std::printf("\nfailure-rate check (forced small params, 60 trials):\n");
+  int failures = 0;
+  const int trials = 60;
+  const double loose_eps = 0.05;
+  for (int t = 0; t < trials; ++t) {
+    mrl::StreamSpec spec;
+    spec.n = 100'000;
+    spec.seed = 100 + static_cast<std::uint64_t>(t);
+    mrl::Dataset ds = mrl::GenerateStream(spec);
+    mrl::UnknownNParams p;
+    p.b = 4;
+    p.k = 128;
+    p.h = 4;
+    p.alpha = 0.5;
+    mrl::UnknownNOptions options;
+    options.params = p;
+    options.seed = 500 + static_cast<std::uint64_t>(t);
+    mrl::UnknownNSketch sketch =
+        std::move(mrl::UnknownNSketch::Create(options)).value();
+    for (mrl::Value v : ds.values()) sketch.Add(v);
+    double err = ds.QuantileError(sketch.Query(0.5).value(), 0.5);
+    if (err > loose_eps) ++failures;
+  }
+  std::printf("  %d / %d medians outside eps=%.2f at b=4,k=128,h=4\n",
+              failures, trials, loose_eps);
+  return global_worst <= eps ? 0 : 1;
+}

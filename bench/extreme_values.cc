@@ -1,0 +1,71 @@
+// Reproduces the Section 7 claims: (a) the extreme-value estimator's
+// memory k = ceil(phi * s) is dramatically smaller than the general
+// algorithm's b*k for quantiles near the extremes, growing as phi moves
+// inward; (b) empirically, its answers satisfy the (eps, delta) guarantee.
+// Also shows the Stein-vs-Hoeffding sample-size gap that powers (a).
+
+#include <algorithm>
+#include <cstdio>
+
+#include "core/extreme.h"
+#include "core/params.h"
+#include "stream/generator.h"
+#include "util/math.h"
+
+int main() {
+  const double eps = 0.001;
+  const double delta = 1e-4;
+  const std::uint64_t n = 2'000'000;
+
+  const std::uint64_t general = mrl::UnknownNMemoryElements(eps, delta)
+                                    .value();
+  std::printf("Section 7: extreme-value estimator vs the general algorithm, "
+              "eps=%.4f, delta=%.0e, N=%llu\n",
+              eps, delta, static_cast<unsigned long long>(n));
+  std::printf("general unknown-N sketch: %.1fK elements\n\n",
+              static_cast<double>(general) / 1000.0);
+
+  std::printf("%-8s %12s %12s %10s %12s\n", "phi", "sample s", "memory k",
+              "ratio", "obs. error");
+  std::printf("------------------------------------------------------------\n");
+
+  mrl::StreamSpec spec;
+  spec.distribution = "exponential";
+  spec.n = n;
+  spec.seed = 3;
+  mrl::Dataset ds = mrl::GenerateStream(spec);
+
+  for (double phi : {0.002, 0.005, 0.01, 0.02, 0.05}) {
+    mrl::ExtremeValueOptions options;
+    options.phi = phi;
+    options.eps = eps;
+    options.delta = delta;
+    options.n = n;
+    options.seed = 7;
+    mrl::ExtremeValueSketch sketch =
+        std::move(mrl::ExtremeValueSketch::Create(options)).value();
+    for (mrl::Value v : ds.values()) sketch.Add(v);
+    double err = ds.QuantileError(sketch.Query(phi).value(), phi);
+    std::printf("%-8g %12llu %12llu %9.1fx %12.6f\n", phi,
+                static_cast<unsigned long long>(sketch.sizing().sample_size),
+                static_cast<unsigned long long>(sketch.MemoryElements()),
+                static_cast<double>(general) /
+                    static_cast<double>(sketch.MemoryElements()),
+                err);
+  }
+
+  std::printf("\nsample-size comparison (the statistical fact behind the "
+              "savings):\n");
+  std::printf("%-8s %16s %16s\n", "phi", "Stein (KL)", "Hoeffding");
+  for (double phi : {0.002, 0.01, 0.05, 0.25}) {
+    std::printf("%-8g %16llu %16llu\n", phi,
+                static_cast<unsigned long long>(
+                    mrl::SteinSampleSize(phi, eps, delta)),
+                static_cast<unsigned long long>(
+                    mrl::HoeffdingSampleSize(eps, delta)));
+  }
+  std::printf("\nexpected shape: memory grows with phi; the estimator wins "
+              "by orders of magnitude for extreme phi and the advantage "
+              "shrinks toward the median\n");
+  return 0;
+}

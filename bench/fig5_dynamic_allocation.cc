@@ -1,0 +1,92 @@
+// Reproduces Figure 5: a valid buffer-allocation schedule whose memory
+// usage stays within user-specified upper limits at every stream length,
+// plotted against the known-N requirement curve. eps = 0.01 and
+// delta = 0.0001 as in the paper.
+//
+// The schedule is verified two ways: analytically by the planner's tree
+// simulation, and empirically by running the sketch under the schedule on
+// a real stream and checking both the memory trajectory and the final
+// answer's accuracy.
+
+#include <cmath>
+#include <cstdio>
+
+#include "core/dynamic_alloc.h"
+#include "core/params.h"
+#include "core/unknown_n.h"
+#include "stream/generator.h"
+
+int main() {
+  const double eps = 0.01;
+  const double delta = 1e-4;
+
+  // User-specified limits: roughly double every decade, Figure 5 style.
+  std::vector<mrl::MemoryLimitPoint> limits = {
+      {0, 2'000},        {10'000, 4'000},    {100'000, 8'000},
+      {1'000'000, 16'000}, {10'000'000, 32'000}};
+
+  mrl::Result<mrl::DynamicAllocationPlan> planned =
+      mrl::PlanDynamicAllocation(eps, delta, limits);
+  if (!planned.ok()) {
+    std::fprintf(stderr, "planning failed: %s\n",
+                 planned.status().ToString().c_str());
+    return 1;
+  }
+  const mrl::DynamicAllocationPlan& plan = planned.value();
+  std::printf("Figure 5: valid schedule for eps=%.2f, delta=%.0e: "
+              "b=%d buffers of k=%zu (h=%d, alpha=%.2f)\n\n",
+              eps, delta, plan.params.b, plan.params.k, plan.params.h,
+              plan.params.alpha);
+
+  auto limit_at = [&](std::uint64_t n) {
+    std::uint64_t v = 0;
+    for (const auto& p : limits) {
+      if (p.n > n) break;
+      v = p.max_elements;
+    }
+    return v;
+  };
+
+  std::printf("%-10s %14s %14s %14s\n", "log10(N)", "schedule (K)",
+              "user limit (K)", "known-N (K)");
+  std::printf("--------------------------------------------------------\n");
+  for (double exp10 = 3.0; exp10 <= 7.0; exp10 += 0.5) {
+    const std::uint64_t n =
+        static_cast<std::uint64_t>(std::pow(10.0, exp10));
+    const std::uint64_t known =
+        mrl::KnownNMemoryElements(eps, delta, n).value();
+    std::printf("%-10.1f %13.2fK %13.2fK %13.2fK\n", exp10,
+                static_cast<double>(plan.MemoryElementsAt(n)) / 1000.0,
+                static_cast<double>(limit_at(n)) / 1000.0,
+                static_cast<double>(known) / 1000.0);
+  }
+
+  // Empirical validation: run the sketch under the schedule.
+  mrl::UnknownNOptions options;
+  options.params = plan.params;
+  options.buffer_allowance = plan.AllowanceFunction();
+  options.seed = 7;
+  mrl::UnknownNSketch sketch =
+      std::move(mrl::UnknownNSketch::Create(options)).value();
+  mrl::StreamSpec spec;
+  spec.n = 2'000'000;
+  spec.seed = 11;
+  mrl::Dataset ds = mrl::GenerateStream(spec);
+  bool within_limits = true;
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    sketch.Add(ds.values()[i]);
+    if ((i + 1) % 100'000 == 0 &&
+        sketch.CurrentMemoryElements() > limit_at(i + 1)) {
+      within_limits = false;
+    }
+  }
+  double worst = 0;
+  for (double phi : {0.1, 0.25, 0.5, 0.75, 0.9}) {
+    worst = std::max(worst,
+                     ds.QuantileError(sketch.Query(phi).value(), phi));
+  }
+  std::printf("\nempirical run over %zu elements: memory within limits: %s; "
+              "worst observed rank error %.5f (guarantee %.2f)\n",
+              ds.size(), within_limits ? "yes" : "NO", worst, eps);
+  return within_limits && worst <= eps ? 0 : 1;
+}

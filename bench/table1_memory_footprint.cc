@@ -1,0 +1,43 @@
+// Reproduces Table 1: number of buffers b, buffer size k, and total memory
+// b*k required by the unknown-N algorithm across (eps, delta), side by side
+// with the known-N algorithm's requirement (N large enough that sampling
+// kicks in, as in the paper). The paper's claim: the new algorithm needs no
+// more than twice the memory of the old one.
+//
+// Absolute entries differ from the paper's by small constant factors (we
+// re-derived the garbled constants; see DESIGN.md), but the shape — growth
+// in 1/eps, weak growth in log(1/delta), unknown-N <= 2x known-N — is the
+// reproduction target recorded in EXPERIMENTS.md.
+
+#include <cstdio>
+
+#include "core/params.h"
+
+int main() {
+  const double epss[] = {0.1, 0.05, 0.01, 0.005, 0.001};
+  const double deltas[] = {1e-2, 1e-3, 1e-4};
+  const std::uint64_t big_n = std::uint64_t{1} << 50;
+
+  std::printf("Table 1: memory (in stored elements; K = 1000) for the "
+              "unknown-N vs known-N algorithms\n\n");
+  std::printf("%-8s %-8s | %-22s | %-12s | %-6s\n", "eps", "delta",
+              "unknown-N  b x k = bk", "known-N bk", "ratio");
+  std::printf("--------------------------------------------------------------"
+              "--------\n");
+  for (double eps : epss) {
+    for (double delta : deltas) {
+      mrl::UnknownNParams u = mrl::SolveUnknownN(eps, delta).value();
+      std::uint64_t known =
+          mrl::KnownNMemoryElements(eps, delta, big_n).value();
+      std::printf("%-8g %-8.0e | %3d x %6zu = %7.2fK | %9.2fK   | %5.2f\n",
+                  eps, delta, u.b, u.k,
+                  static_cast<double>(u.MemoryElements()) / 1000.0,
+                  static_cast<double>(known) / 1000.0,
+                  static_cast<double>(u.MemoryElements()) /
+                      static_cast<double>(known));
+    }
+  }
+  std::printf("\npaper reference points (SIGMOD'99 Table 1, eps=0.01): "
+              "unknown-N ~4.7-4.9K, known-N ~2.5-2.8K, ratio <= 2\n");
+  return 0;
+}

@@ -1,0 +1,219 @@
+// Single-pass cost (Section 1.3: the algorithm must keep up with a scan):
+// google-benchmark microbenchmarks of per-element insertion for every
+// estimator in the library, plus query cost, plus the effect of sampling
+// (deep vs shallow trees) on insertion throughput.
+
+#include <benchmark/benchmark.h>
+
+#include "baseline/exact.h"
+#include "baseline/munro_paterson.h"
+#include "baseline/reservoir_quantile.h"
+#include "core/extreme.h"
+#include "core/known_n.h"
+#include "core/unknown_n.h"
+#include "stream/generator.h"
+
+namespace {
+
+const std::vector<mrl::Value>& InputStream() {
+  static const auto* values = [] {
+    mrl::StreamSpec spec;
+    spec.n = 1 << 20;
+    spec.seed = 3;
+    return new std::vector<mrl::Value>(mrl::GenerateStream(spec).values());
+  }();
+  return *values;
+}
+
+void BM_UnknownNAdd(benchmark::State& state) {
+  const auto& input = InputStream();
+  mrl::UnknownNOptions options;
+  options.eps = 1.0 / static_cast<double>(state.range(0));
+  options.delta = 1e-4;
+  auto sketch = std::move(mrl::UnknownNSketch::Create(options)).value();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    sketch.Add(input[i++ & (input.size() - 1)]);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.counters["mem_elems"] =
+      static_cast<double>(sketch.MemoryElements());
+}
+BENCHMARK(BM_UnknownNAdd)->Arg(20)->Arg(100)->Arg(1000);
+
+void BM_UnknownNAddDeepTree(benchmark::State& state) {
+  // Small forced parameters: collapses and rate doublings happen
+  // constantly; measures the amortized worst case.
+  const auto& input = InputStream();
+  mrl::UnknownNParams p;
+  p.b = 4;
+  p.k = 64;
+  p.h = 3;
+  p.alpha = 0.5;
+  mrl::UnknownNOptions options;
+  options.params = p;
+  auto sketch = std::move(mrl::UnknownNSketch::Create(options)).value();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    sketch.Add(input[i++ & (input.size() - 1)]);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_UnknownNAddDeepTree);
+
+void BM_KnownNAdd(benchmark::State& state) {
+  const auto& input = InputStream();
+  mrl::KnownNOptions options;
+  options.eps = 0.01;
+  options.delta = 1e-4;
+  options.n = std::uint64_t{1} << 40;  // sampling active
+  auto sketch = std::move(mrl::KnownNSketch::Create(options)).value();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    sketch.Add(input[i++ & (input.size() - 1)]);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_KnownNAdd);
+
+void BM_MunroPatersonAdd(benchmark::State& state) {
+  const auto& input = InputStream();
+  mrl::MunroPatersonSketch::Options options;
+  options.eps = 0.01;
+  options.n = std::uint64_t{1} << 30;
+  auto sketch = std::move(mrl::MunroPatersonSketch::Create(options)).value();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    sketch.Add(input[i++ & (input.size() - 1)]);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_MunroPatersonAdd);
+
+void BM_ReservoirAdd(benchmark::State& state) {
+  const auto& input = InputStream();
+  mrl::ReservoirQuantileSketch::Options options;
+  options.eps = 0.01;
+  options.delta = 1e-4;
+  auto sketch =
+      std::move(mrl::ReservoirQuantileSketch::Create(options)).value();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    sketch.Add(input[i++ & (input.size() - 1)]);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ReservoirAdd);
+
+void BM_ExtremeValueAdd(benchmark::State& state) {
+  const auto& input = InputStream();
+  mrl::ExtremeValueOptions options;
+  options.phi = 0.999;
+  options.eps = 0.0005;
+  options.delta = 1e-4;
+  options.n = std::uint64_t{1} << 30;
+  auto sketch = std::move(mrl::ExtremeValueSketch::Create(options)).value();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    sketch.Add(input[i++ & (input.size() - 1)]);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ExtremeValueAdd);
+
+void BM_UnknownNQuery(benchmark::State& state) {
+  const auto& input = InputStream();
+  mrl::UnknownNOptions options;
+  options.eps = 0.01;
+  options.delta = 1e-4;
+  auto sketch = std::move(mrl::UnknownNSketch::Create(options)).value();
+  for (mrl::Value v : input) sketch.Add(v);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sketch.Query(0.5));
+  }
+}
+BENCHMARK(BM_UnknownNQuery);
+
+void BM_UnknownNQueryMany(benchmark::State& state) {
+  // Batch query: histograms ask for many phis in one merge pass.
+  const auto& input = InputStream();
+  mrl::UnknownNOptions options;
+  options.eps = 0.01;
+  options.delta = 1e-4;
+  auto sketch = std::move(mrl::UnknownNSketch::Create(options)).value();
+  for (mrl::Value v : input) sketch.Add(v);
+  std::vector<double> phis;
+  for (int i = 1; i < 100; ++i) phis.push_back(i / 100.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sketch.QueryMany(phis));
+  }
+}
+BENCHMARK(BM_UnknownNQueryMany);
+
+void BM_SerializeSketch(benchmark::State& state) {
+  // Checkpoint encode cost; the counter reports the checkpoint size.
+  const auto& input = InputStream();
+  mrl::UnknownNOptions options;
+  options.eps = 0.01;
+  options.delta = 1e-4;
+  auto sketch = std::move(mrl::UnknownNSketch::Create(options)).value();
+  for (mrl::Value v : input) sketch.Add(v);
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    auto blob = sketch.Serialize();
+    bytes = blob.size();
+    benchmark::DoNotOptimize(blob);
+  }
+  state.counters["checkpoint_bytes"] = static_cast<double>(bytes);
+}
+BENCHMARK(BM_SerializeSketch);
+
+void BM_DeserializeSketch(benchmark::State& state) {
+  const auto& input = InputStream();
+  mrl::UnknownNOptions options;
+  options.eps = 0.01;
+  options.delta = 1e-4;
+  auto sketch = std::move(mrl::UnknownNSketch::Create(options)).value();
+  for (mrl::Value v : input) sketch.Add(v);
+  const auto blob = sketch.Serialize();
+  for (auto _ : state) {
+    auto restored = mrl::UnknownNSketch::Deserialize(blob);
+    benchmark::DoNotOptimize(restored);
+  }
+}
+BENCHMARK(BM_DeserializeSketch);
+
+void BM_ExportSummary(benchmark::State& state) {
+  const auto& input = InputStream();
+  mrl::UnknownNOptions options;
+  options.eps = 0.01;
+  options.delta = 1e-4;
+  auto sketch = std::move(mrl::UnknownNSketch::Create(options)).value();
+  for (mrl::Value v : input) sketch.Add(v);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sketch.ExportSummary());
+  }
+}
+BENCHMARK(BM_ExportSummary);
+
+void BM_SummaryQuery(benchmark::State& state) {
+  // Repeated queries against a frozen summary: the O(log m) path.
+  const auto& input = InputStream();
+  mrl::UnknownNOptions options;
+  options.eps = 0.01;
+  options.delta = 1e-4;
+  auto sketch = std::move(mrl::UnknownNSketch::Create(options)).value();
+  for (mrl::Value v : input) sketch.Add(v);
+  mrl::QuantileSummary summary = sketch.ExportSummary();
+  double phi = 0.001;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(summary.Quantile(phi));
+    phi += 0.001;
+    if (phi > 1.0) phi = 0.001;
+  }
+}
+BENCHMARK(BM_SummaryQuery);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,55 @@
+// Quickstart: compute approximate quantiles of a stream whose length is not
+// known in advance — the headline capability of MRL99.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "core/unknown_n.h"
+#include "stream/generator.h"
+
+int main() {
+  // 1. Create a sketch: answers are within eps of the true rank with
+  //    probability at least 1 - delta, for ANY stream length and order.
+  mrl::UnknownNOptions options;
+  options.eps = 0.01;    // rank error at most 1% of the stream length
+  options.delta = 1e-4;  // ... with probability 99.99%
+  options.seed = 42;
+  mrl::Result<mrl::UnknownNSketch> created =
+      mrl::UnknownNSketch::Create(options);
+  if (!created.ok()) {
+    std::fprintf(stderr, "create failed: %s\n",
+                 created.status().ToString().c_str());
+    return 1;
+  }
+  mrl::UnknownNSketch& sketch = created.value();
+  std::printf("sketch memory: %llu elements (b=%d buffers of k=%zu)\n\n",
+              static_cast<unsigned long long>(sketch.MemoryElements()),
+              sketch.params().b, sketch.params().k);
+
+  // 2. Feed it a stream — here 2 million Gaussian values; in a DBMS this
+  //    would be a single scan of a table column.
+  mrl::StreamSpec spec;
+  spec.distribution = "gaussian";
+  spec.n = 2'000'000;
+  spec.seed = 7;
+  mrl::Dataset data = mrl::GenerateStream(spec);
+  for (mrl::Value v : data.values()) {
+    sketch.Add(v);
+  }
+
+  // 3. Query any quantiles, any time. Output is non-destructive.
+  std::printf("%8s %12s %12s %10s\n", "phi", "estimate", "exact",
+              "rank err");
+  for (double phi : {0.01, 0.05, 0.25, 0.5, 0.75, 0.95, 0.99}) {
+    mrl::Value estimate = sketch.Query(phi).value();
+    std::printf("%8.2f %12.5f %12.5f %10.5f\n", phi, estimate,
+                data.ExactQuantile(phi), data.QuantileError(estimate, phi));
+  }
+  std::printf("\nconsumed %llu elements in one pass using %llu stored\n",
+              static_cast<unsigned long long>(sketch.count()),
+              static_cast<unsigned long long>(sketch.MemoryElements()));
+  return 0;
+}

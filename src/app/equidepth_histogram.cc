@@ -1,0 +1,64 @@
+#include "app/equidepth_histogram.h"
+
+#include <algorithm>
+
+namespace mrl {
+
+Result<EquiDepthHistogram> EquiDepthHistogram::Create(const Options& options) {
+  if (options.num_buckets < 2) {
+    return Status::InvalidArgument("num_buckets must be >= 2");
+  }
+  double eps = options.eps;
+  if (eps == 0.0) {
+    eps = 1.0 / (10.0 * static_cast<double>(options.num_buckets));
+  }
+  MultiQuantileSketch::Options sketch_options;
+  sketch_options.eps = eps;
+  sketch_options.delta = options.delta;
+  sketch_options.num_quantiles = options.num_buckets - 1;
+  sketch_options.seed = options.seed;
+  Result<MultiQuantileSketch> sketch =
+      MultiQuantileSketch::Create(sketch_options);
+  if (!sketch.ok()) return sketch.status();
+  return EquiDepthHistogram(std::move(sketch).value(), options.num_buckets);
+}
+
+void EquiDepthHistogram::Add(Value v) {
+  if (sketch_.count() == 0) {
+    min_ = max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  sketch_.Add(v);
+}
+
+Result<std::vector<Value>> EquiDepthHistogram::Boundaries() const {
+  std::vector<double> phis;
+  phis.reserve(num_buckets_ - 1);
+  for (std::size_t i = 1; i < num_buckets_; ++i) {
+    phis.push_back(static_cast<double>(i) /
+                   static_cast<double>(num_buckets_));
+  }
+  return sketch_.QueryMany(phis);
+}
+
+Result<std::vector<EquiDepthHistogram::Bucket>> EquiDepthHistogram::Buckets()
+    const {
+  Result<std::vector<Value>> boundaries = Boundaries();
+  if (!boundaries.ok()) return boundaries.status();
+  const std::vector<Value>& bs = boundaries.value();
+  const std::uint64_t depth =
+      count() / static_cast<std::uint64_t>(num_buckets_);
+  std::vector<Bucket> buckets;
+  buckets.reserve(num_buckets_);
+  Value lo = min_;
+  for (std::size_t i = 0; i < num_buckets_; ++i) {
+    const Value hi = (i + 1 < num_buckets_) ? bs[i] : max_;
+    buckets.push_back({lo, hi, depth});
+    lo = hi;
+  }
+  return buckets;
+}
+
+}  // namespace mrl

@@ -1,0 +1,68 @@
+#ifndef MRLQUANT_APP_EQUIDEPTH_HISTOGRAM_H_
+#define MRLQUANT_APP_EQUIDEPTH_HISTOGRAM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/multi_quantile.h"
+#include "util/status.h"
+#include "util/types.h"
+
+namespace mrl {
+
+/// Approximate equi-depth histogram maintenance over a dynamically growing
+/// table (Sections 1.1–1.2): the bucket boundaries are the i/p-quantiles
+/// for i = 1..p-1, each maintained eps-approximately with joint probability
+/// >= 1 - delta, accurate at all times irrespective of the current table
+/// size — which is exactly why the unknown-N algorithm is the right engine.
+class EquiDepthHistogram {
+ public:
+  struct Options {
+    std::size_t num_buckets = 10;  ///< p; must be >= 2
+    /// Per-boundary rank error as a fraction of the table size. Defaults to
+    /// a tenth of the bucket depth so buckets stay visibly equi-depth.
+    double eps = 0.0;  ///< 0 means 1 / (10 * num_buckets)
+    double delta = 1e-4;
+    std::uint64_t seed = 1;
+  };
+
+  static Result<EquiDepthHistogram> Create(const Options& options);
+
+  EquiDepthHistogram(EquiDepthHistogram&&) = default;
+  EquiDepthHistogram& operator=(EquiDepthHistogram&&) = default;
+
+  /// Inserts one row value.
+  void Add(Value v);
+
+  std::uint64_t count() const { return sketch_.count(); }
+
+  /// A materialized histogram: p buckets of (approximately) equal row
+  /// counts.
+  struct Bucket {
+    Value lo;               ///< inclusive lower value bound
+    Value hi;               ///< upper value bound (inclusive for the last)
+    std::uint64_t depth;    ///< approximate rows in the bucket
+  };
+
+  /// The p-1 interior boundaries (i/p-quantiles).
+  Result<std::vector<Value>> Boundaries() const;
+
+  /// Boundaries plus the exactly-tracked min/max, as p buckets.
+  Result<std::vector<Bucket>> Buckets() const;
+
+  std::uint64_t MemoryElements() const { return sketch_.MemoryElements(); }
+  std::size_t num_buckets() const { return num_buckets_; }
+
+ private:
+  EquiDepthHistogram(MultiQuantileSketch sketch, std::size_t num_buckets)
+      : sketch_(std::move(sketch)), num_buckets_(num_buckets) {}
+
+  MultiQuantileSketch sketch_;
+  std::size_t num_buckets_;
+  Value min_ = 0;
+  Value max_ = 0;
+};
+
+}  // namespace mrl
+
+#endif  // MRLQUANT_APP_EQUIDEPTH_HISTOGRAM_H_

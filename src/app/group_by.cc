@@ -1,0 +1,61 @@
+#include "app/group_by.h"
+
+#include "core/params.h"
+#include "util/logging.h"
+
+namespace mrl {
+
+Result<GroupByQuantiles> GroupByQuantiles::Create(const Options& options) {
+  if (options.max_groups == 0) {
+    return Status::InvalidArgument("max_groups must be >= 1");
+  }
+  // Solve (b, k, h, alpha) once; every group's sketch shares them.
+  Result<UnknownNParams> params = SolveUnknownN(options.eps, options.delta);
+  if (!params.ok()) return params.status();
+  return GroupByQuantiles(options, params.value());
+}
+
+void GroupByQuantiles::Add(std::int64_t group_key, Value v) {
+  auto it = groups_.find(group_key);
+  if (it == groups_.end()) {
+    if (groups_.size() >= options_.max_groups) {
+      ++dropped_rows_;
+      return;
+    }
+    UnknownNOptions sketch_options;
+    sketch_options.params = params_;
+    sketch_options.seed = seeder_.NextUint64();
+    Result<UnknownNSketch> sketch = UnknownNSketch::Create(sketch_options);
+    MRL_CHECK(sketch.ok()) << sketch.status().ToString();
+    it = groups_.emplace(group_key, std::move(sketch).value()).first;
+  }
+  it->second.Add(v);
+}
+
+std::uint64_t GroupByQuantiles::GroupCount(std::int64_t group_key) const {
+  auto it = groups_.find(group_key);
+  return it == groups_.end() ? 0 : it->second.count();
+}
+
+Result<Value> GroupByQuantiles::Query(std::int64_t group_key,
+                                      double phi) const {
+  auto it = groups_.find(group_key);
+  if (it == groups_.end()) {
+    return Status::NotFound("no such group: " + std::to_string(group_key));
+  }
+  return it->second.Query(phi);
+}
+
+std::vector<std::int64_t> GroupByQuantiles::Keys() const {
+  std::vector<std::int64_t> keys;
+  keys.reserve(groups_.size());
+  for (const auto& [key, sketch] : groups_) keys.push_back(key);
+  return keys;
+}
+
+std::uint64_t GroupByQuantiles::MemoryElements() const {
+  return static_cast<std::uint64_t>(groups_.size()) *
+         params_.MemoryElements();
+}
+
+}  // namespace mrl

@@ -1,0 +1,77 @@
+#ifndef MRLQUANT_APP_GROUP_BY_H_
+#define MRLQUANT_APP_GROUP_BY_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/unknown_n.h"
+#include "util/status.h"
+#include "util/types.h"
+
+namespace mrl {
+
+/// Per-group quantile maintenance, the Group By scenario of Section 1.3:
+/// aggregation plans compute many quantile aggregates concurrently, which
+/// is exactly why the per-sketch memory footprint must be small and
+/// predictable. One UnknownNSketch per distinct group key, created lazily
+/// on first touch, each with an independent deterministic random stream.
+///
+/// Example:
+///   GroupByQuantiles gb = ...;
+///   for (auto& row : scan) gb.Add(row.region_id, row.sale_amount);
+///   Result<Value> p95_emea = gb.Query(kEmea, 0.95);
+class GroupByQuantiles {
+ public:
+  struct Options {
+    double eps = 0.01;
+    double delta = 1e-4;
+    std::uint64_t seed = 1;
+    /// Safety valve for runaway cardinality: Add to a brand-new key beyond
+    /// this many groups is ignored and counted in dropped_groups().
+    std::size_t max_groups = 1 << 20;
+  };
+
+  static Result<GroupByQuantiles> Create(const Options& options);
+
+  GroupByQuantiles(GroupByQuantiles&&) = default;
+  GroupByQuantiles& operator=(GroupByQuantiles&&) = default;
+
+  /// Routes one row to its group's sketch.
+  void Add(std::int64_t group_key, Value v);
+
+  /// Number of distinct groups currently tracked.
+  std::size_t num_groups() const { return groups_.size(); }
+
+  /// Rows whose (new) group was dropped due to the max_groups cap.
+  std::uint64_t dropped_rows() const { return dropped_rows_; }
+
+  /// Rows consumed by a given group; 0 for unknown keys.
+  std::uint64_t GroupCount(std::int64_t group_key) const;
+
+  /// The phi-quantile of one group. NotFound for unseen keys.
+  Result<Value> Query(std::int64_t group_key, double phi) const;
+
+  /// All group keys, unordered.
+  std::vector<std::int64_t> Keys() const;
+
+  /// Total memory across groups — grows linearly in the number of groups
+  /// and in nothing else, the property Section 1.3 asks for.
+  std::uint64_t MemoryElements() const;
+
+ private:
+  GroupByQuantiles(Options options, UnknownNParams params)
+      : options_(std::move(options)),
+        params_(params),
+        seeder_(options_.seed) {}
+
+  Options options_;
+  UnknownNParams params_;  ///< solved once, shared by every group's sketch
+  Random seeder_;
+  std::unordered_map<std::int64_t, UnknownNSketch> groups_;
+  std::uint64_t dropped_rows_ = 0;
+};
+
+}  // namespace mrl
+
+#endif  // MRLQUANT_APP_GROUP_BY_H_

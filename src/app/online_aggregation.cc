@@ -1,0 +1,41 @@
+#include "app/online_aggregation.h"
+
+namespace mrl {
+
+Result<OnlineAggregator> OnlineAggregator::Create(const Options& options) {
+  if (options.tracked_phis.empty()) {
+    return Status::InvalidArgument("tracked_phis must not be empty");
+  }
+  if (options.report_every == 0) {
+    return Status::InvalidArgument("report_every must be >= 1");
+  }
+  for (double phi : options.tracked_phis) {
+    if (!(phi > 0.0) || phi > 1.0) {
+      return Status::InvalidArgument("tracked phis must be in (0, 1]");
+    }
+  }
+  UnknownNOptions sketch_options;
+  sketch_options.eps = options.eps;
+  // Union bound: every snapshot reports |tracked_phis| estimates; the
+  // per-prefix guarantee already covers all prefixes jointly, so only the
+  // quantile count divides delta.
+  sketch_options.delta =
+      options.delta / static_cast<double>(options.tracked_phis.size());
+  sketch_options.seed = options.seed;
+  Result<UnknownNSketch> sketch = UnknownNSketch::Create(sketch_options);
+  if (!sketch.ok()) return sketch.status();
+  return OnlineAggregator(std::move(sketch).value(), options);
+}
+
+void OnlineAggregator::Add(Value v) {
+  sketch_.Add(v);
+  if (sketch_.count() % options_.report_every == 0) {
+    Result<std::vector<Value>> estimates =
+        sketch_.QueryMany(options_.tracked_phis);
+    if (estimates.ok()) {
+      history_.push_back({sketch_.count(), std::move(estimates).value()});
+    }
+  }
+}
+
+}  // namespace mrl

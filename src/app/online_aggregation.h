@@ -1,0 +1,62 @@
+#ifndef MRLQUANT_APP_ONLINE_AGGREGATION_H_
+#define MRLQUANT_APP_ONLINE_AGGREGATION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/unknown_n.h"
+#include "util/status.h"
+#include "util/types.h"
+
+namespace mrl {
+
+/// Online aggregation (Section 1.5, [Hel97]): because Output never destroys
+/// sketch state and the unknown-N guarantee holds for *every prefix*, the
+/// sketch can drive a progress display that refines quantile estimates
+/// while the scan is still running. This wrapper records a snapshot of the
+/// tracked quantiles every `report_every` elements.
+class OnlineAggregator {
+ public:
+  struct Options {
+    double eps = 0.01;
+    double delta = 1e-4;
+    std::vector<double> tracked_phis = {0.25, 0.5, 0.75};
+    std::uint64_t report_every = 10000;
+    std::uint64_t seed = 1;
+  };
+
+  struct ProgressSnapshot {
+    std::uint64_t rows_seen;
+    std::vector<Value> estimates;  ///< aligned with tracked_phis
+  };
+
+  static Result<OnlineAggregator> Create(const Options& options);
+
+  OnlineAggregator(OnlineAggregator&&) = default;
+  OnlineAggregator& operator=(OnlineAggregator&&) = default;
+
+  /// Consumes one row; records a snapshot at each reporting boundary.
+  void Add(Value v);
+
+  std::uint64_t count() const { return sketch_.count(); }
+
+  /// Snapshots taken so far, oldest first.
+  const std::vector<ProgressSnapshot>& history() const { return history_; }
+
+  /// Current estimates of the tracked quantiles.
+  Result<std::vector<Value>> Current() const {
+    return sketch_.QueryMany(options_.tracked_phis);
+  }
+
+ private:
+  OnlineAggregator(UnknownNSketch sketch, Options options)
+      : sketch_(std::move(sketch)), options_(std::move(options)) {}
+
+  UnknownNSketch sketch_;
+  Options options_;
+  std::vector<ProgressSnapshot> history_;
+};
+
+}  // namespace mrl
+
+#endif  // MRLQUANT_APP_ONLINE_AGGREGATION_H_

@@ -1,0 +1,30 @@
+#include "app/selectivity.h"
+
+namespace mrl {
+
+Result<SelectivityEstimator> SelectivityEstimator::Create(
+    const Options& options) {
+  UnknownNOptions sketch_options;
+  sketch_options.eps = options.eps;
+  // Two rank lookups per range predicate share the failure budget.
+  sketch_options.delta = options.delta / 2.0;
+  sketch_options.seed = options.seed;
+  Result<UnknownNSketch> sketch = UnknownNSketch::Create(sketch_options);
+  if (!sketch.ok()) return sketch.status();
+  return SelectivityEstimator(std::move(sketch).value());
+}
+
+Result<double> SelectivityEstimator::Range(Value lo, Value hi) const {
+  if (lo > hi) {
+    return Status::InvalidArgument("range requires lo <= hi");
+  }
+  Result<double> upper = sketch_.RankOf(hi);
+  if (!upper.ok()) return upper.status();
+  Result<double> lower = sketch_.RankOf(lo);
+  if (!lower.ok()) return lower.status();
+  double sel = upper.value() - lower.value();
+  if (sel < 0.0) sel = 0.0;  // estimates are each noisy; clamp
+  return sel;
+}
+
+}  // namespace mrl

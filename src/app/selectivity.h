@@ -1,0 +1,54 @@
+#ifndef MRLQUANT_APP_SELECTIVITY_H_
+#define MRLQUANT_APP_SELECTIVITY_H_
+
+#include <cstdint>
+
+#include "core/unknown_n.h"
+#include "util/status.h"
+#include "util/types.h"
+
+namespace mrl {
+
+/// Selectivity estimation for simple range predicates over a column
+/// (Section 1.1, [SALP79]): a query optimizer maintains this summary over
+/// the column in one pass and answers "what fraction of rows satisfies
+/// v <= c" / "lo < v <= hi" to within eps (absolute), with probability
+/// >= 1 - delta per estimate — without knowing the table size up front,
+/// so the summary stays valid as the table grows.
+class SelectivityEstimator {
+ public:
+  struct Options {
+    double eps = 0.01;
+    double delta = 1e-4;
+    std::uint64_t seed = 1;
+  };
+
+  static Result<SelectivityEstimator> Create(const Options& options);
+
+  SelectivityEstimator(SelectivityEstimator&&) = default;
+  SelectivityEstimator& operator=(SelectivityEstimator&&) = default;
+
+  /// Inserts one row value.
+  void Add(Value v) { sketch_.Add(v); }
+
+  std::uint64_t count() const { return sketch_.count(); }
+
+  /// Estimated selectivity of the predicate (column <= c), in [0, 1].
+  Result<double> LessOrEqual(Value c) const { return sketch_.RankOf(c); }
+
+  /// Estimated selectivity of (lo < column <= hi). Requires lo <= hi.
+  /// The absolute error is at most 2*eps (one eps per endpoint).
+  Result<double> Range(Value lo, Value hi) const;
+
+  std::uint64_t MemoryElements() const { return sketch_.MemoryElements(); }
+
+ private:
+  explicit SelectivityEstimator(UnknownNSketch sketch)
+      : sketch_(std::move(sketch)) {}
+
+  UnknownNSketch sketch_;
+};
+
+}  // namespace mrl
+
+#endif  // MRLQUANT_APP_SELECTIVITY_H_

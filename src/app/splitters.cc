@@ -1,0 +1,87 @@
+#include "app/splitters.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/multi_quantile.h"
+#include "core/parallel.h"
+
+namespace mrl {
+
+namespace {
+
+Status ValidateSplitterOptions(const SplitterOptions& options) {
+  if (options.num_parts < 2) {
+    return Status::InvalidArgument("num_parts must be >= 2");
+  }
+  return Status::OK();
+}
+
+std::vector<double> SplitterPhis(int num_parts) {
+  std::vector<double> phis;
+  phis.reserve(static_cast<std::size_t>(num_parts) - 1);
+  for (int i = 1; i < num_parts; ++i) {
+    phis.push_back(static_cast<double>(i) / static_cast<double>(num_parts));
+  }
+  return phis;
+}
+
+}  // namespace
+
+Result<std::vector<Value>> ComputeSplittersSequential(
+    const std::vector<Value>& data, const SplitterOptions& options) {
+  MRL_RETURN_IF_ERROR(ValidateSplitterOptions(options));
+  MultiQuantileSketch::Options sketch_options;
+  sketch_options.eps = options.eps;
+  sketch_options.delta = options.delta;
+  sketch_options.num_quantiles =
+      static_cast<std::uint64_t>(options.num_parts) - 1;
+  sketch_options.seed = options.seed;
+  Result<MultiQuantileSketch> sketch =
+      MultiQuantileSketch::Create(sketch_options);
+  if (!sketch.ok()) return sketch.status();
+  sketch.value().AddAll(data);
+  return sketch.value().QueryMany(SplitterPhis(options.num_parts));
+}
+
+Result<std::vector<Value>> ComputeSplittersParallel(
+    const std::vector<std::vector<Value>>& shards,
+    const SplitterOptions& options) {
+  MRL_RETURN_IF_ERROR(ValidateSplitterOptions(options));
+  ParallelOptions parallel_options;
+  parallel_options.eps = options.eps;
+  // Union bound over the num_parts - 1 simultaneous splitters.
+  parallel_options.delta =
+      options.delta / static_cast<double>(options.num_parts - 1);
+  parallel_options.num_workers = static_cast<int>(shards.size());
+  parallel_options.seed = options.seed;
+  return ParallelQuantiles(shards, parallel_options,
+                           SplitterPhis(options.num_parts));
+}
+
+double MaxPartitionSkew(const std::vector<Value>& data,
+                        const std::vector<Value>& splitters) {
+  if (data.empty()) return 0.0;
+  std::vector<Value> sorted_splitters = splitters;
+  std::sort(sorted_splitters.begin(), sorted_splitters.end());
+  const std::size_t parts = sorted_splitters.size() + 1;
+  std::vector<std::uint64_t> counts(parts, 0);
+  for (Value v : data) {
+    // Partition i receives v iff splitter[i-1] < v <= splitter[i].
+    const std::size_t idx = static_cast<std::size_t>(
+        std::lower_bound(sorted_splitters.begin(), sorted_splitters.end(), v)
+        - sorted_splitters.begin());
+    ++counts[idx];
+  }
+  const double ideal =
+      static_cast<double>(data.size()) / static_cast<double>(parts);
+  double max_skew = 0.0;
+  for (std::uint64_t c : counts) {
+    max_skew = std::max(
+        max_skew, std::abs(static_cast<double>(c) - ideal) /
+                      static_cast<double>(data.size()));
+  }
+  return max_skew;
+}
+
+}  // namespace mrl

@@ -1,0 +1,42 @@
+#ifndef MRLQUANT_APP_SPLITTERS_H_
+#define MRLQUANT_APP_SPLITTERS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/status.h"
+#include "util/types.h"
+
+namespace mrl {
+
+/// Splitter computation for value-range partitioning (Section 1.1: DB2 /
+/// Informix data partitioning, distributed sorting [DNS91]): values v with
+/// splitter[i-1] < v <= splitter[i] go to partition i, yielding
+/// `num_parts` approximately equal parts.
+struct SplitterOptions {
+  int num_parts = 8;      ///< >= 2
+  double eps = 0.001;     ///< rank error per splitter, fraction of N
+  double delta = 1e-4;    ///< joint failure probability over all splitters
+  std::uint64_t seed = 1;
+};
+
+/// Single-node: one pass of the unknown-N sketch over `data`.
+Result<std::vector<Value>> ComputeSplittersSequential(
+    const std::vector<Value>& data, const SplitterOptions& options);
+
+/// Multi-node: one sketch per shard on its own thread, merged by the
+/// Section 6 coordinator.
+Result<std::vector<Value>> ComputeSplittersParallel(
+    const std::vector<std::vector<Value>>& shards,
+    const SplitterOptions& options);
+
+/// Quality metric: the maximum over partitions of |actual_size -
+/// ideal_size| / N, where the partitions are induced by `splitters` over
+/// `data`. A perfect split scores 0; eps-approximate splitters score at
+/// most about 2*eps.
+double MaxPartitionSkew(const std::vector<Value>& data,
+                        const std::vector<Value>& splitters);
+
+}  // namespace mrl
+
+#endif  // MRLQUANT_APP_SPLITTERS_H_

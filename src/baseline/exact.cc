@@ -1,0 +1,26 @@
+#include "baseline/exact.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mrl {
+
+Result<Value> ExactQuantileEstimator::Query(double phi) const {
+  if (!(phi > 0.0) || phi > 1.0) {
+    return Status::InvalidArgument("phi must be in (0, 1]");
+  }
+  if (values_.empty()) {
+    return Status::FailedPrecondition("no elements consumed yet");
+  }
+  if (!sorted_) {
+    std::sort(values_.begin(), values_.end());
+    sorted_ = true;
+  }
+  std::size_t pos = static_cast<std::size_t>(
+      std::ceil(phi * static_cast<double>(values_.size())));
+  if (pos < 1) pos = 1;
+  if (pos > values_.size()) pos = values_.size();
+  return values_[pos - 1];
+}
+
+}  // namespace mrl

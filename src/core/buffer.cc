@@ -1,0 +1,72 @@
+#include "core/buffer.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace mrl {
+
+const char* BufferStateName(BufferState s) {
+  switch (s) {
+    case BufferState::kEmpty:
+      return "empty";
+    case BufferState::kFilling:
+      return "filling";
+    case BufferState::kFull:
+      return "full";
+  }
+  return "unknown";
+}
+
+Buffer::Buffer(std::size_t capacity) : capacity_(capacity) {
+  MRL_CHECK_GE(capacity, 1u);
+  values_.reserve(capacity);
+}
+
+void Buffer::StartFill() {
+  MRL_CHECK(state_ == BufferState::kEmpty)
+      << "StartFill from " << BufferStateName(state_);
+  state_ = BufferState::kFilling;
+}
+
+void Buffer::Append(Value v) {
+  MRL_CHECK(state_ == BufferState::kFilling);
+  MRL_CHECK_LT(values_.size(), capacity_);
+  values_.push_back(v);
+}
+
+void Buffer::MarkFull(Weight weight, int level) {
+  MRL_CHECK(state_ == BufferState::kFilling);
+  MRL_CHECK_EQ(values_.size(), capacity_);
+  MRL_CHECK_GE(weight, 1u);
+  std::sort(values_.begin(), values_.end());
+  weight_ = weight;
+  level_ = level;
+  state_ = BufferState::kFull;
+}
+
+void Buffer::AssignSorted(std::vector<Value> sorted_values, Weight weight,
+                          int level) {
+  MRL_CHECK_EQ(sorted_values.size(), capacity_);
+  MRL_CHECK_GE(weight, 1u);
+  MRL_DCHECK(std::is_sorted(sorted_values.begin(), sorted_values.end()));
+  values_ = std::move(sorted_values);
+  weight_ = weight;
+  level_ = level;
+  state_ = BufferState::kFull;
+}
+
+void Buffer::Clear() {
+  values_.clear();
+  weight_ = 0;
+  level_ = 0;
+  state_ = BufferState::kEmpty;
+}
+
+void Buffer::PromoteLevel(int new_level) {
+  MRL_CHECK(state_ == BufferState::kFull);
+  MRL_CHECK_GT(new_level, level_);
+  level_ = new_level;
+}
+
+}  // namespace mrl

@@ -1,0 +1,79 @@
+#ifndef MRLQUANT_CORE_BUFFER_H_
+#define MRLQUANT_CORE_BUFFER_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/types.h"
+
+namespace mrl {
+
+/// Lifecycle of a physical buffer (Section 3): empty slots are acquired for
+/// `New`, filled incrementally (kFilling), and become kFull with an attached
+/// weight and tree level. The paper's "partial" buffer is the kFilling
+/// buffer at the moment the stream terminates; it participates only in
+/// `Output`, never in `Collapse`.
+enum class BufferState { kEmpty, kFilling, kFull };
+
+const char* BufferStateName(BufferState s);
+
+/// One of the b physical buffers of the MRL framework: at most `capacity`
+/// (= k) elements, a weight w(X) (every stored element represents w(X)
+/// input elements), and a level in the collapse tree.
+///
+/// Invariants (CHECKed):
+///  * kEmpty buffers hold no elements and have weight 0.
+///  * kFull buffers hold exactly `capacity` sorted elements and weight >= 1.
+///  * kFilling buffers hold < `capacity` (unsorted) elements.
+class Buffer {
+ public:
+  explicit Buffer(std::size_t capacity);
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const { return values_.size(); }
+  BufferState state() const { return state_; }
+  Weight weight() const { return weight_; }
+  int level() const { return level_; }
+
+  /// Elements; sorted ascending iff the buffer is kFull.
+  const std::vector<Value>& values() const { return values_; }
+
+  /// Sum of element weights: size() * weight().
+  Weight TotalWeight() const { return weight_ * values_.size(); }
+
+  /// kEmpty -> kFilling.
+  void StartFill();
+
+  /// Appends one sampled element while kFilling. The caller promotes the
+  /// buffer with MarkFull once size() reaches capacity().
+  void Append(Value v);
+
+  /// kFilling -> kFull: sorts the contents and attaches (weight, level).
+  /// Requires size() == capacity().
+  void MarkFull(Weight weight, int level);
+
+  /// Installs collapse output: `sorted_values` must be ascending and have
+  /// exactly capacity() elements. Valid from any state (a collapse reuses
+  /// one of its input slots).
+  void AssignSorted(std::vector<Value> sorted_values, Weight weight,
+                    int level);
+
+  /// Any state -> kEmpty.
+  void Clear();
+
+  /// Raises the buffer's level (the MRL99 policy promotes a lone buffer at
+  /// the lowest level; Section 3.6). Requires kFull and new_level > level().
+  void PromoteLevel(int new_level);
+
+ private:
+  std::size_t capacity_;
+  std::vector<Value> values_;
+  Weight weight_ = 0;
+  int level_ = 0;
+  BufferState state_ = BufferState::kEmpty;
+};
+
+}  // namespace mrl
+
+#endif  // MRLQUANT_CORE_BUFFER_H_

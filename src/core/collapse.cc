@@ -1,0 +1,57 @@
+#include "core/collapse.h"
+
+#include "core/weighted_merge.h"
+#include "util/logging.h"
+
+namespace mrl {
+
+std::vector<Weight> CollapsePositions(Weight w, std::size_t k, bool even_low) {
+  MRL_CHECK_GE(w, 2u);
+  std::vector<Weight> positions;
+  positions.reserve(k);
+  Weight offset;
+  if (w % 2 == 1) {
+    offset = (w + 1) / 2;
+  } else {
+    offset = even_low ? w / 2 : (w + 2) / 2;
+  }
+  for (std::size_t j = 0; j < k; ++j) {
+    positions.push_back(static_cast<Weight>(j) * w + offset);
+  }
+  return positions;
+}
+
+Weight Collapse(const std::vector<Buffer*>& inputs, std::size_t output_slot,
+                int output_level, bool* even_low_offset) {
+  MRL_CHECK_GE(inputs.size(), 2u);
+  MRL_CHECK_LT(output_slot, inputs.size());
+  MRL_CHECK(even_low_offset != nullptr);
+
+  const std::size_t k = inputs[0]->capacity();
+  Weight w = 0;
+  std::vector<WeightedRun> runs;
+  runs.reserve(inputs.size());
+  for (Buffer* in : inputs) {
+    MRL_CHECK(in->state() == BufferState::kFull)
+        << "Collapse input must be full, got " << BufferStateName(in->state());
+    MRL_CHECK_EQ(in->capacity(), k);
+    MRL_CHECK_EQ(in->size(), k);
+    w += in->weight();
+    runs.push_back({in->values().data(), in->size(), in->weight()});
+  }
+
+  std::vector<Weight> positions = CollapsePositions(w, k, *even_low_offset);
+  if (w % 2 == 0) {
+    *even_low_offset = !*even_low_offset;  // alternate on even weights (§3.2)
+  }
+  std::vector<Value> selected = SelectWeightedPositions(runs, positions);
+  MRL_CHECK_EQ(selected.size(), k);
+
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    if (i != output_slot) inputs[i]->Clear();
+  }
+  inputs[output_slot]->AssignSorted(std::move(selected), w, output_level);
+  return w;
+}
+
+}  // namespace mrl

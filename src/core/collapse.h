@@ -1,0 +1,38 @@
+#ifndef MRLQUANT_CORE_COLLAPSE_H_
+#define MRLQUANT_CORE_COLLAPSE_H_
+
+#include <vector>
+
+#include "core/buffer.h"
+#include "util/types.h"
+
+namespace mrl {
+
+/// The Collapse operator (Section 3.2). Merges c >= 2 full buffers of equal
+/// capacity k into one full buffer of weight w(Y) = sum of input weights,
+/// whose k elements are equally spaced picks from the weighted merge:
+///
+///   w(Y) odd:  weighted positions j*w(Y) + (w(Y)+1)/2,   j = 0..k-1
+///   w(Y) even: weighted positions j*w(Y) + w(Y)/2  or
+///              j*w(Y) + (w(Y)+2)/2, alternating across successive
+///              even-weight collapses (the alternation state lives in
+///              *even_low_offset and is owned by the caller, typically one
+///              flag per sketch).
+///
+/// The output is written into *inputs[output_slot] (the paper performs
+/// Collapse in situ) with the given output level; all other inputs are
+/// cleared to kEmpty.
+///
+/// Returns w(Y).
+Weight Collapse(const std::vector<Buffer*>& inputs, std::size_t output_slot,
+                int output_level, bool* even_low_offset);
+
+/// Computes just the k weighted positions a Collapse with output weight `w`
+/// and buffer size `k` would select, given the current alternation phase
+/// `even_low` (ignored for odd w). Exposed for tests and for the dynamic
+/// allocation validity checker.
+std::vector<Weight> CollapsePositions(Weight w, std::size_t k, bool even_low);
+
+}  // namespace mrl
+
+#endif  // MRLQUANT_CORE_COLLAPSE_H_

@@ -1,0 +1,73 @@
+#include "core/collapse_policy.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace mrl {
+
+CollapsePolicy::Decision MrlCollapsePolicy::Choose(
+    const std::vector<FullBufferInfo>& full) const {
+  MRL_CHECK_GE(full.size(), 2u);
+  // l* = smallest level at which the cumulative count of buffers with
+  // level <= l* reaches two (see class comment for why this matches the
+  // paper's promotion loop).
+  std::vector<int> levels;
+  levels.reserve(full.size());
+  for (const FullBufferInfo& f : full) levels.push_back(f.level);
+  std::sort(levels.begin(), levels.end());
+  int l_star = levels[1];  // level of the second-lowest buffer
+
+  Decision d;
+  d.output_level = l_star + 1;
+  for (const FullBufferInfo& f : full) {
+    if (f.level <= l_star) d.indices.push_back(f.index);
+  }
+  MRL_CHECK_GE(d.indices.size(), 2u);
+  return d;
+}
+
+CollapsePolicy::Decision MunroPatersonPolicy::Choose(
+    const std::vector<FullBufferInfo>& full) const {
+  MRL_CHECK_GE(full.size(), 2u);
+  // The two lowest-level buffers; stable on index so the choice is
+  // deterministic.
+  std::vector<FullBufferInfo> sorted = full;
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const FullBufferInfo& a, const FullBufferInfo& b) {
+                     return a.level < b.level;
+                   });
+  Decision d;
+  d.indices = {sorted[0].index, sorted[1].index};
+  std::sort(d.indices.begin(), d.indices.end());
+  d.output_level = std::max(sorted[0].level, sorted[1].level) + 1;
+  return d;
+}
+
+CollapsePolicy::Decision CollapseAllPolicy::Choose(
+    const std::vector<FullBufferInfo>& full) const {
+  MRL_CHECK_GE(full.size(), 2u);
+  Decision d;
+  int max_level = std::numeric_limits<int>::min();
+  for (const FullBufferInfo& f : full) {
+    d.indices.push_back(f.index);
+    max_level = std::max(max_level, f.level);
+  }
+  d.output_level = max_level + 1;
+  return d;
+}
+
+std::unique_ptr<CollapsePolicy> MakeCollapsePolicy(CollapsePolicyKind kind) {
+  switch (kind) {
+    case CollapsePolicyKind::kMrl:
+      return std::make_unique<MrlCollapsePolicy>();
+    case CollapsePolicyKind::kMunroPaterson:
+      return std::make_unique<MunroPatersonPolicy>();
+    case CollapsePolicyKind::kCollapseAll:
+      return std::make_unique<CollapseAllPolicy>();
+  }
+  return nullptr;
+}
+
+}  // namespace mrl

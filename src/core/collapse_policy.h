@@ -1,0 +1,74 @@
+#ifndef MRLQUANT_CORE_COLLAPSE_POLICY_H_
+#define MRLQUANT_CORE_COLLAPSE_POLICY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/types.h"
+
+namespace mrl {
+
+/// Snapshot of one full buffer, as seen by a collapse policy.
+struct FullBufferInfo {
+  std::size_t index;  ///< slot in the pool
+  int level;
+  Weight weight;
+};
+
+/// Strategy deciding *which* full buffers to Collapse when space runs out.
+/// MRL98 showed that several known one-pass algorithms are exactly such
+/// strategies within the New/Collapse/Output framework; MRL99 reuses the
+/// best one (see MrlCollapsePolicy).
+class CollapsePolicy {
+ public:
+  struct Decision {
+    std::vector<std::size_t> indices;  ///< pool slots to collapse (>= 2)
+    int output_level;                  ///< level assigned to the result
+  };
+
+  virtual ~CollapsePolicy() = default;
+
+  /// Chooses the collapse set. `full` holds every full buffer (>= 2 of
+  /// them), in pool order.
+  virtual Decision Choose(const std::vector<FullBufferInfo>& full) const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// The MRL99 policy (Section 3.6): let l be the smallest level among full
+/// buffers; a lone buffer at l is promoted upward until at least two
+/// buffers share the lowest level; all buffers at that level are collapsed
+/// into level l+1. Equivalently: collapse every buffer with level <= l*,
+/// where l* is the smallest level at which the cumulative buffer count
+/// reaches 2; output level l* + 1.
+class MrlCollapsePolicy : public CollapsePolicy {
+ public:
+  Decision Choose(const std::vector<FullBufferInfo>& full) const override;
+  std::string name() const override { return "mrl"; }
+};
+
+/// Munro–Paterson: binary collapses of the two lowest-level buffers
+/// (preferring an equal-level pair), reproducing the classic p-pass
+/// algorithm's merge tree as a special case of the framework.
+class MunroPatersonPolicy : public CollapsePolicy {
+ public:
+  Decision Choose(const std::vector<FullBufferInfo>& full) const override;
+  std::string name() const override { return "munro_paterson"; }
+};
+
+/// Alsabti–Ranka–Singh-style: collapse the entire set of full buffers at
+/// once (a wide, shallow tree).
+class CollapseAllPolicy : public CollapsePolicy {
+ public:
+  Decision Choose(const std::vector<FullBufferInfo>& full) const override;
+  std::string name() const override { return "collapse_all"; }
+};
+
+enum class CollapsePolicyKind { kMrl, kMunroPaterson, kCollapseAll };
+
+std::unique_ptr<CollapsePolicy> MakeCollapsePolicy(CollapsePolicyKind kind);
+
+}  // namespace mrl
+
+#endif  // MRLQUANT_CORE_COLLAPSE_POLICY_H_

@@ -1,0 +1,206 @@
+#include "core/dynamic_alloc.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/math.h"
+
+namespace mrl {
+
+namespace {
+
+constexpr int kMaxBuffersDyn = 50;
+constexpr int kMaxHeightDyn = 50;
+constexpr std::uint64_t kSimLeafCap = 4'000'000;
+
+Status ValidateLimits(const std::vector<MemoryLimitPoint>& limits) {
+  if (limits.empty()) {
+    return Status::InvalidArgument("limit curve must have at least one knot");
+  }
+  if (limits.front().n != 0) {
+    return Status::InvalidArgument("first limit knot must have n == 0");
+  }
+  for (std::size_t i = 1; i < limits.size(); ++i) {
+    if (limits[i].n <= limits[i - 1].n) {
+      return Status::InvalidArgument("limit knots must have increasing n");
+    }
+    if (limits[i].max_elements < limits[i - 1].max_elements) {
+      return Status::InvalidArgument("limit curve must be nondecreasing");
+    }
+  }
+  return Status::OK();
+}
+
+std::uint64_t LimitAt(const std::vector<MemoryLimitPoint>& limits,
+                      std::uint64_t n) {
+  std::uint64_t value = 0;
+  for (const MemoryLimitPoint& p : limits) {
+    if (p.n > n) break;
+    value = p.max_elements;
+  }
+  return value;
+}
+
+/// Smallest stream position at which the limit curve permits `elements`;
+/// returns false when it never does.
+bool FirstPositionAllowing(const std::vector<MemoryLimitPoint>& limits,
+                           std::uint64_t elements, std::uint64_t* position) {
+  for (const MemoryLimitPoint& p : limits) {
+    if (p.max_elements >= elements) {
+      *position = p.n;
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Simulates the pre-sampling collapse tree under the schedule (leaf
+/// granularity; one leaf = k stream elements at rate 1) and decides
+/// validity: the schedule is valid iff all b buffers become available
+/// before the tree height first reaches h, and the pool never deadlocks
+/// (pool full with fewer than two full buffers). Once all b buffers are
+/// allocated without sampling having started, the run is exactly the
+/// standard algorithm, so simulation can stop there. Pre-sampling heights
+/// can never exceed h (a collapse output level is at most one above an
+/// existing level), so no other failure mode exists.
+bool ScheduleIsValid(const std::vector<MemoryLimitPoint>& limits,
+                     std::uint64_t k, int b, int h) {
+  std::vector<int> levels;  // levels of full buffers
+  int max_height = 0;
+  for (std::uint64_t leaf = 1; leaf <= kSimLeafCap; ++leaf) {
+    const std::uint64_t position = (leaf - 1) * k + 1;
+    const int allowed = static_cast<int>(std::min<std::uint64_t>(
+        static_cast<std::uint64_t>(b), LimitAt(limits, position) / k));
+    if (allowed < 1) return false;  // cannot even hold the filling buffer
+    if (allowed >= b) return true;  // fully allocated before sampling: valid
+    // Make room for the leaf about to fill.
+    while (static_cast<int>(levels.size()) + 1 > allowed) {
+      if (levels.size() < 2) return false;  // deadlock
+      std::sort(levels.begin(), levels.end());
+      const int l_star = levels[1];
+      std::vector<int> rest;
+      for (int l : levels) {
+        if (l > l_star) rest.push_back(l);
+      }
+      rest.push_back(l_star + 1);
+      levels = std::move(rest);
+      max_height = std::max(max_height, l_star + 1);
+      if (max_height >= h) {
+        // Sampling onset with an incomplete allocation: invalid.
+        return false;
+      }
+    }
+    levels.push_back(0);
+  }
+  return false;  // allocation did not complete within the simulation cap
+}
+
+}  // namespace
+
+int DynamicAllocationPlan::AllowedBuffersAt(std::uint64_t n) const {
+  int allowed = 0;
+  for (std::size_t i = 0; i < allocate_at.size(); ++i) {
+    if (allocate_at[i] <= n) {
+      allowed = static_cast<int>(i) + 1;
+    } else {
+      break;
+    }
+  }
+  return allowed;
+}
+
+std::function<int(std::uint64_t)> DynamicAllocationPlan::AllowanceFunction()
+    const {
+  // Copy the schedule so the function outlives the plan.
+  std::vector<std::uint64_t> schedule = allocate_at;
+  return [schedule](std::uint64_t n) {
+    int allowed = 0;
+    for (std::size_t i = 0; i < schedule.size(); ++i) {
+      if (schedule[i] <= n) {
+        allowed = static_cast<int>(i) + 1;
+      } else {
+        break;
+      }
+    }
+    return allowed < 1 ? 1 : allowed;
+  };
+}
+
+Result<DynamicAllocationPlan> PlanDynamicAllocation(
+    double eps, double delta, const std::vector<MemoryLimitPoint>& limits) {
+  if (!(eps > 0.0) || eps >= 1.0 || !(delta > 0.0) || delta >= 1.0) {
+    return Status::InvalidArgument("eps and delta must be in (0, 1)");
+  }
+  MRL_RETURN_IF_ERROR(ValidateLimits(limits));
+  const std::uint64_t final_limit = limits.back().max_elements;
+  const double log_term = std::log(2.0 / delta);
+
+  // Paper §5: try increasingly large k. A fixed k fixes b (from the final
+  // limit) and the earliest-possible allocation schedule.
+  std::uint64_t k = static_cast<std::uint64_t>(std::ceil(1.0 / eps));
+  if (k < 2) k = 2;
+  for (; final_limit / k >= 2; k = std::max(k + 1, k + k / 5)) {
+    const int b = static_cast<int>(
+        std::min<std::uint64_t>(kMaxBuffersDyn, final_limit / k));
+    const int h_cap = std::min<int>(
+        kMaxHeightDyn,
+        static_cast<int>(std::floor(2.0 * eps * static_cast<double>(k))) - 1);
+    if (h_cap < 1) continue;
+
+    // The stream cannot start unless one buffer fits immediately.
+    if (LimitAt(limits, 1) < k) continue;
+
+    // Try h from largest down: a taller pre-sampling tree defers the
+    // sampling onset, which is what lets a slowly-growing allocation
+    // schedule complete in time (ScheduleIsValid).
+    int best_h = -1;
+    double best_alpha = 0.0;
+    for (int h = h_cap; h >= 1; --h) {
+      const std::uint64_t ld = SaturatingBinomial(
+          static_cast<std::uint64_t>(b + h - 2),
+          static_cast<std::uint64_t>(h - 1));
+      const std::uint64_t ls = SaturatingBinomial(
+          static_cast<std::uint64_t>(b + h - 3),
+          static_cast<std::uint64_t>(h - 1));
+      const double leaf_min = std::min(
+          static_cast<double>(ld), (8.0 / 3.0) * static_cast<double>(ls));
+      // Eq. 1: (1 - alpha)^2 >= R  ->  alpha <= 1 - sqrt(R).
+      const double r = log_term / (2.0 * eps * eps *
+                                   static_cast<double>(k) * leaf_min);
+      if (r >= 1.0) continue;
+      const double alpha_hi = 1.0 - std::sqrt(r);
+      // Eq. 2: alpha >= (h + 1) / (2 eps k).
+      const double alpha_lo = static_cast<double>(h + 1) /
+                              (2.0 * eps * static_cast<double>(k));
+      if (alpha_lo >= alpha_hi) continue;
+      if (!ScheduleIsValid(limits, k, b, h)) continue;
+      best_h = h;
+      best_alpha = 0.5 * (alpha_lo + alpha_hi);
+      break;
+    }
+    if (best_h < 0) continue;
+
+    DynamicAllocationPlan plan;
+    plan.params.b = b;
+    plan.params.k = static_cast<std::size_t>(k);
+    plan.params.h = best_h;
+    plan.params.alpha = best_alpha;
+    plan.params.leaves_before_sampling = SaturatingBinomial(
+        static_cast<std::uint64_t>(b + best_h - 2),
+        static_cast<std::uint64_t>(best_h - 1));
+    plan.allocate_at.resize(static_cast<std::size_t>(b));
+    for (int i = 0; i < b; ++i) {
+      std::uint64_t pos = 0;
+      const bool found = FirstPositionAllowing(
+          limits, static_cast<std::uint64_t>(i + 1) * k, &pos);
+      MRL_CHECK(found);  // i + 1 <= b = final_limit / k
+      plan.allocate_at[static_cast<std::size_t>(i)] = pos;
+    }
+    return plan;
+  }
+  return Status::ResourceExhausted(
+      "no valid buffer allocation schedule within the memory limits");
+}
+
+}  // namespace mrl

@@ -1,0 +1,62 @@
+#ifndef MRLQUANT_CORE_DYNAMIC_ALLOC_H_
+#define MRLQUANT_CORE_DYNAMIC_ALLOC_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/params.h"
+#include "util/status.h"
+#include "util/types.h"
+
+namespace mrl {
+
+/// One knot of a user-specified memory-limit curve (Section 5): for stream
+/// lengths >= n (until the next knot), at most `max_elements` elements of
+/// buffer memory may be in use. The curve is a nondecreasing step function;
+/// the first knot must have n == 0.
+struct MemoryLimitPoint {
+  std::uint64_t n = 0;
+  std::uint64_t max_elements = 0;
+};
+
+/// A valid buffer-allocation schedule (Section 5): buffer i+1 may first be
+/// used once the stream position reaches allocate_at[i]. "Valid" means the
+/// eps/delta guarantee holds at *every* possible termination point, which
+/// the planner establishes by simulating the collapse tree growth under
+/// the schedule and checking the pre-sampling height bound throughout.
+struct DynamicAllocationPlan {
+  UnknownNParams params;  ///< b (the final buffer count), k, h, alpha
+  /// allocate_at[i] = smallest stream position at which buffer i+1 may be
+  /// allocated; allocate_at[0] == 0. Size == params.b.
+  std::vector<std::uint64_t> allocate_at;
+
+  /// Buffers allowed at stream position n (>= 1 once the stream started).
+  int AllowedBuffersAt(std::uint64_t n) const;
+
+  /// Memory in elements the schedule has allocated at position n.
+  std::uint64_t MemoryElementsAt(std::uint64_t n) const {
+    return static_cast<std::uint64_t>(AllowedBuffersAt(n)) * params.k;
+  }
+
+  /// Adapter for UnknownNOptions::buffer_allowance.
+  std::function<int(std::uint64_t)> AllowanceFunction() const;
+};
+
+/// Searches for the smallest-k valid schedule that stays under `limits` at
+/// every stream position, following the paper's procedure: try increasing
+/// k; a fixed k fixes b (from the final limit) and the schedule (earliest
+/// allocation the limits allow); pick the largest h compatible with Eq. 3;
+/// accept when the alpha interval implied by Eq. 1 (upper bound) and Eq. 2
+/// (lower bound) is non-empty and the simulated tree never exceeds height
+/// h before sampling starts with all b buffers allocated.
+///
+/// Fails with InvalidArgument on a malformed limit curve and
+/// ResourceExhausted when no k in the search range yields a valid schedule
+/// (limits too tight).
+Result<DynamicAllocationPlan> PlanDynamicAllocation(
+    double eps, double delta, const std::vector<MemoryLimitPoint>& limits);
+
+}  // namespace mrl
+
+#endif  // MRLQUANT_CORE_DYNAMIC_ALLOC_H_

@@ -1,0 +1,47 @@
+#ifndef MRLQUANT_CORE_ESTIMATOR_H_
+#define MRLQUANT_CORE_ESTIMATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+#include "util/types.h"
+
+namespace mrl {
+
+/// Common interface of every single-pass quantile estimator in the library
+/// (the MRL99 sketches and the baselines), so that tests and benchmark
+/// harnesses can sweep over algorithms uniformly. Hot paths are free to use
+/// the concrete classes directly and skip the virtual dispatch.
+class QuantileEstimator {
+ public:
+  virtual ~QuantileEstimator() = default;
+
+  /// Consumes one stream element.
+  virtual void Add(Value v) = 0;
+
+  /// Elements consumed so far.
+  virtual std::uint64_t count() const = 0;
+
+  /// Estimate of the phi-quantile of everything consumed so far.
+  /// Fails with FailedPrecondition before any element has been consumed and
+  /// InvalidArgument for phi outside (0, 1].
+  virtual Result<Value> Query(double phi) const = 0;
+
+  /// Peak main-memory footprint in stored elements (the unit the paper's
+  /// tables use; multiply by sizeof(Value) for bytes).
+  virtual std::uint64_t MemoryElements() const = 0;
+
+  /// Short display name for reports.
+  virtual std::string name() const = 0;
+
+  /// Convenience: consume a whole vector.
+  void AddAll(const std::vector<Value>& values) {
+    for (Value v : values) Add(v);
+  }
+};
+
+}  // namespace mrl
+
+#endif  // MRLQUANT_CORE_ESTIMATOR_H_

@@ -1,0 +1,56 @@
+#include "core/int64_sketch.h"
+
+#include <cmath>
+
+namespace mrl {
+
+Result<Int64QuantileSketch> Int64QuantileSketch::Create(
+    const Options& options) {
+  UnknownNOptions inner_options;
+  inner_options.eps = options.eps;
+  inner_options.delta = options.delta;
+  inner_options.seed = options.seed;
+  Result<UnknownNSketch> inner = UnknownNSketch::Create(inner_options);
+  if (!inner.ok()) return inner.status();
+  return Int64QuantileSketch(std::move(inner).value());
+}
+
+bool Int64QuantileSketch::Add(std::int64_t v) {
+  if (v > kMaxMagnitude || v < -kMaxMagnitude) {
+    ++rejected_;
+    return false;
+  }
+  inner_.Add(static_cast<Value>(v));
+  return true;
+}
+
+Result<std::int64_t> Int64QuantileSketch::Query(double phi) const {
+  Result<Value> q = inner_.Query(phi);
+  if (!q.ok()) return q.status();
+  // The sketch only selects inserted elements, so the double is an exact
+  // integer; llround is a formality.
+  return static_cast<std::int64_t>(std::llround(q.value()));
+}
+
+Result<std::vector<std::int64_t>> Int64QuantileSketch::QueryMany(
+    const std::vector<double>& phis) const {
+  Result<std::vector<Value>> q = inner_.QueryMany(phis);
+  if (!q.ok()) return q.status();
+  std::vector<std::int64_t> out;
+  out.reserve(q.value().size());
+  for (Value v : q.value()) {
+    out.push_back(static_cast<std::int64_t>(std::llround(v)));
+  }
+  return out;
+}
+
+Result<double> Int64QuantileSketch::RankOf(std::int64_t v) const {
+  // Clamp out-of-range probes to the representable boundary; ranks are
+  // monotone so the clamped answer is exact for any out-of-range probe.
+  std::int64_t clamped = v;
+  if (clamped > kMaxMagnitude) clamped = kMaxMagnitude;
+  if (clamped < -kMaxMagnitude) clamped = -kMaxMagnitude;
+  return inner_.RankOf(static_cast<Value>(clamped));
+}
+
+}  // namespace mrl

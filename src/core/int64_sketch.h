@@ -1,0 +1,67 @@
+#ifndef MRLQUANT_CORE_INT64_SKETCH_H_
+#define MRLQUANT_CORE_INT64_SKETCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/unknown_n.h"
+#include "util/status.h"
+
+namespace mrl {
+
+/// Unknown-N quantiles over 64-bit integer columns — the common database
+/// case. The core library stores `double`; every integer with magnitude at
+/// most 2^53 maps losslessly, and because the algorithm only ever *selects*
+/// elements (never averages), every answer is one of the inserted integers,
+/// returned exactly.
+///
+/// Values outside the safe range are rejected by Add (returns false and
+/// counts them) rather than silently rounded — a silent off-by-one on a
+/// key column is the kind of bug a database cannot tolerate.
+class Int64QuantileSketch {
+ public:
+  /// Largest magnitude representable exactly in a double: 2^53.
+  static constexpr std::int64_t kMaxMagnitude =
+      std::int64_t{1} << 53;
+
+  struct Options {
+    double eps = 0.01;
+    double delta = 1e-4;
+    std::uint64_t seed = 1;
+  };
+
+  static Result<Int64QuantileSketch> Create(const Options& options);
+
+  Int64QuantileSketch(Int64QuantileSketch&&) = default;
+  Int64QuantileSketch& operator=(Int64QuantileSketch&&) = default;
+
+  /// Consumes one value. Returns false (and counts the rejection) when
+  /// |v| > 2^53; the guarantee then covers only the accepted values.
+  bool Add(std::int64_t v);
+
+  std::uint64_t count() const { return inner_.count(); }
+  std::uint64_t rejected_count() const { return rejected_; }
+
+  /// The phi-quantile of the accepted values — always one of them, exact
+  /// as an integer.
+  Result<std::int64_t> Query(double phi) const;
+
+  Result<std::vector<std::int64_t>> QueryMany(
+      const std::vector<double>& phis) const;
+
+  /// Fraction of accepted values <= v.
+  Result<double> RankOf(std::int64_t v) const;
+
+  std::uint64_t MemoryElements() const { return inner_.MemoryElements(); }
+
+ private:
+  explicit Int64QuantileSketch(UnknownNSketch inner)
+      : inner_(std::move(inner)) {}
+
+  UnknownNSketch inner_;
+  std::uint64_t rejected_ = 0;
+};
+
+}  // namespace mrl
+
+#endif  // MRLQUANT_CORE_INT64_SKETCH_H_

@@ -1,0 +1,90 @@
+#ifndef MRLQUANT_CORE_KNOWN_N_H_
+#define MRLQUANT_CORE_KNOWN_N_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/estimator.h"
+#include "core/framework.h"
+#include "core/params.h"
+#include "sampling/block_sampler.h"
+#include "util/random.h"
+#include "util/status.h"
+#include "util/types.h"
+
+namespace mrl {
+
+/// Configuration for KnownNSketch.
+struct KnownNOptions {
+  double eps = 0.01;
+  double delta = 1e-4;
+  /// Declared stream length. The guarantee covers streams of exactly this
+  /// length; feeding more elements flips the sketch into an overflowed
+  /// state where Query returns FailedPrecondition.
+  std::uint64_t n = 0;
+  std::uint64_t seed = 1;
+  std::optional<KnownNParams> params;
+};
+
+/// The MRL98 comparator: requires N in advance. A *uniform* block sampler
+/// at a fixed rate r (chosen up front from N, eps, delta) feeds the same
+/// deterministic collapse tree; r = 1 degenerates to the fully
+/// deterministic algorithm. This is the "Known N" line of Figure 4 and the
+/// right-hand columns of Table 1.
+class KnownNSketch : public QuantileEstimator {
+ public:
+  static Result<KnownNSketch> Create(const KnownNOptions& options);
+
+  KnownNSketch(KnownNSketch&&) = default;
+  KnownNSketch& operator=(KnownNSketch&&) = default;
+
+  void Add(Value v) override;
+  std::uint64_t count() const override { return count_; }
+
+  /// Anytime estimate over the prefix consumed so far; the paper-grade
+  /// guarantee applies at count() == n. Fails with FailedPrecondition when
+  /// nothing was consumed or when the sketch overflowed its declared n.
+  Result<Value> Query(double phi) const override;
+
+  std::uint64_t MemoryElements() const override {
+    return params_.MemoryElements();
+  }
+  std::string name() const override { return "mrl98_known_n"; }
+
+  Result<std::vector<Value>> QueryMany(const std::vector<double>& phis) const;
+
+  const KnownNParams& params() const { return params_; }
+  bool overflowed() const { return count_ > params_.n; }
+  const TreeStats& tree_stats() const { return framework_.stats(); }
+  Weight HeldWeight() const;
+
+  /// Checkpointing, mirroring UnknownNSketch::Serialize/Deserialize.
+  std::vector<std::uint8_t> Serialize() const;
+  static Result<KnownNSketch> Deserialize(
+      const std::vector<std::uint8_t>& bytes);
+
+ private:
+  KnownNSketch(const KnownNParams& params, std::uint64_t seed);
+
+  struct RunSnapshot {
+    std::vector<Value> partial_sorted;
+    std::vector<Value> tail;
+    std::vector<WeightedRun> runs;
+  };
+  RunSnapshot Snapshot() const;
+
+  void StartNewFill();
+
+  KnownNParams params_;
+  CollapseFramework framework_;
+  BlockSampler sampler_;
+  std::uint64_t count_ = 0;
+
+  bool filling_ = false;
+  std::size_t fill_slot_ = 0;
+};
+
+}  // namespace mrl
+
+#endif  // MRLQUANT_CORE_KNOWN_N_H_

@@ -1,0 +1,82 @@
+#include "core/output.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace mrl {
+
+namespace {
+
+Status ValidatePhi(double phi) {
+  if (!(phi > 0.0) || phi > 1.0) {
+    return Status::InvalidArgument("phi must be in (0, 1], got " +
+                                   std::to_string(phi));
+  }
+  return Status::OK();
+}
+
+Weight PhiToPosition(double phi, Weight total) {
+  Weight pos = static_cast<Weight>(
+      std::ceil(phi * static_cast<double>(total)));
+  if (pos < 1) pos = 1;
+  if (pos > total) pos = total;
+  return pos;
+}
+
+}  // namespace
+
+Result<Weight> WeightedRankOf(const std::vector<WeightedRun>& runs,
+                              Value v) {
+  if (TotalRunWeight(runs) == 0) {
+    return Status::FailedPrecondition("no elements consumed yet");
+  }
+  Weight rank = 0;
+  for (const WeightedRun& run : runs) {
+    const Value* begin = run.data;
+    const Value* end = run.data + run.size;
+    rank += static_cast<Weight>(std::upper_bound(begin, end, v) - begin) *
+            run.weight;
+  }
+  return rank;
+}
+
+Result<Value> WeightedQuantile(const std::vector<WeightedRun>& runs,
+                               double phi) {
+  Result<std::vector<Value>> r = WeightedQuantiles(runs, {phi});
+  if (!r.ok()) return r.status();
+  return r.value()[0];
+}
+
+Result<std::vector<Value>> WeightedQuantiles(
+    const std::vector<WeightedRun>& runs, const std::vector<double>& phis) {
+  for (double phi : phis) {
+    MRL_RETURN_IF_ERROR(ValidatePhi(phi));
+  }
+  const Weight total = TotalRunWeight(runs);
+  if (total == 0) {
+    return Status::FailedPrecondition("no elements consumed yet");
+  }
+
+  // Sort queries by target position; answer all in one merge pass; undo the
+  // permutation at the end.
+  std::vector<std::size_t> order(phis.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return phis[a] < phis[b];
+  });
+  std::vector<Weight> targets;
+  targets.reserve(phis.size());
+  for (std::size_t i : order) {
+    targets.push_back(PhiToPosition(phis[i], total));
+  }
+  std::vector<Value> picked = SelectWeightedPositions(runs, targets);
+
+  std::vector<Value> out(phis.size());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    out[order[i]] = picked[i];
+  }
+  return out;
+}
+
+}  // namespace mrl

@@ -1,0 +1,35 @@
+#ifndef MRLQUANT_CORE_OUTPUT_H_
+#define MRLQUANT_CORE_OUTPUT_H_
+
+#include <vector>
+
+#include "core/weighted_merge.h"
+#include "util/status.h"
+#include "util/types.h"
+
+namespace mrl {
+
+/// The Output operator (Section 3.3): the weighted phi-quantile of the
+/// union of the runs — the element at weighted position max(1, ceil(phi*W))
+/// where W is the total run weight. phi must lie in (0, 1]. Fails with
+/// FailedPrecondition when the runs are empty (nothing consumed yet) and
+/// InvalidArgument for phi outside (0, 1].
+Result<Value> WeightedQuantile(const std::vector<WeightedRun>& runs,
+                               double phi);
+
+/// Batch form: one merge pass answers all of `phis` (any order, duplicates
+/// allowed); result[i] corresponds to phis[i]. This is what equi-depth
+/// histogram maintenance uses.
+Result<std::vector<Value>> WeightedQuantiles(
+    const std::vector<WeightedRun>& runs, const std::vector<double>& phis);
+
+/// The dual operation: the weighted count of elements <= v across the
+/// runs. An estimator whose quantile answers are eps-approximate answers
+/// rank queries eps-approximately too (same weighted-merge rank error);
+/// this is what selectivity estimation for range predicates uses
+/// (Section 1.1, [SALP79]). Fails with FailedPrecondition on empty runs.
+Result<Weight> WeightedRankOf(const std::vector<WeightedRun>& runs, Value v);
+
+}  // namespace mrl
+
+#endif  // MRLQUANT_CORE_OUTPUT_H_

@@ -1,0 +1,162 @@
+#include "core/parallel.h"
+
+#include <algorithm>
+#include <thread>
+#include <utility>
+
+#include "core/output.h"
+#include "util/logging.h"
+
+namespace mrl {
+
+namespace {
+// The coordinator gets a generous pool so its own tree stays shallow (its
+// height with b buffers after P ingested leaves grows like the inverse of
+// C(b+h-1, h)); 16 buffers keep it within a few levels for hundreds of
+// workers.
+constexpr int kMinCoordinatorBuffers = 16;
+}  // namespace
+
+Result<UnknownNParams> SolveParallelWorker(const ParallelOptions& options) {
+  if (options.num_workers < 1) {
+    return Status::InvalidArgument("num_workers must be >= 1");
+  }
+  if (options.coordinator_extra_height < 0) {
+    return Status::InvalidArgument("coordinator_extra_height must be >= 0");
+  }
+  return SolveUnknownN(options.eps, options.delta,
+                       options.coordinator_extra_height);
+}
+
+ParallelCoordinator::ParallelCoordinator(const UnknownNParams& params,
+                                         std::uint64_t seed)
+    : k_(params.k),
+      framework_(std::max(params.b, kMinCoordinatorBuffers), params.k,
+                 MakeCollapsePolicy(CollapsePolicyKind::kMrl)),
+      rng_(seed) {
+  staging_.reserve(2 * k_);
+}
+
+void ParallelCoordinator::Ingest(std::vector<ShippedBuffer> shipped) {
+  for (ShippedBuffer& buf : shipped) {
+    if (buf.values.empty()) continue;
+    received_weight_ +=
+        static_cast<Weight>(buf.values.size()) * buf.weight;
+    if (buf.full) {
+      MRL_CHECK_EQ(buf.values.size(), k_);
+      std::sort(buf.values.begin(), buf.values.end());
+      framework_.IngestFull(std::move(buf.values), buf.weight, /*level=*/0);
+    } else {
+      MRL_CHECK_LT(buf.values.size(), k_);
+      StagePartial(std::move(buf.values), buf.weight);
+    }
+  }
+}
+
+void ParallelCoordinator::StagePartial(std::vector<Value> values,
+                                       Weight weight) {
+  if (staging_.empty()) {
+    staging_ = std::move(values);
+    staging_weight_ = weight;
+    PromoteStaging();
+    return;
+  }
+  if (staging_weight_ != weight) {
+    // Section 6: shrink the lighter buffer by sampling at the weight ratio,
+    // then re-weight it to the heavier weight. Weights here are not always
+    // integer multiples (partial blocks), so we use Bernoulli inclusion
+    // with p = w_lo / w_hi, which conserves weight in expectation.
+    const Weight hi = std::max(staging_weight_, weight);
+    const Weight lo = std::min(staging_weight_, weight);
+    const double p = static_cast<double>(lo) / static_cast<double>(hi);
+    auto shrink = [&](std::vector<Value>* v) {
+      std::vector<Value> kept;
+      kept.reserve(v->size());
+      for (Value x : *v) {
+        if (rng_.Bernoulli(p)) kept.push_back(x);
+      }
+      *v = std::move(kept);
+    };
+    if (staging_weight_ < weight) {
+      shrink(&staging_);
+    } else {
+      shrink(&values);
+    }
+    staging_weight_ = hi;
+  }
+  staging_.insert(staging_.end(), values.begin(), values.end());
+  PromoteStaging();
+}
+
+void ParallelCoordinator::PromoteStaging() {
+  while (staging_.size() >= k_) {
+    std::vector<Value> promoted(staging_.begin(),
+                                staging_.begin() + static_cast<long>(k_));
+    staging_.erase(staging_.begin(), staging_.begin() + static_cast<long>(k_));
+    std::sort(promoted.begin(), promoted.end());
+    framework_.IngestFull(std::move(promoted), staging_weight_, /*level=*/0);
+  }
+  if (staging_.empty()) staging_weight_ = 0;
+}
+
+Result<Value> ParallelCoordinator::Query(double phi) const {
+  Result<std::vector<Value>> r = QueryMany({phi});
+  if (!r.ok()) return r.status();
+  return r.value()[0];
+}
+
+Result<std::vector<Value>> ParallelCoordinator::QueryMany(
+    const std::vector<double>& phis) const {
+  std::vector<Value> staged_sorted = staging_;
+  std::sort(staged_sorted.begin(), staged_sorted.end());
+  std::vector<WeightedRun> runs = framework_.FullBufferRuns();
+  if (!staged_sorted.empty()) {
+    runs.push_back(
+        {staged_sorted.data(), staged_sorted.size(), staging_weight_});
+  }
+  return WeightedQuantiles(runs, phis);
+}
+
+Result<std::vector<Value>> ParallelQuantiles(
+    const std::vector<std::vector<Value>>& shards,
+    const ParallelOptions& options, const std::vector<double>& phis) {
+  if (shards.empty()) {
+    return Status::InvalidArgument("need at least one shard");
+  }
+  ParallelOptions opts = options;
+  opts.num_workers = static_cast<int>(shards.size());
+  Result<UnknownNParams> params = SolveParallelWorker(opts);
+  if (!params.ok()) return params.status();
+
+  Random seeder(options.seed);
+  std::vector<UnknownNSketch> workers;
+  workers.reserve(shards.size());
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    UnknownNOptions worker_options;
+    worker_options.params = params.value();
+    worker_options.seed = seeder.NextUint64();
+    Result<UnknownNSketch> w = UnknownNSketch::Create(worker_options);
+    if (!w.ok()) return w.status();
+    workers.push_back(std::move(w).value());
+  }
+
+  // Workers run independently, one thread each, with no communication
+  // until termination (Section 6).
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(shards.size());
+    for (std::size_t i = 0; i < shards.size(); ++i) {
+      threads.emplace_back(
+          [&workers, &shards, i] { workers[i].AddAll(shards[i]); });
+    }
+    for (std::thread& t : threads) t.join();
+  }
+
+  ParallelCoordinator coordinator(params.value(), seeder.NextUint64());
+  for (UnknownNSketch& w : workers) {
+    coordinator.Ingest(w.FinishAndExport());
+  }
+  return coordinator.QueryMany(phis);
+}
+
+}  // namespace mrl

@@ -1,0 +1,82 @@
+#ifndef MRLQUANT_CORE_PARALLEL_H_
+#define MRLQUANT_CORE_PARALLEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/framework.h"
+#include "core/params.h"
+#include "core/unknown_n.h"
+#include "util/random.h"
+#include "util/status.h"
+#include "util/types.h"
+
+namespace mrl {
+
+/// Configuration for the parallel algorithm of Section 6.
+struct ParallelOptions {
+  double eps = 0.01;
+  double delta = 1e-4;
+  int num_workers = 4;
+  /// h': the extra tree height the merging processor may add. The worker
+  /// parameter solver tightens Eq. 2 to h + h' + 1 <= 2*alpha*eps*k so the
+  /// overall guarantee is unchanged.
+  int coordinator_extra_height = 4;
+  std::uint64_t seed = 1;
+};
+
+/// Coordinator ("Processor P0") that merges worker sketches per Section 6:
+/// incoming full buffers enter a collapse tree at level 0 with their
+/// weights retained; incoming partial buffers are staged in an extra buffer
+/// B0 — equal weights are concatenated, unequal weights are reconciled by
+/// subsampling the lighter buffer at the weight ratio and re-weighting.
+/// When B0 fills it is promoted into the tree. The final Output runs over
+/// the tree plus whatever remains in B0.
+class ParallelCoordinator {
+ public:
+  /// `params` must be the (identical) parameters of every worker sketch.
+  ParallelCoordinator(const UnknownNParams& params, std::uint64_t seed);
+
+  /// Ingests one worker's shipped buffers (see
+  /// UnknownNSketch::FinishAndExport).
+  void Ingest(std::vector<ShippedBuffer> shipped);
+
+  /// Total weight received so far; equals the total number of elements the
+  /// workers consumed, up to the (bounded, expected-zero) drift introduced
+  /// by Bernoulli reconciliation of unequal-weight partial buffers.
+  Weight ReceivedWeight() const { return received_weight_; }
+
+  Result<Value> Query(double phi) const;
+  Result<std::vector<Value>> QueryMany(const std::vector<double>& phis) const;
+
+  const TreeStats& tree_stats() const { return framework_.stats(); }
+
+ private:
+  void StagePartial(std::vector<Value> values, Weight weight);
+  void PromoteStaging();
+
+  std::size_t k_;
+  CollapseFramework framework_;
+  Random rng_;
+  std::vector<Value> staging_;  ///< B0
+  Weight staging_weight_ = 0;
+  Weight received_weight_ = 0;
+};
+
+/// End-to-end helper: runs one UnknownNSketch per shard on its own thread
+/// (workers never communicate until termination, as the paper requires),
+/// ships the results to a coordinator, and answers `phis`. Each worker uses
+/// parameters solved with the coordinator_extra_height margin so the
+/// combined answer carries the full (eps, delta) guarantee.
+Result<std::vector<Value>> ParallelQuantiles(
+    const std::vector<std::vector<Value>>& shards,
+    const ParallelOptions& options, const std::vector<double>& phis);
+
+/// Solves the worker parameters for the parallel setting (Eq. 4–6): the
+/// same optimization as SolveUnknownN with the tree constraint raised by
+/// coordinator_extra_height.
+Result<UnknownNParams> SolveParallelWorker(const ParallelOptions& options);
+
+}  // namespace mrl
+
+#endif  // MRLQUANT_CORE_PARALLEL_H_

@@ -1,0 +1,96 @@
+#ifndef MRLQUANT_CORE_PARAMS_H_
+#define MRLQUANT_CORE_PARAMS_H_
+
+#include <cstdint>
+
+#include "util/status.h"
+#include "util/types.h"
+
+namespace mrl {
+
+/// Parameters of the unknown-N algorithm (Section 4.5): b buffers of k
+/// elements, pre-sampling tree height h, and the error split alpha
+/// ((1-alpha)*eps absorbs sampling error, alpha*eps absorbs tree error).
+struct UnknownNParams {
+  int b = 0;
+  std::size_t k = 0;
+  int h = 0;
+  double alpha = 0.0;
+  /// L_d: leaves the solver assumes arrive before sampling starts (the
+  /// paper's C(b+h-2, h-1); the implementation actually consumes at least
+  /// this many, which only tightens the guarantee).
+  std::uint64_t leaves_before_sampling = 0;
+
+  std::uint64_t MemoryElements() const {
+    return static_cast<std::uint64_t>(b) * k;
+  }
+};
+
+/// Solves min b*k subject to (re-derived; see the .cc for the exact
+/// constants and DESIGN.md for why they may differ from the paper's
+/// typeset ones by small factors):
+///
+///   Eq.1 (sampling):  min(L_d*k, (8/3)*L_s*k) >= ln(2/delta) /
+///                                               (2*(1-alpha)^2*eps^2)
+///   Eq.2 (tree):      h + 1 <= 2*alpha*eps*k
+///   Eq.3 (pre-sampling tree): h + 1 <= 2*eps*k   (implied by Eq.2)
+///
+/// with L_d = C(b+h-2, h-1), L_s = C(b+h-3, h-1). `extra_height` raises the
+/// tree constraint to h + extra_height + 1 <= 2*alpha*eps*k, which is how
+/// the parallel algorithm (Section 6) accounts for the coordinator's
+/// additional collapses.
+///
+/// Fails with InvalidArgument for eps or delta outside (0, 1).
+Result<UnknownNParams> SolveUnknownN(double eps, double delta,
+                                     int extra_height = 0);
+
+/// Convenience: memory (in elements) of the unknown-N algorithm.
+Result<std::uint64_t> UnknownNMemoryElements(double eps, double delta);
+
+/// Parameters of the known-N MRL98 algorithm used as the paper's
+/// comparator: a fixed up-front sampling rate r (r = 1 means the fully
+/// deterministic variant) followed by the same collapse tree.
+struct KnownNParams {
+  int b = 0;
+  std::size_t k = 0;
+  int h = 0;          ///< height the tree may reach
+  Weight rate = 1;    ///< uniform sampling rate (1 = deterministic)
+  double alpha = 1.0; ///< error split; 1.0 for the deterministic variant
+  std::uint64_t n = 0;
+
+  std::uint64_t MemoryElements() const {
+    return static_cast<std::uint64_t>(b) * k;
+  }
+  bool sampled() const { return rate > 1; }
+};
+
+/// Solves the known-N problem for a stream of exactly `n` elements: the
+/// cheaper of (a) the deterministic tree sized to consume n elements, and
+/// (b) uniform sampling down to a Hoeffding-sized sample consumed by a tree
+/// with guarantee alpha*eps (alpha swept over a grid). This reproduces the
+/// "Known N" curve of Figure 4: memory grows with n until sampling takes
+/// over, then flattens.
+Result<KnownNParams> SolveKnownN(double eps, double delta, std::uint64_t n);
+
+/// Convenience: memory (in elements) of the known-N algorithm for length n.
+Result<std::uint64_t> KnownNMemoryElements(double eps, double delta,
+                                           std::uint64_t n);
+
+/// Memory (in elements) of the reservoir-sampling baseline (Section 2.2):
+/// the whole Hoeffding-sized sample must be stored.
+std::uint64_t ReservoirMemoryElements(double eps, double delta);
+
+/// Memory for p simultaneous quantiles (Section 4.7): the union bound
+/// replaces delta by delta / p.
+Result<std::uint64_t> MultiQuantileMemoryElements(double eps, double delta,
+                                                  std::uint64_t p);
+
+/// Memory upper bound for arbitrarily many quantiles via the
+/// pre-computation trick (Section 4.7): an eps/2-approximate quantile at
+/// each of the 2/eps grid points phi = eps/2, 3*eps/2, ... answers any phi
+/// to within eps. Equivalent to the unknown-N cost at (eps/2, delta*eps/2).
+Result<std::uint64_t> PrecomputedGridMemoryElements(double eps, double delta);
+
+}  // namespace mrl
+
+#endif  // MRLQUANT_CORE_PARAMS_H_

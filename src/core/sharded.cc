@@ -1,0 +1,78 @@
+#include "core/sharded.h"
+
+#include "core/params.h"
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace mrl {
+
+Result<ShardedQuantileSketch> ShardedQuantileSketch::Create(
+    const Options& options) {
+  if (options.num_shards < 1) {
+    return Status::InvalidArgument("num_shards must be >= 1");
+  }
+  // Solve once; all shards share parameters (and so the same eps).
+  Result<UnknownNParams> params = SolveUnknownN(options.eps, options.delta);
+  if (!params.ok()) return params.status();
+  Random seeder(options.seed);
+  std::vector<UnknownNSketch> shards;
+  shards.reserve(static_cast<std::size_t>(options.num_shards));
+  for (int i = 0; i < options.num_shards; ++i) {
+    UnknownNOptions shard_options;
+    shard_options.params = params.value();
+    shard_options.seed = seeder.NextUint64();
+    Result<UnknownNSketch> shard = UnknownNSketch::Create(shard_options);
+    if (!shard.ok()) return shard.status();
+    shards.push_back(std::move(shard).value());
+  }
+  return ShardedQuantileSketch(std::move(shards));
+}
+
+void ShardedQuantileSketch::Add(int shard, Value v) {
+  MRL_DCHECK_GE(shard, 0);
+  MRL_DCHECK_LT(static_cast<std::size_t>(shard), shards_.size());
+  shards_[static_cast<std::size_t>(shard)].Add(v);
+}
+
+std::uint64_t ShardedQuantileSketch::count() const {
+  std::uint64_t total = 0;
+  for (const UnknownNSketch& s : shards_) total += s.count();
+  return total;
+}
+
+QuantileSummary ShardedQuantileSketch::MergedSummary() const {
+  std::vector<QuantileSummary> parts;
+  parts.reserve(shards_.size());
+  for (const UnknownNSketch& s : shards_) {
+    if (s.count() > 0) parts.push_back(s.ExportSummary());
+  }
+  std::vector<const QuantileSummary*> pointers;
+  pointers.reserve(parts.size());
+  for (const QuantileSummary& p : parts) pointers.push_back(&p);
+  return QuantileSummary::Merge(pointers);
+}
+
+Result<Value> ShardedQuantileSketch::Query(double phi) const {
+  return MergedSummary().Quantile(phi);
+}
+
+Result<std::vector<Value>> ShardedQuantileSketch::QueryMany(
+    const std::vector<double>& phis) const {
+  QuantileSummary merged = MergedSummary();
+  std::vector<Value> out;
+  out.reserve(phis.size());
+  for (double phi : phis) {
+    Result<Value> q = merged.Quantile(phi);
+    if (!q.ok()) return q.status();
+    out.push_back(q.value());
+  }
+  return out;
+}
+
+std::uint64_t ShardedQuantileSketch::MemoryElements() const {
+  std::uint64_t total = 0;
+  for (const UnknownNSketch& s : shards_) total += s.MemoryElements();
+  return total;
+}
+
+}  // namespace mrl

@@ -1,0 +1,75 @@
+#ifndef MRLQUANT_CORE_SHARDED_H_
+#define MRLQUANT_CORE_SHARDED_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/summary.h"
+#include "core/unknown_n.h"
+#include "util/status.h"
+#include "util/types.h"
+
+namespace mrl {
+
+/// The production deployment shape for a parallel scan: one unknown-N
+/// sketch per shard (worker thread / partition), fed independently, merged
+/// at query time via summary addition. Because merging weighted multisets
+/// adds rank errors proportionally, the union-level answers carry the same
+/// eps as the per-shard sketches — no coordinator tree, no extra height
+/// budget (contrast with the Section 6 protocol, which exists to bound
+/// *communication*; this class optimizes for shared-memory scans where
+/// shipping is free).
+///
+/// Thread contract: shard s is single-writer; Add(s, v) may run
+/// concurrently across different shards with no synchronization. Queries
+/// must not run concurrently with Adds (take a scan barrier first) — the
+/// same external-synchronization contract as mainstream sketch libraries.
+class ShardedQuantileSketch {
+ public:
+  struct Options {
+    double eps = 0.01;
+    double delta = 1e-4;
+    int num_shards = 4;
+    std::uint64_t seed = 1;
+  };
+
+  static Result<ShardedQuantileSketch> Create(const Options& options);
+
+  ShardedQuantileSketch(ShardedQuantileSketch&&) = default;
+  ShardedQuantileSketch& operator=(ShardedQuantileSketch&&) = default;
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+
+  /// Routes one element to shard `shard` (0-based).
+  void Add(int shard, Value v);
+
+  /// Elements consumed across all shards.
+  std::uint64_t count() const;
+
+  /// The phi-quantile of the union of all shards.
+  Result<Value> Query(double phi) const;
+
+  /// Batch form over the merged summary (one merge for all phis).
+  Result<std::vector<Value>> QueryMany(const std::vector<double>& phis) const;
+
+  /// Merged summary over all shards (also the hand-off format for
+  /// cross-process aggregation).
+  QuantileSummary MergedSummary() const;
+
+  /// Direct access to a shard's sketch (e.g. for per-shard statistics).
+  const UnknownNSketch& shard(int s) const {
+    return shards_[static_cast<std::size_t>(s)];
+  }
+
+  std::uint64_t MemoryElements() const;
+
+ private:
+  explicit ShardedQuantileSketch(std::vector<UnknownNSketch> shards)
+      : shards_(std::move(shards)) {}
+
+  std::vector<UnknownNSketch> shards_;
+};
+
+}  // namespace mrl
+
+#endif  // MRLQUANT_CORE_SHARDED_H_

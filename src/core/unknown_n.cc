@@ -1,0 +1,286 @@
+#include "core/unknown_n.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/output.h"
+#include "util/logging.h"
+#include "util/serde.h"
+
+namespace mrl {
+
+Result<UnknownNSketch> UnknownNSketch::Create(const UnknownNOptions& options) {
+  UnknownNParams params;
+  if (options.params.has_value()) {
+    params = *options.params;
+    if (params.b < 2 || params.k < 1 || params.h < 1) {
+      return Status::InvalidArgument(
+          "explicit params require b >= 2, k >= 1, h >= 1");
+    }
+  } else {
+    Result<UnknownNParams> solved = SolveUnknownN(options.eps, options.delta);
+    if (!solved.ok()) return solved.status();
+    params = solved.value();
+  }
+  return UnknownNSketch(params, options);
+}
+
+UnknownNSketch::UnknownNSketch(const UnknownNParams& params,
+                               const UnknownNOptions& options)
+    : params_(params),
+      framework_(params.b, params.k,
+                 MakeCollapsePolicy(CollapsePolicyKind::kMrl)),
+      sampler_(Random(options.seed), /*rate=*/1,
+               options.ablation_first_of_block_sampling
+                   ? BlockSampler::PickPolicy::kFirstOfBlock
+                   : BlockSampler::PickPolicy::kUniformWithinBlock),
+      buffer_allowance_(options.buffer_allowance) {
+  if (options.ablation_disable_collapse_alternation) {
+    framework_.SetOffsetAlternationEnabled(false);
+  }
+  if (buffer_allowance_) UpdateUsableBuffers();
+}
+
+void UnknownNSketch::UpdateUsableBuffers() {
+  int allowed = buffer_allowance_(count_ + 1);
+  if (allowed < 1) allowed = 1;
+  if (allowed > params_.b) allowed = params_.b;
+  if (allowed > framework_.usable_buffers() ||
+      framework_.stats().leaves_created == 0) {
+    framework_.SetUsableBuffers(allowed);
+  }
+}
+
+std::pair<Weight, int> UnknownNSketch::NextNewRateAndLevel() const {
+  const int max_level = framework_.max_level();
+  if (max_level < params_.h) {
+    return {Weight{1}, 0};
+  }
+  // Section 3.7: once the first buffer at level h+i exists (i >= 0), New
+  // runs at rate 2^(i+1) and its buffers enter at level i+1.
+  const int i = max_level - params_.h;
+  MRL_CHECK_LT(i, 62) << "sampling rate would overflow";
+  return {Weight{1} << (i + 1), i + 1};
+}
+
+void UnknownNSketch::StartNewFill() {
+  MRL_CHECK(!filling_);
+  if (buffer_allowance_) UpdateUsableBuffers();
+  // Acquire first: a Collapse triggered here may raise the tree height,
+  // which in turn determines this New's sampling rate and level.
+  fill_slot_ = framework_.AcquireEmptySlot();
+  auto [rate, level] = NextNewRateAndLevel();
+  sampler_.SetRate(rate);
+  fill_weight_ = rate;
+  fill_level_ = level;
+  framework_.buffer(fill_slot_).StartFill();
+  filling_ = true;
+}
+
+void UnknownNSketch::Add(Value v) {
+  if (!filling_) StartNewFill();
+  std::optional<Value> sample = sampler_.Add(v);
+  ++count_;
+  if (!sample.has_value()) return;
+  Buffer& buf = framework_.buffer(fill_slot_);
+  buf.Append(*sample);
+  if (buf.size() == buf.capacity()) {
+    framework_.CommitFull(fill_slot_, fill_weight_, fill_level_);
+    filling_ = false;
+  }
+}
+
+UnknownNSketch::RunSnapshot UnknownNSketch::Snapshot() const {
+  RunSnapshot snap;
+  if (filling_) {
+    const Buffer& buf = framework_.buffer(fill_slot_);
+    if (!buf.values().empty()) {
+      snap.partial_sorted = buf.values();
+      std::sort(snap.partial_sorted.begin(), snap.partial_sorted.end());
+    }
+  }
+  if (sampler_.pending_count() > 0) {
+    snap.tail.push_back(sampler_.pending_candidate());
+  }
+  snap.runs = framework_.FullBufferRuns();
+  if (!snap.partial_sorted.empty()) {
+    snap.runs.push_back(
+        {snap.partial_sorted.data(), snap.partial_sorted.size(),
+         fill_weight_});
+  }
+  if (!snap.tail.empty()) {
+    // The candidate is a uniform pick from the pending_count() elements of
+    // the open block; weighting it by that count keeps HeldWeight == count.
+    snap.runs.push_back({snap.tail.data(), 1, sampler_.pending_count()});
+  }
+  return snap;
+}
+
+Result<Value> UnknownNSketch::Query(double phi) const {
+  RunSnapshot snap = Snapshot();
+  return WeightedQuantile(snap.runs, phi);
+}
+
+Result<std::vector<Value>> UnknownNSketch::QueryMany(
+    const std::vector<double>& phis) const {
+  RunSnapshot snap = Snapshot();
+  return WeightedQuantiles(snap.runs, phis);
+}
+
+Result<double> UnknownNSketch::RankOf(Value v) const {
+  RunSnapshot snap = Snapshot();
+  Result<Weight> rank = WeightedRankOf(snap.runs, v);
+  if (!rank.ok()) return rank.status();
+  return static_cast<double>(rank.value()) /
+         static_cast<double>(TotalRunWeight(snap.runs));
+}
+
+QuantileSummary UnknownNSketch::ExportSummary() const {
+  RunSnapshot snap = Snapshot();
+  return QuantileSummary::FromRuns(snap.runs);
+}
+
+Weight UnknownNSketch::HeldWeight() const {
+  RunSnapshot snap = Snapshot();
+  return TotalRunWeight(snap.runs);
+}
+
+namespace {
+constexpr std::uint32_t kCheckpointMagic = 0x4D524C51;  // "MRLQ"
+constexpr std::uint8_t kCheckpointVersion = 1;
+constexpr std::uint8_t kKindUnknownN = 1;
+}  // namespace
+
+std::vector<std::uint8_t> UnknownNSketch::Serialize() const {
+  BinaryWriter writer;
+  writer.PutU32(kCheckpointMagic);
+  writer.PutU8(kCheckpointVersion);
+  writer.PutU8(kKindUnknownN);
+  writer.PutI32(params_.b);
+  writer.PutU64(params_.k);
+  writer.PutI32(params_.h);
+  writer.PutDouble(params_.alpha);
+  writer.PutU64(params_.leaves_before_sampling);
+  writer.PutU64(count_);
+  writer.PutU8(filling_ ? 1 : 0);
+  writer.PutU32(static_cast<std::uint32_t>(fill_slot_));
+  writer.PutU64(fill_weight_);
+  writer.PutI32(fill_level_);
+  BlockSampler::State sampler = sampler_.SaveState();
+  writer.PutU64(sampler.rng.state);
+  writer.PutU64(sampler.rng.inc);
+  writer.PutU64(sampler.rate);
+  writer.PutU64(sampler.seen_in_block);
+  writer.PutDouble(sampler.candidate);
+  framework_.SerializeTo(&writer);
+  return writer.Take();
+}
+
+Result<UnknownNSketch> UnknownNSketch::Deserialize(
+    const std::vector<std::uint8_t>& bytes,
+    std::function<int(std::uint64_t)> buffer_allowance) {
+  BinaryReader reader(bytes);
+  std::uint32_t magic;
+  std::uint8_t version, kind;
+  if (!reader.GetU32(&magic) || !reader.GetU8(&version) ||
+      !reader.GetU8(&kind)) {
+    return reader.status();
+  }
+  if (magic != kCheckpointMagic) {
+    return Status::InvalidArgument("not an mrlquant checkpoint");
+  }
+  if (version != kCheckpointVersion || kind != kKindUnknownN) {
+    return Status::InvalidArgument("unsupported checkpoint version or kind");
+  }
+  UnknownNParams params;
+  std::uint64_t k;
+  if (!reader.GetI32(&params.b) || !reader.GetU64(&k) ||
+      !reader.GetI32(&params.h) || !reader.GetDouble(&params.alpha) ||
+      !reader.GetU64(&params.leaves_before_sampling)) {
+    return reader.status();
+  }
+  params.k = static_cast<std::size_t>(k);
+  // Bound the pool we are willing to allocate for an (unauthenticated)
+  // checkpoint before touching it: 2^28 elements = 2 GiB of doubles.
+  if (params.b < 2 || params.b > 10000 || params.k < 1 || params.h < 1 ||
+      params.MemoryElements() > (std::uint64_t{1} << 28)) {
+    return Status::InvalidArgument("checkpoint parameters out of range");
+  }
+  std::uint64_t count;
+  std::uint8_t filling;
+  std::uint32_t fill_slot;
+  std::uint64_t fill_weight;
+  std::int32_t fill_level;
+  BlockSampler::State sampler_state;
+  if (!reader.GetU64(&count) || !reader.GetU8(&filling) ||
+      !reader.GetU32(&fill_slot) || !reader.GetU64(&fill_weight) ||
+      !reader.GetI32(&fill_level) || !reader.GetU64(&sampler_state.rng.state) ||
+      !reader.GetU64(&sampler_state.rng.inc) ||
+      !reader.GetU64(&sampler_state.rate) ||
+      !reader.GetU64(&sampler_state.seen_in_block) ||
+      !reader.GetDouble(&sampler_state.candidate)) {
+    return reader.status();
+  }
+  if (sampler_state.rate < 1 ||
+      sampler_state.seen_in_block >= sampler_state.rate ||
+      fill_slot >= static_cast<std::uint32_t>(params.b) ||
+      (filling != 0 && fill_weight < 1)) {
+    return Status::InvalidArgument("checkpoint sampler/fill state invalid");
+  }
+
+  UnknownNOptions restore_options;
+  restore_options.buffer_allowance = std::move(buffer_allowance);
+  UnknownNSketch sketch(params, restore_options);
+  MRL_RETURN_IF_ERROR(sketch.framework_.DeserializeFrom(&reader));
+  if (!reader.AtEnd()) {
+    return reader.status().ok()
+               ? Status::InvalidArgument("trailing bytes after checkpoint")
+               : reader.status();
+  }
+  sketch.sampler_ = BlockSampler::FromState(sampler_state);
+  sketch.count_ = count;
+  sketch.filling_ = (filling != 0);
+  sketch.fill_slot_ = fill_slot;
+  sketch.fill_weight_ = fill_weight;
+  sketch.fill_level_ = fill_level;
+  // Cross-consistency: the filling flag must agree with the pool.
+  const std::size_t num_filling =
+      sketch.framework_.CountState(BufferState::kFilling);
+  if (sketch.filling_) {
+    if (num_filling != 1 ||
+        sketch.framework_.buffer(sketch.fill_slot_).state() !=
+            BufferState::kFilling) {
+      return Status::InvalidArgument(
+          "checkpoint fill slot inconsistent with pool");
+    }
+  } else if (num_filling != 0) {
+    return Status::InvalidArgument("checkpoint has an orphan filling buffer");
+  }
+  return sketch;
+}
+
+std::vector<ShippedBuffer> UnknownNSketch::FinishAndExport() {
+  std::vector<ShippedBuffer> out;
+  framework_.CollapseAllFull();
+  for (int i = 0; i < framework_.num_buffers(); ++i) {
+    const Buffer& buf = framework_.buffer(static_cast<std::size_t>(i));
+    if (buf.state() == BufferState::kFull) {
+      out.push_back({buf.values(), buf.weight(), /*full=*/true});
+    }
+  }
+  if (filling_) {
+    const Buffer& buf = framework_.buffer(fill_slot_);
+    if (!buf.values().empty()) {
+      out.push_back({buf.values(), fill_weight_, /*full=*/false});
+    }
+    filling_ = false;
+  }
+  if (sampler_.pending_count() > 0) {
+    out.push_back({{sampler_.pending_candidate()},
+                   sampler_.pending_count(),
+                   /*full=*/false});
+  }
+  return out;
+}
+
+}  // namespace mrl

@@ -1,0 +1,53 @@
+#include "core/weighted_merge.h"
+
+#include "util/logging.h"
+
+namespace mrl {
+
+Weight TotalRunWeight(const std::vector<WeightedRun>& runs) {
+  Weight total = 0;
+  for (const WeightedRun& r : runs) {
+    total += static_cast<Weight>(r.size) * r.weight;
+  }
+  return total;
+}
+
+std::vector<Value> SelectWeightedPositions(
+    const std::vector<WeightedRun>& runs, const std::vector<Weight>& targets) {
+  std::vector<Value> out;
+  out.reserve(targets.size());
+  if (targets.empty()) return out;
+
+  const Weight total = TotalRunWeight(runs);
+  MRL_CHECK_GE(targets.front(), 1u);
+  MRL_CHECK_LE(targets.back(), total);
+  for (std::size_t i = 0; i + 1 < targets.size(); ++i) {
+    MRL_DCHECK_LE(targets[i], targets[i + 1]);
+  }
+
+  std::vector<std::size_t> cursor(runs.size(), 0);
+  Weight cum = 0;           // weight consumed so far
+  std::size_t t = 0;        // next target index
+  while (t < targets.size()) {
+    // Find the smallest current element across runs (ties by run index).
+    std::size_t best = runs.size();
+    for (std::size_t r = 0; r < runs.size(); ++r) {
+      if (cursor[r] >= runs[r].size) continue;
+      if (best == runs.size() ||
+          runs[r].data[cursor[r]] < runs[best].data[cursor[best]]) {
+        best = r;
+      }
+    }
+    MRL_CHECK_LT(best, runs.size()) << "targets exceed total weight";
+    Value v = runs[best].data[cursor[best]];
+    cum += runs[best].weight;
+    ++cursor[best];
+    while (t < targets.size() && targets[t] <= cum) {
+      out.push_back(v);
+      ++t;
+    }
+  }
+  return out;
+}
+
+}  // namespace mrl

@@ -1,0 +1,38 @@
+#ifndef MRLQUANT_CORE_WEIGHTED_MERGE_H_
+#define MRLQUANT_CORE_WEIGHTED_MERGE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "util/types.h"
+
+namespace mrl {
+
+/// A sorted run of equally-weighted elements. Both `Collapse` and `Output`
+/// operate on the *weighted merge* of such runs: conceptually, w copies of
+/// every element, sorted (Section 3.2) — the copies are never materialized.
+struct WeightedRun {
+  const Value* data = nullptr;
+  std::size_t size = 0;
+  Weight weight = 0;  ///< weight of each element in the run (>= 1)
+};
+
+/// Sum of size * weight over runs: the length of the implied copy-expanded
+/// sequence.
+Weight TotalRunWeight(const std::vector<WeightedRun>& runs);
+
+/// Returns the elements of the weighted merge found at the given 1-based
+/// weighted positions. `targets` must be sorted ascending and each must lie
+/// in [1, TotalRunWeight(runs)]. Element e with weight w occupies the
+/// weighted interval (c, c + w] where c is the cumulative weight before it;
+/// the result for target t is the element whose interval contains t.
+///
+/// Runs must each be sorted ascending. Cost: O(total_elements * num_runs)
+/// comparisons with a flat cursor scan (num_runs is at most b <= ~50, and
+/// ties are broken by run index, making the merge deterministic).
+std::vector<Value> SelectWeightedPositions(
+    const std::vector<WeightedRun>& runs, const std::vector<Weight>& targets);
+
+}  // namespace mrl
+
+#endif  // MRLQUANT_CORE_WEIGHTED_MERGE_H_

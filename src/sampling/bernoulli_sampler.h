@@ -1,0 +1,65 @@
+#ifndef MRLQUANT_SAMPLING_BERNOULLI_SAMPLER_H_
+#define MRLQUANT_SAMPLING_BERNOULLI_SAMPLER_H_
+
+#include <cstdint>
+
+#include "util/logging.h"
+#include "util/random.h"
+#include "util/types.h"
+
+namespace mrl {
+
+/// Independent per-element sampling with probability p — the sampling model
+/// under which Section 7's Stein-lemma analysis is carried out ("a random
+/// sample with replacement ... not much different from a sample without
+/// replacement if the sample size is small with respect to N").
+class BernoulliSampler {
+ public:
+  BernoulliSampler(Random rng, double p) : rng_(rng), p_(p) {
+    MRL_CHECK(p > 0.0 && p <= 1.0) << "p=" << p;
+  }
+
+  /// True iff the element should enter the sample.
+  bool Sample() {
+    ++seen_;
+    if (rng_.Bernoulli(p_)) {
+      ++kept_;
+      return true;
+    }
+    return false;
+  }
+
+  double probability() const { return p_; }
+
+  /// Halves the inclusion probability (used by the adaptive extreme-value
+  /// sketch when the stream outgrows its assumed length).
+  void Halve() { p_ *= 0.5; }
+
+  std::uint64_t seen() const { return seen_; }
+  std::uint64_t kept() const { return kept_; }
+
+  /// Checkpointing support.
+  struct State {
+    Random::State rng;
+    double p;
+    std::uint64_t seen;
+    std::uint64_t kept;
+  };
+  State SaveState() const { return {rng_.SaveState(), p_, seen_, kept_}; }
+  static BernoulliSampler FromState(const State& s) {
+    BernoulliSampler b(Random::FromState(s.rng), s.p);
+    b.seen_ = s.seen;
+    b.kept_ = s.kept;
+    return b;
+  }
+
+ private:
+  Random rng_;
+  double p_;
+  std::uint64_t seen_ = 0;
+  std::uint64_t kept_ = 0;
+};
+
+}  // namespace mrl
+
+#endif  // MRLQUANT_SAMPLING_BERNOULLI_SAMPLER_H_

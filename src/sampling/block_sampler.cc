@@ -1,0 +1,37 @@
+#include "sampling/block_sampler.h"
+
+#include "util/logging.h"
+
+namespace mrl {
+
+BlockSampler::BlockSampler(Random rng, Weight rate, PickPolicy pick)
+    : rng_(rng), rate_(rate), pick_(pick) {
+  MRL_CHECK_GE(rate, 1u);
+}
+
+std::optional<Value> BlockSampler::Add(Value v) {
+  ++seen_in_block_;
+  if (seen_in_block_ == 1) {
+    candidate_ = v;
+  } else if (pick_ == PickPolicy::kUniformWithinBlock) {
+    // Reservoir of size one within the block: the j-th element of the block
+    // replaces the candidate with probability 1/j, which leaves every
+    // element equally likely once the block completes.
+    if (rng_.UniformUint64(seen_in_block_) == 0) {
+      candidate_ = v;
+    }
+  }  // kFirstOfBlock: keep the first element (ablation only).
+  if (seen_in_block_ == rate_) {
+    seen_in_block_ = 0;
+    return candidate_;
+  }
+  return std::nullopt;
+}
+
+void BlockSampler::SetRate(Weight rate) {
+  MRL_CHECK_GE(rate, 1u);
+  MRL_CHECK_EQ(seen_in_block_, 0u) << "rate change mid-block";
+  rate_ = rate;
+}
+
+}  // namespace mrl

@@ -1,0 +1,83 @@
+#ifndef MRLQUANT_SAMPLING_BLOCK_SAMPLER_H_
+#define MRLQUANT_SAMPLING_BLOCK_SAMPLER_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "util/random.h"
+#include "util/types.h"
+
+namespace mrl {
+
+/// The sampling primitive inside the paper's `New` operation (Section 3.1):
+/// from each block of `rate` consecutive stream elements, retain exactly one
+/// chosen uniformly at random. Sampling is therefore without replacement
+/// across blocks, which the paper notes is what makes the scheme easy to
+/// implement. rate == 1 means no sampling (every element is emitted).
+///
+/// The rate may be changed, but only at a block boundary (the unknown-N
+/// algorithm doubles it when the collapse tree grows); changing it
+/// mid-block would bias the in-flight pick.
+class BlockSampler {
+ public:
+  /// How the representative of a block is chosen. kUniformWithinBlock is
+  /// the paper's randomized pick (required for the Hoeffding analysis);
+  /// kFirstOfBlock is deterministic systematic sampling, provided ONLY for
+  /// the ablation bench that demonstrates why the randomness matters (it
+  /// is biased on periodic/adversarial arrival orders).
+  enum class PickPolicy { kUniformWithinBlock, kFirstOfBlock };
+
+  explicit BlockSampler(Random rng, Weight rate = 1,
+                        PickPolicy pick = PickPolicy::kUniformWithinBlock);
+
+  /// Feeds one element. Returns the block's pick when this element closes a
+  /// block, std::nullopt otherwise.
+  std::optional<Value> Add(Value v);
+
+  /// Current sampling rate r (block size).
+  Weight rate() const { return rate_; }
+
+  /// Elements consumed by the currently open block (0 when at a boundary).
+  Weight pending_count() const { return seen_in_block_; }
+
+  /// The uniformly-chosen candidate of the open block; meaningful only when
+  /// pending_count() > 0. Together with pending_count() this lets a caller
+  /// account for a partially consumed block at query time: the candidate is
+  /// a uniform pick from the pending_count() elements seen so far.
+  Value pending_candidate() const { return candidate_; }
+
+  /// True iff no block is in flight.
+  bool at_block_boundary() const { return seen_in_block_ == 0; }
+
+  /// Sets a new rate. Must be called at a block boundary; rate >= 1.
+  void SetRate(Weight rate);
+
+  /// Checkpointing support: full sampler state, including the in-flight
+  /// block.
+  struct State {
+    Random::State rng;
+    Weight rate;
+    Weight seen_in_block;
+    Value candidate;
+  };
+  State SaveState() const {
+    return {rng_.SaveState(), rate_, seen_in_block_, candidate_};
+  }
+  static BlockSampler FromState(const State& s) {
+    BlockSampler b(Random::FromState(s.rng), s.rate);
+    b.seen_in_block_ = s.seen_in_block;
+    b.candidate_ = s.candidate;
+    return b;
+  }
+
+ private:
+  Random rng_;
+  Weight rate_;
+  PickPolicy pick_;
+  Weight seen_in_block_ = 0;
+  Value candidate_ = Value{};
+};
+
+}  // namespace mrl
+
+#endif  // MRLQUANT_SAMPLING_BLOCK_SAMPLER_H_

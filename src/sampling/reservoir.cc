@@ -1,0 +1,70 @@
+#include "sampling/reservoir.h"
+
+#include "util/logging.h"
+
+namespace mrl {
+
+ReservoirSampler::ReservoirSampler(std::size_t capacity, Random rng,
+                                   Method method)
+    : capacity_(capacity), rng_(rng), method_(method) {
+  MRL_CHECK_GE(capacity, 1u);
+  sample_.reserve(capacity);
+}
+
+void ReservoirSampler::Add(Value v) {
+  if (method_ == Method::kAlgorithmR) {
+    AddAlgorithmR(v);
+  } else {
+    AddAlgorithmX(v);
+  }
+}
+
+void ReservoirSampler::AddAlgorithmR(Value v) {
+  ++count_;
+  if (sample_.size() < capacity_) {
+    sample_.push_back(v);
+    return;
+  }
+  // Keep the t-th element with probability capacity / t.
+  std::uint64_t j = rng_.UniformUint64(count_);
+  if (j < capacity_) {
+    sample_[static_cast<std::size_t>(j)] = v;
+  }
+}
+
+void ReservoirSampler::DrawSkip() {
+  // Vitter's Algorithm X: inverse-transform sampling of the skip length by
+  // sequential search. After this call, skip_ elements are passed over and
+  // the one after them replaces a random slot.
+  double v = rng_.UniformDouble();
+  std::uint64_t s = 0;
+  double t = static_cast<double>(count_);
+  double n = static_cast<double>(capacity_);
+  double quot = (t + 1.0 - n) / (t + 1.0);
+  while (quot > v) {
+    ++s;
+    t += 1.0;
+    quot *= (t + 1.0 - n) / (t + 1.0);
+  }
+  skip_ = s;
+}
+
+void ReservoirSampler::AddAlgorithmX(Value v) {
+  if (sample_.size() < capacity_) {
+    sample_.push_back(v);
+    ++count_;
+    if (sample_.size() == capacity_) DrawSkip();
+    return;
+  }
+  if (skip_ > 0) {
+    --skip_;
+    ++count_;
+    return;
+  }
+  std::uint64_t j = rng_.UniformUint64(capacity_);
+  sample_[static_cast<std::size_t>(j)] = v;
+  ++count_;
+  DrawSkip();
+}
+
+}  // namespace mrl

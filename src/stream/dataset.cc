@@ -1,0 +1,69 @@
+#include "stream/dataset.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace mrl {
+
+Dataset::Dataset(std::vector<Value> values) : values_(std::move(values)) {}
+
+void Dataset::EnsureSorted() const {
+  if (sorted_.size() != values_.size()) {
+    sorted_ = values_;
+    std::sort(sorted_.begin(), sorted_.end());
+  }
+}
+
+Value Dataset::ExactQuantile(double phi) const {
+  MRL_CHECK(!values_.empty());
+  MRL_CHECK(phi > 0.0 && phi <= 1.0) << "phi=" << phi;
+  EnsureSorted();
+  std::size_t n = sorted_.size();
+  std::size_t pos = static_cast<std::size_t>(
+      std::ceil(phi * static_cast<double>(n)));
+  if (pos < 1) pos = 1;
+  if (pos > n) pos = n;
+  return sorted_[pos - 1];
+}
+
+Dataset::RankInterval Dataset::RankOf(Value v) const {
+  EnsureSorted();
+  auto lo_it = std::lower_bound(sorted_.begin(), sorted_.end(), v);
+  auto hi_it = std::upper_bound(sorted_.begin(), sorted_.end(), v);
+  std::size_t lo = static_cast<std::size_t>(lo_it - sorted_.begin()) + 1;
+  std::size_t hi = static_cast<std::size_t>(hi_it - sorted_.begin());
+  return {lo, hi};
+}
+
+double Dataset::QuantileError(Value v, double phi) const {
+  MRL_CHECK(!values_.empty());
+  RankInterval iv = RankOf(v);
+  double n = static_cast<double>(values_.size());
+  double target = phi * n;
+  double lo = static_cast<double>(iv.lo);
+  double hi = static_cast<double>(iv.hi);
+  if (hi < lo) {
+    // Absent value: it splits the data at insertion rank iv.lo - 0.5;
+    // attainable "rank" is that single point.
+    lo = hi = static_cast<double>(iv.lo) - 0.5;
+  }
+  if (target < lo) return (lo - target) / n;
+  if (target > hi) return (target - hi) / n;
+  return 0.0;
+}
+
+Value Dataset::Min() const {
+  MRL_CHECK(!values_.empty());
+  EnsureSorted();
+  return sorted_.front();
+}
+
+Value Dataset::Max() const {
+  MRL_CHECK(!values_.empty());
+  EnsureSorted();
+  return sorted_.back();
+}
+
+}  // namespace mrl

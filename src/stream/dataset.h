@@ -1,0 +1,64 @@
+#ifndef MRLQUANT_STREAM_DATASET_H_
+#define MRLQUANT_STREAM_DATASET_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "util/types.h"
+
+namespace mrl {
+
+/// An in-memory dataset in arrival order, with exact order-statistics
+/// utilities for ground truth. All ranks are 1-based, matching the paper:
+/// the phi-quantile is the element at position ceil(phi * N) of the sorted
+/// sequence, and v is an eps-approximate phi-quantile iff some occurrence of
+/// v has rank within [(phi - eps) * N, (phi + eps) * N].
+class Dataset {
+ public:
+  Dataset() = default;
+  explicit Dataset(std::vector<Value> values);
+
+  const std::vector<Value>& values() const { return values_; }
+  std::size_t size() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+
+  /// Exact phi-quantile: sorted[ceil(phi * N)] (1-based), phi in (0, 1].
+  /// Requires a non-empty dataset.
+  Value ExactQuantile(double phi) const;
+
+  /// Position interval [lo, hi] (1-based, inclusive) that occurrences of `v`
+  /// occupy in the sorted sequence. If `v` is absent, returns the interval
+  /// it *would* occupy, i.e. lo = hi + 1 collapses to the insertion point:
+  /// lo = (#elements < v) + 1, hi = #elements <= v; hence hi < lo for absent
+  /// values.
+  struct RankInterval {
+    std::size_t lo;
+    std::size_t hi;
+  };
+  RankInterval RankOf(Value v) const;
+
+  /// Normalized rank error of `v` as an estimate of the phi-quantile:
+  /// min over attainable ranks r of |r - phi * N| / N. For values present in
+  /// the dataset the attainable ranks are [RankOf(v).lo, RankOf(v).hi]; for
+  /// absent values the insertion point is used (the estimate still splits
+  /// the data at a well-defined rank).
+  double QuantileError(Value v, double phi) const;
+
+  /// True iff v is an eps-approximate phi-quantile per the paper.
+  bool IsApproxQuantile(Value v, double phi, double eps) const {
+    return QuantileError(v, phi) <= eps + 1e-12;
+  }
+
+  Value Min() const;
+  Value Max() const;
+
+ private:
+  void EnsureSorted() const;
+
+  std::vector<Value> values_;
+  mutable std::vector<Value> sorted_;  // built lazily
+};
+
+}  // namespace mrl
+
+#endif  // MRLQUANT_STREAM_DATASET_H_

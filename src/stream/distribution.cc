@@ -1,0 +1,78 @@
+#include "stream/distribution.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace mrl {
+
+ZipfDistribution::ZipfDistribution(std::size_t num_distinct, double skew) {
+  MRL_CHECK_GE(num_distinct, 1u);
+  MRL_CHECK_GT(skew, 0.0);
+  cdf_.resize(num_distinct);
+  double total = 0.0;
+  for (std::size_t i = 0; i < num_distinct; ++i) {
+    total += 1.0 / std::pow(static_cast<double>(i + 1), skew);
+    cdf_[i] = total;
+  }
+  for (double& c : cdf_) c /= total;
+}
+
+Value ZipfDistribution::Draw(Random* rng) {
+  double u = rng->UniformDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  std::size_t idx = static_cast<std::size_t>(it - cdf_.begin());
+  if (idx >= cdf_.size()) idx = cdf_.size() - 1;
+  return static_cast<Value>(idx + 1);
+}
+
+Value LogNormalDistribution::Draw(Random* rng) {
+  return std::exp(mu_ + sigma_ * rng->Gaussian());
+}
+
+Value ParetoDistribution::Draw(Random* rng) {
+  double u;
+  do {
+    u = rng->UniformDouble();
+  } while (u == 0.0);
+  return scale_ / std::pow(u, 1.0 / shape_);
+}
+
+Value BimodalDistribution::Draw(Random* rng) {
+  const double mean = rng->Bernoulli(0.5) ? mean_a_ : mean_b_;
+  return mean + stddev_ * rng->Gaussian();
+}
+
+std::unique_ptr<Distribution> MakeDistribution(const std::string& name) {
+  if (name == "uniform") {
+    return std::make_unique<UniformDistribution>(0.0, 1.0);
+  }
+  if (name == "gaussian") {
+    return std::make_unique<GaussianDistribution>(0.0, 1.0);
+  }
+  if (name == "exponential") {
+    return std::make_unique<ExponentialDistribution>(1.0);
+  }
+  if (name == "zipf") {
+    return std::make_unique<ZipfDistribution>(1000, 1.2);
+  }
+  if (name == "constant") {
+    return std::make_unique<ConstantDistribution>(42.0);
+  }
+  if (name == "two_point") {
+    return std::make_unique<TwoPointDistribution>(-1.0, 1.0, 0.3);
+  }
+  if (name == "lognormal") {
+    return std::make_unique<LogNormalDistribution>(0.0, 1.0);
+  }
+  if (name == "pareto") {
+    return std::make_unique<ParetoDistribution>(1.0, 1.5);
+  }
+  if (name == "bimodal") {
+    return std::make_unique<BimodalDistribution>(-5.0, 5.0, 1.0);
+  }
+  return nullptr;
+}
+
+}  // namespace mrl

@@ -1,0 +1,142 @@
+#ifndef MRLQUANT_STREAM_DISTRIBUTION_H_
+#define MRLQUANT_STREAM_DISTRIBUTION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/random.h"
+#include "util/types.h"
+
+namespace mrl {
+
+/// A value distribution for synthetic streams. Implementations must be
+/// deterministic functions of the supplied Random generator so that whole
+/// experiments replay from a single seed.
+class Distribution {
+ public:
+  virtual ~Distribution() = default;
+
+  /// Draws one value.
+  virtual Value Draw(Random* rng) = 0;
+
+  /// Short name used in benchmark table rows ("uniform", "zipf", ...).
+  virtual std::string name() const = 0;
+};
+
+/// Uniform on [lo, hi).
+class UniformDistribution : public Distribution {
+ public:
+  UniformDistribution(double lo, double hi) : lo_(lo), hi_(hi) {}
+  Value Draw(Random* rng) override { return rng->UniformDouble(lo_, hi_); }
+  std::string name() const override { return "uniform"; }
+
+ private:
+  double lo_, hi_;
+};
+
+/// Normal(mean, stddev).
+class GaussianDistribution : public Distribution {
+ public:
+  GaussianDistribution(double mean, double stddev)
+      : mean_(mean), stddev_(stddev) {}
+  Value Draw(Random* rng) override { return mean_ + stddev_ * rng->Gaussian(); }
+  std::string name() const override { return "gaussian"; }
+
+ private:
+  double mean_, stddev_;
+};
+
+/// Exponential with the given rate; heavily right-skewed, a stand-in for
+/// sales / latency columns where extreme quantiles matter (Section 1.1).
+class ExponentialDistribution : public Distribution {
+ public:
+  explicit ExponentialDistribution(double lambda) : lambda_(lambda) {}
+  Value Draw(Random* rng) override { return rng->Exponential(lambda_); }
+  std::string name() const override { return "exponential"; }
+
+ private:
+  double lambda_;
+};
+
+/// Zipf over `num_distinct` values {1..num_distinct} with exponent `skew`;
+/// models low-cardinality, heavily duplicated database columns.
+class ZipfDistribution : public Distribution {
+ public:
+  ZipfDistribution(std::size_t num_distinct, double skew);
+  Value Draw(Random* rng) override;
+  std::string name() const override { return "zipf"; }
+
+ private:
+  std::vector<double> cdf_;  // cdf_[i] = P(value <= i + 1)
+};
+
+/// Always emits the same value; degenerate duplicate-only column.
+class ConstantDistribution : public Distribution {
+ public:
+  explicit ConstantDistribution(Value v) : v_(v) {}
+  Value Draw(Random*) override { return v_; }
+  std::string name() const override { return "constant"; }
+
+ private:
+  Value v_;
+};
+
+/// Log-normal: exp(mu + sigma * Z). Classic model for sizes, incomes,
+/// response times — long-tailed with all moments finite.
+class LogNormalDistribution : public Distribution {
+ public:
+  LogNormalDistribution(double mu, double sigma) : mu_(mu), sigma_(sigma) {}
+  Value Draw(Random* rng) override;
+  std::string name() const override { return "lognormal"; }
+
+ private:
+  double mu_, sigma_;
+};
+
+/// Pareto with scale x_m and shape alpha: the heaviest tail in the suite
+/// (infinite variance for alpha <= 2); stresses extreme-quantile logic.
+class ParetoDistribution : public Distribution {
+ public:
+  ParetoDistribution(double scale, double shape)
+      : scale_(scale), shape_(shape) {}
+  Value Draw(Random* rng) override;
+  std::string name() const override { return "pareto"; }
+
+ private:
+  double scale_, shape_;
+};
+
+/// Equal mixture of two well-separated Gaussians; quantiles near the mass
+/// gap move fast in value space, stressing value-vs-rank error distinctions.
+class BimodalDistribution : public Distribution {
+ public:
+  BimodalDistribution(double mean_a, double mean_b, double stddev)
+      : mean_a_(mean_a), mean_b_(mean_b), stddev_(stddev) {}
+  Value Draw(Random* rng) override;
+  std::string name() const override { return "bimodal"; }
+
+ private:
+  double mean_a_, mean_b_, stddev_;
+};
+
+/// Mixes two point masses; stresses rank accounting around ties.
+class TwoPointDistribution : public Distribution {
+ public:
+  TwoPointDistribution(Value a, Value b, double p_a) : a_(a), b_(b), pa_(p_a) {}
+  Value Draw(Random* rng) override { return rng->Bernoulli(pa_) ? a_ : b_; }
+  std::string name() const override { return "two_point"; }
+
+ private:
+  Value a_, b_;
+  double pa_;
+};
+
+/// Well-known distribution presets keyed by name; used by benchmark loops.
+/// Supported: "uniform", "gaussian", "exponential", "zipf", "constant",
+/// "two_point". Returns nullptr for unknown names.
+std::unique_ptr<Distribution> MakeDistribution(const std::string& name);
+
+}  // namespace mrl
+
+#endif  // MRLQUANT_STREAM_DISTRIBUTION_H_

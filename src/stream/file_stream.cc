@@ -1,0 +1,86 @@
+#include "stream/file_stream.h"
+
+#include <cerrno>
+#include <cstring>
+
+namespace mrl {
+
+namespace {
+constexpr std::size_t kBufferValues = 1 << 16;  // 512 KiB of doubles
+}  // namespace
+
+Status WriteValuesFile(const std::string& path,
+                       const std::vector<Value>& values) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::NotFound("cannot open for write: " + path + ": " +
+                            std::strerror(errno));
+  }
+  std::size_t written =
+      values.empty()
+          ? 0
+          : std::fwrite(values.data(), sizeof(Value), values.size(), f);
+  int close_rc = std::fclose(f);
+  if (written != values.size() || close_rc != 0) {
+    return Status::Internal("short write to " + path);
+  }
+  return Status::OK();
+}
+
+FileValueReader::~FileValueReader() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status FileValueReader::Open(const std::string& path) {
+  if (file_ != nullptr) {
+    return Status::FailedPrecondition("reader already open");
+  }
+  file_ = std::fopen(path.c_str(), "rb");
+  if (file_ == nullptr) {
+    return Status::NotFound("cannot open: " + path + ": " +
+                            std::strerror(errno));
+  }
+  if (std::fseek(file_, 0, SEEK_END) != 0) {
+    return Status::Internal("seek failed on " + path);
+  }
+  long bytes = std::ftell(file_);
+  if (bytes < 0) {
+    return Status::Internal("ftell failed on " + path);
+  }
+  if (static_cast<std::size_t>(bytes) % sizeof(Value) != 0) {
+    return Status::InvalidArgument(path + " size is not a multiple of " +
+                                   std::to_string(sizeof(Value)));
+  }
+  size_ = static_cast<std::uint64_t>(bytes) / sizeof(Value);
+  std::rewind(file_);
+  buffer_.reserve(kBufferValues);
+  return Status::OK();
+}
+
+Status FileValueReader::FillBuffer() {
+  buffer_.resize(kBufferValues);
+  std::size_t got = std::fread(buffer_.data(), sizeof(Value), kBufferValues,
+                               file_);
+  buffer_.resize(got);
+  buffer_pos_ = 0;
+  if (got < kBufferValues) {
+    if (std::ferror(file_)) {
+      return Status::Internal("read error");
+    }
+    eof_ = true;
+  }
+  return Status::OK();
+}
+
+bool FileValueReader::Next(Value* out) {
+  if (!status_.ok() || file_ == nullptr) return false;
+  if (buffer_pos_ == buffer_.size()) {
+    if (eof_) return false;
+    status_ = FillBuffer();
+    if (!status_.ok() || buffer_.empty()) return false;
+  }
+  *out = buffer_[buffer_pos_++];
+  return true;
+}
+
+}  // namespace mrl

@@ -1,0 +1,60 @@
+#ifndef MRLQUANT_STREAM_FILE_STREAM_H_
+#define MRLQUANT_STREAM_FILE_STREAM_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+#include "util/types.h"
+
+namespace mrl {
+
+/// Writes `values` to `path` as raw little-endian doubles. Models the
+/// paper's "disk-resident datasets" read in a single pass.
+Status WriteValuesFile(const std::string& path,
+                       const std::vector<Value>& values);
+
+/// Buffered single-pass reader over a file written by WriteValuesFile.
+/// Usage:
+///   FileValueReader reader;
+///   MRL_RETURN_IF_ERROR(reader.Open(path));
+///   Value v;
+///   while (reader.Next(&v)) sketch.Add(v);
+///   MRL_RETURN_IF_ERROR(reader.status());
+class FileValueReader {
+ public:
+  FileValueReader() = default;
+  ~FileValueReader();
+
+  FileValueReader(const FileValueReader&) = delete;
+  FileValueReader& operator=(const FileValueReader&) = delete;
+
+  /// Opens `path`; fails if the file is missing or its size is not a
+  /// multiple of sizeof(Value).
+  Status Open(const std::string& path);
+
+  /// Reads the next value. Returns false at end of stream or on I/O error;
+  /// distinguish via status().
+  bool Next(Value* out);
+
+  /// OK unless an I/O error occurred.
+  const Status& status() const { return status_; }
+
+  /// Number of values the open file holds.
+  std::uint64_t size() const { return size_; }
+
+ private:
+  Status FillBuffer();
+
+  std::FILE* file_ = nullptr;
+  std::uint64_t size_ = 0;
+  std::vector<Value> buffer_;
+  std::size_t buffer_pos_ = 0;
+  Status status_;
+  bool eof_ = false;
+};
+
+}  // namespace mrl
+
+#endif  // MRLQUANT_STREAM_FILE_STREAM_H_

@@ -1,0 +1,127 @@
+#include "stream/order.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace mrl {
+
+namespace {
+
+void ShuffleInPlace(Random* rng, std::vector<Value>* values) {
+  // Fisher–Yates with our deterministic generator.
+  for (std::size_t i = values->size(); i > 1; --i) {
+    std::size_t j = static_cast<std::size_t>(rng->UniformUint64(i));
+    std::swap((*values)[i - 1], (*values)[j]);
+  }
+}
+
+void SawtoothInPlace(std::vector<Value>* values) {
+  std::sort(values->begin(), values->end());
+  // Deal the sorted sequence round-robin into 8 teeth, then emit the teeth
+  // one after another: each tooth is an ascending run spanning the full
+  // value range.
+  constexpr std::size_t kTeeth = 8;
+  std::vector<Value> out;
+  out.reserve(values->size());
+  for (std::size_t t = 0; t < kTeeth; ++t) {
+    for (std::size_t i = t; i < values->size(); i += kTeeth) {
+      out.push_back((*values)[i]);
+    }
+  }
+  *values = std::move(out);
+}
+
+void AlternatingInPlace(std::vector<Value>* values) {
+  std::sort(values->begin(), values->end());
+  std::vector<Value> out;
+  out.reserve(values->size());
+  std::size_t lo = 0;
+  std::size_t hi = values->size();
+  while (lo < hi) {
+    out.push_back((*values)[lo++]);
+    if (lo < hi) out.push_back((*values)[--hi]);
+  }
+  *values = std::move(out);
+}
+
+void BlockShuffledInPlace(Random* rng, std::vector<Value>* values) {
+  std::sort(values->begin(), values->end());
+  constexpr std::size_t kBlock = 1024;
+  std::size_t num_blocks = (values->size() + kBlock - 1) / kBlock;
+  if (num_blocks <= 1) return;
+  std::vector<std::size_t> perm(num_blocks);
+  for (std::size_t i = 0; i < num_blocks; ++i) perm[i] = i;
+  for (std::size_t i = num_blocks; i > 1; --i) {
+    std::size_t j = static_cast<std::size_t>(rng->UniformUint64(i));
+    std::swap(perm[i - 1], perm[j]);
+  }
+  std::vector<Value> out;
+  out.reserve(values->size());
+  for (std::size_t b : perm) {
+    std::size_t begin = b * kBlock;
+    std::size_t end = std::min(begin + kBlock, values->size());
+    out.insert(out.end(), values->begin() + begin, values->begin() + end);
+  }
+  *values = std::move(out);
+}
+
+}  // namespace
+
+const std::vector<ArrivalOrder>& AllArrivalOrders() {
+  static const std::vector<ArrivalOrder>* kAll = new std::vector<ArrivalOrder>{
+      ArrivalOrder::kAsDrawn,      ArrivalOrder::kShuffled,
+      ArrivalOrder::kSortedAsc,    ArrivalOrder::kSortedDesc,
+      ArrivalOrder::kSawtooth,     ArrivalOrder::kAlternating,
+      ArrivalOrder::kBlockShuffled};
+  return *kAll;
+}
+
+std::string ArrivalOrderName(ArrivalOrder order) {
+  switch (order) {
+    case ArrivalOrder::kAsDrawn:
+      return "as_drawn";
+    case ArrivalOrder::kShuffled:
+      return "shuffled";
+    case ArrivalOrder::kSortedAsc:
+      return "sorted_asc";
+    case ArrivalOrder::kSortedDesc:
+      return "sorted_desc";
+    case ArrivalOrder::kSawtooth:
+      return "sawtooth";
+    case ArrivalOrder::kAlternating:
+      return "alternating";
+    case ArrivalOrder::kBlockShuffled:
+      return "block_shuffled";
+  }
+  return "unknown";
+}
+
+void ApplyArrivalOrder(ArrivalOrder order, Random* rng,
+                       std::vector<Value>* values) {
+  MRL_CHECK(values != nullptr);
+  switch (order) {
+    case ArrivalOrder::kAsDrawn:
+      return;
+    case ArrivalOrder::kShuffled:
+      ShuffleInPlace(rng, values);
+      return;
+    case ArrivalOrder::kSortedAsc:
+      std::sort(values->begin(), values->end());
+      return;
+    case ArrivalOrder::kSortedDesc:
+      std::sort(values->begin(), values->end(), std::greater<Value>());
+      return;
+    case ArrivalOrder::kSawtooth:
+      SawtoothInPlace(values);
+      return;
+    case ArrivalOrder::kAlternating:
+      AlternatingInPlace(values);
+      return;
+    case ArrivalOrder::kBlockShuffled:
+      BlockShuffledInPlace(rng, values);
+      return;
+  }
+}
+
+}  // namespace mrl

@@ -1,0 +1,38 @@
+#ifndef MRLQUANT_STREAM_ORDER_H_
+#define MRLQUANT_STREAM_ORDER_H_
+
+#include <string>
+#include <vector>
+
+#include "util/random.h"
+#include "util/types.h"
+
+namespace mrl {
+
+/// Arrival-order transforms. Section 1.3 requires correctness to be
+/// independent of the arrival distribution; the test and benchmark sweeps
+/// exercise each of these orders.
+enum class ArrivalOrder {
+  kAsDrawn,       ///< Values in the order the distribution produced them.
+  kShuffled,      ///< Uniform random permutation.
+  kSortedAsc,     ///< Fully sorted ascending (adversarial for many sketches).
+  kSortedDesc,    ///< Fully sorted descending.
+  kSawtooth,      ///< Sorted runs of a fixed period, repeated.
+  kAlternating,   ///< Alternates smallest-remaining / largest-remaining.
+  kBlockShuffled, ///< Sorted, then fixed-size blocks permuted.
+};
+
+/// All orders, for parameterized sweeps.
+const std::vector<ArrivalOrder>& AllArrivalOrders();
+
+/// Stable display name ("shuffled", "sorted_asc", ...).
+std::string ArrivalOrderName(ArrivalOrder order);
+
+/// Rearranges `values` in place according to `order`, drawing any needed
+/// randomness from `rng`.
+void ApplyArrivalOrder(ArrivalOrder order, Random* rng,
+                       std::vector<Value>* values);
+
+}  // namespace mrl
+
+#endif  // MRLQUANT_STREAM_ORDER_H_

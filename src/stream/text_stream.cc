@@ -1,0 +1,84 @@
+#include "stream/text_stream.h"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+
+namespace mrl {
+
+Status WriteValuesTextFile(const std::string& path,
+                           const std::vector<Value>& values) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::NotFound("cannot open for write: " + path + ": " +
+                            std::strerror(errno));
+  }
+  bool ok = true;
+  for (Value v : values) {
+    if (std::fprintf(f, "%.17g\n", v) < 0) {
+      ok = false;
+      break;
+    }
+  }
+  if (std::fclose(f) != 0) ok = false;
+  if (!ok) return Status::Internal("write failed for " + path);
+  return Status::OK();
+}
+
+TextValueReader::~TextValueReader() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status TextValueReader::Open(const std::string& path) {
+  if (file_ != nullptr) {
+    return Status::FailedPrecondition("reader already open");
+  }
+  file_ = std::fopen(path.c_str(), "r");
+  if (file_ == nullptr) {
+    return Status::NotFound("cannot open: " + path + ": " +
+                            std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+bool TextValueReader::Next(Value* out) {
+  if (!status_.ok() || file_ == nullptr) return false;
+  char buf[256];
+  while (std::fgets(buf, sizeof(buf), file_) != nullptr) {
+    ++line_;
+    // Trim leading whitespace; skip blanks and comments.
+    char* p = buf;
+    while (*p == ' ' || *p == '\t') ++p;
+    if (*p == '\0' || *p == '\n' || *p == '\r' || *p == '#') continue;
+    char* end = nullptr;
+    errno = 0;
+    double v = std::strtod(p, &end);
+    // ERANGE covers both overflow (reject) and gradual underflow to a
+    // denormal or zero (accept: the nearest representable value is fine).
+    const bool overflow =
+        errno == ERANGE && (v == HUGE_VAL || v == -HUGE_VAL);
+    if (end == p || overflow) {
+      status_ = Status::InvalidArgument(
+          "malformed value at line " + std::to_string(line_));
+      return false;
+    }
+    // Only whitespace may follow the number.
+    while (*end == ' ' || *end == '\t' || *end == '\n' || *end == '\r') {
+      ++end;
+    }
+    if (*end != '\0') {
+      status_ = Status::InvalidArgument(
+          "trailing garbage at line " + std::to_string(line_));
+      return false;
+    }
+    *out = v;
+    return true;
+  }
+  if (std::ferror(file_)) {
+    status_ = Status::Internal("read error");
+  }
+  return false;
+}
+
+}  // namespace mrl

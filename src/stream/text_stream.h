@@ -1,0 +1,54 @@
+#ifndef MRLQUANT_STREAM_TEXT_STREAM_H_
+#define MRLQUANT_STREAM_TEXT_STREAM_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+#include "util/types.h"
+
+namespace mrl {
+
+/// Writes one value per line in plain decimal text — the interchange
+/// format the command-line tool and ad-hoc scripts use.
+Status WriteValuesTextFile(const std::string& path,
+                           const std::vector<Value>& values);
+
+/// Buffered single-pass reader over a text file of one value per line.
+/// Blank lines and lines starting with '#' are skipped. A malformed line
+/// stops the stream with an InvalidArgument status naming the line number.
+///
+///   TextValueReader reader;
+///   MRL_RETURN_IF_ERROR(reader.Open(path));
+///   Value v;
+///   while (reader.Next(&v)) sketch.Add(v);
+///   MRL_RETURN_IF_ERROR(reader.status());
+class TextValueReader {
+ public:
+  TextValueReader() = default;
+  ~TextValueReader();
+
+  TextValueReader(const TextValueReader&) = delete;
+  TextValueReader& operator=(const TextValueReader&) = delete;
+
+  Status Open(const std::string& path);
+
+  /// Reads the next value; false at end of stream or on error (check
+  /// status() to distinguish).
+  bool Next(Value* out);
+
+  const Status& status() const { return status_; }
+
+  /// Lines consumed so far (including skipped ones).
+  std::uint64_t line_number() const { return line_; }
+
+ private:
+  std::FILE* file_ = nullptr;
+  std::uint64_t line_ = 0;
+  Status status_;
+};
+
+}  // namespace mrl
+
+#endif  // MRLQUANT_STREAM_TEXT_STREAM_H_

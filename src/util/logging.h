@@ -1,0 +1,73 @@
+#ifndef MRLQUANT_UTIL_LOGGING_H_
+#define MRLQUANT_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace mrl {
+namespace internal_logging {
+
+/// Collects a fatal message and aborts on destruction. Used only by the
+/// MRL_CHECK family below; not a general logging facility.
+class FatalMessage {
+ public:
+  FatalMessage(const char* file, int line, const char* condition) {
+    stream_ << "CHECK failed at " << file << ":" << line << ": " << condition
+            << " ";
+  }
+
+  FatalMessage(const FatalMessage&) = delete;
+  FatalMessage& operator=(const FatalMessage&) = delete;
+
+  [[noreturn]] ~FatalMessage() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace mrl
+
+/// Aborts with a diagnostic when `cond` is false. Active in all build modes;
+/// used for internal invariants whose violation indicates a library bug
+/// (user-facing validation returns Status instead).
+#define MRL_CHECK(cond)                                              \
+  if (cond) {                                                        \
+  } else /* NOLINT */                                                \
+    ::mrl::internal_logging::FatalMessage(__FILE__, __LINE__, #cond) \
+        .stream()
+
+#define MRL_CHECK_BINOP(a, b, op)                                  \
+  MRL_CHECK((a)op(b)) << "(" << #a << "=" << (a) << " vs " << #b   \
+                      << "=" << (b) << ") "
+
+#define MRL_CHECK_EQ(a, b) MRL_CHECK_BINOP(a, b, ==)
+#define MRL_CHECK_NE(a, b) MRL_CHECK_BINOP(a, b, !=)
+#define MRL_CHECK_LT(a, b) MRL_CHECK_BINOP(a, b, <)
+#define MRL_CHECK_LE(a, b) MRL_CHECK_BINOP(a, b, <=)
+#define MRL_CHECK_GT(a, b) MRL_CHECK_BINOP(a, b, >)
+#define MRL_CHECK_GE(a, b) MRL_CHECK_BINOP(a, b, >=)
+
+#ifdef NDEBUG
+#define MRL_DCHECK(cond) MRL_CHECK(true)
+#define MRL_DCHECK_EQ(a, b) MRL_CHECK(true)
+#define MRL_DCHECK_LE(a, b) MRL_CHECK(true)
+#define MRL_DCHECK_LT(a, b) MRL_CHECK(true)
+#define MRL_DCHECK_GE(a, b) MRL_CHECK(true)
+#define MRL_DCHECK_GT(a, b) MRL_CHECK(true)
+#else
+#define MRL_DCHECK(cond) MRL_CHECK(cond)
+#define MRL_DCHECK_EQ(a, b) MRL_CHECK_EQ(a, b)
+#define MRL_DCHECK_LE(a, b) MRL_CHECK_LE(a, b)
+#define MRL_DCHECK_LT(a, b) MRL_CHECK_LT(a, b)
+#define MRL_DCHECK_GE(a, b) MRL_CHECK_GE(a, b)
+#define MRL_DCHECK_GT(a, b) MRL_CHECK_GT(a, b)
+#endif
+
+#endif  // MRLQUANT_UTIL_LOGGING_H_

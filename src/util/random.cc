@@ -1,0 +1,82 @@
+#include "util/random.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace mrl {
+
+Random::Random(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  std::uint64_t initstate = SplitMix64(&sm);
+  std::uint64_t initseq = SplitMix64(&sm);
+  state_ = 0U;
+  inc_ = (initseq << 1u) | 1u;
+  NextUint32();
+  state_ += initstate;
+  NextUint32();
+}
+
+std::uint32_t Random::NextUint32() {
+  std::uint64_t oldstate = state_;
+  state_ = oldstate * 6364136223846793005ULL + inc_;
+  std::uint32_t xorshifted =
+      static_cast<std::uint32_t>(((oldstate >> 18u) ^ oldstate) >> 27u);
+  std::uint32_t rot = static_cast<std::uint32_t>(oldstate >> 59u);
+  return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+}
+
+std::uint64_t Random::NextUint64() {
+  return (static_cast<std::uint64_t>(NextUint32()) << 32) | NextUint32();
+}
+
+std::uint64_t Random::UniformUint64(std::uint64_t n) {
+  MRL_DCHECK_GT(n, 0u);
+  // Lemire's nearly-divisionless method, 64-bit variant with rejection.
+  while (true) {
+    std::uint64_t x = NextUint64();
+    // 128-bit multiply-high.
+    __uint128_t m = static_cast<__uint128_t>(x) * n;
+    std::uint64_t lo = static_cast<std::uint64_t>(m);
+    if (lo >= n || lo >= (0ULL - n) % n) {
+      return static_cast<std::uint64_t>(m >> 64);
+    }
+  }
+}
+
+double Random::UniformDouble() {
+  return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+}
+
+double Random::UniformDouble(double lo, double hi) {
+  return lo + (hi - lo) * UniformDouble();
+}
+
+bool Random::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return UniformDouble() < p;
+}
+
+double Random::Gaussian() {
+  // Box–Muller; reject u1 == 0 to keep log() finite.
+  double u1;
+  do {
+    u1 = UniformDouble();
+  } while (u1 == 0.0);
+  double u2 = UniformDouble();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+}
+
+double Random::Exponential(double lambda) {
+  MRL_DCHECK_GT(lambda, 0.0);
+  double u;
+  do {
+    u = UniformDouble();
+  } while (u == 0.0);
+  return -std::log(u) / lambda;
+}
+
+Random Random::Fork() { return Random(NextUint64()); }
+
+}  // namespace mrl

@@ -1,0 +1,150 @@
+#ifndef MRLQUANT_UTIL_SERDE_H_
+#define MRLQUANT_UTIL_SERDE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+#include "util/types.h"
+
+namespace mrl {
+
+/// Little-endian binary encoder for sketch checkpoints. Append-only; call
+/// Take() to claim the buffer.
+class BinaryWriter {
+ public:
+  void PutU8(std::uint8_t v) { out_.push_back(v); }
+
+  void PutU32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) out_.push_back((v >> (8 * i)) & 0xff);
+  }
+
+  void PutU64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) out_.push_back((v >> (8 * i)) & 0xff);
+  }
+
+  void PutI32(std::int32_t v) { PutU32(static_cast<std::uint32_t>(v)); }
+
+  void PutDouble(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    PutU64(bits);
+  }
+
+  void PutValues(const std::vector<Value>& values) {
+    PutU64(values.size());
+    for (Value v : values) PutDouble(v);
+  }
+
+  std::size_t size() const { return out_.size(); }
+  std::vector<std::uint8_t> Take() { return std::move(out_); }
+
+ private:
+  std::vector<std::uint8_t> out_;
+};
+
+/// Bounds-checked decoder. Every Get* returns false (and latches an error
+/// status) on truncated input; callers may batch reads and check status()
+/// once.
+class BinaryReader {
+ public:
+  BinaryReader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+  explicit BinaryReader(const std::vector<std::uint8_t>& bytes)
+      : BinaryReader(bytes.data(), bytes.size()) {}
+
+  bool GetU8(std::uint8_t* out) {
+    if (!Require(1)) return false;
+    *out = data_[pos_++];
+    return true;
+  }
+
+  bool GetU32(std::uint32_t* out) {
+    if (!Require(4)) return false;
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(data_[pos_ + static_cast<std::size_t>(i)])
+           << (8 * i);
+    }
+    pos_ += 4;
+    *out = v;
+    return true;
+  }
+
+  bool GetU64(std::uint64_t* out) {
+    if (!Require(8)) return false;
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(data_[pos_ + static_cast<std::size_t>(i)])
+           << (8 * i);
+    }
+    pos_ += 8;
+    *out = v;
+    return true;
+  }
+
+  bool GetI32(std::int32_t* out) {
+    std::uint32_t v;
+    if (!GetU32(&v)) return false;
+    *out = static_cast<std::int32_t>(v);
+    return true;
+  }
+
+  bool GetDouble(double* out) {
+    std::uint64_t bits;
+    if (!GetU64(&bits)) return false;
+    std::memcpy(out, &bits, sizeof(*out));
+    return true;
+  }
+
+  /// Reads a length-prefixed value vector; rejects lengths that exceed the
+  /// remaining bytes (corrupt or adversarial input).
+  bool GetValues(std::vector<Value>* out) {
+    std::uint64_t n;
+    if (!GetU64(&n)) return false;
+    if (n > Remaining() / sizeof(double)) {
+      Fail("value vector length exceeds remaining input");
+      return false;
+    }
+    out->clear();
+    out->reserve(static_cast<std::size_t>(n));
+    for (std::uint64_t i = 0; i < n; ++i) {
+      double v;
+      if (!GetDouble(&v)) return false;
+      out->push_back(v);
+    }
+    return true;
+  }
+
+  std::size_t Remaining() const { return size_ - pos_; }
+  bool AtEnd() const { return pos_ == size_ && status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Latches a custom decode error (e.g. semantic validation failure).
+  void Fail(const std::string& message) {
+    if (status_.ok()) {
+      status_ = Status::InvalidArgument("decode error: " + message);
+    }
+  }
+
+ private:
+  bool Require(std::size_t n) {
+    if (!status_.ok()) return false;
+    if (size_ - pos_ < n) {
+      Fail("truncated input");
+      return false;
+    }
+    return true;
+  }
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+  Status status_;
+};
+
+}  // namespace mrl
+
+#endif  // MRLQUANT_UTIL_SERDE_H_

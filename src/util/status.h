@@ -1,0 +1,124 @@
+#ifndef MRLQUANT_UTIL_STATUS_H_
+#define MRLQUANT_UTIL_STATUS_H_
+
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace mrl {
+
+/// Error categories used across the library. Modeled after the RocksDB /
+/// Abseil convention: no exceptions anywhere; fallible public entry points
+/// return `Status` (or `Result<T>`), and internal invariants use the CHECK
+/// macros from util/logging.h.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kFailedPrecondition,
+  kOutOfRange,
+  kResourceExhausted,
+  kInternal,
+  kNotFound,
+  kUnimplemented,
+};
+
+/// Returns a stable human-readable name for `code` ("OK", "InvalidArgument",
+/// ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// Value-semantic error indicator. Cheap to copy in the OK case.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline bool operator==(const Status& a, const Status& b) {
+  return a.code() == b.code() && a.message() == b.message();
+}
+
+std::ostream& operator<<(std::ostream& os, const Status& s);
+
+/// Minimal StatusOr-style holder: either an OK status plus a value, or a
+/// non-OK status. Callers must test `ok()` before `value()`. Works with
+/// move-only and non-default-constructible payloads.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value: the common "return computed_thing;" path.
+  Result(T value)  // NOLINT(google-explicit-constructor)
+      : status_(Status::OK()), value_(std::move(value)) {}
+  /// Implicit from error status: the common "return Status::...;" path.
+  Result(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& { return *value_; }
+  T& value() & { return *value_; }
+  T&& value() && { return *std::move(value_); }
+
+  /// Returns the contained value or `fallback` when in the error state.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagates a non-OK status to the caller.
+#define MRL_RETURN_IF_ERROR(expr)            \
+  do {                                       \
+    ::mrl::Status _st = (expr);              \
+    if (!_st.ok()) return _st;               \
+  } while (false)
+
+}  // namespace mrl
+
+#endif  // MRLQUANT_UTIL_STATUS_H_

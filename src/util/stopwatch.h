@@ -1,0 +1,29 @@
+#ifndef MRLQUANT_UTIL_STOPWATCH_H_
+#define MRLQUANT_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace mrl {
+
+/// Wall-clock stopwatch used by the benchmark harnesses that report
+/// table-style output (the google-benchmark binaries use its own timers).
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedNanos() const { return ElapsedSeconds() * 1e9; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace mrl
+
+#endif  // MRLQUANT_UTIL_STOPWATCH_H_

@@ -1,0 +1,23 @@
+#ifndef MRLQUANT_UTIL_TYPES_H_
+#define MRLQUANT_UTIL_TYPES_H_
+
+#include <cstdint>
+
+namespace mrl {
+
+/// Element type processed by all sketches in this library.
+///
+/// The MRL99 algorithms are purely comparison based; we fix the element type
+/// to `double` for a readable release (see DESIGN.md §2). Ranks, weights and
+/// stream positions are 64-bit.
+using Value = double;
+
+/// Rank / position / weight within a (possibly weighted) sequence.
+using Weight = std::uint64_t;
+
+/// Signed counter type used where differences of weights are needed.
+using SignedWeight = std::int64_t;
+
+}  // namespace mrl
+
+#endif  // MRLQUANT_UTIL_TYPES_H_

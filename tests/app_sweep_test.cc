@@ -1,0 +1,118 @@
+// Parameterized sweeps over the application layer, plus a checkpoint
+// format-stability guard.
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "app/equidepth_histogram.h"
+#include "app/splitters.h"
+#include "core/unknown_n.h"
+#include "stream/generator.h"
+
+namespace mrl {
+namespace {
+
+// ------------------------------------------------------- Histogram sweep
+
+class HistogramBucketSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(HistogramBucketSweep, EveryBoundaryWithinDefaultEps) {
+  const std::size_t buckets = GetParam();
+  StreamSpec spec;
+  spec.n = 40000;
+  spec.seed = 3;
+  spec.distribution = "lognormal";
+  Dataset ds = GenerateStream(spec);
+  EquiDepthHistogram::Options options;
+  options.num_buckets = buckets;
+  options.seed = 5;
+  EquiDepthHistogram hist =
+      std::move(EquiDepthHistogram::Create(options)).value();
+  for (Value v : ds.values()) hist.Add(v);
+  std::vector<Value> bs = hist.Boundaries().value();
+  ASSERT_EQ(bs.size(), buckets - 1);
+  const double eps = 1.0 / (10.0 * static_cast<double>(buckets));
+  for (std::size_t i = 0; i < bs.size(); ++i) {
+    const double phi =
+        static_cast<double>(i + 1) / static_cast<double>(buckets);
+    EXPECT_LE(ds.QuantileError(bs[i], phi), eps)
+        << "buckets=" << buckets << " boundary=" << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Buckets, HistogramBucketSweep,
+                         ::testing::Values(2, 3, 4, 8, 16, 50),
+                         [](const ::testing::TestParamInfo<std::size_t>& i) {
+                           return "p" + std::to_string(i.param);
+                         });
+
+// -------------------------------------------------------- Splitter sweep
+
+struct SplitterCase {
+  int parts;
+  const char* distribution;
+};
+
+class SplitterSweep : public ::testing::TestWithParam<SplitterCase> {};
+
+TEST_P(SplitterSweep, SkewWithinTwoEpsOnContinuousData) {
+  const SplitterCase& c = GetParam();
+  StreamSpec spec;
+  spec.n = 60000;
+  spec.seed = 7;
+  spec.distribution = c.distribution;
+  Dataset ds = GenerateStream(spec);
+  SplitterOptions options;
+  options.num_parts = c.parts;
+  options.eps = 0.005;
+  options.seed = 9;
+  std::vector<Value> splitters =
+      ComputeSplittersSequential(ds.values(), options).value();
+  ASSERT_EQ(splitters.size(), static_cast<std::size_t>(c.parts) - 1);
+  EXPECT_LE(MaxPartitionSkew(ds.values(), splitters), 2 * options.eps);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, SplitterSweep,
+    ::testing::Values(SplitterCase{2, "uniform"}, SplitterCase{4, "gaussian"},
+                      SplitterCase{8, "exponential"},
+                      SplitterCase{16, "lognormal"},
+                      SplitterCase{32, "pareto"}),
+    [](const ::testing::TestParamInfo<SplitterCase>& i) {
+      return std::string(i.param.distribution) + "_p" +
+             std::to_string(i.param.parts);
+    });
+
+// --------------------------------------------------- Format stability
+
+// If encode determinism or the decode/encode fixed point breaks, the
+// on-disk checkpoint format changed: either revert the change or bump
+// kCheckpointVersion and update docs/checkpoint_format.md.
+TEST(FormatStabilityTest, CheckpointBytesAreReproducible) {
+  UnknownNParams p;
+  p.b = 3;
+  p.k = 16;
+  p.h = 2;
+  p.alpha = 0.5;
+  p.leaves_before_sampling = 3;
+  UnknownNOptions options;
+  options.params = p;
+  options.seed = 12345;
+  UnknownNSketch sketch = std::move(UnknownNSketch::Create(options)).value();
+  for (int i = 0; i < 1000; ++i) {
+    sketch.Add(static_cast<Value>((i * 37) % 101));
+  }
+  std::vector<std::uint8_t> blob = sketch.Serialize();
+  // Two encodes of the same state must be byte-identical...
+  EXPECT_EQ(blob, sketch.Serialize());
+  // ...and a decode/encode cycle must be a fixed point.
+  UnknownNSketch restored =
+      std::move(UnknownNSketch::Deserialize(blob)).value();
+  EXPECT_EQ(restored.Serialize(), blob);
+}
+
+}  // namespace
+}  // namespace mrl

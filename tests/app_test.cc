@@ -1,0 +1,202 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "app/equidepth_histogram.h"
+#include "app/online_aggregation.h"
+#include "app/splitters.h"
+#include "stream/generator.h"
+
+namespace mrl {
+namespace {
+
+// -------------------------------------------------------------- Histogram
+
+TEST(EquiDepthHistogramTest, RejectsTooFewBuckets) {
+  EquiDepthHistogram::Options options;
+  options.num_buckets = 1;
+  EXPECT_EQ(EquiDepthHistogram::Create(options).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(EquiDepthHistogramTest, BoundariesAreApproximateQuantiles) {
+  StreamSpec spec;
+  spec.n = 50000;
+  spec.seed = 3;
+  spec.distribution = "exponential";
+  Dataset ds = GenerateStream(spec);
+  EquiDepthHistogram::Options options;
+  options.num_buckets = 10;
+  options.seed = 5;
+  EquiDepthHistogram hist =
+      std::move(EquiDepthHistogram::Create(options)).value();
+  for (Value v : ds.values()) hist.Add(v);
+  std::vector<Value> bs = hist.Boundaries().value();
+  ASSERT_EQ(bs.size(), 9u);
+  for (std::size_t i = 0; i < bs.size(); ++i) {
+    // Default eps = 1/(10*p) = 0.01.
+    EXPECT_LE(ds.QuantileError(bs[i], (i + 1) / 10.0), 0.01)
+        << "boundary " << i;
+  }
+}
+
+TEST(EquiDepthHistogramTest, BucketsCoverMinToMax) {
+  StreamSpec spec;
+  spec.n = 20000;
+  spec.seed = 7;
+  Dataset ds = GenerateStream(spec);
+  EquiDepthHistogram::Options options;
+  options.num_buckets = 4;
+  EquiDepthHistogram hist =
+      std::move(EquiDepthHistogram::Create(options)).value();
+  for (Value v : ds.values()) hist.Add(v);
+  auto buckets = hist.Buckets().value();
+  ASSERT_EQ(buckets.size(), 4u);
+  EXPECT_DOUBLE_EQ(buckets.front().lo, ds.Min());
+  EXPECT_DOUBLE_EQ(buckets.back().hi, ds.Max());
+  for (std::size_t i = 1; i < buckets.size(); ++i) {
+    EXPECT_DOUBLE_EQ(buckets[i].lo, buckets[i - 1].hi);
+  }
+  for (const auto& b : buckets) {
+    EXPECT_EQ(b.depth, 5000u);
+  }
+}
+
+TEST(EquiDepthHistogramTest, StaysAccurateWhileTableGrows) {
+  // Section 1.2's motivating scenario: the histogram must be accurate at
+  // all times as the table grows.
+  EquiDepthHistogram::Options options;
+  options.num_buckets = 5;
+  options.seed = 11;
+  EquiDepthHistogram hist =
+      std::move(EquiDepthHistogram::Create(options)).value();
+  StreamSpec spec;
+  spec.n = 60000;
+  spec.seed = 13;
+  Dataset ds = GenerateStream(spec);
+  std::vector<Value> prefix;
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    hist.Add(ds.values()[i]);
+    prefix.push_back(ds.values()[i]);
+    if ((i + 1) % 15000 == 0) {
+      Dataset prefix_ds(prefix);
+      std::vector<Value> bs = hist.Boundaries().value();
+      for (std::size_t j = 0; j < bs.size(); ++j) {
+        EXPECT_LE(prefix_ds.QuantileError(bs[j], (j + 1) / 5.0), 0.02)
+            << "boundary " << j << " at " << (i + 1) << " rows";
+      }
+    }
+  }
+}
+
+// -------------------------------------------------------------- Splitters
+
+TEST(SplittersTest, SequentialSkewIsSmall) {
+  StreamSpec spec;
+  spec.n = 80000;
+  spec.seed = 17;
+  spec.distribution = "zipf";
+  Dataset ds = GenerateStream(spec);
+  SplitterOptions options;
+  options.num_parts = 8;
+  options.eps = 0.005;
+  options.seed = 19;
+  std::vector<Value> splitters =
+      ComputeSplittersSequential(ds.values(), options).value();
+  ASSERT_EQ(splitters.size(), 7u);
+  // Zipf has huge duplicate runs, so perfect balance is impossible for any
+  // value-based splitter; the skew bound is what matters on continuous
+  // data. Here just require sane, ordered splitters.
+  for (std::size_t i = 1; i < splitters.size(); ++i) {
+    EXPECT_LE(splitters[i - 1], splitters[i]);
+  }
+}
+
+TEST(SplittersTest, ContinuousDataSkewWithinTwoEps) {
+  StreamSpec spec;
+  spec.n = 100000;
+  spec.seed = 23;
+  Dataset ds = GenerateStream(spec);
+  SplitterOptions options;
+  options.num_parts = 10;
+  options.eps = 0.004;
+  options.seed = 29;
+  std::vector<Value> splitters =
+      ComputeSplittersSequential(ds.values(), options).value();
+  EXPECT_LE(MaxPartitionSkew(ds.values(), splitters), 2 * options.eps);
+}
+
+TEST(SplittersTest, ParallelMatchesGuarantee) {
+  std::vector<std::vector<Value>> shards;
+  for (int i = 0; i < 4; ++i) {
+    StreamSpec spec;
+    spec.n = 25000;
+    spec.seed = 100 + static_cast<std::uint64_t>(i);
+    shards.push_back(GenerateStream(spec).values());
+  }
+  std::vector<Value> all;
+  for (const auto& s : shards) all.insert(all.end(), s.begin(), s.end());
+  SplitterOptions options;
+  options.num_parts = 8;
+  options.eps = 0.01;
+  options.seed = 31;
+  std::vector<Value> splitters =
+      ComputeSplittersParallel(shards, options).value();
+  ASSERT_EQ(splitters.size(), 7u);
+  EXPECT_LE(MaxPartitionSkew(all, splitters), 2 * options.eps + 0.005);
+}
+
+TEST(SplittersTest, RejectsBadPartCount) {
+  EXPECT_EQ(
+      ComputeSplittersSequential({1.0}, {.num_parts = 1}).status().code(),
+      StatusCode::kInvalidArgument);
+}
+
+TEST(SplittersTest, SkewMetricOnPerfectSplit) {
+  std::vector<Value> data;
+  for (int i = 0; i < 100; ++i) data.push_back(i);
+  // Splitters 24.5 / 49.5 / 74.5 split 100 elements into four 25s.
+  EXPECT_DOUBLE_EQ(MaxPartitionSkew(data, {24.5, 49.5, 74.5}), 0.0);
+  // Degenerate splitter: everything lands in one part.
+  EXPECT_NEAR(MaxPartitionSkew(data, {1000.0}), 0.5, 1e-12);
+}
+
+// ------------------------------------------------------------ Aggregation
+
+TEST(OnlineAggregatorTest, ValidatesOptions) {
+  OnlineAggregator::Options options;
+  options.tracked_phis = {};
+  EXPECT_FALSE(OnlineAggregator::Create(options).ok());
+  options.tracked_phis = {0.5};
+  options.report_every = 0;
+  EXPECT_FALSE(OnlineAggregator::Create(options).ok());
+  options.report_every = 10;
+  options.tracked_phis = {1.5};
+  EXPECT_FALSE(OnlineAggregator::Create(options).ok());
+}
+
+TEST(OnlineAggregatorTest, RecordsRefiningHistory) {
+  OnlineAggregator::Options options;
+  options.eps = 0.02;
+  options.report_every = 5000;
+  options.seed = 37;
+  OnlineAggregator agg =
+      std::move(OnlineAggregator::Create(options)).value();
+  StreamSpec spec;
+  spec.n = 42000;
+  spec.seed = 41;
+  Dataset ds = GenerateStream(spec);
+  for (Value v : ds.values()) agg.Add(v);
+  ASSERT_EQ(agg.history().size(), 8u);  // 42000 / 5000
+  for (std::size_t i = 0; i < agg.history().size(); ++i) {
+    EXPECT_EQ(agg.history()[i].rows_seen, (i + 1) * 5000);
+    EXPECT_EQ(agg.history()[i].estimates.size(), 3u);
+  }
+  // The final snapshot's median is eps-accurate for the full stream's
+  // 40000-prefix; just check the current estimate against the whole set.
+  std::vector<Value> current = agg.Current().value();
+  EXPECT_LE(ds.QuantileError(current[1], 0.5), options.eps);
+}
+
+}  // namespace
+}  // namespace mrl

@@ -1,0 +1,258 @@
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/buffer.h"
+#include "core/collapse.h"
+#include "core/weighted_merge.h"
+#include "util/random.h"
+
+namespace mrl {
+namespace {
+
+// ----------------------------------------------------------------- Buffer
+
+TEST(BufferTest, LifecycleEmptyFillingFull) {
+  Buffer buf(3);
+  EXPECT_EQ(buf.state(), BufferState::kEmpty);
+  EXPECT_EQ(buf.capacity(), 3u);
+  buf.StartFill();
+  EXPECT_EQ(buf.state(), BufferState::kFilling);
+  buf.Append(3.0);
+  buf.Append(1.0);
+  buf.Append(2.0);
+  buf.MarkFull(/*weight=*/4, /*level=*/2);
+  EXPECT_EQ(buf.state(), BufferState::kFull);
+  EXPECT_EQ(buf.weight(), 4u);
+  EXPECT_EQ(buf.level(), 2);
+  EXPECT_EQ(buf.values(), (std::vector<Value>{1.0, 2.0, 3.0}))
+      << "MarkFull must sort";
+  EXPECT_EQ(buf.TotalWeight(), 12u);
+  buf.Clear();
+  EXPECT_EQ(buf.state(), BufferState::kEmpty);
+  EXPECT_EQ(buf.size(), 0u);
+  EXPECT_EQ(buf.weight(), 0u);
+}
+
+TEST(BufferTest, AssignSortedFromAnyState) {
+  Buffer buf(2);
+  buf.AssignSorted({1.0, 5.0}, 3, 1);
+  EXPECT_EQ(buf.state(), BufferState::kFull);
+  buf.AssignSorted({0.0, 2.0}, 7, 2);  // reuse in situ, like Collapse does
+  EXPECT_EQ(buf.weight(), 7u);
+}
+
+TEST(BufferTest, PromoteLevel) {
+  Buffer buf(1);
+  buf.AssignSorted({1.0}, 1, 0);
+  buf.PromoteLevel(3);
+  EXPECT_EQ(buf.level(), 3);
+}
+
+TEST(BufferDeathTest, MisuseAborts) {
+  Buffer buf(2);
+  EXPECT_DEATH(buf.Append(1.0), "kFilling");
+  buf.StartFill();
+  EXPECT_DEATH(buf.MarkFull(1, 0), "values_.size");
+  buf.Append(1.0);
+  buf.Append(2.0);
+  EXPECT_DEATH(buf.Append(3.0), "values_.size");
+}
+
+// ---------------------------------------------------------- WeightedMerge
+
+// Brute-force reference: expand each element into `weight` copies, sort,
+// and index 1-based.
+std::vector<Value> BruteForceSelect(const std::vector<WeightedRun>& runs,
+                                    const std::vector<Weight>& targets) {
+  std::vector<Value> expanded;
+  for (const WeightedRun& r : runs) {
+    for (std::size_t i = 0; i < r.size; ++i) {
+      for (Weight w = 0; w < r.weight; ++w) expanded.push_back(r.data[i]);
+    }
+  }
+  std::sort(expanded.begin(), expanded.end());
+  std::vector<Value> out;
+  for (Weight t : targets) out.push_back(expanded[t - 1]);
+  return out;
+}
+
+TEST(WeightedMergeTest, TotalRunWeight) {
+  std::vector<Value> a = {1, 2, 3};
+  std::vector<Value> b = {4, 5};
+  std::vector<WeightedRun> runs = {{a.data(), a.size(), 2},
+                                   {b.data(), b.size(), 5}};
+  EXPECT_EQ(TotalRunWeight(runs), 3 * 2 + 2 * 5u);
+}
+
+TEST(WeightedMergeTest, MatchesBruteForceSimple) {
+  std::vector<Value> a = {1, 3, 5};
+  std::vector<Value> b = {2, 4, 6};
+  std::vector<WeightedRun> runs = {{a.data(), a.size(), 1},
+                                   {b.data(), b.size(), 1}};
+  std::vector<Weight> targets = {1, 3, 4, 6};
+  EXPECT_EQ(SelectWeightedPositions(runs, targets),
+            BruteForceSelect(runs, targets));
+}
+
+TEST(WeightedMergeTest, MatchesBruteForceWeighted) {
+  std::vector<Value> a = {10, 30};
+  std::vector<Value> b = {20};
+  std::vector<WeightedRun> runs = {{a.data(), a.size(), 3},
+                                   {b.data(), b.size(), 4}};
+  // Expanded: 10,10,10,20,20,20,20,30,30,30
+  std::vector<Weight> targets = {1, 3, 4, 7, 8, 10};
+  EXPECT_EQ(SelectWeightedPositions(runs, targets),
+            BruteForceSelect(runs, targets));
+}
+
+TEST(WeightedMergeTest, HandlesTiesAndDuplicateTargets) {
+  std::vector<Value> a = {5, 5};
+  std::vector<Value> b = {5, 7};
+  std::vector<WeightedRun> runs = {{a.data(), a.size(), 2},
+                                   {b.data(), b.size(), 2}};
+  std::vector<Weight> targets = {2, 2, 6, 8};
+  EXPECT_EQ(SelectWeightedPositions(runs, targets),
+            BruteForceSelect(runs, targets));
+}
+
+TEST(WeightedMergeTest, RandomizedAgainstBruteForce) {
+  Random rng(77);
+  for (int iter = 0; iter < 50; ++iter) {
+    std::vector<std::vector<Value>> storage;
+    std::vector<WeightedRun> runs;
+    const int num_runs = 1 + static_cast<int>(rng.UniformUint64(5));
+    for (int r = 0; r < num_runs; ++r) {
+      const std::size_t len = 1 + rng.UniformUint64(8);
+      std::vector<Value> vals;
+      for (std::size_t i = 0; i < len; ++i) {
+        vals.push_back(static_cast<Value>(rng.UniformUint64(10)));
+      }
+      std::sort(vals.begin(), vals.end());
+      storage.push_back(std::move(vals));
+    }
+    for (const auto& v : storage) {
+      runs.push_back({v.data(), v.size(), 1 + rng.UniformUint64(6)});
+    }
+    const Weight total = TotalRunWeight(runs);
+    std::vector<Weight> targets;
+    for (int t = 0; t < 10; ++t) {
+      targets.push_back(1 + rng.UniformUint64(total));
+    }
+    std::sort(targets.begin(), targets.end());
+    EXPECT_EQ(SelectWeightedPositions(runs, targets),
+              BruteForceSelect(runs, targets))
+        << "iteration " << iter;
+  }
+}
+
+TEST(WeightedMergeTest, EmptyTargetsYieldEmpty) {
+  std::vector<Value> a = {1};
+  std::vector<WeightedRun> runs = {{a.data(), a.size(), 1}};
+  EXPECT_TRUE(SelectWeightedPositions(runs, {}).empty());
+}
+
+// --------------------------------------------------------------- Collapse
+
+TEST(CollapsePositionsTest, OddWeightUsesMiddle) {
+  // w = 5, k = 3: positions j*5 + 3.
+  EXPECT_EQ(CollapsePositions(5, 3, true), (std::vector<Weight>{3, 8, 13}));
+  EXPECT_EQ(CollapsePositions(5, 3, false), (std::vector<Weight>{3, 8, 13}));
+}
+
+TEST(CollapsePositionsTest, EvenWeightAlternatesOffsets) {
+  // w = 4, k = 2: low phase -> j*4 + 2; high phase -> j*4 + 3.
+  EXPECT_EQ(CollapsePositions(4, 2, true), (std::vector<Weight>{2, 6}));
+  EXPECT_EQ(CollapsePositions(4, 2, false), (std::vector<Weight>{3, 7}));
+}
+
+TEST(CollapseTest, EqualWeightPairMatchesPaperExample) {
+  // Two weight-1 buffers of k=3: w(Y)=2, positions (low phase) 1,3,5 of the
+  // merged 6.
+  Buffer x(3), y(3);
+  x.AssignSorted({1, 3, 5}, 1, 0);
+  y.AssignSorted({2, 4, 6}, 1, 0);
+  bool even_low = true;
+  Weight w = Collapse({&x, &y}, /*output_slot=*/0, /*output_level=*/1,
+                      &even_low);
+  EXPECT_EQ(w, 2u);
+  EXPECT_FALSE(even_low) << "even collapse must flip the phase";
+  EXPECT_EQ(x.state(), BufferState::kFull);
+  EXPECT_EQ(x.values(), (std::vector<Value>{1, 3, 5}));
+  EXPECT_EQ(x.weight(), 2u);
+  EXPECT_EQ(x.level(), 1);
+  EXPECT_EQ(y.state(), BufferState::kEmpty);
+}
+
+TEST(CollapseTest, AlternationPicksOtherOffsetsNextTime) {
+  Buffer x(3), y(3);
+  x.AssignSorted({1, 3, 5}, 1, 0);
+  y.AssignSorted({2, 4, 6}, 1, 0);
+  bool even_low = false;  // high phase: positions 2,4,6
+  Collapse({&x, &y}, 0, 1, &even_low);
+  EXPECT_TRUE(even_low);
+  EXPECT_EQ(x.values(), (std::vector<Value>{2, 4, 6}));
+}
+
+TEST(CollapseTest, WeightConservation) {
+  Buffer a(2), b(2), c(2);
+  a.AssignSorted({1, 2}, 3, 1);
+  b.AssignSorted({3, 4}, 4, 1);
+  c.AssignSorted({5, 6}, 5, 1);
+  bool even_low = true;
+  Weight w = Collapse({&a, &b, &c}, /*output_slot=*/1, 2, &even_low);
+  EXPECT_EQ(w, 12u);
+  EXPECT_EQ(b.TotalWeight(), 24u);  // k * w(Y) = 2 * 12
+  EXPECT_EQ(a.state(), BufferState::kEmpty);
+  EXPECT_EQ(c.state(), BufferState::kEmpty);
+}
+
+TEST(CollapseTest, OutputMatchesBruteForceSelection) {
+  Random rng(88);
+  for (int iter = 0; iter < 30; ++iter) {
+    const std::size_t k = 2 + rng.UniformUint64(6);
+    const int c = 2 + static_cast<int>(rng.UniformUint64(4));
+    std::vector<Buffer> buffers;
+    buffers.reserve(static_cast<std::size_t>(c));
+    std::vector<WeightedRun> runs_copy;
+    std::vector<std::vector<Value>> storage;
+    for (int i = 0; i < c; ++i) {
+      std::vector<Value> vals;
+      for (std::size_t j = 0; j < k; ++j) {
+        vals.push_back(static_cast<Value>(rng.UniformUint64(100)));
+      }
+      std::sort(vals.begin(), vals.end());
+      storage.push_back(vals);
+      buffers.emplace_back(k);
+      buffers.back().AssignSorted(vals, 1 + rng.UniformUint64(7), 0);
+    }
+    Weight w = 0;
+    for (int i = 0; i < c; ++i) {
+      runs_copy.push_back(
+          {storage[static_cast<std::size_t>(i)].data(), k,
+           buffers[static_cast<std::size_t>(i)].weight()});
+      w += buffers[static_cast<std::size_t>(i)].weight();
+    }
+    bool even_low = (iter % 2 == 0);
+    std::vector<Weight> expected_positions =
+        CollapsePositions(w, k, even_low);
+    std::vector<Value> expected =
+        BruteForceSelect(runs_copy, expected_positions);
+
+    std::vector<Buffer*> inputs;
+    for (Buffer& buf : buffers) inputs.push_back(&buf);
+    Collapse(inputs, 0, 1, &even_low);
+    EXPECT_EQ(buffers[0].values(), expected) << "iteration " << iter;
+  }
+}
+
+TEST(CollapseDeathTest, RejectsNonFullInputs) {
+  Buffer a(2), b(2);
+  a.AssignSorted({1, 2}, 1, 0);
+  bool even_low = true;
+  EXPECT_DEATH(Collapse({&a, &b}, 0, 1, &even_low), "full");
+}
+
+}  // namespace
+}  // namespace mrl

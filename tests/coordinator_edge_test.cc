@@ -1,0 +1,119 @@
+// Edge cases of the Section 6 coordinator's partial-buffer staging rules
+// and the framework introspection surface.
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/collapse_policy.h"
+#include "core/framework.h"
+#include "core/parallel.h"
+#include "core/weighted_merge.h"
+#include "stream/dataset.h"
+
+namespace mrl {
+namespace {
+
+UnknownNParams TinyParams(std::size_t k) {
+  UnknownNParams p;
+  p.b = 3;
+  p.k = k;
+  p.h = 2;
+  p.alpha = 0.5;
+  return p;
+}
+
+TEST(CoordinatorEdgeTest, StagingPromotesOnExactFill) {
+  ParallelCoordinator coordinator(TinyParams(4), 1);
+  // Two 2-element partials of equal weight fill B0 exactly once.
+  coordinator.Ingest({{{4.0, 3.0}, 5, false}});
+  coordinator.Ingest({{{2.0, 1.0}, 5, false}});
+  // The promoted buffer must answer as a weight-5 run over {1,2,3,4}.
+  EXPECT_DOUBLE_EQ(coordinator.Query(0.5).value(), 2.0);
+  EXPECT_DOUBLE_EQ(coordinator.Query(1.0).value(), 4.0);
+  EXPECT_EQ(coordinator.ReceivedWeight(), 20u);
+}
+
+TEST(CoordinatorEdgeTest, StagingCarriesRemainderAcrossPromotion) {
+  ParallelCoordinator coordinator(TinyParams(4), 1);
+  // 3 staged + 3 incoming = 6: one promotion of 4, remainder of 2 stays.
+  coordinator.Ingest({{{1.0, 2.0, 3.0}, 2, false}});
+  coordinator.Ingest({{{4.0, 5.0, 6.0}, 2, false}});
+  EXPECT_DOUBLE_EQ(coordinator.Query(1.0).value(), 6.0);
+  EXPECT_DOUBLE_EQ(coordinator.Query(1e-9).value(), 1.0);
+}
+
+TEST(CoordinatorEdgeTest, ManySmallPartialsSameWeight) {
+  ParallelCoordinator coordinator(TinyParams(3), 2);
+  for (int i = 0; i < 20; ++i) {
+    coordinator.Ingest({{{static_cast<Value>(i)}, 1, false}});
+  }
+  EXPECT_EQ(coordinator.ReceivedWeight(), 20u);
+  Value med = coordinator.Query(0.5).value();
+  EXPECT_GE(med, 4.0);
+  EXPECT_LE(med, 15.0);
+}
+
+TEST(CoordinatorEdgeTest, HeavierIncomingShrinksStaging) {
+  // Staging holds weight-1 elements; a weight-8 partial arrives. The
+  // staging must be subsampled (keep ~1/8) and re-weighted to 8; total
+  // represented weight stays ~constant in expectation.
+  ParallelCoordinator coordinator(TinyParams(64), 7);
+  std::vector<Value> light;
+  for (int i = 0; i < 40; ++i) light.push_back(i);
+  coordinator.Ingest({{light, 1, false}});
+  coordinator.Ingest({{{1000.0, 1001.0}, 8, false}});
+  EXPECT_EQ(coordinator.ReceivedWeight(), 40u + 16u);
+  // Querying still works and the top quantile comes from the heavy batch.
+  EXPECT_GE(coordinator.Query(1.0).value(), 1000.0);
+}
+
+TEST(CoordinatorEdgeTest, MixedFullAndPartialInOneShipment) {
+  ParallelCoordinator coordinator(TinyParams(2), 3);
+  coordinator.Ingest({
+      {{1.0, 2.0}, 4, true},    // full (k = 2)
+      {{9.0}, 4, false},        // partial
+      {{5.0}, 1, false},        // tail with a different weight
+  });
+  EXPECT_EQ(coordinator.ReceivedWeight(), 8u + 4u + 1u);
+  EXPECT_TRUE(coordinator.Query(0.5).ok());
+}
+
+TEST(CoordinatorEdgeTest, EmptyShipmentsAreHarmless) {
+  ParallelCoordinator coordinator(TinyParams(4), 1);
+  coordinator.Ingest({});
+  coordinator.Ingest({{{}, 3, false}});  // empty value list
+  EXPECT_EQ(coordinator.ReceivedWeight(), 0u);
+  EXPECT_EQ(coordinator.Query(0.5).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+// ------------------------------------------------------------ DebugString
+
+TEST(DebugStringTest, DescribesPoolAndCounters) {
+  CollapseFramework fw(3, 2, MakeCollapsePolicy(CollapsePolicyKind::kMrl));
+  fw.IngestFull({1.0, 2.0}, 4, 1);
+  std::string s = fw.DebugString();
+  EXPECT_NE(s.find("b=3"), std::string::npos) << s;
+  EXPECT_NE(s.find("k=2"), std::string::npos);
+  EXPECT_NE(s.find("full level=1 weight=4 size=2/2"), std::string::npos)
+      << s;
+  EXPECT_NE(s.find("[1] empty"), std::string::npos);
+}
+
+// --------------------------------------------------- Huge-weight merging
+
+TEST(HugeWeightTest, WeightedSelectionNearOverflowBoundary) {
+  // Weights near 2^61: cumulative arithmetic must not wrap for realistic
+  // stream lengths (the sketch's rates cap at 2^62 by CHECK).
+  const Weight w = Weight{1} << 61;
+  std::vector<Value> a = {1.0, 2.0};
+  std::vector<WeightedRun> runs = {{a.data(), a.size(), w}};
+  EXPECT_EQ(TotalRunWeight(runs), 2 * w);
+  std::vector<Weight> targets = {1, w, w + 1, 2 * w};
+  std::vector<Value> out = SelectWeightedPositions(runs, targets);
+  EXPECT_EQ(out, (std::vector<Value>{1.0, 1.0, 2.0, 2.0}));
+}
+
+}  // namespace
+}  // namespace mrl

@@ -1,0 +1,195 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/dynamic_alloc.h"
+#include "core/unknown_n.h"
+#include "stream/generator.h"
+
+namespace mrl {
+namespace {
+
+std::vector<MemoryLimitPoint> GenerousLimits() {
+  // Plenty of room from the start.
+  return {{0, 1'000'000}};
+}
+
+std::vector<MemoryLimitPoint> StaircaseLimits() {
+  // Memory allowance that grows with the stream, Figure 5 style. (Starting
+  // much lower than ~3 buffers' worth makes eps = 0.01 infeasible: with
+  // only two buffers the tree height grows by one per buffer-fill, and the
+  // pre-sampling height budget h <= 2*eps*k runs out before the schedule
+  // can allocate more — the planner correctly rejects such curves, see
+  // InfeasiblyTightCurveFails.)
+  return {{0, 1'200},      {5'000, 2'400},   {20'000, 4'000},
+          {100'000, 8'000}, {500'000, 16'000}};
+}
+
+TEST(PlannerTest, RejectsMalformedCurves) {
+  EXPECT_EQ(PlanDynamicAllocation(0.01, 1e-4, {}).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(
+      PlanDynamicAllocation(0.01, 1e-4, {{5, 100}}).status().code(),
+      StatusCode::kInvalidArgument);  // first knot must be n = 0
+  EXPECT_EQ(PlanDynamicAllocation(0.01, 1e-4, {{0, 100}, {0, 200}})
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);  // non-increasing n
+  EXPECT_EQ(PlanDynamicAllocation(0.01, 1e-4, {{0, 300}, {10, 200}})
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);  // decreasing limit
+  EXPECT_EQ(PlanDynamicAllocation(0.0, 1e-4, GenerousLimits())
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(PlannerTest, InfeasiblyTightCurveFails) {
+  // 10 elements of memory can never satisfy eps = 0.01.
+  EXPECT_EQ(PlanDynamicAllocation(0.01, 1e-4, {{0, 10}}).status().code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST(PlannerTest, GenerousLimitsYieldValidPlan) {
+  Result<DynamicAllocationPlan> r =
+      PlanDynamicAllocation(0.01, 1e-4, GenerousLimits());
+  ASSERT_TRUE(r.ok()) << r.status();
+  const DynamicAllocationPlan& plan = r.value();
+  EXPECT_GE(plan.params.b, 2);
+  EXPECT_GE(plan.params.h, 1);
+  EXPECT_GT(plan.params.alpha, 0.0);
+  EXPECT_LT(plan.params.alpha, 1.0);
+  EXPECT_EQ(plan.allocate_at.size(), static_cast<std::size_t>(plan.params.b));
+  EXPECT_EQ(plan.allocate_at.front(), 0u);
+  // Schedule must be nondecreasing.
+  for (std::size_t i = 1; i < plan.allocate_at.size(); ++i) {
+    EXPECT_GE(plan.allocate_at[i], plan.allocate_at[i - 1]);
+  }
+}
+
+TEST(PlannerTest, StaircasePlanRespectsLimitsEverywhere) {
+  Result<DynamicAllocationPlan> r =
+      PlanDynamicAllocation(0.01, 1e-3, StaircaseLimits());
+  ASSERT_TRUE(r.ok()) << r.status();
+  const DynamicAllocationPlan& plan = r.value();
+  auto limits = StaircaseLimits();
+  auto limit_at = [&](std::uint64_t n) {
+    std::uint64_t v = 0;
+    for (const auto& p : limits) {
+      if (p.n > n) break;
+      v = p.max_elements;
+    }
+    return v;
+  };
+  for (std::uint64_t n : {1ull, 100ull, 4999ull, 5000ull, 19999ull, 20000ull,
+                          99999ull, 100000ull, 500000ull, 2000000ull}) {
+    EXPECT_LE(plan.MemoryElementsAt(n), limit_at(n)) << "n=" << n;
+  }
+}
+
+TEST(PlannerTest, AllowanceFunctionMatchesSchedule) {
+  Result<DynamicAllocationPlan> r =
+      PlanDynamicAllocation(0.02, 1e-3, StaircaseLimits());
+  ASSERT_TRUE(r.ok()) << r.status();
+  const DynamicAllocationPlan& plan = r.value();
+  auto allowance = plan.AllowanceFunction();
+  for (std::uint64_t n : {1ull, 1000ull, 5000ull, 100000ull, 3000000ull}) {
+    int expected = plan.AllowedBuffersAt(n);
+    if (expected < 1) expected = 1;
+    EXPECT_EQ(allowance(n), expected) << "n=" << n;
+  }
+}
+
+TEST(DynamicSketchTest, RunsUnderScheduleAndStaysAccurate) {
+  Result<DynamicAllocationPlan> planned =
+      PlanDynamicAllocation(0.02, 1e-3, StaircaseLimits());
+  ASSERT_TRUE(planned.ok()) << planned.status();
+  const DynamicAllocationPlan& plan = planned.value();
+
+  UnknownNOptions options;
+  options.params = plan.params;
+  options.buffer_allowance = plan.AllowanceFunction();
+  options.seed = 7;
+  UnknownNSketch sketch = std::move(UnknownNSketch::Create(options)).value();
+
+  StreamSpec spec;
+  spec.n = 150000;
+  spec.seed = 11;
+  Dataset ds = GenerateStream(spec);
+  auto limits = StaircaseLimits();
+  auto limit_at = [&](std::uint64_t n) {
+    std::uint64_t v = 0;
+    for (const auto& p : limits) {
+      if (p.n > n) break;
+      v = p.max_elements;
+    }
+    return v;
+  };
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    sketch.Add(ds.values()[i]);
+    if ((i + 1) % 10000 == 0) {
+      // Memory actually in use never exceeds the user's curve.
+      EXPECT_LE(sketch.CurrentMemoryElements(), limit_at(i + 1))
+          << "at n=" << (i + 1);
+    }
+  }
+  EXPECT_EQ(sketch.HeldWeight(), ds.size());
+  for (double phi : {0.1, 0.5, 0.9}) {
+    Value est = sketch.Query(phi).value();
+    EXPECT_LE(ds.QuantileError(est, phi), 0.02) << "phi " << phi;
+  }
+}
+
+TEST(DynamicSketchTest, MemoryGrowsOverTime) {
+  Result<DynamicAllocationPlan> planned =
+      PlanDynamicAllocation(0.02, 1e-3, StaircaseLimits());
+  ASSERT_TRUE(planned.ok());
+  const DynamicAllocationPlan& plan = planned.value();
+  UnknownNOptions options;
+  options.params = plan.params;
+  options.buffer_allowance = plan.AllowanceFunction();
+  UnknownNSketch sketch = std::move(UnknownNSketch::Create(options)).value();
+
+  std::uint64_t early = 0, late = 0;
+  for (int i = 0; i < 100000; ++i) {
+    sketch.Add(i);
+    if (i == 100) early = sketch.CurrentMemoryElements();
+  }
+  late = sketch.CurrentMemoryElements();
+  EXPECT_LT(early, late) << "allocation should be lazy";
+  EXPECT_LE(late, sketch.MemoryElements());
+}
+
+TEST(PlannerTest, PlanAccuracyAtEveryPrefix) {
+  // The defining property of a *valid* schedule: the guarantee holds at
+  // every termination point, including while memory is still small.
+  Result<DynamicAllocationPlan> planned =
+      PlanDynamicAllocation(0.05, 1e-3, {{0, 200}, {1000, 400}, {5000, 800},
+                                         {20000, 1600}, {100000, 3200}});
+  ASSERT_TRUE(planned.ok()) << planned.status();
+  UnknownNOptions options;
+  options.params = planned.value().params;
+  options.buffer_allowance = planned.value().AllowanceFunction();
+  options.seed = 3;
+  UnknownNSketch sketch = std::move(UnknownNSketch::Create(options)).value();
+
+  StreamSpec spec;
+  spec.n = 60000;
+  spec.seed = 13;
+  Dataset ds = GenerateStream(spec);
+  std::vector<Value> prefix;
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    sketch.Add(ds.values()[i]);
+    prefix.push_back(ds.values()[i]);
+    if ((i + 1) % 6000 == 0) {
+      Dataset prefix_ds(prefix);
+      Value est = sketch.Query(0.5).value();
+      EXPECT_LE(prefix_ds.QuantileError(est, 0.5), 0.05)
+          << "prefix " << (i + 1);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mrl

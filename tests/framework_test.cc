@@ -1,0 +1,224 @@
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/collapse_policy.h"
+#include "core/framework.h"
+#include "util/math.h"
+
+namespace mrl {
+namespace {
+
+// --------------------------------------------------------------- Policies
+
+TEST(MrlPolicyTest, CollapsesAllAtLowestLevel) {
+  MrlCollapsePolicy policy;
+  auto d = policy.Choose({{0, 0, 1}, {1, 0, 1}, {2, 1, 2}});
+  EXPECT_EQ(d.indices, (std::vector<std::size_t>{0, 1}));
+  EXPECT_EQ(d.output_level, 1);
+}
+
+TEST(MrlPolicyTest, PromotesLoneLowestBuffer) {
+  // Levels {0:1, 2:2}: the lone level-0 buffer is promoted to 2 and all of
+  // level <= 2 collapse into level 3.
+  MrlCollapsePolicy policy;
+  auto d = policy.Choose({{0, 0, 1}, {1, 2, 4}, {2, 2, 4}});
+  EXPECT_EQ(d.indices, (std::vector<std::size_t>{0, 1, 2}));
+  EXPECT_EQ(d.output_level, 3);
+}
+
+TEST(MrlPolicyTest, PromotionSkipsGaps) {
+  // Levels {0:1, 3:1, 5:1}: promote 0 to 3 -> two at 3 -> collapse those
+  // two, output level 4; the level-5 buffer stays.
+  MrlCollapsePolicy policy;
+  auto d = policy.Choose({{0, 0, 1}, {1, 3, 8}, {2, 5, 32}});
+  EXPECT_EQ(d.indices, (std::vector<std::size_t>{0, 1}));
+  EXPECT_EQ(d.output_level, 4);
+}
+
+TEST(MunroPatersonPolicyTest, PicksTwoLowest) {
+  MunroPatersonPolicy policy;
+  auto d = policy.Choose({{0, 2, 4}, {1, 0, 1}, {2, 1, 2}, {3, 0, 1}});
+  EXPECT_EQ(d.indices, (std::vector<std::size_t>{1, 3}));
+  EXPECT_EQ(d.output_level, 1);
+}
+
+TEST(MunroPatersonPolicyTest, UnequalLevelsWhenForced) {
+  MunroPatersonPolicy policy;
+  auto d = policy.Choose({{0, 3, 8}, {1, 1, 2}});
+  EXPECT_EQ(d.indices, (std::vector<std::size_t>{0, 1}));
+  EXPECT_EQ(d.output_level, 4);
+}
+
+TEST(CollapseAllPolicyTest, TakesEverything) {
+  CollapseAllPolicy policy;
+  auto d = policy.Choose({{0, 0, 1}, {1, 2, 3}, {2, 1, 2}});
+  EXPECT_EQ(d.indices.size(), 3u);
+  EXPECT_EQ(d.output_level, 3);
+}
+
+TEST(PolicyFactoryTest, MakesAllKinds) {
+  EXPECT_EQ(MakeCollapsePolicy(CollapsePolicyKind::kMrl)->name(), "mrl");
+  EXPECT_EQ(MakeCollapsePolicy(CollapsePolicyKind::kMunroPaterson)->name(),
+            "munro_paterson");
+  EXPECT_EQ(MakeCollapsePolicy(CollapsePolicyKind::kCollapseAll)->name(),
+            "collapse_all");
+}
+
+// -------------------------------------------------------------- Framework
+
+// Feeds `leaves` weight-1 full buffers through the framework and returns it.
+void FeedLeaves(CollapseFramework* fw, int leaves) {
+  for (int i = 0; i < leaves; ++i) {
+    std::size_t slot = fw->AcquireEmptySlot();
+    Buffer& buf = fw->buffer(slot);
+    buf.StartFill();
+    for (std::size_t j = 0; j < fw->buffer_capacity(); ++j) {
+      buf.Append(static_cast<Value>(i * 100 + static_cast<int>(j)));
+    }
+    fw->CommitFull(slot, /*weight=*/1, /*level=*/0);
+  }
+}
+
+TEST(FrameworkTest, NoCollapseUntilPoolFull) {
+  CollapseFramework fw(4, 2, MakeCollapsePolicy(CollapsePolicyKind::kMrl));
+  FeedLeaves(&fw, 4);
+  EXPECT_EQ(fw.stats().num_collapses, 0u);
+  EXPECT_EQ(fw.CountState(BufferState::kFull), 4u);
+  FeedLeaves(&fw, 1);
+  EXPECT_EQ(fw.stats().num_collapses, 1u);
+}
+
+TEST(FrameworkTest, WeightIsConserved) {
+  CollapseFramework fw(3, 4, MakeCollapsePolicy(CollapsePolicyKind::kMrl));
+  for (int leaves : {1, 5, 17, 100}) {
+    CollapseFramework local(3, 4,
+                            MakeCollapsePolicy(CollapsePolicyKind::kMrl));
+    FeedLeaves(&local, leaves);
+    EXPECT_EQ(local.FullWeight(),
+              static_cast<Weight>(leaves) * local.buffer_capacity());
+  }
+  (void)fw;
+}
+
+TEST(FrameworkTest, FullBufferValuesStaySorted) {
+  CollapseFramework fw(3, 8, MakeCollapsePolicy(CollapsePolicyKind::kMrl));
+  FeedLeaves(&fw, 50);
+  for (int i = 0; i < fw.num_buffers(); ++i) {
+    const Buffer& buf = fw.buffer(static_cast<std::size_t>(i));
+    if (buf.state() == BufferState::kFull) {
+      EXPECT_TRUE(std::is_sorted(buf.values().begin(), buf.values().end()));
+    }
+  }
+}
+
+// The leaf capacity of the MRL policy tree: with b buffers, the first
+// buffer at height h appears after exactly C(b+h-1, h) leaves. This is the
+// executable form of Figure 2 (b=5 tree) and backs the solver's use of the
+// (smaller) paper bound L_d = C(b+h-2, h-1) as a conservative value.
+struct TreeShapeCase {
+  int b;
+  int h;
+};
+
+class TreeShapeTest : public ::testing::TestWithParam<TreeShapeCase> {};
+
+TEST_P(TreeShapeTest, HeightAppearsAtBinomialLeafCount) {
+  const int b = GetParam().b;
+  const int target_h = GetParam().h;
+  const std::uint64_t capacity = SaturatingBinomial(
+      static_cast<std::uint64_t>(b + target_h - 1),
+      static_cast<std::uint64_t>(target_h));
+  CollapseFramework fw(b, 1, MakeCollapsePolicy(CollapsePolicyKind::kMrl));
+  // Collapses are lazy (they run when the *next* leaf needs a slot), so the
+  // tree holds exactly `capacity` leaves below height target_h, and the
+  // (capacity + 1)-th leaf's acquisition creates the first buffer at
+  // target_h.
+  FeedLeaves(&fw, static_cast<int>(capacity));
+  EXPECT_LT(fw.max_level(), target_h);
+  FeedLeaves(&fw, 1);
+  EXPECT_EQ(fw.max_level(), target_h);
+  // The paper's solver constant is a valid lower bound on what the
+  // implementation actually consumes before sampling would start.
+  EXPECT_GE(capacity, SaturatingBinomial(
+                          static_cast<std::uint64_t>(b + target_h - 2),
+                          static_cast<std::uint64_t>(target_h - 1)));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, TreeShapeTest,
+    ::testing::Values(TreeShapeCase{2, 1}, TreeShapeCase{2, 4},
+                      TreeShapeCase{3, 3}, TreeShapeCase{4, 3},
+                      TreeShapeCase{5, 2}, TreeShapeCase{5, 4},
+                      TreeShapeCase{6, 5}, TreeShapeCase{10, 3}),
+    [](const ::testing::TestParamInfo<TreeShapeCase>& info) {
+      return "b" + std::to_string(info.param.b) + "_h" +
+             std::to_string(info.param.h);
+    });
+
+TEST(FrameworkTest, MunroPatersonBuildsBinaryTree) {
+  // With the MP policy, 2^(b-1) weight-1 leaves collapse into a single
+  // buffer of weight 2^(b-1) at level b-1.
+  const int b = 4;
+  CollapseFramework fw(b, 2,
+                       MakeCollapsePolicy(CollapsePolicyKind::kMunroPaterson));
+  FeedLeaves(&fw, 1 << (b - 1));
+  // Force the final merges by demanding space.
+  while (fw.CountState(BufferState::kFull) > 1) {
+    fw.CollapseAllFull();
+  }
+  for (int i = 0; i < fw.num_buffers(); ++i) {
+    const Buffer& buf = fw.buffer(static_cast<std::size_t>(i));
+    if (buf.state() == BufferState::kFull) {
+      EXPECT_EQ(buf.weight(), static_cast<Weight>(1) << (b - 1));
+    }
+  }
+}
+
+TEST(FrameworkTest, IngestFullAddsWeightedRun) {
+  CollapseFramework fw(3, 2, MakeCollapsePolicy(CollapsePolicyKind::kMrl));
+  fw.IngestFull({1.0, 2.0}, 5, 0);
+  EXPECT_EQ(fw.FullWeight(), 10u);
+  EXPECT_EQ(fw.stats().leaves_created, 1u);
+}
+
+TEST(FrameworkTest, CollapseAllFullNoOpBelowTwo) {
+  CollapseFramework fw(3, 2, MakeCollapsePolicy(CollapsePolicyKind::kMrl));
+  EXPECT_FALSE(fw.CollapseAllFull());
+  fw.IngestFull({1.0, 2.0}, 1, 0);
+  EXPECT_FALSE(fw.CollapseAllFull());
+  fw.IngestFull({3.0, 4.0}, 1, 0);
+  EXPECT_TRUE(fw.CollapseAllFull());
+  EXPECT_EQ(fw.CountState(BufferState::kFull), 1u);
+}
+
+TEST(FrameworkTest, UsableBuffersRestrictsAcquisition) {
+  CollapseFramework fw(4, 2, MakeCollapsePolicy(CollapsePolicyKind::kMrl));
+  fw.SetUsableBuffers(2);
+  FeedLeaves(&fw, 2);
+  EXPECT_EQ(fw.stats().num_collapses, 0u);
+  FeedLeaves(&fw, 1);  // pool of 2 is full -> must collapse
+  EXPECT_EQ(fw.stats().num_collapses, 1u);
+  fw.SetUsableBuffers(4);
+  FeedLeaves(&fw, 2);  // now there is room again
+  EXPECT_EQ(fw.stats().num_collapses, 1u);
+}
+
+TEST(FrameworkDeathTest, ShrinkingOverNonEmptySlotAborts) {
+  CollapseFramework fw(3, 2, MakeCollapsePolicy(CollapsePolicyKind::kMrl));
+  FeedLeaves(&fw, 3);
+  EXPECT_DEATH(fw.SetUsableBuffers(2), "cannot exclude");
+}
+
+TEST(FrameworkTest, StatsTrackCollapseWeights) {
+  CollapseFramework fw(2, 2, MakeCollapsePolicy(CollapsePolicyKind::kMrl));
+  FeedLeaves(&fw, 3);  // leaves 1,2 collapse (W += 2) to make room for 3
+  EXPECT_EQ(fw.stats().num_collapses, 1u);
+  EXPECT_EQ(fw.stats().sum_collapse_weights, 2u);
+  EXPECT_EQ(fw.stats().leaves_created, 3u);
+  EXPECT_EQ(fw.max_level(), 1);
+}
+
+}  // namespace
+}  // namespace mrl

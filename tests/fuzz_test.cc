@@ -1,0 +1,187 @@
+// Randomized stress tests: drive the framework and the sketches through
+// randomly generated configurations and interleavings, asserting structural
+// invariants rather than specific outputs. Seeds are fixed, so failures
+// reproduce exactly.
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/collapse_policy.h"
+#include "core/framework.h"
+#include "core/output.h"
+#include "core/unknown_n.h"
+#include "stream/generator.h"
+#include "util/random.h"
+
+namespace mrl {
+namespace {
+
+// ------------------------------------------------------- Framework fuzzing
+
+struct FuzzConfig {
+  int b;
+  std::size_t k;
+  CollapsePolicyKind policy;
+  std::uint64_t seed;
+};
+
+class FrameworkFuzzTest : public ::testing::TestWithParam<FuzzConfig> {};
+
+TEST_P(FrameworkFuzzTest, InvariantsHoldThroughRandomDriving) {
+  const FuzzConfig& cfg = GetParam();
+  CollapseFramework fw(cfg.b, cfg.k, MakeCollapsePolicy(cfg.policy));
+  Random rng(cfg.seed);
+
+  Weight expected_weight = 0;
+  std::uint64_t leaves = 0;
+  const int rounds = 400;
+  for (int round = 0; round < rounds; ++round) {
+    // Feed one leaf with a random (power-of-two-ish) weight at a random
+    // low level, as the unknown-N algorithm would.
+    const Weight w = Weight{1} << rng.UniformUint64(4);
+    const int level = static_cast<int>(rng.UniformUint64(3));
+    std::size_t slot = fw.AcquireEmptySlot();
+    fw.buffer(slot).StartFill();
+    for (std::size_t j = 0; j < cfg.k; ++j) {
+      fw.buffer(slot).Append(rng.UniformDouble(-100, 100));
+    }
+    fw.CommitFull(slot, w, level);
+    expected_weight += w * cfg.k;
+    ++leaves;
+
+    if (round % 7 == 0) {
+      // Invariants after arbitrary interleaving:
+      EXPECT_EQ(fw.FullWeight(), expected_weight);
+      EXPECT_EQ(fw.stats().leaves_created, leaves);
+      EXPECT_LE(fw.CountState(BufferState::kFull),
+                static_cast<std::size_t>(cfg.b));
+      for (int i = 0; i < fw.num_buffers(); ++i) {
+        const Buffer& buf = fw.buffer(static_cast<std::size_t>(i));
+        if (buf.state() == BufferState::kFull) {
+          EXPECT_EQ(buf.size(), cfg.k);
+          EXPECT_GE(buf.weight(), 1u);
+          EXPECT_LE(buf.level(), fw.max_level());
+          EXPECT_TRUE(
+              std::is_sorted(buf.values().begin(), buf.values().end()));
+        }
+      }
+      // Weighted queries remain well-formed and within the value range.
+      Value med = WeightedQuantile(fw.FullBufferRuns(), 0.5).value();
+      EXPECT_GE(med, -100);
+      EXPECT_LE(med, 100);
+    }
+  }
+}
+
+std::vector<FuzzConfig> MakeFuzzConfigs() {
+  std::vector<FuzzConfig> configs;
+  std::uint64_t seed = 1000;
+  for (CollapsePolicyKind policy :
+       {CollapsePolicyKind::kMrl, CollapsePolicyKind::kMunroPaterson,
+        CollapsePolicyKind::kCollapseAll}) {
+    for (int b : {2, 3, 7}) {
+      for (std::size_t k : {std::size_t{1}, std::size_t{5}, std::size_t{32}}) {
+        configs.push_back({b, k, policy, seed++});
+      }
+    }
+  }
+  return configs;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, FrameworkFuzzTest, ::testing::ValuesIn(MakeFuzzConfigs()),
+    [](const ::testing::TestParamInfo<FuzzConfig>& info) {
+      const char* policy =
+          info.param.policy == CollapsePolicyKind::kMrl
+              ? "mrl"
+              : (info.param.policy == CollapsePolicyKind::kMunroPaterson
+                     ? "mp"
+                     : "all");
+      return std::string(policy) + "_b" + std::to_string(info.param.b) +
+             "_k" + std::to_string(info.param.k) + "_s" +
+             std::to_string(info.param.seed);
+    });
+
+// ------------------------------------------------------------ Sketch fuzz
+
+TEST(SketchFuzzTest, RandomParamsRandomStreamsKeepInvariants) {
+  Random rng(42);
+  for (int trial = 0; trial < 25; ++trial) {
+    UnknownNParams p;
+    p.b = 2 + static_cast<int>(rng.UniformUint64(6));
+    p.k = 1 + static_cast<std::size_t>(rng.UniformUint64(200));
+    p.h = 1 + static_cast<int>(rng.UniformUint64(6));
+    p.alpha = 0.5;
+    UnknownNOptions options;
+    options.params = p;
+    options.seed = rng.NextUint64();
+    UnknownNSketch sketch =
+        std::move(UnknownNSketch::Create(options)).value();
+    const std::size_t n = 1 + rng.UniformUint64(30000);
+    for (std::size_t i = 0; i < n; ++i) {
+      sketch.Add(rng.Gaussian());
+    }
+    ASSERT_EQ(sketch.count(), n) << "trial " << trial;
+    ASSERT_EQ(sketch.HeldWeight(), n)
+        << "trial " << trial << " b=" << p.b << " k=" << p.k
+        << " h=" << p.h;
+    // Queries at the extremes bracket interior ones.
+    Value lo = sketch.Query(1e-9).value();
+    Value mid = sketch.Query(0.5).value();
+    Value hi = sketch.Query(1.0).value();
+    EXPECT_LE(lo, mid);
+    EXPECT_LE(mid, hi);
+  }
+}
+
+TEST(SketchFuzzTest, InterleavedQueriesNeverDisturbAccounting) {
+  Random rng(77);
+  UnknownNParams p;
+  p.b = 3;
+  p.k = 17;  // deliberately odd-sized
+  p.h = 2;
+  p.alpha = 0.5;
+  UnknownNOptions options;
+  options.params = p;
+  options.seed = 5;
+  UnknownNSketch sketch = std::move(UnknownNSketch::Create(options)).value();
+  for (int i = 1; i <= 20000; ++i) {
+    sketch.Add(rng.UniformDouble());
+    if (rng.Bernoulli(0.05)) {
+      (void)sketch.Query(rng.UniformDouble(0.01, 1.0));
+      (void)sketch.RankOf(rng.UniformDouble());
+    }
+    if (i % 997 == 0) {
+      ASSERT_EQ(sketch.HeldWeight(), static_cast<Weight>(i));
+    }
+  }
+}
+
+TEST(SketchFuzzTest, SerializeAnywhereRestoresEquivalentSketch) {
+  Random rng(99);
+  UnknownNParams p;
+  p.b = 3;
+  p.k = 23;
+  p.h = 2;
+  p.alpha = 0.5;
+  UnknownNOptions options;
+  options.params = p;
+  options.seed = 7;
+  UnknownNSketch sketch = std::move(UnknownNSketch::Create(options)).value();
+  for (int i = 0; i < 5000; ++i) {
+    sketch.Add(rng.Gaussian());
+    if (rng.Bernoulli(0.002)) {
+      Result<UnknownNSketch> restored =
+          UnknownNSketch::Deserialize(sketch.Serialize());
+      ASSERT_TRUE(restored.ok()) << "at element " << i;
+      ASSERT_EQ(restored.value().HeldWeight(), sketch.HeldWeight());
+      ASSERT_EQ(restored.value().Query(0.5).value(),
+                sketch.Query(0.5).value());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mrl

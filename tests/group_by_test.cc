@@ -1,0 +1,108 @@
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "app/group_by.h"
+#include "stream/generator.h"
+
+namespace mrl {
+namespace {
+
+TEST(GroupByTest, RejectsZeroMaxGroups) {
+  GroupByQuantiles::Options options;
+  options.max_groups = 0;
+  EXPECT_FALSE(GroupByQuantiles::Create(options).ok());
+}
+
+TEST(GroupByTest, UnknownGroupIsNotFound) {
+  GroupByQuantiles::Options options;
+  options.eps = 0.05;
+  GroupByQuantiles gb = std::move(GroupByQuantiles::Create(options)).value();
+  gb.Add(1, 10.0);
+  EXPECT_EQ(gb.Query(2, 0.5).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(gb.GroupCount(2), 0u);
+}
+
+TEST(GroupByTest, GroupsAreIndependent) {
+  GroupByQuantiles::Options options;
+  options.eps = 0.02;
+  options.seed = 3;
+  GroupByQuantiles gb = std::move(GroupByQuantiles::Create(options)).value();
+  // Group g's values live around 1000 * g; medians must separate cleanly.
+  Random rng(5);
+  for (int round = 0; round < 30'000; ++round) {
+    for (std::int64_t g = 0; g < 4; ++g) {
+      gb.Add(g, 1000.0 * static_cast<double>(g) + rng.UniformDouble());
+    }
+  }
+  EXPECT_EQ(gb.num_groups(), 4u);
+  for (std::int64_t g = 0; g < 4; ++g) {
+    EXPECT_EQ(gb.GroupCount(g), 30'000u);
+    Value med = gb.Query(g, 0.5).value();
+    EXPECT_NEAR(med, 1000.0 * static_cast<double>(g) + 0.5, 0.05)
+        << "group " << g;
+  }
+}
+
+TEST(GroupByTest, PerGroupAccuracyMatchesGroundTruth) {
+  GroupByQuantiles::Options options;
+  options.eps = 0.02;
+  options.delta = 1e-3;
+  options.seed = 7;
+  GroupByQuantiles gb = std::move(GroupByQuantiles::Create(options)).value();
+  std::vector<std::vector<Value>> per_group(3);
+  Random rng(9);
+  for (int i = 0; i < 90'000; ++i) {
+    std::int64_t g = static_cast<std::int64_t>(rng.UniformUint64(3));
+    Value v = rng.Gaussian() * (1.0 + static_cast<double>(g));
+    gb.Add(g, v);
+    per_group[static_cast<std::size_t>(g)].push_back(v);
+  }
+  for (std::int64_t g = 0; g < 3; ++g) {
+    Dataset ds(per_group[static_cast<std::size_t>(g)]);
+    for (double phi : {0.1, 0.5, 0.9}) {
+      Value est = gb.Query(g, phi).value();
+      EXPECT_LE(ds.QuantileError(est, phi), options.eps)
+          << "group " << g << " phi " << phi;
+    }
+  }
+}
+
+TEST(GroupByTest, MemoryScalesLinearlyInGroups) {
+  GroupByQuantiles::Options options;
+  options.eps = 0.05;
+  GroupByQuantiles gb = std::move(GroupByQuantiles::Create(options)).value();
+  gb.Add(1, 1.0);
+  std::uint64_t one = gb.MemoryElements();
+  for (std::int64_t g = 2; g <= 10; ++g) gb.Add(g, 1.0);
+  EXPECT_EQ(gb.MemoryElements(), 10 * one);
+}
+
+TEST(GroupByTest, MaxGroupsCapDropsNewGroupsOnly) {
+  GroupByQuantiles::Options options;
+  options.eps = 0.05;
+  options.max_groups = 2;
+  GroupByQuantiles gb = std::move(GroupByQuantiles::Create(options)).value();
+  gb.Add(1, 1.0);
+  gb.Add(2, 2.0);
+  gb.Add(3, 3.0);  // dropped: cap reached
+  gb.Add(1, 4.0);  // existing group still accepts
+  EXPECT_EQ(gb.num_groups(), 2u);
+  EXPECT_EQ(gb.dropped_rows(), 1u);
+  EXPECT_EQ(gb.GroupCount(1), 2u);
+  EXPECT_EQ(gb.Query(3, 0.5).status().code(), StatusCode::kNotFound);
+}
+
+TEST(GroupByTest, KeysEnumeratesAllGroups) {
+  GroupByQuantiles::Options options;
+  options.eps = 0.05;
+  GroupByQuantiles gb = std::move(GroupByQuantiles::Create(options)).value();
+  for (std::int64_t g : {7, -3, 0, 42}) gb.Add(g, 1.0);
+  std::vector<std::int64_t> keys = gb.Keys();
+  std::sort(keys.begin(), keys.end());
+  EXPECT_EQ(keys, (std::vector<std::int64_t>{-3, 0, 7, 42}));
+}
+
+}  // namespace
+}  // namespace mrl

@@ -1,0 +1,106 @@
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/int64_sketch.h"
+#include "util/random.h"
+
+namespace mrl {
+namespace {
+
+Int64QuantileSketch Make(double eps = 0.02, std::uint64_t seed = 1) {
+  Int64QuantileSketch::Options options;
+  options.eps = eps;
+  options.seed = seed;
+  return std::move(Int64QuantileSketch::Create(options)).value();
+}
+
+TEST(Int64SketchTest, AnswersAreExactIntegers) {
+  Int64QuantileSketch sketch = Make();
+  Random rng(3);
+  std::vector<std::int64_t> values;
+  for (int i = 0; i < 50000; ++i) {
+    // Large, irregular integers that would expose rounding.
+    std::int64_t v = static_cast<std::int64_t>(rng.UniformUint64(
+                         std::uint64_t{1} << 50)) -
+                     (std::int64_t{1} << 49);
+    values.push_back(v);
+    EXPECT_TRUE(sketch.Add(v));
+  }
+  std::sort(values.begin(), values.end());
+  for (double phi : {0.1, 0.5, 0.9}) {
+    std::int64_t q = sketch.Query(phi).value();
+    // The answer must be one of the inserted values...
+    EXPECT_TRUE(std::binary_search(values.begin(), values.end(), q));
+    // ...with rank within eps of the target.
+    auto lo = std::lower_bound(values.begin(), values.end(), q);
+    auto hi = std::upper_bound(values.begin(), values.end(), q);
+    double n = static_cast<double>(values.size());
+    double target = phi * n;
+    double rank_lo = static_cast<double>(lo - values.begin()) + 1;
+    double rank_hi = static_cast<double>(hi - values.begin());
+    EXPECT_LE(rank_lo - target, 0.02 * n + 1);
+    EXPECT_LE(target - rank_hi, 0.02 * n + 1);
+  }
+}
+
+TEST(Int64SketchTest, RejectsOutOfRange) {
+  Int64QuantileSketch sketch = Make();
+  EXPECT_TRUE(sketch.Add(Int64QuantileSketch::kMaxMagnitude));
+  EXPECT_TRUE(sketch.Add(-Int64QuantileSketch::kMaxMagnitude));
+  EXPECT_FALSE(sketch.Add(Int64QuantileSketch::kMaxMagnitude + 1));
+  EXPECT_FALSE(sketch.Add(std::numeric_limits<std::int64_t>::min()));
+  EXPECT_EQ(sketch.count(), 2u);
+  EXPECT_EQ(sketch.rejected_count(), 2u);
+}
+
+TEST(Int64SketchTest, BoundaryValuesRoundTrip) {
+  Int64QuantileSketch sketch = Make();
+  sketch.Add(Int64QuantileSketch::kMaxMagnitude);
+  sketch.Add(-Int64QuantileSketch::kMaxMagnitude);
+  sketch.Add(0);
+  EXPECT_EQ(sketch.Query(1.0).value(), Int64QuantileSketch::kMaxMagnitude);
+  EXPECT_EQ(sketch.Query(0.01).value(),
+            -Int64QuantileSketch::kMaxMagnitude);
+}
+
+TEST(Int64SketchTest, QueryManyMatchesSingles) {
+  Int64QuantileSketch sketch = Make();
+  for (int i = 1; i <= 10000; ++i) sketch.Add(i);
+  auto batch = sketch.QueryMany({0.25, 0.75}).value();
+  EXPECT_EQ(batch[0], sketch.Query(0.25).value());
+  EXPECT_EQ(batch[1], sketch.Query(0.75).value());
+}
+
+TEST(Int64SketchTest, RankClampsOutOfRangeProbes) {
+  Int64QuantileSketch sketch = Make();
+  for (int i = 1; i <= 100; ++i) sketch.Add(i);
+  EXPECT_DOUBLE_EQ(
+      sketch.RankOf(std::numeric_limits<std::int64_t>::max()).value(), 1.0);
+  EXPECT_DOUBLE_EQ(
+      sketch.RankOf(std::numeric_limits<std::int64_t>::min()).value(), 0.0);
+  EXPECT_NEAR(sketch.RankOf(50).value(), 0.5, 0.02);
+}
+
+TEST(Int64SketchTest, EmptyQueryFails) {
+  Int64QuantileSketch sketch = Make();
+  EXPECT_EQ(sketch.Query(0.5).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(Int64SketchTest, DuplicateHeavyColumn) {
+  // Low-cardinality dimension column: ranks must respect duplicate runs.
+  Int64QuantileSketch sketch = Make(0.01, 7);
+  Random rng(9);
+  for (int i = 0; i < 60000; ++i) {
+    sketch.Add(static_cast<std::int64_t>(rng.UniformUint64(5)));  // 0..4
+  }
+  // Uniform over 5 values: the median is 2.
+  EXPECT_EQ(sketch.Query(0.5).value(), 2);
+  EXPECT_NEAR(sketch.RankOf(0).value(), 0.2, 0.01);
+  EXPECT_NEAR(sketch.RankOf(3).value(), 0.8, 0.01);
+}
+
+}  // namespace
+}  // namespace mrl

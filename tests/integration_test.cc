@@ -1,0 +1,180 @@
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "baseline/exact.h"
+#include "baseline/munro_paterson.h"
+#include "baseline/reservoir_quantile.h"
+#include "core/known_n.h"
+#include "core/unknown_n.h"
+#include "stream/file_stream.h"
+#include "stream/generator.h"
+
+namespace mrl {
+namespace {
+
+// End-to-end over a disk-resident dataset: generate, spill to a file, run
+// the sketch in a single buffered pass (the paper's DBMS setting), compare
+// against ground truth.
+TEST(IntegrationTest, SinglePassOverDiskResidentData) {
+  StreamSpec spec;
+  spec.n = 250000;
+  spec.seed = 3;
+  spec.distribution = "gaussian";
+  Dataset ds = GenerateStream(spec);
+  std::string path = ::testing::TempDir() + "/mrl_disk_stream.bin";
+  ASSERT_TRUE(WriteValuesFile(path, ds.values()).ok());
+
+  UnknownNOptions options;
+  options.eps = 0.01;
+  options.delta = 1e-4;
+  options.seed = 5;
+  UnknownNSketch sketch = std::move(UnknownNSketch::Create(options)).value();
+
+  FileValueReader reader;
+  ASSERT_TRUE(reader.Open(path).ok());
+  Value v;
+  while (reader.Next(&v)) sketch.Add(v);
+  ASSERT_TRUE(reader.status().ok());
+  EXPECT_EQ(sketch.count(), ds.size());
+
+  for (double phi : {0.05, 0.25, 0.5, 0.75, 0.95}) {
+    EXPECT_LE(ds.QuantileError(sketch.Query(phi).value(), phi), 0.01)
+        << "phi " << phi;
+  }
+  std::remove(path.c_str());
+}
+
+// All estimators consume the same stream through the common interface and
+// all meet their respective guarantees.
+TEST(IntegrationTest, AllEstimatorsAgreeWithGroundTruth) {
+  StreamSpec spec;
+  spec.n = 120000;
+  spec.seed = 7;
+  Dataset ds = GenerateStream(spec);
+
+  std::vector<std::unique_ptr<QuantileEstimator>> estimators;
+  {
+    UnknownNOptions o;
+    o.eps = 0.02;
+    o.delta = 1e-3;
+    o.seed = 11;
+    estimators.push_back(std::make_unique<UnknownNSketch>(
+        std::move(UnknownNSketch::Create(o)).value()));
+  }
+  {
+    KnownNOptions o;
+    o.eps = 0.02;
+    o.delta = 1e-3;
+    o.n = ds.size();
+    o.seed = 13;
+    estimators.push_back(std::make_unique<KnownNSketch>(
+        std::move(KnownNSketch::Create(o)).value()));
+  }
+  {
+    MunroPatersonSketch::Options o;
+    o.eps = 0.02;
+    o.n = ds.size();
+    estimators.push_back(std::make_unique<MunroPatersonSketch>(
+        std::move(MunroPatersonSketch::Create(o)).value()));
+  }
+  {
+    ReservoirQuantileSketch::Options o;
+    o.eps = 0.02;
+    o.delta = 1e-3;
+    o.seed = 17;
+    estimators.push_back(std::make_unique<ReservoirQuantileSketch>(
+        std::move(ReservoirQuantileSketch::Create(o)).value()));
+  }
+  estimators.push_back(std::make_unique<ExactQuantileEstimator>());
+
+  for (auto& est : estimators) {
+    est->AddAll(ds.values());
+    EXPECT_EQ(est->count(), ds.size()) << est->name();
+    for (double phi : {0.1, 0.5, 0.9}) {
+      Result<Value> q = est->Query(phi);
+      ASSERT_TRUE(q.ok()) << est->name();
+      EXPECT_LE(ds.QuantileError(q.value(), phi), 0.02)
+          << est->name() << " phi " << phi;
+    }
+  }
+}
+
+// A long stream with small forced parameters: multiple rate doublings,
+// thousands of collapses, weight accounting still exact, guarantee of the
+// forced parameters still met at the end.
+TEST(IntegrationTest, LongStreamStressWithAggressiveSampling) {
+  UnknownNParams p;
+  p.b = 5;
+  p.k = 100;
+  p.h = 3;
+  p.alpha = 0.5;
+  UnknownNOptions options;
+  options.params = p;
+  options.seed = 19;
+  UnknownNSketch sketch = std::move(UnknownNSketch::Create(options)).value();
+
+  StreamSpec spec;
+  spec.n = 1'000'000;
+  spec.seed = 23;
+  Dataset ds = GenerateStream(spec);
+  for (Value v : ds.values()) sketch.Add(v);
+  EXPECT_EQ(sketch.HeldWeight(), ds.size());
+  EXPECT_GE(sketch.sampling_rate(), 8u);
+  EXPECT_GT(sketch.tree_stats().num_collapses, 50u);
+  // b=5,k=100,h=3 implies roughly (h+1)/(2*alpha*k) = 0.04 tree error plus
+  // sampling noise; 0.08 is a comfortable certified envelope for the forced
+  // parameters.
+  for (double phi : {0.1, 0.5, 0.9}) {
+    EXPECT_LE(ds.QuantileError(sketch.Query(phi).value(), phi), 0.08);
+  }
+}
+
+// Duplicate-heavy and adversarial order at once.
+TEST(IntegrationTest, ZipfSortedDescending) {
+  StreamSpec spec;
+  spec.n = 80000;
+  spec.seed = 29;
+  spec.distribution = "zipf";
+  spec.order = ArrivalOrder::kSortedDesc;
+  Dataset ds = GenerateStream(spec);
+  UnknownNOptions options;
+  options.eps = 0.02;
+  options.delta = 1e-3;
+  options.seed = 31;
+  UnknownNSketch sketch = std::move(UnknownNSketch::Create(options)).value();
+  for (Value v : ds.values()) sketch.Add(v);
+  for (double phi : {0.1, 0.5, 0.9, 0.99}) {
+    EXPECT_LE(ds.QuantileError(sketch.Query(phi).value(), phi), 0.02)
+        << "phi " << phi;
+  }
+}
+
+// NaN-free handling of pathological doubles (denormals, huge magnitudes,
+// negative zero) — the sketch is comparison-based and must not care.
+TEST(IntegrationTest, PathologicalDoubleValues) {
+  UnknownNParams p;
+  p.b = 3;
+  p.k = 8;
+  p.h = 2;
+  p.alpha = 0.5;
+  UnknownNOptions options;
+  options.params = p;
+  UnknownNSketch sketch = std::move(UnknownNSketch::Create(options)).value();
+  std::vector<Value> values = {0.0,   -0.0,  1e-308, -1e-308, 1e308,
+                               -1e308, 42.0, -42.0,  5e-324,  2.25};
+  for (int rep = 0; rep < 30; ++rep) {
+    for (Value v : values) sketch.Add(v);
+  }
+  EXPECT_EQ(sketch.HeldWeight(), 300u);
+  Value lo = sketch.Query(0.05).value();
+  Value hi = sketch.Query(0.999).value();
+  EXPECT_LE(lo, hi);
+  EXPECT_GE(lo, -1e308);
+  EXPECT_LE(hi, 1e308);
+}
+
+}  // namespace
+}  // namespace mrl

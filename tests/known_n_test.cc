@@ -1,0 +1,155 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/known_n.h"
+#include "stream/generator.h"
+
+namespace mrl {
+namespace {
+
+TEST(KnownNSketchTest, RequiresN) {
+  KnownNOptions options;
+  options.n = 0;
+  EXPECT_EQ(KnownNSketch::Create(options).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(KnownNSketchTest, RejectsBadExplicitParams) {
+  KnownNOptions options;
+  KnownNParams p;
+  p.b = 1;
+  p.k = 10;
+  p.rate = 1;
+  p.n = 100;
+  options.params = p;
+  EXPECT_EQ(KnownNSketch::Create(options).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(KnownNSketchTest, DeterministicVariantIsAccurate) {
+  StreamSpec spec;
+  spec.n = 50000;
+  spec.seed = 3;
+  Dataset ds = GenerateStream(spec);
+  KnownNOptions options;
+  options.eps = 0.01;
+  options.delta = 1e-4;
+  options.n = ds.size();
+  KnownNSketch sketch = std::move(KnownNSketch::Create(options)).value();
+  EXPECT_EQ(sketch.params().rate, 1u) << "small n should not sample";
+  for (Value v : ds.values()) sketch.Add(v);
+  EXPECT_EQ(sketch.count(), ds.size());
+  EXPECT_EQ(sketch.HeldWeight(), ds.size());
+  for (double phi : {0.01, 0.1, 0.5, 0.9, 0.99}) {
+    Value est = sketch.Query(phi).value();
+    EXPECT_LE(ds.QuantileError(est, phi), 0.01) << "phi " << phi;
+  }
+}
+
+TEST(KnownNSketchTest, SampledVariantIsAccurate) {
+  // Force sampling with explicit params: rate 8 over 80000 elements.
+  KnownNParams p;
+  p.b = 5;
+  p.k = 256;
+  p.h = 5;
+  p.rate = 8;
+  p.alpha = 0.5;
+  p.n = 80000;
+  KnownNOptions options;
+  options.params = p;
+  options.seed = 7;
+  KnownNSketch sketch = std::move(KnownNSketch::Create(options)).value();
+
+  StreamSpec spec;
+  spec.n = 80000;
+  spec.seed = 11;
+  spec.distribution = "gaussian";
+  Dataset ds = GenerateStream(spec);
+  for (Value v : ds.values()) sketch.Add(v);
+  EXPECT_EQ(sketch.HeldWeight(), ds.size());
+  for (double phi : {0.1, 0.5, 0.9}) {
+    Value est = sketch.Query(phi).value();
+    // (h+1)/(2k) ~ 0.012 tree budget + sampling noise at rate 8.
+    EXPECT_LE(ds.QuantileError(est, phi), 0.03) << "phi " << phi;
+  }
+}
+
+TEST(KnownNSketchTest, HugeDeclaredNUsesSampling) {
+  KnownNOptions options;
+  options.eps = 0.01;
+  options.delta = 1e-4;
+  options.n = std::uint64_t{1} << 40;
+  KnownNSketch sketch = std::move(KnownNSketch::Create(options)).value();
+  EXPECT_GT(sketch.params().rate, 1u);
+  // Feed only a prefix; anytime queries still work.
+  for (int i = 0; i < 100000; ++i) {
+    sketch.Add(static_cast<Value>(i % 1000));
+  }
+  EXPECT_TRUE(sketch.Query(0.5).ok());
+  EXPECT_EQ(sketch.HeldWeight(), 100000u);
+}
+
+TEST(KnownNSketchTest, OverflowVoidsGuarantee) {
+  KnownNParams p;
+  p.b = 3;
+  p.k = 16;
+  p.h = 2;
+  p.rate = 1;
+  p.alpha = 1.0;
+  p.n = 100;
+  KnownNOptions options;
+  options.params = p;
+  KnownNSketch sketch = std::move(KnownNSketch::Create(options)).value();
+  for (int i = 0; i < 100; ++i) sketch.Add(i);
+  EXPECT_FALSE(sketch.overflowed());
+  EXPECT_TRUE(sketch.Query(0.5).ok());
+  sketch.Add(100);
+  EXPECT_TRUE(sketch.overflowed());
+  EXPECT_EQ(sketch.Query(0.5).status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(sketch.QueryMany({0.5}).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(KnownNSketchTest, PartialTailAccountsExactly) {
+  // Stream length not a multiple of rate*k: the partial buffer and the
+  // in-flight block candidate must account for the remainder.
+  KnownNParams p;
+  p.b = 3;
+  p.k = 10;
+  p.h = 2;
+  p.rate = 4;
+  p.alpha = 0.5;
+  p.n = 1000;
+  KnownNOptions options;
+  options.params = p;
+  options.seed = 13;
+  KnownNSketch sketch = std::move(KnownNSketch::Create(options)).value();
+  for (int i = 0; i < 357; ++i) {  // 357 = 8 * 40 + 37: mid-buffer + mid-block
+    sketch.Add(i);
+    ASSERT_EQ(sketch.HeldWeight(), static_cast<Weight>(i + 1));
+  }
+}
+
+TEST(KnownNSketchTest, QueryManyMatchesSingles) {
+  KnownNOptions options;
+  options.eps = 0.02;
+  options.delta = 1e-3;
+  options.n = 20000;
+  options.seed = 17;
+  KnownNSketch sketch = std::move(KnownNSketch::Create(options)).value();
+  StreamSpec spec;
+  spec.n = 20000;
+  spec.seed = 19;
+  Dataset ds = GenerateStream(spec);
+  for (Value v : ds.values()) sketch.Add(v);
+  std::vector<double> phis = {0.2, 0.8, 0.5};
+  std::vector<Value> batch = sketch.QueryMany(phis).value();
+  for (std::size_t i = 0; i < phis.size(); ++i) {
+    EXPECT_DOUBLE_EQ(batch[i], sketch.Query(phis[i]).value());
+  }
+}
+
+}  // namespace
+}  // namespace mrl

@@ -1,0 +1,125 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/multi_quantile.h"
+#include "stream/generator.h"
+
+namespace mrl {
+namespace {
+
+TEST(MultiQuantileTest, RejectsZeroQuantiles) {
+  MultiQuantileSketch::Options options;
+  options.num_quantiles = 0;
+  EXPECT_EQ(MultiQuantileSketch::Create(options).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(MultiQuantileTest, MemoryGrowsWithP) {
+  MultiQuantileSketch::Options base;
+  base.eps = 0.01;
+  base.delta = 1e-4;
+  base.num_quantiles = 1;
+  std::uint64_t m1 =
+      MultiQuantileSketch::Create(base).value().MemoryElements();
+  base.num_quantiles = 100;
+  std::uint64_t m100 =
+      MultiQuantileSketch::Create(base).value().MemoryElements();
+  EXPECT_GE(m100, m1);
+  EXPECT_LT(m100, 2 * m1);  // Table 2: growth is O(log log p)
+}
+
+TEST(MultiQuantileTest, EnforcesJointQueryBudget) {
+  MultiQuantileSketch::Options options;
+  options.eps = 0.05;
+  options.num_quantiles = 3;
+  MultiQuantileSketch sketch =
+      std::move(MultiQuantileSketch::Create(options)).value();
+  for (int i = 0; i < 100; ++i) sketch.Add(i);
+  EXPECT_TRUE(sketch.QueryMany({0.2, 0.5, 0.8}).ok());
+  EXPECT_EQ(sketch.QueryMany({0.2, 0.4, 0.6, 0.8}).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(MultiQuantileTest, AllSplittersAccurateSimultaneously) {
+  // The equi-depth use case: 9 deciles, each eps-approximate.
+  StreamSpec spec;
+  spec.n = 40000;
+  spec.seed = 3;
+  spec.distribution = "exponential";
+  Dataset ds = GenerateStream(spec);
+  MultiQuantileSketch::Options options;
+  options.eps = 0.02;
+  options.delta = 1e-4;
+  options.num_quantiles = 9;
+  options.seed = 5;
+  MultiQuantileSketch sketch =
+      std::move(MultiQuantileSketch::Create(options)).value();
+  for (Value v : ds.values()) sketch.Add(v);
+  std::vector<double> phis;
+  for (int i = 1; i <= 9; ++i) phis.push_back(i / 10.0);
+  std::vector<Value> deciles = sketch.QueryMany(phis).value();
+  for (std::size_t i = 0; i < phis.size(); ++i) {
+    EXPECT_LE(ds.QuantileError(deciles[i], phis[i]), options.eps)
+        << "decile " << (i + 1);
+  }
+  // Deciles of a distribution with a strictly increasing cdf must ascend.
+  for (std::size_t i = 1; i < deciles.size(); ++i) {
+    EXPECT_LE(deciles[i - 1], deciles[i]);
+  }
+}
+
+// ------------------------------------------------------------ Precomputed
+
+TEST(PrecomputedQuantilesTest, GridCoversUnitInterval) {
+  PrecomputedQuantiles::Options options;
+  options.eps = 0.1;
+  PrecomputedQuantiles sketch =
+      std::move(PrecomputedQuantiles::Create(options)).value();
+  const std::vector<double>& grid = sketch.grid();
+  ASSERT_FALSE(grid.empty());
+  EXPECT_NEAR(grid.front(), 0.05, 1e-12);
+  // Spacing eps, so any phi is within eps/2 of a grid point.
+  for (std::size_t i = 1; i < grid.size(); ++i) {
+    EXPECT_NEAR(grid[i] - grid[i - 1], 0.1, 1e-9);
+  }
+  EXPECT_GT(grid.back(), 1.0 - 0.1);
+}
+
+TEST(PrecomputedQuantilesTest, AnswersArbitraryPhiWithinEps) {
+  StreamSpec spec;
+  spec.n = 30000;
+  spec.seed = 7;
+  Dataset ds = GenerateStream(spec);
+  PrecomputedQuantiles::Options options;
+  options.eps = 0.05;
+  options.delta = 1e-3;
+  options.seed = 9;
+  PrecomputedQuantiles sketch =
+      std::move(PrecomputedQuantiles::Create(options)).value();
+  for (Value v : ds.values()) sketch.Add(v);
+  // Query phis that are NOT grid points.
+  for (double phi : {0.013, 0.21, 0.333, 0.5, 0.666, 0.87, 0.999}) {
+    Value est = sketch.Query(phi).value();
+    EXPECT_LE(ds.QuantileError(est, phi), options.eps) << "phi " << phi;
+  }
+}
+
+TEST(PrecomputedQuantilesTest, RejectsBadPhi) {
+  PrecomputedQuantiles::Options options;
+  options.eps = 0.1;
+  PrecomputedQuantiles sketch =
+      std::move(PrecomputedQuantiles::Create(options)).value();
+  sketch.Add(1.0);
+  EXPECT_EQ(sketch.Query(0.0).status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(sketch.Query(1.1).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(PrecomputedQuantilesTest, RejectsBadEps) {
+  PrecomputedQuantiles::Options options;
+  options.eps = 0.0;
+  EXPECT_FALSE(PrecomputedQuantiles::Create(options).ok());
+}
+
+}  // namespace
+}  // namespace mrl

@@ -1,0 +1,121 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/output.h"
+#include "core/unknown_n.h"
+#include "stream/generator.h"
+
+namespace mrl {
+namespace {
+
+std::vector<WeightedRun> OneRun(const std::vector<Value>& v, Weight w) {
+  return {{v.data(), v.size(), w}};
+}
+
+TEST(OutputTest, PositionIsCeilPhiW) {
+  // 4 elements of weight 1: phi-quantile = element at ceil(phi * 4).
+  std::vector<Value> v = {10, 20, 30, 40};
+  auto runs = OneRun(v, 1);
+  EXPECT_DOUBLE_EQ(WeightedQuantile(runs, 0.25).value(), 10);
+  EXPECT_DOUBLE_EQ(WeightedQuantile(runs, 0.2500001).value(), 20);
+  EXPECT_DOUBLE_EQ(WeightedQuantile(runs, 0.5).value(), 20);
+  EXPECT_DOUBLE_EQ(WeightedQuantile(runs, 0.75).value(), 30);
+  EXPECT_DOUBLE_EQ(WeightedQuantile(runs, 1.0).value(), 40);
+  EXPECT_DOUBLE_EQ(WeightedQuantile(runs, 1e-9).value(), 10);
+}
+
+TEST(OutputTest, WeightsShiftTheQuantile) {
+  // 10 has weight 9, 20 has weight 1: the median is 10.
+  std::vector<Value> v = {10, 20};
+  std::vector<WeightedRun> runs = {{v.data(), 1, 9}, {v.data() + 1, 1, 1}};
+  EXPECT_DOUBLE_EQ(WeightedQuantile(runs, 0.5).value(), 10);
+  EXPECT_DOUBLE_EQ(WeightedQuantile(runs, 0.9).value(), 10);
+  EXPECT_DOUBLE_EQ(WeightedQuantile(runs, 0.91).value(), 20);
+}
+
+TEST(OutputTest, InvalidPhiRejected) {
+  std::vector<Value> v = {1};
+  auto runs = OneRun(v, 1);
+  EXPECT_EQ(WeightedQuantile(runs, 0.0).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(WeightedQuantile(runs, -0.5).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(WeightedQuantile(runs, 1.0001).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(OutputTest, EmptyRunsFail) {
+  EXPECT_EQ(WeightedQuantile({}, 0.5).status().code(),
+            StatusCode::kFailedPrecondition);
+  std::vector<WeightedRun> zero = {{nullptr, 0, 5}};
+  EXPECT_EQ(WeightedQuantile(zero, 0.5).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(OutputTest, BatchAnswersAlignWithInputOrder) {
+  std::vector<Value> v = {1, 2, 3, 4, 5};
+  auto runs = OneRun(v, 2);
+  std::vector<double> phis = {0.9, 0.1, 0.5, 0.1};
+  std::vector<Value> out = WeightedQuantiles(runs, phis).value();
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_DOUBLE_EQ(out[0], 5);
+  EXPECT_DOUBLE_EQ(out[1], 1);
+  EXPECT_DOUBLE_EQ(out[2], 3);
+  EXPECT_DOUBLE_EQ(out[3], 1);
+}
+
+TEST(OutputTest, BatchWithOneBadPhiFailsAtomically) {
+  std::vector<Value> v = {1, 2};
+  auto runs = OneRun(v, 1);
+  EXPECT_FALSE(WeightedQuantiles(runs, {0.5, 0.0}).ok());
+}
+
+TEST(OutputTest, DuplicateValuesAcrossRuns) {
+  std::vector<Value> a = {5, 5};
+  std::vector<Value> b = {5, 6};
+  std::vector<WeightedRun> runs = {{a.data(), a.size(), 3},
+                                   {b.data(), b.size(), 1}};
+  // Weighted multiset: 5 x (3+3+1) = weight 7, then 6 x 1.
+  EXPECT_DOUBLE_EQ(WeightedQuantile(runs, 0.875).value(), 5);
+  EXPECT_DOUBLE_EQ(WeightedQuantile(runs, 0.876).value(), 6);
+}
+
+// Exactness property: when the sketch has enough capacity for the whole
+// stream (no sampling, no collapse), Output degenerates to the exact
+// phi-quantile of the paper's definition — position ceil(phi*N) of the
+// sorted input. This pins the position arithmetic end to end.
+class ExactnessTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ExactnessTest, UncompressedSketchIsExact) {
+  const std::size_t n = GetParam();
+  UnknownNParams p;
+  p.b = 4;
+  p.k = 300;  // capacity 1200 >= every n used here
+  p.h = 10;
+  p.alpha = 0.5;
+  UnknownNOptions options;
+  options.params = p;
+  options.seed = 3;
+  UnknownNSketch sketch = std::move(UnknownNSketch::Create(options)).value();
+  StreamSpec spec;
+  spec.n = n;
+  spec.seed = 50 + n;
+  Dataset ds = GenerateStream(spec);
+  for (Value v : ds.values()) sketch.Add(v);
+  ASSERT_EQ(sketch.tree_stats().num_collapses, 0u);
+  for (double phi : {0.001, 0.1, 0.25, 0.333, 0.5, 0.75, 0.9, 0.999, 1.0}) {
+    EXPECT_DOUBLE_EQ(sketch.Query(phi).value(), ds.ExactQuantile(phi))
+        << "n=" << n << " phi=" << phi;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ExactnessTest,
+                         ::testing::Values(1, 2, 3, 7, 299, 300, 301, 899,
+                                           1200),
+                         [](const ::testing::TestParamInfo<std::size_t>& i) {
+                           return "n" + std::to_string(i.param);
+                         });
+
+}  // namespace
+}  // namespace mrl

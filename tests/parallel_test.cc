@@ -1,0 +1,226 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/parallel.h"
+#include "stream/generator.h"
+
+namespace mrl {
+namespace {
+
+std::vector<std::vector<Value>> MakeShards(int num_shards,
+                                           std::size_t per_shard,
+                                           std::uint64_t seed,
+                                           const char* dist = "uniform") {
+  std::vector<std::vector<Value>> shards;
+  for (int i = 0; i < num_shards; ++i) {
+    StreamSpec spec;
+    spec.distribution = dist;
+    spec.n = per_shard;
+    spec.seed = seed + static_cast<std::uint64_t>(i);
+    shards.push_back(GenerateStream(spec).values());
+  }
+  return shards;
+}
+
+Dataset Union(const std::vector<std::vector<Value>>& shards) {
+  std::vector<Value> all;
+  for (const auto& s : shards) all.insert(all.end(), s.begin(), s.end());
+  return Dataset(std::move(all));
+}
+
+TEST(SolveParallelWorkerTest, ValidatesOptions) {
+  ParallelOptions options;
+  options.num_workers = 0;
+  EXPECT_FALSE(SolveParallelWorker(options).ok());
+  options.num_workers = 2;
+  options.coordinator_extra_height = -1;
+  EXPECT_FALSE(SolveParallelWorker(options).ok());
+}
+
+TEST(SolveParallelWorkerTest, ExtraHeightIncreasesK) {
+  ParallelOptions options;
+  options.eps = 0.01;
+  options.delta = 1e-4;
+  options.coordinator_extra_height = 0;
+  std::uint64_t flat = SolveParallelWorker(options).value().MemoryElements();
+  options.coordinator_extra_height = 6;
+  std::uint64_t tall = SolveParallelWorker(options).value().MemoryElements();
+  EXPECT_GE(tall, flat);
+}
+
+class ParallelShardsTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParallelShardsTest, MergedAnswerIsAccurate) {
+  const int shards_count = GetParam();
+  auto shards = MakeShards(shards_count, 30000, 100);
+  Dataset all = Union(shards);
+
+  ParallelOptions options;
+  options.eps = 0.02;
+  options.delta = 1e-3;
+  options.seed = 5;
+  std::vector<double> phis = {0.1, 0.25, 0.5, 0.75, 0.9};
+  Result<std::vector<Value>> r = ParallelQuantiles(shards, options, phis);
+  ASSERT_TRUE(r.ok()) << r.status();
+  for (std::size_t i = 0; i < phis.size(); ++i) {
+    EXPECT_LE(all.QuantileError(r.value()[i], phis[i]), options.eps)
+        << shards_count << " shards, phi " << phis[i];
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ShardCounts, ParallelShardsTest,
+                         ::testing::Values(1, 2, 4, 8),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return "P" + std::to_string(info.param);
+                         });
+
+TEST(ParallelTest, UnevenShardsAndTerminationAnyTime) {
+  // The paper allows any input sequence to terminate at any time: shards of
+  // wildly different sizes, including one that is tiny.
+  std::vector<std::vector<Value>> shards = {
+      MakeShards(1, 50000, 300)[0],
+      MakeShards(1, 700, 301)[0],
+      MakeShards(1, 12345, 302)[0],
+      {1.0, 2.0, 3.0},
+  };
+  Dataset all = Union(shards);
+  ParallelOptions options;
+  options.eps = 0.02;
+  options.delta = 1e-3;
+  options.seed = 7;
+  Result<std::vector<Value>> r =
+      ParallelQuantiles(shards, options, {0.5, 0.9});
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_LE(all.QuantileError(r.value()[0], 0.5), options.eps);
+  EXPECT_LE(all.QuantileError(r.value()[1], 0.9), options.eps);
+}
+
+TEST(ParallelTest, SkewedShardDistributions) {
+  // Workers see disjoint value ranges (a common partitioned-table reality);
+  // only the merge can see the global picture.
+  std::vector<std::vector<Value>> shards;
+  for (int i = 0; i < 4; ++i) {
+    std::vector<Value> shard;
+    for (int j = 0; j < 20000; ++j) {
+      shard.push_back(i * 1000.0 + (j % 997));
+    }
+    shards.push_back(std::move(shard));
+  }
+  Dataset all = Union(shards);
+  ParallelOptions options;
+  options.eps = 0.02;
+  options.delta = 1e-3;
+  options.seed = 11;
+  Result<std::vector<Value>> r =
+      ParallelQuantiles(shards, options, {0.125, 0.375, 0.625, 0.875});
+  ASSERT_TRUE(r.ok());
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_LE(all.QuantileError(r.value()[i], 0.125 + 0.25 * i),
+              options.eps);
+  }
+}
+
+TEST(ParallelTest, EmptyShardListRejected) {
+  ParallelOptions options;
+  EXPECT_EQ(ParallelQuantiles({}, options, {0.5}).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+// --------------------------------------------------------- Coordinator
+
+TEST(CoordinatorTest, EqualWeightPartialsConcatenate) {
+  UnknownNParams params;
+  params.b = 3;
+  params.k = 4;
+  params.h = 2;
+  params.alpha = 0.5;
+  ParallelCoordinator coordinator(params, 1);
+  coordinator.Ingest({{{1.0, 2.0}, 2, false}});
+  coordinator.Ingest({{{3.0, 4.0}, 2, false}});
+  EXPECT_EQ(coordinator.ReceivedWeight(), 8u);
+  // 4 staged elements of weight 2 = one promoted full buffer of weight 2.
+  Value med = coordinator.Query(0.5).value();
+  EXPECT_GE(med, 1.0);
+  EXPECT_LE(med, 4.0);
+}
+
+TEST(CoordinatorTest, FullBuffersEnterTree) {
+  UnknownNParams params;
+  params.b = 3;
+  params.k = 2;
+  params.h = 2;
+  params.alpha = 0.5;
+  ParallelCoordinator coordinator(params, 1);
+  for (int i = 0; i < 10; ++i) {
+    coordinator.Ingest({{{i * 1.0, i + 0.5}, 4, true}});
+  }
+  EXPECT_EQ(coordinator.ReceivedWeight(), 10u * 2 * 4);
+  EXPECT_TRUE(coordinator.Query(0.5).ok());
+}
+
+TEST(CoordinatorTest, UnequalWeightsReconcileApproximately) {
+  UnknownNParams params;
+  params.b = 3;
+  params.k = 100;
+  params.h = 2;
+  params.alpha = 0.5;
+  ParallelCoordinator coordinator(params, 42);
+  // Weight-1 partial of 60 elements + weight-4 partial of 60 elements: the
+  // light one is subsampled at ~1/4 and re-weighted to 4.
+  std::vector<Value> light, heavy;
+  for (int i = 0; i < 60; ++i) {
+    light.push_back(i);
+    heavy.push_back(1000 + i);
+  }
+  coordinator.Ingest({{light, 1, false}});
+  coordinator.Ingest({{heavy, 4, false}});
+  // Query must still work and land in the combined range.
+  Value q = coordinator.Query(0.9).value();
+  EXPECT_GE(q, 0.0);
+  EXPECT_LE(q, 1059.0);
+}
+
+TEST(CoordinatorTest, QueryWithNothingIngestedFails) {
+  UnknownNParams params;
+  params.b = 3;
+  params.k = 4;
+  params.h = 2;
+  params.alpha = 0.5;
+  ParallelCoordinator coordinator(params, 1);
+  EXPECT_EQ(coordinator.Query(0.5).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(ParallelTest, CoordinatorTreeStaysShallow) {
+  // Sixteen workers with real streams: the coordinator's own collapse tree
+  // must stay within a few levels (the h' budget).
+  auto shards = MakeShards(16, 5000, 800);
+  ParallelOptions options;
+  options.eps = 0.05;
+  options.delta = 1e-3;
+  options.num_workers = 16;
+  options.seed = 13;
+  Result<UnknownNParams> params = SolveParallelWorker(options);
+  ASSERT_TRUE(params.ok());
+
+  Random seeder(options.seed);
+  ParallelCoordinator coordinator(params.value(), 99);
+  for (auto& shard : shards) {
+    UnknownNOptions worker_options;
+    worker_options.params = params.value();
+    worker_options.seed = seeder.NextUint64();
+    UnknownNSketch w =
+        std::move(UnknownNSketch::Create(worker_options)).value();
+    w.AddAll(shard);
+    coordinator.Ingest(w.FinishAndExport());
+  }
+  EXPECT_LE(coordinator.tree_stats().max_level,
+            options.coordinator_extra_height);
+  Dataset all = Union(shards);
+  EXPECT_LE(all.QuantileError(coordinator.Query(0.5).value(), 0.5),
+            options.eps);
+}
+
+}  // namespace
+}  // namespace mrl

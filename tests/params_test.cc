@@ -1,0 +1,198 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/params.h"
+#include "util/math.h"
+
+namespace mrl {
+namespace {
+
+// ---------------------------------------------------------- SolveUnknownN
+
+struct EpsDelta {
+  double eps;
+  double delta;
+};
+
+class UnknownNSolverTest : public ::testing::TestWithParam<EpsDelta> {};
+
+TEST_P(UnknownNSolverTest, SolutionSatisfiesAllConstraints) {
+  const double eps = GetParam().eps;
+  const double delta = GetParam().delta;
+  Result<UnknownNParams> r = SolveUnknownN(eps, delta);
+  ASSERT_TRUE(r.ok()) << r.status();
+  const UnknownNParams& p = r.value();
+  EXPECT_GE(p.b, 2);
+  EXPECT_GE(p.k, 1u);
+  EXPECT_GE(p.h, 1);
+  EXPECT_GT(p.alpha, 0.0);
+  EXPECT_LT(p.alpha, 1.0);
+
+  const double ld = static_cast<double>(SaturatingBinomial(
+      static_cast<std::uint64_t>(p.b + p.h - 2),
+      static_cast<std::uint64_t>(p.h - 1)));
+  const double ls = static_cast<double>(SaturatingBinomial(
+      static_cast<std::uint64_t>(p.b + p.h - 3),
+      static_cast<std::uint64_t>(p.h - 1)));
+  const double k = static_cast<double>(p.k);
+  // Eq. 1 (sampling): min(L_d k, 8/3 L_s k) >= ln(2/delta)/(2(1-a)^2 eps^2).
+  const double lhs = std::min(ld * k, (8.0 / 3.0) * ls * k);
+  const double rhs = std::log(2.0 / delta) /
+                     (2.0 * (1.0 - p.alpha) * (1.0 - p.alpha) * eps * eps);
+  EXPECT_GE(lhs * (1 + 1e-9) + 1, rhs);
+  // Eq. 2 (tree): h + 1 <= 2 alpha eps k.
+  EXPECT_LE(p.h + 1, 2.0 * p.alpha * eps * k * (1 + 1e-9) + 1);
+  // Eq. 3 is implied by Eq. 2 (alpha < 1).
+  EXPECT_LE(p.h + 1, 2.0 * eps * k * (1 + 1e-9) + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, UnknownNSolverTest,
+    ::testing::Values(EpsDelta{0.1, 1e-2}, EpsDelta{0.1, 1e-4},
+                      EpsDelta{0.05, 1e-3}, EpsDelta{0.01, 1e-2},
+                      EpsDelta{0.01, 1e-4}, EpsDelta{0.005, 1e-3},
+                      EpsDelta{0.001, 1e-4}, EpsDelta{0.3, 0.5}),
+    [](const ::testing::TestParamInfo<EpsDelta>& info) {
+      return "eps" + std::to_string(static_cast<int>(1e4 * info.param.eps)) +
+             "_delta" +
+             std::to_string(static_cast<int>(-std::log10(info.param.delta)));
+    });
+
+TEST(UnknownNSolverTest, MemoryGrowsAsEpsShrinks) {
+  std::uint64_t prev = 0;
+  for (double eps : {0.1, 0.05, 0.01, 0.005, 0.001}) {
+    std::uint64_t mem = UnknownNMemoryElements(eps, 1e-4).value();
+    EXPECT_GT(mem, prev) << "eps=" << eps;
+    prev = mem;
+  }
+}
+
+TEST(UnknownNSolverTest, MemoryGrowsSlowlyInDelta) {
+  // Theorem 1: the delta dependence is log log — going from 1e-2 to 1e-6
+  // must cost well under 2x.
+  std::uint64_t loose = UnknownNMemoryElements(0.01, 1e-2).value();
+  std::uint64_t tight = UnknownNMemoryElements(0.01, 1e-6).value();
+  EXPECT_GE(tight, loose);
+  EXPECT_LT(tight, 2 * loose);
+}
+
+TEST(UnknownNSolverTest, NearlyLinearInInverseEps) {
+  // Theorem 1: space is O(eps^-1 log^2 eps^-1) — a 10x tighter eps should
+  // cost far less than the reservoir baseline's 100x.
+  std::uint64_t a = UnknownNMemoryElements(0.01, 1e-4).value();
+  std::uint64_t bm = UnknownNMemoryElements(0.001, 1e-4).value();
+  double ratio = static_cast<double>(bm) / static_cast<double>(a);
+  EXPECT_GT(ratio, 8.0);
+  EXPECT_LT(ratio, 40.0);
+}
+
+TEST(UnknownNSolverTest, ExtraHeightCostsMemory) {
+  std::uint64_t base =
+      SolveUnknownN(0.01, 1e-4, 0).value().MemoryElements();
+  std::uint64_t taller =
+      SolveUnknownN(0.01, 1e-4, 6).value().MemoryElements();
+  EXPECT_GE(taller, base);
+  EXPECT_LT(taller, 2 * base);  // the parallel overhead is modest
+}
+
+TEST(UnknownNSolverTest, RejectsInvalidArguments) {
+  EXPECT_EQ(SolveUnknownN(0.0, 0.5).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(SolveUnknownN(1.0, 0.5).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(SolveUnknownN(0.01, 0.0).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(SolveUnknownN(0.01, 1.0).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(SolveUnknownN(0.01, 0.5, -1).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+// ------------------------------------------------------------ SolveKnownN
+
+TEST(KnownNSolverTest, SmallStreamsUseDeterministicVariant) {
+  Result<KnownNParams> p = SolveKnownN(0.01, 1e-4, 10000);
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p.value().rate, 1u);
+  // Capacity covers the stream.
+  const std::uint64_t leaves = SaturatingBinomial(
+      static_cast<std::uint64_t>(p.value().b + p.value().h - 2),
+      static_cast<std::uint64_t>(p.value().h - 1));
+  EXPECT_GE(leaves * p.value().k, 10000u);
+}
+
+TEST(KnownNSolverTest, HugeStreamsSample) {
+  Result<KnownNParams> p = SolveKnownN(0.01, 1e-4, std::uint64_t{1} << 40);
+  ASSERT_TRUE(p.ok());
+  EXPECT_GT(p.value().rate, 1u);
+  EXPECT_GT(p.value().alpha, 0.0);
+  EXPECT_LT(p.value().alpha, 1.0);
+}
+
+TEST(KnownNSolverTest, MemoryGrowsThenPlateaus) {
+  // The Figure 4 "Known N" shape: nondecreasing-ish growth for small N,
+  // then a plateau once sampling dominates.
+  std::uint64_t mem_small = KnownNMemoryElements(0.01, 1e-4, 1000).value();
+  std::uint64_t mem_mid =
+      KnownNMemoryElements(0.01, 1e-4, 10'000'000).value();
+  std::uint64_t mem_big =
+      KnownNMemoryElements(0.01, 1e-4, std::uint64_t{1} << 50).value();
+  std::uint64_t mem_huge =
+      KnownNMemoryElements(0.01, 1e-4, std::uint64_t{1} << 60).value();
+  EXPECT_LT(mem_small, mem_mid);
+  // Plateau: another 2^10 of growth costs nothing.
+  EXPECT_EQ(mem_big, mem_huge);
+}
+
+TEST(KnownNSolverTest, UnknownNWithinTwiceKnownN) {
+  // The paper's headline comparison (Table 1): the unknown-N algorithm
+  // needs no more than twice the memory of the known-N one.
+  for (double eps : {0.05, 0.01, 0.005}) {
+    std::uint64_t unknown = UnknownNMemoryElements(eps, 1e-4).value();
+    std::uint64_t known =
+        KnownNMemoryElements(eps, 1e-4, std::uint64_t{1} << 50).value();
+    EXPECT_LE(unknown, 2 * known) << "eps=" << eps;
+  }
+}
+
+TEST(KnownNSolverTest, RejectsZeroN) {
+  EXPECT_EQ(SolveKnownN(0.01, 1e-4, 0).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+// ---------------------------------------------------------------- Others
+
+TEST(ReservoirMemoryTest, QuadraticGap) {
+  // Section 2.2: reservoir needs O(eps^-2) while MRL99 needs ~eps^-1; at
+  // eps = 0.001 the gap must be enormous.
+  std::uint64_t reservoir = ReservoirMemoryElements(0.001, 1e-4);
+  std::uint64_t mrl = UnknownNMemoryElements(0.001, 1e-4).value();
+  EXPECT_GT(reservoir, 50 * mrl);
+}
+
+TEST(MultiQuantileMemoryTest, GrowsSlowlyWithP) {
+  // Table 2: p from 1 to 1000 costs only a small factor.
+  std::uint64_t p1 = MultiQuantileMemoryElements(0.01, 1e-4, 1).value();
+  std::uint64_t p1000 =
+      MultiQuantileMemoryElements(0.01, 1e-4, 1000).value();
+  EXPECT_GE(p1000, p1);
+  EXPECT_LT(p1000, 2 * p1);
+}
+
+TEST(MultiQuantileMemoryTest, RejectsZeroP) {
+  EXPECT_EQ(MultiQuantileMemoryElements(0.01, 1e-4, 0).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(PrecomputedGridMemoryTest, CostsMoreThanModerateP) {
+  // Table 2's last column: the precompute trick costs noticeably more than
+  // p = 1000 but is independent of p.
+  std::uint64_t p1000 =
+      MultiQuantileMemoryElements(0.01, 1e-4, 1000).value();
+  std::uint64_t grid = PrecomputedGridMemoryElements(0.01, 1e-4).value();
+  EXPECT_GT(grid, p1000);
+}
+
+}  // namespace
+}  // namespace mrl

@@ -1,0 +1,183 @@
+// Parameterized property sweeps across the library's configuration spaces:
+// each TEST_P asserts an invariant (not a specific value) over a grid of
+// parameters, catching interactions single-point unit tests miss.
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/extreme.h"
+#include "core/known_n.h"
+#include "core/params.h"
+#include "core/unknown_n.h"
+#include "stream/generator.h"
+#include "util/math.h"
+
+namespace mrl {
+namespace {
+
+// ---------------------------------------------- Known-N checkpoint sweeps
+
+class KnownNCheckpointSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(KnownNCheckpointSweep, RoundTripAtCut) {
+  const std::size_t cut = GetParam();
+  KnownNParams p;
+  p.b = 3;
+  p.k = 32;
+  p.h = 4;
+  p.rate = 3;  // non-power-of-two rate: stresses block-tail encoding
+  p.alpha = 0.5;
+  p.n = 20000;
+  KnownNOptions options;
+  options.params = p;
+  options.seed = 3;
+  KnownNSketch original = std::move(KnownNSketch::Create(options)).value();
+  StreamSpec spec;
+  spec.n = 20000;
+  spec.seed = 5;
+  Dataset ds = GenerateStream(spec);
+  for (std::size_t i = 0; i < cut && i < ds.size(); ++i) {
+    original.Add(ds.values()[i]);
+  }
+  Result<KnownNSketch> restored_r =
+      KnownNSketch::Deserialize(original.Serialize());
+  ASSERT_TRUE(restored_r.ok()) << restored_r.status();
+  KnownNSketch& restored = restored_r.value();
+  for (std::size_t i = cut; i < ds.size(); ++i) {
+    original.Add(ds.values()[i]);
+    restored.Add(ds.values()[i]);
+  }
+  EXPECT_EQ(restored.HeldWeight(), original.HeldWeight());
+  EXPECT_DOUBLE_EQ(restored.Query(0.5).value(), original.Query(0.5).value());
+}
+
+INSTANTIATE_TEST_SUITE_P(Cuts, KnownNCheckpointSweep,
+                         ::testing::Values(0, 1, 2, 3, 95, 96, 97, 5000,
+                                           19999, 20000),
+                         [](const ::testing::TestParamInfo<std::size_t>& i) {
+                           return "cut" + std::to_string(i.param);
+                         });
+
+// ------------------------------------------------- Extreme sizing sweeps
+
+struct ExtremeCase {
+  double phi;
+  double eps;
+  double delta;
+};
+
+class ExtremeSizingSweep : public ::testing::TestWithParam<ExtremeCase> {};
+
+TEST_P(ExtremeSizingSweep, SizingSatisfiesSteinAndScales) {
+  const ExtremeCase& c = GetParam();
+  auto sizing =
+      SolveExtremeValue(c.phi, c.eps, c.delta, 100'000'000).value();
+  const double tail = std::min(c.phi, 1.0 - c.phi);
+  // Stein condition holds at the chosen s.
+  double s = static_cast<double>(sizing.sample_size);
+  double fail = std::exp(-s * KlBernoulli(tail, tail - c.eps)) +
+                std::exp(-s * KlBernoulli(tail, tail + c.eps));
+  EXPECT_LE(fail, c.delta * (1 + 1e-9));
+  // k tracks phi * s.
+  EXPECT_NEAR(static_cast<double>(sizing.k), tail * s, 1.0);
+  // Tightening eps by 2x must cost more sample (roughly 4x for small eps).
+  auto tighter =
+      SolveExtremeValue(c.phi, c.eps / 2, c.delta, 100'000'000).value();
+  EXPECT_GT(tighter.sample_size, sizing.sample_size);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ExtremeSizingSweep,
+    ::testing::Values(ExtremeCase{0.01, 0.002, 1e-3},
+                      ExtremeCase{0.01, 0.005, 1e-4},
+                      ExtremeCase{0.05, 0.01, 1e-4},
+                      ExtremeCase{0.002, 0.001, 1e-2},
+                      ExtremeCase{0.99, 0.002, 1e-3},
+                      ExtremeCase{0.999, 0.0005, 1e-4}),
+    [](const ::testing::TestParamInfo<ExtremeCase>& i) {
+      return "phi" + std::to_string(static_cast<int>(1e4 * i.param.phi)) +
+             "_eps" + std::to_string(static_cast<int>(1e5 * i.param.eps)) +
+             "_d" +
+             std::to_string(static_cast<int>(-std::log10(i.param.delta)));
+    });
+
+// ------------------------------------------ Parallel extra-height sweeps
+
+class ParallelHeightSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParallelHeightSweep, WorkerParamsSatisfyRaisedTreeConstraint) {
+  const int h_prime = GetParam();
+  const double eps = 0.01;
+  const double delta = 1e-4;
+  UnknownNParams p = SolveUnknownN(eps, delta, h_prime).value();
+  // Raised Eq. 2: h + h' + 1 <= 2 alpha eps k.
+  EXPECT_LE(p.h + h_prime + 1,
+            2.0 * p.alpha * eps * static_cast<double>(p.k) * (1 + 1e-9) + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Heights, ParallelHeightSweep,
+                         ::testing::Values(0, 1, 2, 4, 8, 16),
+                         [](const ::testing::TestParamInfo<int>& i) {
+                           return "hprime" + std::to_string(i.param);
+                         });
+
+// ---------------------------------------------------- Tiny-k degeneracy
+
+class TinyKSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(TinyKSweep, DegenerateBufferSizesStillAccount) {
+  // k = 1 and other minimal sizes: the machinery must not divide by zero,
+  // lose elements, or violate ordering.
+  UnknownNParams p;
+  p.b = 2;
+  p.k = GetParam();
+  p.h = 1;
+  p.alpha = 0.5;
+  UnknownNOptions options;
+  options.params = p;
+  options.seed = 3;
+  UnknownNSketch sketch = std::move(UnknownNSketch::Create(options)).value();
+  for (int i = 0; i < 5000; ++i) {
+    sketch.Add(static_cast<Value>(i % 100));
+    ASSERT_EQ(sketch.HeldWeight(), static_cast<Weight>(i + 1));
+  }
+  Value lo = sketch.Query(0.01).value();
+  Value hi = sketch.Query(0.99).value();
+  EXPECT_LE(lo, hi);
+  EXPECT_GE(lo, 0.0);
+  EXPECT_LE(hi, 99.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, TinyKSweep,
+                         ::testing::Values(1, 2, 3, 5, 8),
+                         [](const ::testing::TestParamInfo<std::size_t>& i) {
+                           return "k" + std::to_string(i.param);
+                         });
+
+// --------------------------------------------- Known-N solver phase sweep
+
+class KnownNSolverSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(KnownNSolverSweep, MemoryIsMonotoneUpToPlateau) {
+  // Memory at N must never exceed memory at 1024*N by more than the
+  // plateau value (i.e., the curve is growth-then-plateau, no spikes).
+  const std::uint64_t n = GetParam();
+  std::uint64_t here = KnownNMemoryElements(0.01, 1e-4, n).value();
+  std::uint64_t plateau =
+      KnownNMemoryElements(0.01, 1e-4, std::uint64_t{1} << 55).value();
+  EXPECT_LE(here, plateau);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Ns, KnownNSolverSweep,
+    ::testing::Values(1, 100, 10'000, 1'000'000, 100'000'000,
+                      std::uint64_t{1} << 40),
+    [](const ::testing::TestParamInfo<std::uint64_t>& i) {
+      return "n" + std::to_string(i.param);
+    });
+
+}  // namespace
+}  // namespace mrl

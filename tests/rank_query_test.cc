@@ -1,0 +1,157 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "app/selectivity.h"
+#include "core/output.h"
+#include "core/unknown_n.h"
+#include "stream/generator.h"
+
+namespace mrl {
+namespace {
+
+// ---------------------------------------------------------- WeightedRankOf
+
+TEST(WeightedRankOfTest, CountsWeightedCopies) {
+  std::vector<Value> a = {1, 3, 5};
+  std::vector<Value> b = {2, 4};
+  std::vector<WeightedRun> runs = {{a.data(), a.size(), 2},
+                                   {b.data(), b.size(), 3}};
+  // Expanded multiset: 1,1,2,2,2,3,3,4,4,4,5,5
+  EXPECT_EQ(WeightedRankOf(runs, 0.5).value(), 0u);
+  EXPECT_EQ(WeightedRankOf(runs, 1.0).value(), 2u);
+  EXPECT_EQ(WeightedRankOf(runs, 2.5).value(), 5u);
+  EXPECT_EQ(WeightedRankOf(runs, 4.0).value(), 10u);
+  EXPECT_EQ(WeightedRankOf(runs, 100.0).value(), 12u);
+}
+
+TEST(WeightedRankOfTest, EmptyFails) {
+  EXPECT_EQ(WeightedRankOf({}, 1.0).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(WeightedRankOfTest, DualOfQuantile) {
+  // RankOf(Quantile(phi)) must be ~phi on the same runs.
+  std::vector<Value> a;
+  for (int i = 0; i < 100; ++i) a.push_back(i);
+  std::vector<WeightedRun> runs = {{a.data(), a.size(), 4}};
+  for (double phi : {0.1, 0.5, 0.9}) {
+    Value q = WeightedQuantile(runs, phi).value();
+    double rank = static_cast<double>(WeightedRankOf(runs, q).value()) /
+                  static_cast<double>(TotalRunWeight(runs));
+    EXPECT_NEAR(rank, phi, 0.011) << "phi " << phi;
+  }
+}
+
+// ----------------------------------------------------- UnknownNSketch rank
+
+TEST(SketchRankTest, MatchesTrueNormalizedRank) {
+  StreamSpec spec;
+  spec.n = 100'000;
+  spec.seed = 3;
+  Dataset ds = GenerateStream(spec);  // uniform on [0,1): rank(v) ~ v
+  UnknownNOptions options;
+  options.eps = 0.01;
+  options.delta = 1e-4;
+  options.seed = 5;
+  UnknownNSketch sketch = std::move(UnknownNSketch::Create(options)).value();
+  for (Value v : ds.values()) sketch.Add(v);
+  for (double c : {0.05, 0.2, 0.5, 0.8, 0.95}) {
+    double est = sketch.RankOf(c).value();
+    auto iv = ds.RankOf(c);
+    double truth = static_cast<double>(iv.hi) /
+                   static_cast<double>(ds.size());
+    EXPECT_NEAR(est, truth, options.eps) << "c=" << c;
+  }
+}
+
+TEST(SketchRankTest, ExtremeCutoffs) {
+  UnknownNOptions options;
+  options.eps = 0.05;
+  UnknownNSketch sketch = std::move(UnknownNSketch::Create(options)).value();
+  for (int i = 1; i <= 100; ++i) sketch.Add(i);
+  EXPECT_DOUBLE_EQ(sketch.RankOf(0.0).value(), 0.0);
+  EXPECT_DOUBLE_EQ(sketch.RankOf(1000.0).value(), 1.0);
+}
+
+TEST(SketchRankTest, EmptySketchFails) {
+  UnknownNOptions options;
+  options.eps = 0.05;
+  UnknownNSketch sketch = std::move(UnknownNSketch::Create(options)).value();
+  EXPECT_EQ(sketch.RankOf(1.0).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+// ------------------------------------------------------------- Selectivity
+
+TEST(SelectivityTest, PointAndRangePredicates) {
+  StreamSpec spec;
+  spec.n = 200'000;
+  spec.seed = 7;
+  spec.distribution = "gaussian";
+  Dataset ds = GenerateStream(spec);
+  SelectivityEstimator::Options options;
+  options.eps = 0.005;
+  options.delta = 1e-4;
+  options.seed = 9;
+  SelectivityEstimator est =
+      std::move(SelectivityEstimator::Create(options)).value();
+  for (Value v : ds.values()) est.Add(v);
+
+  // True selectivities from the materialized column.
+  auto truth_le = [&](Value c) {
+    return static_cast<double>(ds.RankOf(c).hi) /
+           static_cast<double>(ds.size());
+  };
+  for (Value c : {-2.0, -1.0, 0.0, 1.0, 2.0}) {
+    EXPECT_NEAR(est.LessOrEqual(c).value(), truth_le(c), options.eps)
+        << "c=" << c;
+  }
+  for (auto [lo, hi] : std::vector<std::pair<Value, Value>>{
+           {-1.0, 1.0}, {0.0, 0.5}, {-3.0, 3.0}, {2.0, 2.1}}) {
+    double truth = truth_le(hi) - truth_le(lo);
+    EXPECT_NEAR(est.Range(lo, hi).value(), truth, 2 * options.eps)
+        << "range (" << lo << ", " << hi << "]";
+  }
+}
+
+TEST(SelectivityTest, DegenerateAndInvalidRanges) {
+  SelectivityEstimator::Options options;
+  options.eps = 0.05;
+  SelectivityEstimator est =
+      std::move(SelectivityEstimator::Create(options)).value();
+  for (int i = 0; i < 1000; ++i) est.Add(i);
+  EXPECT_EQ(est.Range(5.0, 1.0).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_DOUBLE_EQ(est.Range(3.0, 3.0).value(), 0.0);
+  EXPECT_GE(est.Range(-1.0, 2000.0).value(), 0.99);
+}
+
+TEST(SelectivityTest, StaysValidAsTableGrows) {
+  // The unknown-N property applied to the optimizer use case: estimates are
+  // valid at every table size without rebuilds.
+  SelectivityEstimator::Options options;
+  options.eps = 0.02;
+  options.seed = 11;
+  SelectivityEstimator est =
+      std::move(SelectivityEstimator::Create(options)).value();
+  StreamSpec spec;
+  spec.n = 60'000;
+  spec.seed = 13;
+  Dataset ds = GenerateStream(spec);
+  std::vector<Value> prefix;
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    est.Add(ds.values()[i]);
+    prefix.push_back(ds.values()[i]);
+    if ((i + 1) % 20'000 == 0) {
+      Dataset prefix_ds(prefix);
+      double truth = static_cast<double>(prefix_ds.RankOf(0.3).hi) /
+                     static_cast<double>(prefix_ds.size());
+      EXPECT_NEAR(est.LessOrEqual(0.3).value(), truth, options.eps)
+          << "at " << (i + 1) << " rows";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mrl

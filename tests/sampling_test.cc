@@ -1,0 +1,169 @@
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sampling/bernoulli_sampler.h"
+#include "sampling/block_sampler.h"
+#include "sampling/reservoir.h"
+#include "util/random.h"
+
+namespace mrl {
+namespace {
+
+// -------------------------------------------------------------- Reservoir
+
+class ReservoirMethodTest
+    : public ::testing::TestWithParam<ReservoirSampler::Method> {};
+
+TEST_P(ReservoirMethodTest, SampleSizeNeverExceedsCapacity) {
+  ReservoirSampler sampler(10, Random(1), GetParam());
+  for (int i = 0; i < 1000; ++i) {
+    sampler.Add(i);
+    EXPECT_EQ(sampler.sample().size(),
+              std::min<std::size_t>(10, static_cast<std::size_t>(i + 1)));
+  }
+  EXPECT_EQ(sampler.count(), 1000u);
+}
+
+TEST_P(ReservoirMethodTest, ShortStreamKeepsEverything) {
+  ReservoirSampler sampler(100, Random(2), GetParam());
+  for (int i = 0; i < 5; ++i) sampler.Add(i);
+  std::vector<Value> s = sampler.sample();
+  std::sort(s.begin(), s.end());
+  EXPECT_EQ(s, (std::vector<Value>{0, 1, 2, 3, 4}));
+}
+
+TEST_P(ReservoirMethodTest, InclusionIsUniform) {
+  // Stream 0..199, capacity 20: every element should appear with
+  // probability 0.1. Average indicator over 300 trials; tolerance ~6 sigma.
+  constexpr int kStream = 200;
+  constexpr int kCap = 20;
+  constexpr int kTrials = 300;
+  std::vector<int> hits(kStream, 0);
+  for (int t = 0; t < kTrials; ++t) {
+    ReservoirSampler sampler(kCap, Random(1000 + t), GetParam());
+    for (int i = 0; i < kStream; ++i) sampler.Add(i);
+    for (Value v : sampler.sample()) ++hits[static_cast<int>(v)];
+  }
+  const double p = static_cast<double>(kCap) / kStream;
+  const double sigma = std::sqrt(p * (1 - p) * kTrials);
+  for (int i = 0; i < kStream; ++i) {
+    EXPECT_NEAR(hits[i], p * kTrials, 6 * sigma) << "element " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Methods, ReservoirMethodTest,
+    ::testing::Values(ReservoirSampler::Method::kAlgorithmR,
+                      ReservoirSampler::Method::kAlgorithmX),
+    [](const ::testing::TestParamInfo<ReservoirSampler::Method>& info) {
+      return info.param == ReservoirSampler::Method::kAlgorithmR
+                 ? "AlgorithmR"
+                 : "AlgorithmX";
+    });
+
+// ----------------------------------------------------------- BlockSampler
+
+TEST(BlockSamplerTest, RateOneEmitsEverythingInOrder) {
+  BlockSampler sampler(Random(1), 1);
+  for (int i = 0; i < 100; ++i) {
+    auto out = sampler.Add(i);
+    ASSERT_TRUE(out.has_value());
+    EXPECT_DOUBLE_EQ(*out, i);
+    EXPECT_TRUE(sampler.at_block_boundary());
+  }
+}
+
+TEST(BlockSamplerTest, EmitsExactlyOncePerBlock) {
+  constexpr Weight kRate = 8;
+  BlockSampler sampler(Random(2), kRate);
+  int emitted = 0;
+  for (int i = 0; i < 800; ++i) {
+    auto out = sampler.Add(i);
+    if (out.has_value()) {
+      ++emitted;
+      // The pick must come from the block just finished.
+      int block = i / static_cast<int>(kRate);
+      EXPECT_GE(*out, block * static_cast<int>(kRate));
+      EXPECT_LE(*out, i);
+      EXPECT_TRUE(sampler.at_block_boundary());
+    }
+  }
+  EXPECT_EQ(emitted, 100);
+}
+
+TEST(BlockSamplerTest, PickIsUniformWithinBlock) {
+  constexpr Weight kRate = 4;
+  constexpr int kTrials = 4000;
+  int position_counts[kRate] = {};
+  BlockSampler sampler(Random(3), kRate);
+  for (int t = 0; t < kTrials; ++t) {
+    for (int j = 0; j < static_cast<int>(kRate); ++j) {
+      auto out = sampler.Add(j);
+      if (out.has_value()) ++position_counts[static_cast<int>(*out)];
+    }
+  }
+  for (Weight j = 0; j < kRate; ++j) {
+    EXPECT_NEAR(position_counts[j], kTrials / static_cast<int>(kRate), 180)
+        << "position " << j;
+  }
+}
+
+TEST(BlockSamplerTest, PendingCandidateTracksOpenBlock) {
+  BlockSampler sampler(Random(4), 4);
+  EXPECT_EQ(sampler.pending_count(), 0u);
+  sampler.Add(10);
+  EXPECT_EQ(sampler.pending_count(), 1u);
+  EXPECT_DOUBLE_EQ(sampler.pending_candidate(), 10.0);
+  sampler.Add(20);
+  EXPECT_EQ(sampler.pending_count(), 2u);
+  Value c = sampler.pending_candidate();
+  EXPECT_TRUE(c == 10.0 || c == 20.0);
+}
+
+TEST(BlockSamplerTest, SetRateAtBoundary) {
+  BlockSampler sampler(Random(5), 2);
+  sampler.Add(1);
+  sampler.Add(2);  // block closes
+  ASSERT_TRUE(sampler.at_block_boundary());
+  sampler.SetRate(4);
+  EXPECT_EQ(sampler.rate(), 4u);
+  int emitted = 0;
+  for (int i = 0; i < 4; ++i) {
+    if (sampler.Add(i).has_value()) ++emitted;
+  }
+  EXPECT_EQ(emitted, 1);
+}
+
+TEST(BlockSamplerDeathTest, SetRateMidBlockAborts) {
+  BlockSampler sampler(Random(6), 4);
+  sampler.Add(1);
+  EXPECT_DEATH(sampler.SetRate(8), "rate change mid-block");
+}
+
+// ------------------------------------------------------- BernoulliSampler
+
+TEST(BernoulliSamplerTest, KeepsFractionNearP) {
+  BernoulliSampler sampler(Random(7), 0.25);
+  for (int i = 0; i < 20000; ++i) sampler.Sample();
+  EXPECT_EQ(sampler.seen(), 20000u);
+  EXPECT_NEAR(static_cast<double>(sampler.kept()) / 20000.0, 0.25, 0.015);
+}
+
+TEST(BernoulliSamplerTest, ProbabilityOneKeepsAll) {
+  BernoulliSampler sampler(Random(8), 1.0);
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(sampler.Sample());
+}
+
+TEST(BernoulliSamplerTest, HalveReducesRate) {
+  BernoulliSampler sampler(Random(9), 0.8);
+  sampler.Halve();
+  EXPECT_DOUBLE_EQ(sampler.probability(), 0.4);
+  sampler.Halve();
+  EXPECT_DOUBLE_EQ(sampler.probability(), 0.2);
+}
+
+}  // namespace
+}  // namespace mrl

@@ -1,0 +1,175 @@
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/sharded.h"
+#include "core/summary.h"
+#include "stream/generator.h"
+
+namespace mrl {
+namespace {
+
+// ----------------------------------------------------------- Summary merge
+
+TEST(SummaryMergeTest, MergeEqualsUnionFromRuns) {
+  std::vector<Value> a = {1, 3, 5};
+  std::vector<Value> b = {2, 3, 9};
+  std::vector<WeightedRun> run_a = {{a.data(), a.size(), 2}};
+  std::vector<WeightedRun> run_b = {{b.data(), b.size(), 4}};
+  QuantileSummary sa = QuantileSummary::FromRuns(run_a);
+  QuantileSummary sb = QuantileSummary::FromRuns(run_b);
+  QuantileSummary merged = QuantileSummary::Merge({&sa, &sb});
+
+  std::vector<WeightedRun> both = {{a.data(), a.size(), 2},
+                                   {b.data(), b.size(), 4}};
+  QuantileSummary direct = QuantileSummary::FromRuns(both);
+  ASSERT_EQ(merged.size(), direct.size());
+  EXPECT_EQ(merged.total_weight(), direct.total_weight());
+  for (std::size_t i = 0; i < merged.size(); ++i) {
+    EXPECT_DOUBLE_EQ(merged.entries()[i].value, direct.entries()[i].value);
+    EXPECT_EQ(merged.entries()[i].cumulative_weight,
+              direct.entries()[i].cumulative_weight);
+  }
+}
+
+TEST(SummaryMergeTest, MergeOfEmptiesIsEmpty) {
+  QuantileSummary empty_a, empty_b;
+  QuantileSummary merged = QuantileSummary::Merge({&empty_a, &empty_b});
+  EXPECT_TRUE(merged.empty());
+  EXPECT_TRUE(QuantileSummary::Merge({}).empty());
+}
+
+TEST(SummaryMergeTest, MergeIsOrderInsensitive) {
+  std::vector<Value> a = {1, 2};
+  std::vector<Value> b = {3};
+  std::vector<WeightedRun> run_a = {{a.data(), a.size(), 1}};
+  std::vector<WeightedRun> run_b = {{b.data(), b.size(), 7}};
+  QuantileSummary sa = QuantileSummary::FromRuns(run_a);
+  QuantileSummary sb = QuantileSummary::FromRuns(run_b);
+  QuantileSummary ab = QuantileSummary::Merge({&sa, &sb});
+  QuantileSummary ba = QuantileSummary::Merge({&sb, &sa});
+  EXPECT_EQ(ab.total_weight(), ba.total_weight());
+  EXPECT_DOUBLE_EQ(ab.Quantile(0.5).value(), ba.Quantile(0.5).value());
+}
+
+// ------------------------------------------------------------ Sharded sketch
+
+TEST(ShardedTest, RejectsZeroShards) {
+  ShardedQuantileSketch::Options options;
+  options.num_shards = 0;
+  EXPECT_FALSE(ShardedQuantileSketch::Create(options).ok());
+}
+
+TEST(ShardedTest, SingleShardMatchesPlainSketch) {
+  ShardedQuantileSketch::Options options;
+  options.eps = 0.02;
+  options.num_shards = 1;
+  options.seed = 3;
+  ShardedQuantileSketch sharded =
+      std::move(ShardedQuantileSketch::Create(options)).value();
+  StreamSpec spec;
+  spec.n = 20000;
+  spec.seed = 5;
+  Dataset ds = GenerateStream(spec);
+  for (Value v : ds.values()) sharded.Add(0, v);
+  EXPECT_EQ(sharded.count(), ds.size());
+  EXPECT_DOUBLE_EQ(sharded.Query(0.5).value(),
+                   sharded.shard(0).Query(0.5).value());
+}
+
+TEST(ShardedTest, UnionAccuracyAcrossSkewedShards) {
+  ShardedQuantileSketch::Options options;
+  options.eps = 0.02;
+  options.delta = 1e-3;
+  options.num_shards = 4;
+  options.seed = 7;
+  ShardedQuantileSketch sharded =
+      std::move(ShardedQuantileSketch::Create(options)).value();
+  // Each shard sees a different value range (partitioned table reality).
+  std::vector<Value> all;
+  Random rng(9);
+  for (int s = 0; s < 4; ++s) {
+    for (int i = 0; i < 30000; ++i) {
+      Value v = 100.0 * s + rng.UniformDouble() * 100.0;
+      sharded.Add(s, v);
+      all.push_back(v);
+    }
+  }
+  Dataset union_ds(std::move(all));
+  for (double phi : {0.1, 0.25, 0.5, 0.75, 0.9}) {
+    EXPECT_LE(union_ds.QuantileError(sharded.Query(phi).value(), phi),
+              options.eps)
+        << "phi " << phi;
+  }
+}
+
+TEST(ShardedTest, ConcurrentWritersThenQuery) {
+  ShardedQuantileSketch::Options options;
+  options.eps = 0.02;
+  options.delta = 1e-3;
+  options.num_shards = 4;
+  options.seed = 11;
+  ShardedQuantileSketch sharded =
+      std::move(ShardedQuantileSketch::Create(options)).value();
+  std::vector<std::vector<Value>> shards;
+  for (int s = 0; s < 4; ++s) {
+    StreamSpec spec;
+    spec.n = 50000;
+    spec.seed = 100 + static_cast<std::uint64_t>(s);
+    shards.push_back(GenerateStream(spec).values());
+  }
+  {
+    std::vector<std::thread> threads;
+    for (int s = 0; s < 4; ++s) {
+      threads.emplace_back([&sharded, &shards, s] {
+        for (Value v : shards[static_cast<std::size_t>(s)]) {
+          sharded.Add(s, v);
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+  }
+  std::vector<Value> all;
+  for (const auto& s : shards) all.insert(all.end(), s.begin(), s.end());
+  Dataset union_ds(std::move(all));
+  EXPECT_EQ(sharded.count(), union_ds.size());
+  EXPECT_LE(union_ds.QuantileError(sharded.Query(0.5).value(), 0.5),
+            options.eps);
+}
+
+TEST(ShardedTest, QueryManyAlignsWithSingles) {
+  ShardedQuantileSketch::Options options;
+  options.eps = 0.05;
+  options.num_shards = 2;
+  ShardedQuantileSketch sharded =
+      std::move(ShardedQuantileSketch::Create(options)).value();
+  for (int i = 0; i < 5000; ++i) sharded.Add(i % 2, i);
+  std::vector<Value> batch = sharded.QueryMany({0.3, 0.7}).value();
+  EXPECT_DOUBLE_EQ(batch[0], sharded.Query(0.3).value());
+  EXPECT_DOUBLE_EQ(batch[1], sharded.Query(0.7).value());
+}
+
+TEST(ShardedTest, EmptyQueryFails) {
+  ShardedQuantileSketch::Options options;
+  options.eps = 0.05;
+  options.num_shards = 2;
+  ShardedQuantileSketch sharded =
+      std::move(ShardedQuantileSketch::Create(options)).value();
+  EXPECT_EQ(sharded.Query(0.5).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(ShardedTest, IdleShardsDoNotPerturbAnswers) {
+  ShardedQuantileSketch::Options options;
+  options.eps = 0.05;
+  options.num_shards = 8;
+  ShardedQuantileSketch sharded =
+      std::move(ShardedQuantileSketch::Create(options)).value();
+  for (int i = 1; i <= 1000; ++i) sharded.Add(3, i);  // only one shard used
+  EXPECT_EQ(sharded.count(), 1000u);
+  EXPECT_DOUBLE_EQ(sharded.Query(1.0).value(), 1000.0);
+}
+
+}  // namespace
+}  // namespace mrl

@@ -1,0 +1,292 @@
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "stream/dataset.h"
+#include "stream/distribution.h"
+#include "stream/file_stream.h"
+#include "stream/generator.h"
+#include "stream/order.h"
+#include "util/random.h"
+
+namespace mrl {
+namespace {
+
+// ---------------------------------------------------------- Distributions
+
+TEST(DistributionTest, FactoryKnowsAllNames) {
+  for (const char* name : {"uniform", "gaussian", "exponential", "zipf",
+                           "constant", "two_point"}) {
+    auto dist = MakeDistribution(name);
+    ASSERT_NE(dist, nullptr) << name;
+    EXPECT_EQ(dist->name(), name);
+  }
+  EXPECT_EQ(MakeDistribution("nope"), nullptr);
+}
+
+TEST(DistributionTest, UniformStaysInRange) {
+  UniformDistribution dist(2.0, 5.0);
+  Random rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    Value v = dist.Draw(&rng);
+    ASSERT_GE(v, 2.0);
+    ASSERT_LT(v, 5.0);
+  }
+}
+
+TEST(DistributionTest, ZipfProducesIntegerRanksWithSkew) {
+  ZipfDistribution dist(100, 1.2);
+  Random rng(2);
+  int ones = 0;
+  for (int i = 0; i < 10000; ++i) {
+    Value v = dist.Draw(&rng);
+    ASSERT_GE(v, 1.0);
+    ASSERT_LE(v, 100.0);
+    ASSERT_EQ(v, std::floor(v));
+    if (v == 1.0) ++ones;
+  }
+  // Rank 1 carries by far the most mass under skew 1.2 (~18%).
+  EXPECT_GT(ones, 1000);
+}
+
+TEST(DistributionTest, ExponentialIsNonNegativeAndSkewed) {
+  ExponentialDistribution dist(1.0);
+  Random rng(3);
+  double sum = 0;
+  Value max = 0;
+  for (int i = 0; i < 20000; ++i) {
+    Value v = dist.Draw(&rng);
+    ASSERT_GE(v, 0.0);
+    sum += v;
+    max = std::max(max, v);
+  }
+  EXPECT_NEAR(sum / 20000.0, 1.0, 0.05);
+  EXPECT_GT(max, 5.0);  // heavy right tail exists
+}
+
+TEST(DistributionTest, TwoPointMixesBothValues) {
+  TwoPointDistribution dist(-1.0, 1.0, 0.3);
+  Random rng(4);
+  int lows = 0;
+  for (int i = 0; i < 10000; ++i) {
+    Value v = dist.Draw(&rng);
+    ASSERT_TRUE(v == -1.0 || v == 1.0);
+    if (v == -1.0) ++lows;
+  }
+  EXPECT_NEAR(lows / 10000.0, 0.3, 0.03);
+}
+
+// ----------------------------------------------------------------- Orders
+
+class ArrivalOrderTest : public ::testing::TestWithParam<ArrivalOrder> {};
+
+TEST_P(ArrivalOrderTest, IsAPermutation) {
+  StreamSpec spec;
+  spec.distribution = "uniform";
+  spec.n = 5000;
+  spec.seed = 10;
+  Dataset base = GenerateStream(spec);
+  std::vector<Value> values = base.values();
+  Random rng(11);
+  ApplyArrivalOrder(GetParam(), &rng, &values);
+  ASSERT_EQ(values.size(), base.size());
+  std::vector<Value> a = values;
+  std::vector<Value> b = base.values();
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  EXPECT_EQ(a, b) << "order " << ArrivalOrderName(GetParam())
+                  << " must not change the multiset";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOrders, ArrivalOrderTest, ::testing::ValuesIn(AllArrivalOrders()),
+    [](const ::testing::TestParamInfo<ArrivalOrder>& info) {
+      return ArrivalOrderName(info.param);
+    });
+
+TEST(ArrivalOrderDetailTest, SortedAscIsSorted) {
+  std::vector<Value> v = {3, 1, 2};
+  Random rng(1);
+  ApplyArrivalOrder(ArrivalOrder::kSortedAsc, &rng, &v);
+  EXPECT_TRUE(std::is_sorted(v.begin(), v.end()));
+}
+
+TEST(ArrivalOrderDetailTest, SortedDescIsReverseSorted) {
+  std::vector<Value> v = {3, 1, 2};
+  Random rng(1);
+  ApplyArrivalOrder(ArrivalOrder::kSortedDesc, &rng, &v);
+  EXPECT_TRUE(std::is_sorted(v.rbegin(), v.rend()));
+}
+
+TEST(ArrivalOrderDetailTest, AlternatingStartsFromBothExtremes) {
+  std::vector<Value> v = {1, 2, 3, 4, 5};
+  Random rng(1);
+  ApplyArrivalOrder(ArrivalOrder::kAlternating, &rng, &v);
+  EXPECT_DOUBLE_EQ(v[0], 1.0);
+  EXPECT_DOUBLE_EQ(v[1], 5.0);
+  EXPECT_DOUBLE_EQ(v[2], 2.0);
+}
+
+TEST(ArrivalOrderDetailTest, AllOrdersHaveDistinctNames) {
+  std::vector<std::string> names;
+  for (ArrivalOrder o : AllArrivalOrders()) {
+    names.push_back(ArrivalOrderName(o));
+  }
+  std::sort(names.begin(), names.end());
+  EXPECT_EQ(std::unique(names.begin(), names.end()), names.end());
+}
+
+// ---------------------------------------------------------------- Dataset
+
+TEST(DatasetTest, ExactQuantileMatchesDefinition) {
+  // Sorted sequence: 10 20 30 40 50; phi-quantile = element at ceil(phi*5).
+  Dataset ds({50, 10, 40, 20, 30});
+  EXPECT_DOUBLE_EQ(ds.ExactQuantile(0.2), 10);
+  EXPECT_DOUBLE_EQ(ds.ExactQuantile(0.21), 20);
+  EXPECT_DOUBLE_EQ(ds.ExactQuantile(0.5), 30);   // the median
+  EXPECT_DOUBLE_EQ(ds.ExactQuantile(1.0), 50);
+  EXPECT_DOUBLE_EQ(ds.ExactQuantile(0.01), 10);
+}
+
+TEST(DatasetTest, RankIntervalWithDuplicates) {
+  Dataset ds({5, 5, 5, 1, 9});
+  auto iv = ds.RankOf(5);
+  EXPECT_EQ(iv.lo, 2u);
+  EXPECT_EQ(iv.hi, 4u);
+  auto lo = ds.RankOf(1);
+  EXPECT_EQ(lo.lo, 1u);
+  EXPECT_EQ(lo.hi, 1u);
+}
+
+TEST(DatasetTest, RankIntervalOfAbsentValue) {
+  Dataset ds({10, 20, 30});
+  auto iv = ds.RankOf(15);
+  EXPECT_EQ(iv.lo, 2u);  // would be inserted at position 2
+  EXPECT_EQ(iv.hi, 1u);  // hi < lo flags absence
+}
+
+TEST(DatasetTest, QuantileErrorZeroInsideDuplicateRun) {
+  Dataset ds({5, 5, 5, 5, 1, 9, 9, 9, 9, 9});
+  // Value 5 occupies ranks 2..5 of 10; phi = 0.4 targets rank 4.
+  EXPECT_DOUBLE_EQ(ds.QuantileError(5, 0.4), 0.0);
+  // phi = 0.9 targets rank 9, distance 4 ranks -> 0.4.
+  EXPECT_NEAR(ds.QuantileError(5, 0.9), 0.4, 1e-12);
+}
+
+TEST(DatasetTest, QuantileErrorForAbsentValue) {
+  Dataset ds({10, 20, 30, 40});
+  // 25 splits at insertion rank 3 - 0.5 = 2.5; phi=0.5 targets rank 2.
+  EXPECT_NEAR(ds.QuantileError(25, 0.5), 0.5 / 4, 1e-12);
+}
+
+TEST(DatasetTest, IsApproxQuantileHonorsEps) {
+  Dataset ds({1, 2, 3, 4, 5, 6, 7, 8, 9, 10});
+  EXPECT_TRUE(ds.IsApproxQuantile(5, 0.5, 0.0));
+  EXPECT_TRUE(ds.IsApproxQuantile(6, 0.5, 0.1));
+  EXPECT_FALSE(ds.IsApproxQuantile(8, 0.5, 0.1));
+}
+
+TEST(DatasetTest, MinMax) {
+  Dataset ds({3, -2, 8});
+  EXPECT_DOUBLE_EQ(ds.Min(), -2);
+  EXPECT_DOUBLE_EQ(ds.Max(), 8);
+}
+
+TEST(GeneratorTest, DeterministicFromSpec) {
+  StreamSpec spec;
+  spec.distribution = "gaussian";
+  spec.order = ArrivalOrder::kShuffled;
+  spec.n = 1000;
+  spec.seed = 42;
+  Dataset a = GenerateStream(spec);
+  Dataset b = GenerateStream(spec);
+  EXPECT_EQ(a.values(), b.values());
+  spec.seed = 43;
+  Dataset c = GenerateStream(spec);
+  EXPECT_NE(a.values(), c.values());
+}
+
+// ------------------------------------------------------------ FileStream
+
+TEST(FileStreamTest, RoundTrip) {
+  std::string path = ::testing::TempDir() + "/mrl_roundtrip.bin";
+  std::vector<Value> values = {1.5, -2.25, 3.75, 0.0, 1e300};
+  ASSERT_TRUE(WriteValuesFile(path, values).ok());
+
+  FileValueReader reader;
+  ASSERT_TRUE(reader.Open(path).ok());
+  EXPECT_EQ(reader.size(), values.size());
+  std::vector<Value> read_back;
+  Value v;
+  while (reader.Next(&v)) read_back.push_back(v);
+  EXPECT_TRUE(reader.status().ok());
+  EXPECT_EQ(read_back, values);
+  std::remove(path.c_str());
+}
+
+TEST(FileStreamTest, LargeRoundTripCrossesBufferBoundary) {
+  std::string path = ::testing::TempDir() + "/mrl_large.bin";
+  StreamSpec spec;
+  spec.n = 200000;  // > the reader's 64K-value buffer
+  spec.seed = 5;
+  Dataset ds = GenerateStream(spec);
+  ASSERT_TRUE(WriteValuesFile(path, ds.values()).ok());
+  FileValueReader reader;
+  ASSERT_TRUE(reader.Open(path).ok());
+  std::uint64_t n = 0;
+  double sum = 0, expect_sum = 0;
+  Value v;
+  while (reader.Next(&v)) {
+    sum += v;
+    ++n;
+  }
+  for (Value x : ds.values()) expect_sum += x;
+  EXPECT_EQ(n, ds.size());
+  EXPECT_DOUBLE_EQ(sum, expect_sum);
+  std::remove(path.c_str());
+}
+
+TEST(FileStreamTest, OpenMissingFileFails) {
+  FileValueReader reader;
+  Status s = reader.Open("/nonexistent/never/here.bin");
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+}
+
+TEST(FileStreamTest, RejectsTruncatedFile) {
+  std::string path = ::testing::TempDir() + "/mrl_truncated.bin";
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  const char junk[5] = {1, 2, 3, 4, 5};  // not a multiple of sizeof(double)
+  std::fwrite(junk, 1, sizeof(junk), f);
+  std::fclose(f);
+  FileValueReader reader;
+  EXPECT_EQ(reader.Open(path).code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(FileStreamTest, DoubleOpenFails) {
+  std::string path = ::testing::TempDir() + "/mrl_double_open.bin";
+  ASSERT_TRUE(WriteValuesFile(path, {1.0}).ok());
+  FileValueReader reader;
+  ASSERT_TRUE(reader.Open(path).ok());
+  EXPECT_EQ(reader.Open(path).code(), StatusCode::kFailedPrecondition);
+  std::remove(path.c_str());
+}
+
+TEST(FileStreamTest, EmptyFileYieldsNothing) {
+  std::string path = ::testing::TempDir() + "/mrl_empty.bin";
+  ASSERT_TRUE(WriteValuesFile(path, {}).ok());
+  FileValueReader reader;
+  ASSERT_TRUE(reader.Open(path).ok());
+  Value v;
+  EXPECT_FALSE(reader.Next(&v));
+  EXPECT_TRUE(reader.status().ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace mrl

@@ -1,0 +1,159 @@
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/unknown_n.h"
+#include "stream/generator.h"
+
+namespace mrl {
+namespace {
+
+// Property sweep of the paper's central claim: for any value distribution,
+// any arrival order, and any prefix length, every answer is
+// eps-approximate (with probability 1 - delta; the seeds below are fixed,
+// so each case is deterministic and was verified to satisfy the guarantee
+// — a regression here means the algorithm changed, not bad luck).
+struct GuaranteeCase {
+  std::string distribution;
+  ArrivalOrder order;
+  double eps;
+  std::size_t n;
+
+  std::string Name() const {
+    std::string s = distribution + "_" + ArrivalOrderName(order) + "_eps" +
+                    std::to_string(static_cast<int>(1000 * eps)) + "_n" +
+                    std::to_string(n);
+    return s;
+  }
+};
+
+class GuaranteeTest : public ::testing::TestWithParam<GuaranteeCase> {};
+
+TEST_P(GuaranteeTest, AllQuantilesWithinEps) {
+  const GuaranteeCase& c = GetParam();
+  StreamSpec spec;
+  spec.distribution = c.distribution;
+  spec.order = c.order;
+  spec.n = c.n;
+  spec.seed = 1234;
+  Dataset ds = GenerateStream(spec);
+
+  UnknownNOptions options;
+  options.eps = c.eps;
+  options.delta = 1e-4;
+  options.seed = 99;
+  Result<UnknownNSketch> r = UnknownNSketch::Create(options);
+  ASSERT_TRUE(r.ok());
+  UnknownNSketch& sketch = r.value();
+  for (Value v : ds.values()) sketch.Add(v);
+
+  for (double phi : {0.01, 0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99}) {
+    Result<Value> est = sketch.Query(phi);
+    ASSERT_TRUE(est.ok());
+    EXPECT_LE(ds.QuantileError(est.value(), phi), c.eps)
+        << "phi=" << phi << " case " << c.Name();
+  }
+}
+
+std::vector<GuaranteeCase> MakeGuaranteeCases() {
+  std::vector<GuaranteeCase> cases;
+  for (const char* dist : {"uniform", "gaussian", "exponential", "zipf"}) {
+    for (ArrivalOrder order :
+         {ArrivalOrder::kAsDrawn, ArrivalOrder::kSortedAsc,
+          ArrivalOrder::kSortedDesc, ArrivalOrder::kAlternating}) {
+      cases.push_back({dist, order, 0.02, 30000});
+    }
+  }
+  // Extra eps sweep on the default distribution/order.
+  for (double eps : {0.1, 0.05, 0.01}) {
+    cases.push_back({"uniform", ArrivalOrder::kShuffled, eps, 50000});
+  }
+  // Remaining arrival orders at least once.
+  cases.push_back({"uniform", ArrivalOrder::kSawtooth, 0.02, 30000});
+  cases.push_back({"uniform", ArrivalOrder::kBlockShuffled, 0.02, 30000});
+  // Heavy duplication.
+  cases.push_back({"constant", ArrivalOrder::kAsDrawn, 0.05, 20000});
+  cases.push_back({"two_point", ArrivalOrder::kShuffled, 0.05, 20000});
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, GuaranteeTest, ::testing::ValuesIn(MakeGuaranteeCases()),
+    [](const ::testing::TestParamInfo<GuaranteeCase>& info) {
+      return info.param.Name();
+    });
+
+// Prefix property: the guarantee holds at *every* prefix, not just at the
+// end — this is what makes the algorithm an online-aggregation operator.
+class PrefixGuaranteeTest : public ::testing::TestWithParam<ArrivalOrder> {};
+
+TEST_P(PrefixGuaranteeTest, EveryCheckedPrefixIsAccurate) {
+  StreamSpec spec;
+  spec.distribution = "uniform";
+  spec.order = GetParam();
+  spec.n = 40000;
+  spec.seed = 777;
+  Dataset ds = GenerateStream(spec);
+
+  UnknownNOptions options;
+  options.eps = 0.03;
+  options.delta = 1e-4;
+  options.seed = 5;
+  UnknownNSketch sketch = std::move(UnknownNSketch::Create(options)).value();
+
+  std::vector<Value> prefix;
+  prefix.reserve(ds.size());
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    sketch.Add(ds.values()[i]);
+    prefix.push_back(ds.values()[i]);
+    if ((i + 1) % 5000 == 0) {
+      Dataset prefix_ds(prefix);
+      for (double phi : {0.1, 0.5, 0.9}) {
+        Value est = sketch.Query(phi).value();
+        EXPECT_LE(prefix_ds.QuantileError(est, phi), options.eps)
+            << "prefix " << (i + 1) << " phi " << phi;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Orders, PrefixGuaranteeTest,
+    ::testing::Values(ArrivalOrder::kAsDrawn, ArrivalOrder::kSortedAsc,
+                      ArrivalOrder::kSortedDesc),
+    [](const ::testing::TestParamInfo<ArrivalOrder>& info) {
+      return ArrivalOrderName(info.param);
+    });
+
+// With tiny forced parameters the sketch samples aggressively; accuracy
+// should still track the (weaker) guarantee those parameters imply. This
+// exercises deep trees: many rate doublings within a modest stream.
+TEST(DeepTreeTest, AggressiveSamplingStaysReasonable) {
+  UnknownNOptions options;
+  UnknownNParams p;
+  p.b = 4;
+  p.k = 64;
+  p.h = 3;
+  p.alpha = 0.5;
+  options.params = p;
+  options.seed = 17;
+  UnknownNSketch sketch = std::move(UnknownNSketch::Create(options)).value();
+
+  StreamSpec spec;
+  spec.n = 200000;
+  spec.seed = 31;
+  Dataset ds = GenerateStream(spec);
+  for (Value v : ds.values()) sketch.Add(v);
+  EXPECT_GE(sketch.sampling_rate(), 8u);
+  EXPECT_EQ(sketch.HeldWeight(), ds.size());
+  // b=4, k=64, h=3 supports roughly eps ~ (h+1)/(2 alpha k) ~ 0.06 for the
+  // tree alone; allow 2x sampling slack.
+  for (double phi : {0.25, 0.5, 0.75}) {
+    Value est = sketch.Query(phi).value();
+    EXPECT_LE(ds.QuantileError(est, phi), 0.12) << "phi " << phi;
+  }
+}
+
+}  // namespace
+}  // namespace mrl

@@ -1,0 +1,232 @@
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/unknown_n.h"
+#include "stream/generator.h"
+#include "util/math.h"
+
+namespace mrl {
+namespace {
+
+UnknownNParams SmallParams() {
+  // Tiny explicit parameters that force sampling onset quickly:
+  // b=3, k=20, h=2 -> onset after C(4,2)=6 leaves = 120 elements.
+  UnknownNParams p;
+  p.b = 3;
+  p.k = 20;
+  p.h = 2;
+  p.alpha = 0.5;
+  p.leaves_before_sampling = 6;
+  return p;
+}
+
+UnknownNSketch MakeSmall(std::uint64_t seed = 1) {
+  UnknownNOptions options;
+  options.params = SmallParams();
+  options.seed = seed;
+  Result<UnknownNSketch> r = UnknownNSketch::Create(options);
+  EXPECT_TRUE(r.ok());
+  return std::move(r).value();
+}
+
+TEST(UnknownNSketchTest, CreateSolvesParamsWhenUnspecified) {
+  UnknownNOptions options;
+  options.eps = 0.01;
+  options.delta = 1e-4;
+  Result<UnknownNSketch> r = UnknownNSketch::Create(options);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GE(r.value().params().b, 2);
+  EXPECT_EQ(r.value().MemoryElements(),
+            static_cast<std::uint64_t>(r.value().params().b) *
+                r.value().params().k);
+}
+
+TEST(UnknownNSketchTest, CreateRejectsBadExplicitParams) {
+  UnknownNOptions options;
+  UnknownNParams p = SmallParams();
+  p.b = 1;
+  options.params = p;
+  EXPECT_EQ(UnknownNSketch::Create(options).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(UnknownNSketchTest, CreateRejectsBadEps) {
+  UnknownNOptions options;
+  options.eps = 0.0;
+  EXPECT_FALSE(UnknownNSketch::Create(options).ok());
+  options.eps = 1.5;
+  EXPECT_FALSE(UnknownNSketch::Create(options).ok());
+}
+
+TEST(UnknownNSketchTest, QueryBeforeAnyElementFails) {
+  UnknownNSketch s = MakeSmall();
+  EXPECT_EQ(s.Query(0.5).status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(UnknownNSketchTest, QueryRejectsBadPhi) {
+  UnknownNSketch s = MakeSmall();
+  s.Add(1.0);
+  EXPECT_EQ(s.Query(0.0).status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.Query(1.5).status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.Query(-0.1).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(UnknownNSketchTest, SingleElementStream) {
+  UnknownNSketch s = MakeSmall();
+  s.Add(42.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_EQ(s.HeldWeight(), 1u);
+  EXPECT_DOUBLE_EQ(s.Query(0.5).value(), 42.0);
+  EXPECT_DOUBLE_EQ(s.Query(1.0).value(), 42.0);
+  EXPECT_DOUBLE_EQ(s.Query(0.001).value(), 42.0);
+}
+
+TEST(UnknownNSketchTest, HeldWeightEqualsCountAtEveryStep) {
+  // The central bookkeeping invariant: the sketch always represents
+  // exactly the elements consumed, across buffer fills, collapses, rate
+  // doublings, and in-flight blocks.
+  UnknownNSketch s = MakeSmall();
+  StreamSpec spec;
+  spec.n = 3000;
+  spec.seed = 5;
+  Dataset ds = GenerateStream(spec);
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    s.Add(ds.values()[i]);
+    ASSERT_EQ(s.HeldWeight(), i + 1) << "after element " << i;
+  }
+}
+
+TEST(UnknownNSketchTest, SamplingOnsetFollowsTreeGrowth) {
+  UnknownNSketch s = MakeSmall();
+  EXPECT_EQ(s.sampling_rate(), 1u);
+  // The tree holds C(b+h-1, h) = 6 unsampled leaves of k=20 elements; the
+  // next Add triggers the collapse that creates the first level-h buffer,
+  // and that same New switches to rate 2 (Section 3.7).
+  for (int i = 0; i < 120; ++i) s.Add(i);
+  EXPECT_EQ(s.tree_stats().max_level, 1);
+  EXPECT_EQ(s.sampling_rate(), 1u);
+  s.Add(120);
+  EXPECT_EQ(s.tree_stats().max_level, 2);
+  EXPECT_EQ(s.sampling_rate(), 2u);
+}
+
+TEST(UnknownNSketchTest, SamplingRateKeepsDoubling) {
+  UnknownNSketch s = MakeSmall();
+  Weight max_rate = 1;
+  for (int i = 0; i < 20000; ++i) {
+    s.Add(i);
+    max_rate = std::max(max_rate, s.sampling_rate());
+  }
+  EXPECT_GE(max_rate, 4u);
+  EXPECT_TRUE(IsPow2(s.sampling_rate()));
+  EXPECT_EQ(s.HeldWeight(), 20000u);
+}
+
+TEST(UnknownNSketchTest, PostOnsetLeavesEnterAtHigherLevels) {
+  UnknownNSketch s = MakeSmall();
+  for (int i = 0; i < 500; ++i) s.Add(i);
+  // After onset (max_level >= h), any filling happens at level
+  // max_level - h + 1 >= 1; check the committed buffers' levels are
+  // plausible: no full buffer sits below level 0 and levels never exceed
+  // max_level.
+  const CollapseFramework& fw = s.framework();
+  for (int i = 0; i < fw.num_buffers(); ++i) {
+    const Buffer& buf = fw.buffer(static_cast<std::size_t>(i));
+    if (buf.state() == BufferState::kFull) {
+      EXPECT_GE(buf.level(), 0);
+      EXPECT_LE(buf.level(), fw.max_level());
+    }
+  }
+  EXPECT_GE(fw.max_level(), 2);
+}
+
+TEST(UnknownNSketchTest, DeterministicAcrossRuns) {
+  StreamSpec spec;
+  spec.n = 5000;
+  spec.seed = 9;
+  Dataset ds = GenerateStream(spec);
+  UnknownNSketch a = MakeSmall(123);
+  UnknownNSketch b = MakeSmall(123);
+  for (Value v : ds.values()) {
+    a.Add(v);
+    b.Add(v);
+  }
+  for (double phi : {0.1, 0.5, 0.9}) {
+    EXPECT_DOUBLE_EQ(a.Query(phi).value(), b.Query(phi).value());
+  }
+}
+
+TEST(UnknownNSketchTest, QueryManyAgreesWithSingleQueries) {
+  UnknownNSketch s = MakeSmall(7);
+  StreamSpec spec;
+  spec.n = 2500;
+  spec.seed = 11;
+  Dataset ds = GenerateStream(spec);
+  for (Value v : ds.values()) s.Add(v);
+  std::vector<double> phis = {0.9, 0.1, 0.5, 0.5, 0.25};
+  std::vector<Value> batch = s.QueryMany(phis).value();
+  ASSERT_EQ(batch.size(), phis.size());
+  for (std::size_t i = 0; i < phis.size(); ++i) {
+    EXPECT_DOUBLE_EQ(batch[i], s.Query(phis[i]).value()) << "phi " << phis[i];
+  }
+}
+
+TEST(UnknownNSketchTest, AnytimeQueriesAreMonotoneInPhi) {
+  UnknownNSketch s = MakeSmall(3);
+  StreamSpec spec;
+  spec.n = 4000;
+  spec.seed = 13;
+  Dataset ds = GenerateStream(spec);
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    s.Add(ds.values()[i]);
+    if ((i + 1) % 500 == 0) {
+      Value q25 = s.Query(0.25).value();
+      Value q50 = s.Query(0.5).value();
+      Value q75 = s.Query(0.75).value();
+      EXPECT_LE(q25, q50);
+      EXPECT_LE(q50, q75);
+    }
+  }
+}
+
+TEST(UnknownNSketchTest, QueriesDoNotPerturbState) {
+  UnknownNSketch s = MakeSmall(21);
+  for (int i = 0; i < 1000; ++i) s.Add(i);
+  Value before = s.Query(0.5).value();
+  for (int i = 0; i < 50; ++i) s.Query(0.37);
+  EXPECT_DOUBLE_EQ(s.Query(0.5).value(), before);
+  EXPECT_EQ(s.count(), 1000u);
+  EXPECT_EQ(s.HeldWeight(), 1000u);
+}
+
+TEST(UnknownNSketchTest, FinishAndExportConservesWeight) {
+  UnknownNSketch s = MakeSmall(31);
+  for (int i = 0; i < 777; ++i) s.Add(i);
+  std::vector<ShippedBuffer> shipped = s.FinishAndExport();
+  Weight total = 0;
+  int fulls = 0;
+  for (const ShippedBuffer& b : shipped) {
+    total += static_cast<Weight>(b.values.size()) * b.weight;
+    fulls += b.full ? 1 : 0;
+    if (b.full) {
+      EXPECT_EQ(b.values.size(), SmallParams().k);
+    }
+  }
+  EXPECT_EQ(total, 777u);
+  EXPECT_LE(fulls, 1) << "final collapse leaves at most one full buffer";
+  EXPECT_LE(shipped.size(), 3u);
+}
+
+TEST(UnknownNSketchTest, ExtremePhiReturnsheldExtremes) {
+  UnknownNSketch s = MakeSmall(41);
+  for (int i = 1; i <= 60; ++i) s.Add(i);  // fewer than 6 leaves: no loss
+  // With no sampling and no collapse error at the extremes of a small
+  // stream, phi=1 must be the true max's neighborhood.
+  EXPECT_DOUBLE_EQ(s.Query(1.0).value(), 60.0);
+  EXPECT_DOUBLE_EQ(s.Query(0.0001).value(), 1.0);
+}
+
+}  // namespace
+}  // namespace mrl

@@ -1,0 +1,171 @@
+// Command-line quantile computation over a file of values, in one pass and
+// constant memory — the library's capabilities packaged for shell use.
+//
+// Usage:
+//   mrlquant_cli [options] <file>
+//     --format=text|bin     input: one decimal per line (default) or raw
+//                           little-endian doubles (stream/file_stream.h)
+//     --eps=<e>             rank error bound as a fraction of N (0.01)
+//     --delta=<d>           failure probability (1e-4)
+//     --phi=<p1,p2,...>     quantiles to report (0.01,0.25,0.5,0.75,0.99)
+//     --rank=<v1,v2,...>    also report approximate normalized ranks of
+//                           these values (selectivity of "x <= v")
+//     --seed=<s>            RNG seed (1)
+//
+// Exit status: 0 on success, 1 on any error.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/unknown_n.h"
+#include "stream/file_stream.h"
+#include "stream/text_stream.h"
+#include "util/status.h"
+
+namespace {
+
+struct CliOptions {
+  std::string path;
+  std::string format = "text";
+  double eps = 0.01;
+  double delta = 1e-4;
+  std::vector<double> phis = {0.01, 0.25, 0.5, 0.75, 0.99};
+  std::vector<double> ranks;
+  std::uint64_t seed = 1;
+};
+
+bool ParseDoubleList(const char* arg, std::vector<double>* out) {
+  out->clear();
+  std::string s(arg);
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    std::size_t comma = s.find(',', pos);
+    std::string token = s.substr(pos, comma == std::string::npos
+                                          ? std::string::npos
+                                          : comma - pos);
+    char* end = nullptr;
+    double v = std::strtod(token.c_str(), &end);
+    if (end == token.c_str() || *end != '\0') return false;
+    out->push_back(v);
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return !out->empty();
+}
+
+bool ParseArgs(int argc, char** argv, CliOptions* options) {
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    auto value_of = [&](const char* prefix) -> const char* {
+      std::size_t len = std::strlen(prefix);
+      return std::strncmp(arg, prefix, len) == 0 ? arg + len : nullptr;
+    };
+    if (const char* v = value_of("--format=")) {
+      options->format = v;
+    } else if (const char* v = value_of("--eps=")) {
+      options->eps = std::atof(v);
+    } else if (const char* v = value_of("--delta=")) {
+      options->delta = std::atof(v);
+    } else if (const char* v = value_of("--seed=")) {
+      options->seed = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = value_of("--phi=")) {
+      if (!ParseDoubleList(v, &options->phis)) return false;
+    } else if (const char* v = value_of("--rank=")) {
+      if (!ParseDoubleList(v, &options->ranks)) return false;
+    } else if (std::strncmp(arg, "--", 2) == 0) {
+      std::fprintf(stderr, "unknown flag: %s\n", arg);
+      return false;
+    } else if (options->path.empty()) {
+      options->path = arg;
+    } else {
+      std::fprintf(stderr, "unexpected argument: %s\n", arg);
+      return false;
+    }
+  }
+  if (options->path.empty()) {
+    std::fprintf(stderr,
+                 "usage: mrlquant_cli [--format=text|bin] [--eps=E] "
+                 "[--delta=D] [--phi=p1,p2,...] [--rank=v1,v2,...] "
+                 "[--seed=S] <file>\n");
+    return false;
+  }
+  if (options->format != "text" && options->format != "bin") {
+    std::fprintf(stderr, "unknown format: %s\n", options->format.c_str());
+    return false;
+  }
+  return true;
+}
+
+template <typename Reader>
+mrl::Status FeedAll(Reader* reader, mrl::UnknownNSketch* sketch) {
+  mrl::Value v;
+  while (reader->Next(&v)) sketch->Add(v);
+  return reader->status();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions options;
+  if (!ParseArgs(argc, argv, &options)) return 1;
+
+  mrl::UnknownNOptions sketch_options;
+  sketch_options.eps = options.eps;
+  sketch_options.delta = options.delta;
+  sketch_options.seed = options.seed;
+  mrl::Result<mrl::UnknownNSketch> created =
+      mrl::UnknownNSketch::Create(sketch_options);
+  if (!created.ok()) {
+    std::fprintf(stderr, "error: %s\n", created.status().ToString().c_str());
+    return 1;
+  }
+  mrl::UnknownNSketch& sketch = created.value();
+
+  mrl::Status read_status;
+  if (options.format == "bin") {
+    mrl::FileValueReader reader;
+    read_status = reader.Open(options.path);
+    if (read_status.ok()) read_status = FeedAll(&reader, &sketch);
+  } else {
+    mrl::TextValueReader reader;
+    read_status = reader.Open(options.path);
+    if (read_status.ok()) read_status = FeedAll(&reader, &sketch);
+  }
+  if (!read_status.ok()) {
+    std::fprintf(stderr, "error reading %s: %s\n", options.path.c_str(),
+                 read_status.ToString().c_str());
+    return 1;
+  }
+  if (sketch.count() == 0) {
+    std::fprintf(stderr, "error: %s holds no values\n",
+                 options.path.c_str());
+    return 1;
+  }
+
+  std::printf("# n=%llu eps=%g delta=%g memory_elements=%llu\n",
+              static_cast<unsigned long long>(sketch.count()), options.eps,
+              options.delta,
+              static_cast<unsigned long long>(sketch.MemoryElements()));
+  mrl::Result<std::vector<mrl::Value>> answers =
+      sketch.QueryMany(options.phis);
+  if (!answers.ok()) {
+    std::fprintf(stderr, "error: %s\n", answers.status().ToString().c_str());
+    return 1;
+  }
+  for (std::size_t i = 0; i < options.phis.size(); ++i) {
+    std::printf("quantile\t%g\t%.17g\n", options.phis[i],
+                answers.value()[i]);
+  }
+  for (double v : options.ranks) {
+    mrl::Result<double> rank = sketch.RankOf(v);
+    if (!rank.ok()) {
+      std::fprintf(stderr, "error: %s\n", rank.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("rank\t%.17g\t%g\n", v, rank.value());
+  }
+  return 0;
+}
