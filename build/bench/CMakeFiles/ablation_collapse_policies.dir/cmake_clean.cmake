@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_collapse_policies.dir/ablation_collapse_policies.cc.o"
+  "CMakeFiles/ablation_collapse_policies.dir/ablation_collapse_policies.cc.o.d"
+  "ablation_collapse_policies"
+  "ablation_collapse_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_collapse_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

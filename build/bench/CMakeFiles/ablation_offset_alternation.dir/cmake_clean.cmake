@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_offset_alternation.dir/ablation_offset_alternation.cc.o"
+  "CMakeFiles/ablation_offset_alternation.dir/ablation_offset_alternation.cc.o.d"
+  "ablation_offset_alternation"
+  "ablation_offset_alternation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_offset_alternation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

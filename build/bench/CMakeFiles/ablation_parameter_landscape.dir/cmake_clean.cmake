@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_parameter_landscape.dir/ablation_parameter_landscape.cc.o"
+  "CMakeFiles/ablation_parameter_landscape.dir/ablation_parameter_landscape.cc.o.d"
+  "ablation_parameter_landscape"
+  "ablation_parameter_landscape.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_parameter_landscape.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

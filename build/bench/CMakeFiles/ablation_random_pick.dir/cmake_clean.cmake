@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_random_pick.dir/ablation_random_pick.cc.o"
+  "CMakeFiles/ablation_random_pick.dir/ablation_random_pick.cc.o.d"
+  "ablation_random_pick"
+  "ablation_random_pick.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_random_pick.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accuracy_observed_error.dir/accuracy_observed_error.cc.o"
+  "CMakeFiles/accuracy_observed_error.dir/accuracy_observed_error.cc.o.d"
+  "accuracy_observed_error"
+  "accuracy_observed_error.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accuracy_observed_error.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extreme_values.dir/extreme_values.cc.o"
+  "CMakeFiles/extreme_values.dir/extreme_values.cc.o.d"
+  "extreme_values"
+  "extreme_values.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extreme_values.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

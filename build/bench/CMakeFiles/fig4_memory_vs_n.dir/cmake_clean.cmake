@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_memory_vs_n.dir/fig4_memory_vs_n.cc.o"
+  "CMakeFiles/fig4_memory_vs_n.dir/fig4_memory_vs_n.cc.o.d"
+  "fig4_memory_vs_n"
+  "fig4_memory_vs_n.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_memory_vs_n.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_dynamic_allocation.dir/fig5_dynamic_allocation.cc.o"
+  "CMakeFiles/fig5_dynamic_allocation.dir/fig5_dynamic_allocation.cc.o.d"
+  "fig5_dynamic_allocation"
+  "fig5_dynamic_allocation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_dynamic_allocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

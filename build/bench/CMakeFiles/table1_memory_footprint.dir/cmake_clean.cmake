@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_memory_footprint.dir/table1_memory_footprint.cc.o"
+  "CMakeFiles/table1_memory_footprint.dir/table1_memory_footprint.cc.o.d"
+  "table1_memory_footprint"
+  "table1_memory_footprint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_memory_footprint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

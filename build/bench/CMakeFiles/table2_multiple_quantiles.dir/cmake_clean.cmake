@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_multiple_quantiles.dir/table2_multiple_quantiles.cc.o"
+  "CMakeFiles/table2_multiple_quantiles.dir/table2_multiple_quantiles.cc.o.d"
+  "table2_multiple_quantiles"
+  "table2_multiple_quantiles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_multiple_quantiles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for table2_multiple_quantiles.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_splitters.dir/parallel_splitters.cpp.o"
+  "CMakeFiles/parallel_splitters.dir/parallel_splitters.cpp.o.d"
+  "parallel_splitters"
+  "parallel_splitters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_splitters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

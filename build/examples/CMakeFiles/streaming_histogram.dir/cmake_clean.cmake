@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streaming_histogram.dir/streaming_histogram.cpp.o"
+  "CMakeFiles/streaming_histogram.dir/streaming_histogram.cpp.o.d"
+  "streaming_histogram"
+  "streaming_histogram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streaming_histogram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tail_latency.dir/tail_latency.cpp.o"
+  "CMakeFiles/tail_latency.dir/tail_latency.cpp.o.d"
+  "tail_latency"
+  "tail_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tail_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/app/equidepth_histogram.cc" "src/app/CMakeFiles/mrl_app.dir/equidepth_histogram.cc.o" "gcc" "src/app/CMakeFiles/mrl_app.dir/equidepth_histogram.cc.o.d"
+  "/root/repo/src/app/group_by.cc" "src/app/CMakeFiles/mrl_app.dir/group_by.cc.o" "gcc" "src/app/CMakeFiles/mrl_app.dir/group_by.cc.o.d"
+  "/root/repo/src/app/online_aggregation.cc" "src/app/CMakeFiles/mrl_app.dir/online_aggregation.cc.o" "gcc" "src/app/CMakeFiles/mrl_app.dir/online_aggregation.cc.o.d"
+  "/root/repo/src/app/selectivity.cc" "src/app/CMakeFiles/mrl_app.dir/selectivity.cc.o" "gcc" "src/app/CMakeFiles/mrl_app.dir/selectivity.cc.o.d"
+  "/root/repo/src/app/splitters.cc" "src/app/CMakeFiles/mrl_app.dir/splitters.cc.o" "gcc" "src/app/CMakeFiles/mrl_app.dir/splitters.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mrl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mrl_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sampling/CMakeFiles/mrl_sampling.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

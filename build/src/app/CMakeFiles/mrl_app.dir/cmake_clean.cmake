@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrl_app.dir/equidepth_histogram.cc.o"
+  "CMakeFiles/mrl_app.dir/equidepth_histogram.cc.o.d"
+  "CMakeFiles/mrl_app.dir/group_by.cc.o"
+  "CMakeFiles/mrl_app.dir/group_by.cc.o.d"
+  "CMakeFiles/mrl_app.dir/online_aggregation.cc.o"
+  "CMakeFiles/mrl_app.dir/online_aggregation.cc.o.d"
+  "CMakeFiles/mrl_app.dir/selectivity.cc.o"
+  "CMakeFiles/mrl_app.dir/selectivity.cc.o.d"
+  "CMakeFiles/mrl_app.dir/splitters.cc.o"
+  "CMakeFiles/mrl_app.dir/splitters.cc.o.d"
+  "libmrl_app.a"
+  "libmrl_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrl_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

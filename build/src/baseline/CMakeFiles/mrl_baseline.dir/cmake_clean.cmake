@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrl_baseline.dir/ars.cc.o"
+  "CMakeFiles/mrl_baseline.dir/ars.cc.o.d"
+  "CMakeFiles/mrl_baseline.dir/exact.cc.o"
+  "CMakeFiles/mrl_baseline.dir/exact.cc.o.d"
+  "CMakeFiles/mrl_baseline.dir/munro_paterson.cc.o"
+  "CMakeFiles/mrl_baseline.dir/munro_paterson.cc.o.d"
+  "CMakeFiles/mrl_baseline.dir/reservoir_quantile.cc.o"
+  "CMakeFiles/mrl_baseline.dir/reservoir_quantile.cc.o.d"
+  "libmrl_baseline.a"
+  "libmrl_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrl_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmrl_baseline.a"
+)

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/buffer.cc" "src/core/CMakeFiles/mrl_core.dir/buffer.cc.o" "gcc" "src/core/CMakeFiles/mrl_core.dir/buffer.cc.o.d"
+  "/root/repo/src/core/collapse.cc" "src/core/CMakeFiles/mrl_core.dir/collapse.cc.o" "gcc" "src/core/CMakeFiles/mrl_core.dir/collapse.cc.o.d"
+  "/root/repo/src/core/collapse_policy.cc" "src/core/CMakeFiles/mrl_core.dir/collapse_policy.cc.o" "gcc" "src/core/CMakeFiles/mrl_core.dir/collapse_policy.cc.o.d"
+  "/root/repo/src/core/dynamic_alloc.cc" "src/core/CMakeFiles/mrl_core.dir/dynamic_alloc.cc.o" "gcc" "src/core/CMakeFiles/mrl_core.dir/dynamic_alloc.cc.o.d"
+  "/root/repo/src/core/extreme.cc" "src/core/CMakeFiles/mrl_core.dir/extreme.cc.o" "gcc" "src/core/CMakeFiles/mrl_core.dir/extreme.cc.o.d"
+  "/root/repo/src/core/framework.cc" "src/core/CMakeFiles/mrl_core.dir/framework.cc.o" "gcc" "src/core/CMakeFiles/mrl_core.dir/framework.cc.o.d"
+  "/root/repo/src/core/int64_sketch.cc" "src/core/CMakeFiles/mrl_core.dir/int64_sketch.cc.o" "gcc" "src/core/CMakeFiles/mrl_core.dir/int64_sketch.cc.o.d"
+  "/root/repo/src/core/known_n.cc" "src/core/CMakeFiles/mrl_core.dir/known_n.cc.o" "gcc" "src/core/CMakeFiles/mrl_core.dir/known_n.cc.o.d"
+  "/root/repo/src/core/multi_quantile.cc" "src/core/CMakeFiles/mrl_core.dir/multi_quantile.cc.o" "gcc" "src/core/CMakeFiles/mrl_core.dir/multi_quantile.cc.o.d"
+  "/root/repo/src/core/output.cc" "src/core/CMakeFiles/mrl_core.dir/output.cc.o" "gcc" "src/core/CMakeFiles/mrl_core.dir/output.cc.o.d"
+  "/root/repo/src/core/parallel.cc" "src/core/CMakeFiles/mrl_core.dir/parallel.cc.o" "gcc" "src/core/CMakeFiles/mrl_core.dir/parallel.cc.o.d"
+  "/root/repo/src/core/params.cc" "src/core/CMakeFiles/mrl_core.dir/params.cc.o" "gcc" "src/core/CMakeFiles/mrl_core.dir/params.cc.o.d"
+  "/root/repo/src/core/sharded.cc" "src/core/CMakeFiles/mrl_core.dir/sharded.cc.o" "gcc" "src/core/CMakeFiles/mrl_core.dir/sharded.cc.o.d"
+  "/root/repo/src/core/summary.cc" "src/core/CMakeFiles/mrl_core.dir/summary.cc.o" "gcc" "src/core/CMakeFiles/mrl_core.dir/summary.cc.o.d"
+  "/root/repo/src/core/unknown_n.cc" "src/core/CMakeFiles/mrl_core.dir/unknown_n.cc.o" "gcc" "src/core/CMakeFiles/mrl_core.dir/unknown_n.cc.o.d"
+  "/root/repo/src/core/weighted_merge.cc" "src/core/CMakeFiles/mrl_core.dir/weighted_merge.cc.o" "gcc" "src/core/CMakeFiles/mrl_core.dir/weighted_merge.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mrl_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sampling/CMakeFiles/mrl_sampling.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

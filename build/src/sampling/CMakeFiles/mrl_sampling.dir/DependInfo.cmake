@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sampling/block_sampler.cc" "src/sampling/CMakeFiles/mrl_sampling.dir/block_sampler.cc.o" "gcc" "src/sampling/CMakeFiles/mrl_sampling.dir/block_sampler.cc.o.d"
+  "/root/repo/src/sampling/reservoir.cc" "src/sampling/CMakeFiles/mrl_sampling.dir/reservoir.cc.o" "gcc" "src/sampling/CMakeFiles/mrl_sampling.dir/reservoir.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mrl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrl_sampling.dir/block_sampler.cc.o"
+  "CMakeFiles/mrl_sampling.dir/block_sampler.cc.o.d"
+  "CMakeFiles/mrl_sampling.dir/reservoir.cc.o"
+  "CMakeFiles/mrl_sampling.dir/reservoir.cc.o.d"
+  "libmrl_sampling.a"
+  "libmrl_sampling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrl_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stream/dataset.cc" "src/stream/CMakeFiles/mrl_stream.dir/dataset.cc.o" "gcc" "src/stream/CMakeFiles/mrl_stream.dir/dataset.cc.o.d"
+  "/root/repo/src/stream/distribution.cc" "src/stream/CMakeFiles/mrl_stream.dir/distribution.cc.o" "gcc" "src/stream/CMakeFiles/mrl_stream.dir/distribution.cc.o.d"
+  "/root/repo/src/stream/file_stream.cc" "src/stream/CMakeFiles/mrl_stream.dir/file_stream.cc.o" "gcc" "src/stream/CMakeFiles/mrl_stream.dir/file_stream.cc.o.d"
+  "/root/repo/src/stream/generator.cc" "src/stream/CMakeFiles/mrl_stream.dir/generator.cc.o" "gcc" "src/stream/CMakeFiles/mrl_stream.dir/generator.cc.o.d"
+  "/root/repo/src/stream/order.cc" "src/stream/CMakeFiles/mrl_stream.dir/order.cc.o" "gcc" "src/stream/CMakeFiles/mrl_stream.dir/order.cc.o.d"
+  "/root/repo/src/stream/text_stream.cc" "src/stream/CMakeFiles/mrl_stream.dir/text_stream.cc.o" "gcc" "src/stream/CMakeFiles/mrl_stream.dir/text_stream.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mrl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

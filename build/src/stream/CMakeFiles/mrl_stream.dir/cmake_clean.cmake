@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrl_stream.dir/dataset.cc.o"
+  "CMakeFiles/mrl_stream.dir/dataset.cc.o.d"
+  "CMakeFiles/mrl_stream.dir/distribution.cc.o"
+  "CMakeFiles/mrl_stream.dir/distribution.cc.o.d"
+  "CMakeFiles/mrl_stream.dir/file_stream.cc.o"
+  "CMakeFiles/mrl_stream.dir/file_stream.cc.o.d"
+  "CMakeFiles/mrl_stream.dir/generator.cc.o"
+  "CMakeFiles/mrl_stream.dir/generator.cc.o.d"
+  "CMakeFiles/mrl_stream.dir/order.cc.o"
+  "CMakeFiles/mrl_stream.dir/order.cc.o.d"
+  "CMakeFiles/mrl_stream.dir/text_stream.cc.o"
+  "CMakeFiles/mrl_stream.dir/text_stream.cc.o.d"
+  "libmrl_stream.a"
+  "libmrl_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrl_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrl_util.dir/math.cc.o"
+  "CMakeFiles/mrl_util.dir/math.cc.o.d"
+  "CMakeFiles/mrl_util.dir/random.cc.o"
+  "CMakeFiles/mrl_util.dir/random.cc.o.d"
+  "CMakeFiles/mrl_util.dir/status.cc.o"
+  "CMakeFiles/mrl_util.dir/status.cc.o.d"
+  "libmrl_util.a"
+  "libmrl_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrl_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

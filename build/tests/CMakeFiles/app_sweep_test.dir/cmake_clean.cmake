@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/app_sweep_test.dir/app_sweep_test.cc.o"
+  "CMakeFiles/app_sweep_test.dir/app_sweep_test.cc.o.d"
+  "app_sweep_test"
+  "app_sweep_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/app_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_alloc_test.dir/dynamic_alloc_test.cc.o"
+  "CMakeFiles/dynamic_alloc_test.dir/dynamic_alloc_test.cc.o.d"
+  "dynamic_alloc_test"
+  "dynamic_alloc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_alloc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

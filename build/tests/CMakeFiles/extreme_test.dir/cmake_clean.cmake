@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extreme_test.dir/extreme_test.cc.o"
+  "CMakeFiles/extreme_test.dir/extreme_test.cc.o.d"
+  "extreme_test"
+  "extreme_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extreme_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

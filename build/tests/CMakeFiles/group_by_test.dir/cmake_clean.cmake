@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/group_by_test.dir/group_by_test.cc.o"
+  "CMakeFiles/group_by_test.dir/group_by_test.cc.o.d"
+  "group_by_test"
+  "group_by_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/group_by_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

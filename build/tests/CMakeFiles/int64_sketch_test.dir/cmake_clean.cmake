@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/int64_sketch_test.dir/int64_sketch_test.cc.o"
+  "CMakeFiles/int64_sketch_test.dir/int64_sketch_test.cc.o.d"
+  "int64_sketch_test"
+  "int64_sketch_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/int64_sketch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

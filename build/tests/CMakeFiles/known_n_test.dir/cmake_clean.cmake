@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/known_n_test.dir/known_n_test.cc.o"
+  "CMakeFiles/known_n_test.dir/known_n_test.cc.o.d"
+  "known_n_test"
+  "known_n_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/known_n_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

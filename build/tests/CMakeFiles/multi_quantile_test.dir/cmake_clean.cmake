@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_quantile_test.dir/multi_quantile_test.cc.o"
+  "CMakeFiles/multi_quantile_test.dir/multi_quantile_test.cc.o.d"
+  "multi_quantile_test"
+  "multi_quantile_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_quantile_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

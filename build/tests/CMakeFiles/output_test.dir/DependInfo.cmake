@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/output_test.cc" "tests/CMakeFiles/output_test.dir/output_test.cc.o" "gcc" "tests/CMakeFiles/output_test.dir/output_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/app/CMakeFiles/mrl_app.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/mrl_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mrl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/mrl_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/sampling/CMakeFiles/mrl_sampling.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mrl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

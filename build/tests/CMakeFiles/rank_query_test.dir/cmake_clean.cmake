@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rank_query_test.dir/rank_query_test.cc.o"
+  "CMakeFiles/rank_query_test.dir/rank_query_test.cc.o.d"
+  "rank_query_test"
+  "rank_query_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rank_query_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

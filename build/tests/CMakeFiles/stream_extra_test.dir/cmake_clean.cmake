@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stream_extra_test.dir/stream_extra_test.cc.o"
+  "CMakeFiles/stream_extra_test.dir/stream_extra_test.cc.o.d"
+  "stream_extra_test"
+  "stream_extra_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stream_extra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

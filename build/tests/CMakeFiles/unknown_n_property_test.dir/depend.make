@@ -1,0 +1,2 @@
+# Empty dependencies file for unknown_n_property_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unknown_n_test.dir/unknown_n_test.cc.o"
+  "CMakeFiles/unknown_n_test.dir/unknown_n_test.cc.o.d"
+  "unknown_n_test"
+  "unknown_n_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unknown_n_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrlquant_cli.dir/mrlquant_cli.cc.o"
+  "CMakeFiles/mrlquant_cli.dir/mrlquant_cli.cc.o.d"
+  "mrlquant_cli"
+  "mrlquant_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrlquant_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
