@@ -1,9 +1,13 @@
 // Single-pass cost (Section 1.3: the algorithm must keep up with a scan):
 // google-benchmark microbenchmarks of per-element insertion for every
 // estimator in the library, plus query cost, plus the effect of sampling
-// (deep vs shallow trees) on insertion throughput.
+// (deep vs shallow trees) on insertion throughput. Element-wise Add and
+// the batch ingestion path (AddBatch) are reported side by side — compare
+// items_per_second between BM_*Add and BM_*AddBatch at the same args.
 
 #include <benchmark/benchmark.h>
+
+#include <span>
 
 #include "baseline/exact.h"
 #include "baseline/munro_paterson.h"
@@ -11,7 +15,9 @@
 #include "core/extreme.h"
 #include "core/known_n.h"
 #include "core/unknown_n.h"
+#include "sampling/block_sampler.h"
 #include "stream/generator.h"
+#include "util/random.h"
 
 namespace {
 
@@ -40,6 +46,110 @@ void BM_UnknownNAdd(benchmark::State& state) {
       static_cast<double>(sketch.MemoryElements());
 }
 BENCHMARK(BM_UnknownNAdd)->Arg(20)->Arg(100)->Arg(1000);
+
+void BM_UnknownNAddBatch(benchmark::State& state) {
+  // Same configuration as BM_UnknownNAdd, fed through the batch path in
+  // 64Ki-value spans. Answers are bit-identical; only the per-element
+  // bookkeeping (virtual dispatch, buffer-capacity checks, RNG calls when
+  // sampling) is amortized over whole blocks.
+  const auto& input = InputStream();
+  mrl::UnknownNOptions options;
+  options.eps = 1.0 / static_cast<double>(state.range(0));
+  options.delta = 1e-4;
+  auto sketch = std::move(mrl::UnknownNSketch::Create(options)).value();
+  const std::size_t chunk = std::size_t{1} << 16;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    if (i + chunk > input.size()) i = 0;
+    state.ResumeTiming();
+    sketch.AddBatch(std::span<const mrl::Value>(input.data() + i, chunk));
+    i += chunk;
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * chunk));
+  state.counters["mem_elems"] =
+      static_cast<double>(sketch.MemoryElements());
+}
+BENCHMARK(BM_UnknownNAddBatch)->Arg(20)->Arg(100)->Arg(1000);
+
+// Add vs AddBatch at a pinned sampling rate (explicit KnownN params, so
+// the rate never changes mid-run — the unknown-N sketch's rate grows with
+// the stream, which would make the two runs incomparable). This isolates
+// the acceptance claim: at rate r >= 8 the batch path advances whole
+// blocks with one uniform draw each instead of r per-element steps.
+mrl::KnownNSketch MakeFixedRateSketch(mrl::Weight rate) {
+  mrl::KnownNParams p;
+  p.b = 8;
+  p.k = 1024;
+  p.h = 4;
+  p.rate = rate;
+  p.alpha = 0.5;
+  p.n = std::uint64_t{1} << 62;
+  mrl::KnownNOptions options;
+  options.params = p;
+  return std::move(mrl::KnownNSketch::Create(options)).value();
+}
+
+void BM_KnownNAddFixedRate(benchmark::State& state) {
+  const auto& input = InputStream();
+  auto sketch = MakeFixedRateSketch(static_cast<mrl::Weight>(state.range(0)));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    sketch.Add(input[i++ & (input.size() - 1)]);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_KnownNAddFixedRate)->Arg(1)->Arg(8)->Arg(64);
+
+void BM_KnownNAddBatchFixedRate(benchmark::State& state) {
+  const auto& input = InputStream();
+  auto sketch = MakeFixedRateSketch(static_cast<mrl::Weight>(state.range(0)));
+  const std::size_t chunk = std::size_t{1} << 16;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    if (i + chunk > input.size()) i = 0;
+    state.ResumeTiming();
+    sketch.AddBatch(std::span<const mrl::Value>(input.data() + i, chunk));
+    i += chunk;
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * chunk));
+}
+BENCHMARK(BM_KnownNAddBatchFixedRate)->Arg(1)->Arg(8)->Arg(64);
+
+void BM_BlockSamplerAdd(benchmark::State& state) {
+  const auto& input = InputStream();
+  mrl::BlockSampler sampler(mrl::Random(7),
+                            static_cast<mrl::Weight>(state.range(0)));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.Add(input[i++ & (input.size() - 1)]));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_BlockSamplerAdd)->Arg(1)->Arg(8)->Arg(64);
+
+void BM_BlockSamplerAddBatch(benchmark::State& state) {
+  const auto& input = InputStream();
+  mrl::BlockSampler sampler(mrl::Random(7),
+                            static_cast<mrl::Weight>(state.range(0)));
+  std::vector<mrl::Value> out;
+  const std::size_t chunk = std::size_t{1} << 16;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    if (i + chunk > input.size()) i = 0;
+    out.clear();
+    state.ResumeTiming();
+    sampler.AddBatch(input.data() + i, chunk, out);
+    i += chunk;
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * chunk));
+}
+BENCHMARK(BM_BlockSamplerAddBatch)->Arg(1)->Arg(8)->Arg(64);
 
 void BM_UnknownNAddDeepTree(benchmark::State& state) {
   // Small forced parameters: collapses and rate doublings happen

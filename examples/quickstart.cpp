@@ -30,15 +30,15 @@ int main() {
               sketch.params().b, sketch.params().k);
 
   // 2. Feed it a stream — here 2 million Gaussian values; in a DBMS this
-  //    would be a single scan of a table column.
+  //    would be a single scan of a table column. AddBatch is the fast
+  //    path: it ingests a whole span with per-block instead of per-element
+  //    work, and is bit-identical to element-wise Add under the same seed.
   mrl::StreamSpec spec;
   spec.distribution = "gaussian";
   spec.n = 2'000'000;
   spec.seed = 7;
   mrl::Dataset data = mrl::GenerateStream(spec);
-  for (mrl::Value v : data.values()) {
-    sketch.Add(v);
-  }
+  sketch.AddBatch(data.values());
 
   // 3. Query any quantiles, any time. Output is non-destructive.
   std::printf("%8s %12s %12s %10s\n", "phi", "estimate", "exact",

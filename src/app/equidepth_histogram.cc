@@ -33,6 +33,19 @@ void EquiDepthHistogram::Add(Value v) {
   sketch_.Add(v);
 }
 
+void EquiDepthHistogram::AddBatch(std::span<const Value> values) {
+  if (values.empty()) return;
+  auto [lo, hi] = std::minmax_element(values.begin(), values.end());
+  if (sketch_.count() == 0) {
+    min_ = *lo;
+    max_ = *hi;
+  } else {
+    min_ = std::min(min_, *lo);
+    max_ = std::max(max_, *hi);
+  }
+  sketch_.AddBatch(values);
+}
+
 Result<std::vector<Value>> EquiDepthHistogram::Boundaries() const {
   std::vector<double> phis;
   phis.reserve(num_buckets_ - 1);

@@ -2,6 +2,7 @@
 #define MRLQUANT_APP_EQUIDEPTH_HISTOGRAM_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "core/multi_quantile.h"
@@ -33,6 +34,10 @@ class EquiDepthHistogram {
 
   /// Inserts one row value.
   void Add(Value v);
+
+  /// Inserts a batch of row values (one min/max scan plus the sketch's
+  /// batch ingestion path); state-identical to per-row Add.
+  void AddBatch(std::span<const Value> values);
 
   std::uint64_t count() const { return sketch_.count(); }
 

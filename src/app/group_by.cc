@@ -15,13 +15,10 @@ Result<GroupByQuantiles> GroupByQuantiles::Create(const Options& options) {
   return GroupByQuantiles(options, params.value());
 }
 
-void GroupByQuantiles::Add(std::int64_t group_key, Value v) {
+UnknownNSketch* GroupByQuantiles::FindOrCreate(std::int64_t group_key) {
   auto it = groups_.find(group_key);
   if (it == groups_.end()) {
-    if (groups_.size() >= options_.max_groups) {
-      ++dropped_rows_;
-      return;
-    }
+    if (groups_.size() >= options_.max_groups) return nullptr;
     UnknownNOptions sketch_options;
     sketch_options.params = params_;
     sketch_options.seed = seeder_.NextUint64();
@@ -29,7 +26,27 @@ void GroupByQuantiles::Add(std::int64_t group_key, Value v) {
     MRL_CHECK(sketch.ok()) << sketch.status().ToString();
     it = groups_.emplace(group_key, std::move(sketch).value()).first;
   }
-  it->second.Add(v);
+  return &it->second;
+}
+
+void GroupByQuantiles::Add(std::int64_t group_key, Value v) {
+  UnknownNSketch* sketch = FindOrCreate(group_key);
+  if (sketch == nullptr) {
+    ++dropped_rows_;
+    return;
+  }
+  sketch->Add(v);
+}
+
+void GroupByQuantiles::AddBatch(std::int64_t group_key,
+                                std::span<const Value> values) {
+  if (values.empty()) return;
+  UnknownNSketch* sketch = FindOrCreate(group_key);
+  if (sketch == nullptr) {
+    dropped_rows_ += values.size();
+    return;
+  }
+  sketch->AddBatch(values);
 }
 
 std::uint64_t GroupByQuantiles::GroupCount(std::int64_t group_key) const {

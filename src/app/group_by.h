@@ -2,6 +2,7 @@
 #define MRLQUANT_APP_GROUP_BY_H_
 
 #include <cstdint>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -40,6 +41,11 @@ class GroupByQuantiles {
   /// Routes one row to its group's sketch.
   void Add(std::int64_t group_key, Value v);
 
+  /// Routes a run of rows that share a group key (the common shape after a
+  /// sort or partition) to that group's sketch in one batch; one hash
+  /// lookup for the whole run, state-identical to per-row Add.
+  void AddBatch(std::int64_t group_key, std::span<const Value> values);
+
   /// Number of distinct groups currently tracked.
   std::size_t num_groups() const { return groups_.size(); }
 
@@ -60,6 +66,10 @@ class GroupByQuantiles {
   std::uint64_t MemoryElements() const;
 
  private:
+  /// The group's sketch, created lazily; nullptr when a new group would
+  /// exceed max_groups (the caller accounts for the dropped rows).
+  UnknownNSketch* FindOrCreate(std::int64_t group_key);
+
   GroupByQuantiles(Options options, UnknownNParams params)
       : options_(std::move(options)),
         params_(params),

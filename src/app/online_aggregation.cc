@@ -1,5 +1,7 @@
 #include "app/online_aggregation.h"
 
+#include <algorithm>
+
 namespace mrl {
 
 Result<OnlineAggregator> OnlineAggregator::Create(const Options& options) {
@@ -29,6 +31,24 @@ Result<OnlineAggregator> OnlineAggregator::Create(const Options& options) {
 
 void OnlineAggregator::Add(Value v) {
   sketch_.Add(v);
+  MaybeSnapshot();
+}
+
+void OnlineAggregator::AddBatch(std::span<const Value> values) {
+  while (!values.empty()) {
+    // Stop at the next reporting boundary so every snapshot lands at the
+    // exact row count the element-wise path would report at.
+    const std::uint64_t until_report =
+        options_.report_every - (sketch_.count() % options_.report_every);
+    const std::size_t take = static_cast<std::size_t>(
+        std::min<std::uint64_t>(values.size(), until_report));
+    sketch_.AddBatch(values.first(take));
+    MaybeSnapshot();
+    values = values.subspan(take);
+  }
+}
+
+void OnlineAggregator::MaybeSnapshot() {
   if (sketch_.count() % options_.report_every == 0) {
     Result<std::vector<Value>> estimates =
         sketch_.QueryMany(options_.tracked_phis);

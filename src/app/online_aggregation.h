@@ -2,6 +2,7 @@
 #define MRLQUANT_APP_ONLINE_AGGREGATION_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "core/unknown_n.h"
@@ -38,6 +39,11 @@ class OnlineAggregator {
   /// Consumes one row; records a snapshot at each reporting boundary.
   void Add(Value v);
 
+  /// Consumes a batch of rows through the sketch's batch ingestion path,
+  /// splitting it internally at reporting boundaries so the recorded
+  /// history is identical to per-row Add.
+  void AddBatch(std::span<const Value> values);
+
   std::uint64_t count() const { return sketch_.count(); }
 
   /// Snapshots taken so far, oldest first.
@@ -51,6 +57,9 @@ class OnlineAggregator {
  private:
   OnlineAggregator(UnknownNSketch sketch, Options options)
       : sketch_(std::move(sketch)), options_(std::move(options)) {}
+
+  /// Records a snapshot when the row count sits on a reporting boundary.
+  void MaybeSnapshot();
 
   UnknownNSketch sketch_;
   Options options_;

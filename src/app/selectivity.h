@@ -2,6 +2,7 @@
 #define MRLQUANT_APP_SELECTIVITY_H_
 
 #include <cstdint>
+#include <span>
 
 #include "core/unknown_n.h"
 #include "util/status.h"
@@ -30,6 +31,10 @@ class SelectivityEstimator {
 
   /// Inserts one row value.
   void Add(Value v) { sketch_.Add(v); }
+
+  /// Inserts a batch of row values via the sketch's batch ingestion path;
+  /// state-identical to per-row Add.
+  void AddBatch(std::span<const Value> values) { sketch_.AddBatch(values); }
 
   std::uint64_t count() const { return sketch_.count(); }
 

@@ -35,6 +35,12 @@ void Buffer::Append(Value v) {
   values_.push_back(v);
 }
 
+void Buffer::AppendSpan(const Value* data, std::size_t n) {
+  MRL_CHECK(state_ == BufferState::kFilling);
+  MRL_CHECK_LE(values_.size() + n, capacity_);
+  values_.insert(values_.end(), data, data + n);
+}
+
 void Buffer::MarkFull(Weight weight, int level) {
   MRL_CHECK(state_ == BufferState::kFilling);
   MRL_CHECK_EQ(values_.size(), capacity_);

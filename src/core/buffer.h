@@ -49,6 +49,10 @@ class Buffer {
   /// buffer with MarkFull once size() reaches capacity().
   void Append(Value v);
 
+  /// Appends `n` sampled elements at once (one bulk copy) while kFilling;
+  /// the batch ingestion path's fill primitive. Requires room for all `n`.
+  void AppendSpan(const Value* data, std::size_t n);
+
   /// kFilling -> kFull: sorts the contents and attaches (weight, level).
   /// Requires size() == capacity().
   void MarkFull(Weight weight, int level);

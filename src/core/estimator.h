@@ -2,6 +2,7 @@
 #define MRLQUANT_CORE_ESTIMATOR_H_
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -21,6 +22,15 @@ class QuantileEstimator {
   /// Consumes one stream element.
   virtual void Add(Value v) = 0;
 
+  /// Consumes a contiguous span of stream elements, equivalent to calling
+  /// Add on each in turn. Sketches with a batch ingestion fast path
+  /// (UnknownNSketch and its wrappers) override this with an implementation
+  /// that is bit-identical to the element-wise loop under the same seed but
+  /// substantially faster; the default simply loops.
+  virtual void AddBatch(std::span<const Value> values) {
+    for (Value v : values) Add(v);
+  }
+
   /// Elements consumed so far.
   virtual std::uint64_t count() const = 0;
 
@@ -36,9 +46,9 @@ class QuantileEstimator {
   /// Short display name for reports.
   virtual std::string name() const = 0;
 
-  /// Convenience: consume a whole vector.
+  /// Convenience: consume a whole vector (via the batch path).
   void AddAll(const std::vector<Value>& values) {
-    for (Value v : values) Add(v);
+    AddBatch(std::span<const Value>(values.data(), values.size()));
   }
 };
 

@@ -107,7 +107,9 @@ Result<Value> ExtremeValueSketch::Query(double phi) const {
 
 namespace {
 constexpr std::uint32_t kCheckpointMagic = 0x4D524C51;  // "MRLQ"
-constexpr std::uint8_t kCheckpointVersion = 1;
+// Version 2: repo-wide bump (kinds 1-2 gained the sampler pick offset;
+// this kind's layout is unchanged from v1).
+constexpr std::uint8_t kCheckpointVersion = 2;
 constexpr std::uint8_t kKindExtreme = 3;
 }  // namespace
 

@@ -24,6 +24,24 @@ bool Int64QuantileSketch::Add(std::int64_t v) {
   return true;
 }
 
+std::size_t Int64QuantileSketch::AddBatch(
+    std::span<const std::int64_t> values) {
+  batch_scratch_.clear();
+  batch_scratch_.reserve(values.size());
+  std::size_t accepted = 0;
+  for (std::int64_t v : values) {
+    if (v > kMaxMagnitude || v < -kMaxMagnitude) {
+      ++rejected_;
+      continue;
+    }
+    batch_scratch_.push_back(static_cast<Value>(v));
+    ++accepted;
+  }
+  inner_.AddBatch(
+      std::span<const Value>(batch_scratch_.data(), batch_scratch_.size()));
+  return accepted;
+}
+
 Result<std::int64_t> Int64QuantileSketch::Query(double phi) const {
   Result<Value> q = inner_.Query(phi);
   if (!q.ok()) return q.status();

@@ -2,6 +2,7 @@
 #define MRLQUANT_CORE_INT64_SKETCH_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "core/unknown_n.h"
@@ -39,6 +40,12 @@ class Int64QuantileSketch {
   /// |v| > 2^53; the guarantee then covers only the accepted values.
   bool Add(std::int64_t v);
 
+  /// Consumes a whole int64 column slice: validates and converts the span
+  /// in bulk, feeds the accepted values through the batch ingestion path,
+  /// and returns how many were accepted. Accepted/rejected decisions, order
+  /// and sketch state are identical to calling Add per element.
+  std::size_t AddBatch(std::span<const std::int64_t> values);
+
   std::uint64_t count() const { return inner_.count(); }
   std::uint64_t rejected_count() const { return rejected_; }
 
@@ -60,6 +67,9 @@ class Int64QuantileSketch {
 
   UnknownNSketch inner_;
   std::uint64_t rejected_ = 0;
+
+  /// Conversion staging area reused across AddBatch calls.
+  std::vector<Value> batch_scratch_;
 };
 
 }  // namespace mrl

@@ -1,6 +1,7 @@
 #include "core/known_n.h"
 
 #include <algorithm>
+#include <limits>
 
 #include "core/output.h"
 #include "util/logging.h"
@@ -54,6 +55,31 @@ void KnownNSketch::Add(Value v) {
   }
 }
 
+void KnownNSketch::AddBatch(std::span<const Value> values) {
+  while (!values.empty()) {
+    if (!filling_) StartNewFill();
+    Buffer& buf = framework_.buffer(fill_slot_);
+    const std::uint64_t room = buf.capacity() - buf.size();
+    const Weight rate = sampler_.rate();
+    // Exact fill-to-capacity element count (see UnknownNSketch::AddBatch).
+    std::uint64_t take = values.size();
+    if (room < std::numeric_limits<std::uint64_t>::max() / rate) {
+      take = std::min<std::uint64_t>(
+          take, room * rate - sampler_.pending_count());
+    }
+    batch_scratch_.clear();
+    sampler_.AddBatch(values.data(), static_cast<std::size_t>(take),
+                      batch_scratch_);
+    count_ += take;
+    buf.AppendSpan(batch_scratch_.data(), batch_scratch_.size());
+    if (buf.size() == buf.capacity()) {
+      framework_.CommitFull(fill_slot_, params_.rate, /*level=*/0);
+      filling_ = false;
+    }
+    values = values.subspan(static_cast<std::size_t>(take));
+  }
+}
+
 KnownNSketch::RunSnapshot KnownNSketch::Snapshot() const {
   RunSnapshot snap;
   if (filling_) {
@@ -103,7 +129,8 @@ Weight KnownNSketch::HeldWeight() const {
 
 namespace {
 constexpr std::uint32_t kCheckpointMagic = 0x4D524C51;  // "MRLQ"
-constexpr std::uint8_t kCheckpointVersion = 1;
+// Version 2 added the sampler's pre-drawn pick offset (docs/checkpoint_format.md).
+constexpr std::uint8_t kCheckpointVersion = 2;
 constexpr std::uint8_t kKindKnownN = 2;
 }  // namespace
 
@@ -126,6 +153,7 @@ std::vector<std::uint8_t> KnownNSketch::Serialize() const {
   writer.PutU64(sampler.rng.inc);
   writer.PutU64(sampler.rate);
   writer.PutU64(sampler.seen_in_block);
+  writer.PutU64(sampler.pick_offset);
   writer.PutDouble(sampler.candidate);
   framework_.SerializeTo(&writer);
   return writer.Take();
@@ -169,11 +197,13 @@ Result<KnownNSketch> KnownNSketch::Deserialize(
       !reader.GetU64(&sampler_state.rng.inc) ||
       !reader.GetU64(&sampler_state.rate) ||
       !reader.GetU64(&sampler_state.seen_in_block) ||
+      !reader.GetU64(&sampler_state.pick_offset) ||
       !reader.GetDouble(&sampler_state.candidate)) {
     return reader.status();
   }
   if (sampler_state.rate != params.rate ||
       sampler_state.seen_in_block >= sampler_state.rate ||
+      sampler_state.pick_offset >= sampler_state.rate ||
       fill_slot >= static_cast<std::uint32_t>(params.b)) {
     return Status::InvalidArgument("checkpoint sampler/fill state invalid");
   }

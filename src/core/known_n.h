@@ -40,6 +40,11 @@ class KnownNSketch : public QuantileEstimator {
   KnownNSketch& operator=(KnownNSketch&&) = default;
 
   void Add(Value v) override;
+
+  /// Batch ingestion fast path; bit-identical to element-wise Add under the
+  /// same seed for any batching of the stream (see UnknownNSketch::AddBatch).
+  void AddBatch(std::span<const Value> values) override;
+
   std::uint64_t count() const override { return count_; }
 
   /// Anytime estimate over the prefix consumed so far; the paper-grade
@@ -83,6 +88,9 @@ class KnownNSketch : public QuantileEstimator {
 
   bool filling_ = false;
   std::size_t fill_slot_ = 0;
+
+  /// Survivor staging area reused across AddBatch calls; not sketch state.
+  std::vector<Value> batch_scratch_;
 };
 
 }  // namespace mrl

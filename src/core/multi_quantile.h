@@ -30,6 +30,9 @@ class MultiQuantileSketch : public QuantileEstimator {
   MultiQuantileSketch& operator=(MultiQuantileSketch&&) = default;
 
   void Add(Value v) override { inner_.Add(v); }
+  void AddBatch(std::span<const Value> values) override {
+    inner_.AddBatch(values);
+  }
   std::uint64_t count() const override { return inner_.count(); }
   Result<Value> Query(double phi) const override { return inner_.Query(phi); }
   std::uint64_t MemoryElements() const override {
@@ -71,6 +74,9 @@ class PrecomputedQuantiles : public QuantileEstimator {
   PrecomputedQuantiles& operator=(PrecomputedQuantiles&&) = default;
 
   void Add(Value v) override { inner_.Add(v); }
+  void AddBatch(std::span<const Value> values) override {
+    inner_.AddBatch(values);
+  }
   std::uint64_t count() const override { return inner_.count(); }
 
   /// Answers any phi in (0, 1] via the nearest grid point.

@@ -34,6 +34,13 @@ void ShardedQuantileSketch::Add(int shard, Value v) {
   shards_[static_cast<std::size_t>(shard)].Add(v);
 }
 
+void ShardedQuantileSketch::AddBatch(int shard,
+                                     std::span<const Value> values) {
+  MRL_DCHECK_GE(shard, 0);
+  MRL_DCHECK_LT(static_cast<std::size_t>(shard), shards_.size());
+  shards_[static_cast<std::size_t>(shard)].AddBatch(values);
+}
+
 std::uint64_t ShardedQuantileSketch::count() const {
   std::uint64_t total = 0;
   for (const UnknownNSketch& s : shards_) total += s.count();

@@ -2,6 +2,7 @@
 #define MRLQUANT_CORE_SHARDED_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "core/summary.h"
@@ -42,6 +43,11 @@ class ShardedQuantileSketch {
 
   /// Routes one element to shard `shard` (0-based).
   void Add(int shard, Value v);
+
+  /// Routes a whole span to shard `shard` via the batch ingestion path;
+  /// state-identical to per-element Add under the same seed. The
+  /// single-writer-per-shard thread contract is unchanged.
+  void AddBatch(int shard, std::span<const Value> values);
 
   /// Elements consumed across all shards.
   std::uint64_t count() const;

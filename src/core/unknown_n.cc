@@ -1,6 +1,7 @@
 #include "core/unknown_n.h"
 
 #include <algorithm>
+#include <limits>
 #include <utility>
 
 #include "core/output.h"
@@ -90,6 +91,33 @@ void UnknownNSketch::Add(Value v) {
   }
 }
 
+void UnknownNSketch::AddBatch(std::span<const Value> values) {
+  while (!values.empty()) {
+    if (!filling_) StartNewFill();
+    Buffer& buf = framework_.buffer(fill_slot_);
+    const std::uint64_t room = buf.capacity() - buf.size();
+    const Weight rate = sampler_.rate();
+    // Largest element count that keeps this buffer from overfilling: the
+    // sampler emits floor((pending + t) / rate) survivors for t elements,
+    // so t = room * rate - pending is the exact fill-to-capacity point.
+    std::uint64_t take = values.size();
+    if (room < std::numeric_limits<std::uint64_t>::max() / rate) {
+      take = std::min<std::uint64_t>(
+          take, room * rate - sampler_.pending_count());
+    }  // else the fill point exceeds any real span; consume it whole
+    batch_scratch_.clear();
+    sampler_.AddBatch(values.data(), static_cast<std::size_t>(take),
+                      batch_scratch_);
+    count_ += take;
+    buf.AppendSpan(batch_scratch_.data(), batch_scratch_.size());
+    if (buf.size() == buf.capacity()) {
+      framework_.CommitFull(fill_slot_, fill_weight_, fill_level_);
+      filling_ = false;
+    }
+    values = values.subspan(static_cast<std::size_t>(take));
+  }
+}
+
 UnknownNSketch::RunSnapshot UnknownNSketch::Snapshot() const {
   RunSnapshot snap;
   if (filling_) {
@@ -147,7 +175,8 @@ Weight UnknownNSketch::HeldWeight() const {
 
 namespace {
 constexpr std::uint32_t kCheckpointMagic = 0x4D524C51;  // "MRLQ"
-constexpr std::uint8_t kCheckpointVersion = 1;
+// Version 2 added the sampler's pre-drawn pick offset (docs/checkpoint_format.md).
+constexpr std::uint8_t kCheckpointVersion = 2;
 constexpr std::uint8_t kKindUnknownN = 1;
 }  // namespace
 
@@ -171,6 +200,7 @@ std::vector<std::uint8_t> UnknownNSketch::Serialize() const {
   writer.PutU64(sampler.rng.inc);
   writer.PutU64(sampler.rate);
   writer.PutU64(sampler.seen_in_block);
+  writer.PutU64(sampler.pick_offset);
   writer.PutDouble(sampler.candidate);
   framework_.SerializeTo(&writer);
   return writer.Take();
@@ -218,11 +248,13 @@ Result<UnknownNSketch> UnknownNSketch::Deserialize(
       !reader.GetU64(&sampler_state.rng.inc) ||
       !reader.GetU64(&sampler_state.rate) ||
       !reader.GetU64(&sampler_state.seen_in_block) ||
+      !reader.GetU64(&sampler_state.pick_offset) ||
       !reader.GetDouble(&sampler_state.candidate)) {
     return reader.status();
   }
   if (sampler_state.rate < 1 ||
       sampler_state.seen_in_block >= sampler_state.rate ||
+      sampler_state.pick_offset >= sampler_state.rate ||
       fill_slot >= static_cast<std::uint32_t>(params.b) ||
       (filling != 0 && fill_weight < 1)) {
     return Status::InvalidArgument("checkpoint sampler/fill state invalid");

@@ -83,6 +83,14 @@ class UnknownNSketch : public QuantileEstimator {
   UnknownNSketch& operator=(UnknownNSketch&&) = default;
 
   void Add(Value v) override;
+
+  /// Batch ingestion fast path: consumes the span with per-block (not
+  /// per-element) sampling work and bulk buffer fills between collapse
+  /// checks. Bit-identical to calling Add on each element in turn under the
+  /// same seed — same sampler state, same collapse tree, same answers — for
+  /// any partition of the stream into batches.
+  void AddBatch(std::span<const Value> values) override;
+
   std::uint64_t count() const override { return count_; }
   Result<Value> Query(double phi) const override;
   std::uint64_t MemoryElements() const override {
@@ -181,6 +189,10 @@ class UnknownNSketch : public QuantileEstimator {
   std::size_t fill_slot_ = 0;
   Weight fill_weight_ = 1;  ///< sampling rate of the buffer being filled
   int fill_level_ = 0;      ///< level it will be committed at
+
+  /// Survivor staging area reused across AddBatch calls (holds at most k
+  /// elements; no allocation in steady state). Not part of sketch state.
+  std::vector<Value> batch_scratch_;
 };
 
 }  // namespace mrl

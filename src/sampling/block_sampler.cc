@@ -10,22 +10,64 @@ BlockSampler::BlockSampler(Random rng, Weight rate, PickPolicy pick)
 }
 
 std::optional<Value> BlockSampler::Add(Value v) {
-  ++seen_in_block_;
-  if (seen_in_block_ == 1) {
+  if (seen_in_block_ == 0) {
+    pick_offset_ = DrawPickOffset();
+    candidate_ = v;  // provisional until the pick position streams by
+  }
+  if (seen_in_block_ == pick_offset_) {
     candidate_ = v;
-  } else if (pick_ == PickPolicy::kUniformWithinBlock) {
-    // Reservoir of size one within the block: the j-th element of the block
-    // replaces the candidate with probability 1/j, which leaves every
-    // element equally likely once the block completes.
-    if (rng_.UniformUint64(seen_in_block_) == 0) {
-      candidate_ = v;
-    }
-  }  // kFirstOfBlock: keep the first element (ablation only).
+  }
+  ++seen_in_block_;
   if (seen_in_block_ == rate_) {
     seen_in_block_ = 0;
     return candidate_;
   }
   return std::nullopt;
+}
+
+void BlockSampler::AddBatch(const Value* data, std::size_t n,
+                            std::vector<Value>& out) {
+  if (rate_ == 1) {
+    // No sampling: every element survives; bulk-copy the whole span. The
+    // trailing state assignments keep SaveState() bit-identical to the
+    // element-wise path (which leaves the last element as candidate).
+    out.insert(out.end(), data, data + n);
+    if (n > 0) {
+      pick_offset_ = 0;
+      candidate_ = data[n - 1];
+    }
+    return;
+  }
+  std::size_t i = 0;
+  while (i < n) {
+    if (seen_in_block_ == 0) {
+      pick_offset_ = DrawPickOffset();
+      candidate_ = data[i];
+    }
+    const Weight remaining = rate_ - seen_in_block_;
+    const std::size_t available = n - i;
+    if (remaining <= available) {
+      // The open block completes within the span: resolve its pick with a
+      // single indexed load and skip the rest of the block.
+      if (pick_offset_ >= seen_in_block_) {
+        candidate_ = data[i + static_cast<std::size_t>(pick_offset_ -
+                                                       seen_in_block_)];
+      }
+      out.push_back(candidate_);
+      i += static_cast<std::size_t>(remaining);
+      seen_in_block_ = 0;
+    } else {
+      // The span ends mid-block: keep the candidate current if the pick
+      // position falls inside this span, then record the partial progress.
+      if (pick_offset_ >= seen_in_block_ &&
+          pick_offset_ - seen_in_block_ < available) {
+        candidate_ = data[i + static_cast<std::size_t>(pick_offset_ -
+                                                       seen_in_block_)];
+      }
+      seen_in_block_ += available;
+      i = n;
+    }
+  }
 }
 
 void BlockSampler::SetRate(Weight rate) {

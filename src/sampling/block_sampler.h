@@ -1,8 +1,10 @@
 #ifndef MRLQUANT_SAMPLING_BLOCK_SAMPLER_H_
 #define MRLQUANT_SAMPLING_BLOCK_SAMPLER_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <optional>
+#include <vector>
 
 #include "util/random.h"
 #include "util/types.h"
@@ -14,6 +16,14 @@ namespace mrl {
 /// chosen uniformly at random. Sampling is therefore without replacement
 /// across blocks, which the paper notes is what makes the scheme easy to
 /// implement. rate == 1 means no sampling (every element is emitted).
+///
+/// Randomness schedule: the pick's offset within the block is drawn ONCE,
+/// when the block's first element arrives (one UniformUint64(rate) draw per
+/// block; none at rate 1). Because the draw position depends only on the
+/// stream position — never on how arrivals are chunked — Add and AddBatch
+/// produce bit-identical sampler state and output for any partition of the
+/// stream into batches, and AddBatch can skip the interior of a block with
+/// arithmetic instead of per-element work.
 ///
 /// The rate may be changed, but only at a block boundary (the unknown-N
 /// algorithm doubles it when the collapse tree grows); changing it
@@ -34,16 +44,28 @@ class BlockSampler {
   /// block, std::nullopt otherwise.
   std::optional<Value> Add(Value v);
 
+  /// Feeds `n` elements at once, appending one survivor per completed block
+  /// to `out` (in stream order). Bit-identical to calling Add(data[i]) for
+  /// each element in turn: same survivors, same final state, same RNG
+  /// consumption. Whole blocks are advanced with one index computation and
+  /// one load instead of `rate` per-element steps, so the cost is
+  /// O(n / rate + #blocks) rather than O(n).
+  void AddBatch(const Value* data, std::size_t n, std::vector<Value>& out);
+
   /// Current sampling rate r (block size).
   Weight rate() const { return rate_; }
 
   /// Elements consumed by the currently open block (0 when at a boundary).
   Weight pending_count() const { return seen_in_block_; }
 
-  /// The uniformly-chosen candidate of the open block; meaningful only when
-  /// pending_count() > 0. Together with pending_count() this lets a caller
-  /// account for a partially consumed block at query time: the candidate is
-  /// a uniform pick from the pending_count() elements seen so far.
+  /// Anytime view of the open block; meaningful only when
+  /// pending_count() > 0. Once the pre-drawn pick position has streamed by
+  /// this is the block's final pick (conditionally uniform over the
+  /// elements seen so far); before that it is the block's first element — a
+  /// deterministic stand-in whose rank error contribution is bounded by the
+  /// open block's pending_count() out of n. Together with pending_count()
+  /// this lets a caller account for a partially consumed block at query
+  /// time.
   Value pending_candidate() const { return candidate_; }
 
   /// True iff no block is in flight.
@@ -53,28 +75,42 @@ class BlockSampler {
   void SetRate(Weight rate);
 
   /// Checkpointing support: full sampler state, including the in-flight
-  /// block.
+  /// block and its pre-drawn pick offset.
   struct State {
     Random::State rng;
     Weight rate;
     Weight seen_in_block;
+    Weight pick_offset;
     Value candidate;
   };
   State SaveState() const {
-    return {rng_.SaveState(), rate_, seen_in_block_, candidate_};
+    return {rng_.SaveState(), rate_, seen_in_block_, pick_offset_,
+            candidate_};
   }
   static BlockSampler FromState(const State& s) {
     BlockSampler b(Random::FromState(s.rng), s.rate);
     b.seen_in_block_ = s.seen_in_block;
+    b.pick_offset_ = s.pick_offset;
     b.candidate_ = s.candidate;
     return b;
   }
 
  private:
+  /// Draws the open block's pick offset in [0, rate). Called exactly when a
+  /// block's first element arrives; rate 1 and the first-of-block ablation
+  /// consume no randomness.
+  Weight DrawPickOffset() {
+    if (rate_ > 1 && pick_ == PickPolicy::kUniformWithinBlock) {
+      return rng_.UniformUint64(rate_);
+    }
+    return 0;
+  }
+
   Random rng_;
   Weight rate_;
   PickPolicy pick_;
   Weight seen_in_block_ = 0;
+  Weight pick_offset_ = 0;
   Value candidate_ = Value{};
 };
 

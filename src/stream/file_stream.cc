@@ -1,5 +1,6 @@
 #include "stream/file_stream.h"
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 
@@ -81,6 +82,26 @@ bool FileValueReader::Next(Value* out) {
   }
   *out = buffer_[buffer_pos_++];
   return true;
+}
+
+std::size_t FileValueReader::ReadBatch(Value* out, std::size_t max) {
+  std::size_t produced = 0;
+  while (produced < max) {
+    if (!status_.ok() || file_ == nullptr) break;
+    if (buffer_pos_ == buffer_.size()) {
+      if (eof_) break;
+      status_ = FillBuffer();
+      if (!status_.ok() || buffer_.empty()) break;
+    }
+    const std::size_t run =
+        std::min(max - produced, buffer_.size() - buffer_pos_);
+    std::copy(buffer_.begin() + static_cast<std::ptrdiff_t>(buffer_pos_),
+              buffer_.begin() + static_cast<std::ptrdiff_t>(buffer_pos_ + run),
+              out + produced);
+    buffer_pos_ += run;
+    produced += run;
+  }
+  return produced;
 }
 
 }  // namespace mrl

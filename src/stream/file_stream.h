@@ -16,11 +16,12 @@ Status WriteValuesFile(const std::string& path,
                        const std::vector<Value>& values);
 
 /// Buffered single-pass reader over a file written by WriteValuesFile.
-/// Usage:
+/// Usage (batch path, preferred):
 ///   FileValueReader reader;
 ///   MRL_RETURN_IF_ERROR(reader.Open(path));
-///   Value v;
-///   while (reader.Next(&v)) sketch.Add(v);
+///   std::vector<Value> chunk(1 << 16);
+///   while (std::size_t got = reader.ReadBatch(chunk.data(), chunk.size()))
+///     sketch.AddBatch({chunk.data(), got});
 ///   MRL_RETURN_IF_ERROR(reader.status());
 class FileValueReader {
  public:
@@ -37,6 +38,11 @@ class FileValueReader {
   /// Reads the next value. Returns false at end of stream or on I/O error;
   /// distinguish via status().
   bool Next(Value* out);
+
+  /// Reads up to `max` values into `out`, returning how many were read
+  /// (0 at end of stream or on error; distinguish via status()). One bulk
+  /// copy out of the read buffer per call — the chunked feed for AddBatch.
+  std::size_t ReadBatch(Value* out, std::size_t max);
 
   /// OK unless an I/O error occurred.
   const Status& status() const { return status_; }

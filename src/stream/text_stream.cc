@@ -81,4 +81,10 @@ bool TextValueReader::Next(Value* out) {
   return false;
 }
 
+std::size_t TextValueReader::ReadBatch(Value* out, std::size_t max) {
+  std::size_t produced = 0;
+  while (produced < max && Next(&out[produced])) ++produced;
+  return produced;
+}
+
 }  // namespace mrl

@@ -38,6 +38,12 @@ class TextValueReader {
   /// status() to distinguish).
   bool Next(Value* out);
 
+  /// Reads up to `max` values into `out`, returning how many were read
+  /// (0 at end of stream or on error). Parsing is per-line either way; the
+  /// batch form exists so callers can feed sketches through AddBatch in
+  /// chunks instead of one virtual-ingest call per line.
+  std::size_t ReadBatch(Value* out, std::size_t max);
+
   const Status& status() const { return status_; }
 
   /// Lines consumed so far (including skipped ones).

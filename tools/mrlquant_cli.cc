@@ -17,6 +17,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -101,8 +102,12 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
 
 template <typename Reader>
 mrl::Status FeedAll(Reader* reader, mrl::UnknownNSketch* sketch) {
-  mrl::Value v;
-  while (reader->Next(&v)) sketch->Add(v);
+  // Chunked ingestion: read 64Ki values at a time and push them through
+  // the sketch's batch path (identical answers to per-element Add).
+  std::vector<mrl::Value> chunk(std::size_t{1} << 16);
+  while (std::size_t got = reader->ReadBatch(chunk.data(), chunk.size())) {
+    sketch->AddBatch(std::span<const mrl::Value>(chunk.data(), got));
+  }
   return reader->status();
 }
 
