@@ -1,0 +1,46 @@
+// Fuzz harness for mrlquant_cli argument parsing.
+//
+// ParseArgs is the first thing that touches user input in the CLI; it must
+// never crash, overflow, or touch the filesystem regardless of argv
+// contents. The harness splits the fuzz input on newlines into an argv
+// vector (argv[0] is synthesized) and runs the parser.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cli_options.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  constexpr std::size_t kMaxArgs = 64;
+  std::vector<std::string> tokens;
+  tokens.emplace_back("mrlquant_cli");
+  std::string current;
+  for (std::size_t i = 0; i < size && tokens.size() < kMaxArgs; ++i) {
+    char c = static_cast<char>(data[i]);
+    if (c == '\n') {
+      tokens.push_back(current);
+      current.clear();
+    } else if (c != '\0') {  // embedded NUL would truncate the C string
+      current.push_back(c);
+    }
+  }
+  if (!current.empty() && tokens.size() < kMaxArgs) {
+    tokens.push_back(current);
+  }
+
+  std::vector<char*> argv;
+  argv.reserve(tokens.size());
+  for (std::string& t : tokens) argv.push_back(t.data());
+
+  mrl::cli::CliOptions options;
+  std::string error;
+  bool ok = mrl::cli::ParseArgs(static_cast<int>(argv.size()), argv.data(),
+                                &options, &error);
+  if (!ok && error.empty()) {
+    __builtin_trap();  // failures must always carry a reason
+  }
+  return 0;
+}

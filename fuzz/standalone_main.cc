@@ -1,0 +1,48 @@
+// Minimal replacement for the libFuzzer driver, used when the toolchain
+// cannot link -fsanitize=fuzzer (gcc). Each command-line argument is a
+// corpus file or a directory of corpus files; every file is read whole and
+// fed to LLVMFuzzerTestOneInput once. No mutation — this is a corpus
+// replayer, enough to regression-test known inputs on any compiler.
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+namespace {
+
+int RunFile(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "cannot read %s\n", path.c_str());
+    return 1;
+  }
+  std::vector<std::uint8_t> bytes(
+      (std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  LLVMFuzzerTestOneInput(bytes.data(), bytes.size());
+  std::printf("ran %s (%zu bytes)\n", path.c_str(), bytes.size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int failures = 0;
+  for (int i = 1; i < argc; ++i) {
+    std::filesystem::path arg(argv[i]);
+    std::error_code ec;
+    if (std::filesystem::is_directory(arg, ec)) {
+      for (const auto& entry : std::filesystem::directory_iterator(arg)) {
+        if (entry.is_regular_file()) failures += RunFile(entry.path());
+      }
+    } else {
+      failures += RunFile(arg);
+    }
+  }
+  return failures == 0 ? 0 : 1;
+}

@@ -88,7 +88,7 @@ Result<Value> ExtremeValueSketch::Query(double phi) const {
     return Status::InvalidArgument(
         "this sketch was configured for the other tail");
   }
-  if (heap_.size() == 0) {
+  if (heap_.empty()) {
     return Status::FailedPrecondition("no element sampled yet");
   }
   const double tail_phi = high ? (1.0 - phi) : phi;
@@ -253,7 +253,7 @@ Result<Value> AdaptiveExtremeValueSketch::Query(double phi) const {
     return Status::InvalidArgument(
         "this sketch was configured for the other tail");
   }
-  if (heap_.size() == 0) {
+  if (heap_.empty()) {
     return Status::FailedPrecondition("no element sampled yet");
   }
   const double tail_phi = high ? (1.0 - phi) : phi;

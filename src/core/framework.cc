@@ -4,6 +4,7 @@
 #include <string>
 
 #include "core/collapse.h"
+#include "util/audit.h"
 #include "util/logging.h"
 
 namespace mrl {
@@ -51,6 +52,9 @@ std::size_t CollapseFramework::AcquireEmptySlot() {
 }
 
 void CollapseFramework::CollapseOnce() {
+#ifdef MRLQUANT_AUDIT
+  const Weight full_weight_before = FullWeight();
+#endif
   std::vector<FullBufferInfo> full = FullBuffers();
   CollapsePolicy::Decision d = policy_->Choose(full);
   MRL_CHECK_GE(d.indices.size(), 2u);
@@ -66,6 +70,11 @@ void CollapseFramework::CollapseOnce() {
   ++stats_.num_collapses;
   stats_.sum_collapse_weights += w;
   stats_.max_level = std::max(stats_.max_level, d.output_level);
+#ifdef MRLQUANT_AUDIT
+  MRL_AUDIT(audit::CheckCollapseConservation(full_weight_before,
+                                             FullWeight()));
+#endif
+  MRL_AUDIT(audit::CheckFramework(*this));
 }
 
 void CollapseFramework::CommitFull(std::size_t slot, Weight weight,
@@ -74,6 +83,7 @@ void CollapseFramework::CommitFull(std::size_t slot, Weight weight,
   buffers_[slot].MarkFull(weight, level);
   ++stats_.leaves_created;
   stats_.max_level = std::max(stats_.max_level, level);
+  MRL_AUDIT(audit::CheckFramework(*this));
 }
 
 void CollapseFramework::IngestFull(std::vector<Value> sorted, Weight weight,
@@ -82,6 +92,7 @@ void CollapseFramework::IngestFull(std::vector<Value> sorted, Weight weight,
   buffers_[slot].AssignSorted(std::move(sorted), weight, level);
   ++stats_.leaves_created;
   stats_.max_level = std::max(stats_.max_level, level);
+  MRL_AUDIT(audit::CheckFramework(*this));
 }
 
 bool CollapseFramework::CollapseAllFull() {
@@ -99,6 +110,7 @@ bool CollapseFramework::CollapseAllFull() {
   ++stats_.num_collapses;
   stats_.sum_collapse_weights += w;
   stats_.max_level = std::max(stats_.max_level, max_level + 1);
+  MRL_AUDIT(audit::CheckFramework(*this));
   return true;
 }
 
@@ -206,6 +218,16 @@ Status CollapseFramework::DeserializeFrom(BinaryReader* reader) {
   even_low_offset_ = (even_low != 0);
   usable_buffers_ = usable;
   stats_ = stats;
+  // A checkpoint is untrusted input: re-derive the whole-pool legality via
+  // the invariant auditor in every build mode, rejecting (rather than
+  // crashing on) states no legal operation sequence can produce — e.g. a
+  // non-empty buffer beyond usable_buffers, two kFilling buffers, or a
+  // buffer level above the recorded tree height.
+  Status legal = audit::CheckFramework(*this);
+  if (!legal.ok()) {
+    return Status::InvalidArgument("checkpoint pool illegal: " +
+                                   legal.message());
+  }
   return Status::OK();
 }
 

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "core/output.h"
+#include "util/audit.h"
 #include "util/logging.h"
 #include "util/serde.h"
 
@@ -26,7 +27,12 @@ Result<KnownNSketch> KnownNSketch::Create(const KnownNOptions& options) {
     if (!solved.ok()) return solved.status();
     params = solved.value();
   }
-  return KnownNSketch(params, options.seed);
+  KnownNSketch sketch(params, options.seed);
+  // Only solver-produced parameters promise that the tree stays within h
+  // (Eq. 2); explicit caller parameters carry no such budget, so the
+  // height audit is restricted to the solved case.
+  sketch.audit_height_budget_ = !options.params.has_value();
+  return sketch;
 }
 
 KnownNSketch::KnownNSketch(const KnownNParams& params, std::uint64_t seed)
@@ -52,6 +58,7 @@ void KnownNSketch::Add(Value v) {
   if (buf.size() == buf.capacity()) {
     framework_.CommitFull(fill_slot_, params_.rate, /*level=*/0);
     filling_ = false;
+    AuditAfterCommit();
   }
 }
 
@@ -75,8 +82,16 @@ void KnownNSketch::AddBatch(std::span<const Value> values) {
     if (buf.size() == buf.capacity()) {
       framework_.CommitFull(fill_slot_, params_.rate, /*level=*/0);
       filling_ = false;
+      AuditAfterCommit();
     }
     values = values.subspan(static_cast<std::size_t>(take));
+  }
+}
+
+void KnownNSketch::AuditAfterCommit() const {
+  MRL_AUDIT(audit::CheckWeightConservation(HeldWeight(), count_));
+  if (audit_height_budget_ && !overflowed()) {
+    MRL_AUDIT(audit::CheckKnownNHeight(framework_, params_.h));
   }
 }
 
@@ -109,6 +124,8 @@ Result<Value> KnownNSketch::Query(double phi) const {
         "stream exceeded the declared n; the known-N guarantee is void");
   }
   RunSnapshot snap = Snapshot();
+  MRL_AUDIT(audit::CheckWeightConservation(TotalRunWeight(snap.runs),
+                                           count_));
   return WeightedQuantile(snap.runs, phi);
 }
 
@@ -119,6 +136,8 @@ Result<std::vector<Value>> KnownNSketch::QueryMany(
         "stream exceeded the declared n; the known-N guarantee is void");
   }
   RunSnapshot snap = Snapshot();
+  MRL_AUDIT(audit::CheckWeightConservation(TotalRunWeight(snap.runs),
+                                           count_));
   return WeightedQuantiles(snap.runs, phis);
 }
 
@@ -229,6 +248,14 @@ Result<KnownNSketch> KnownNSketch::Deserialize(
     }
   } else if (num_filling != 0) {
     return Status::InvalidArgument("checkpoint has an orphan filling buffer");
+  }
+  // Checkpoint hardening (every build mode): weight held by the restored
+  // pool + sampler must equal the recorded element count exactly.
+  Status conserved =
+      audit::CheckWeightConservation(sketch.HeldWeight(), sketch.count_);
+  if (!conserved.ok()) {
+    return Status::InvalidArgument("checkpoint inconsistent: " +
+                                   conserved.message());
   }
   return sketch;
 }

@@ -64,6 +64,10 @@ class KnownNSketch : public QuantileEstimator {
   const TreeStats& tree_stats() const { return framework_.stats(); }
   Weight HeldWeight() const;
 
+  /// Internal framework, exposed read-only for white-box tests (mirrors
+  /// UnknownNSketch::framework()).
+  const CollapseFramework& framework() const { return framework_; }
+
   /// Checkpointing, mirroring UnknownNSketch::Serialize/Deserialize.
   std::vector<std::uint8_t> Serialize() const;
   static Result<KnownNSketch> Deserialize(
@@ -81,6 +85,10 @@ class KnownNSketch : public QuantileEstimator {
 
   void StartNewFill();
 
+  /// MRLQUANT_AUDIT hook run after each buffer commit: weight conservation
+  /// always, the Eq. 2 height budget when params_ came from the solver.
+  void AuditAfterCommit() const;
+
   KnownNParams params_;
   CollapseFramework framework_;
   BlockSampler sampler_;
@@ -88,6 +96,12 @@ class KnownNSketch : public QuantileEstimator {
 
   bool filling_ = false;
   std::size_t fill_slot_ = 0;
+
+  /// True when params_ came from SolveKnownN, whose Eq. 2 sizing is what
+  /// justifies the MRLQUANT_AUDIT tree-height check; explicit parameters
+  /// make no height promise. Not checkpointed (restored sketches skip the
+  /// height audit).
+  bool audit_height_budget_ = false;
 
   /// Survivor staging area reused across AddBatch calls; not sketch state.
   std::vector<Value> batch_scratch_;

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "core/output.h"
+#include "util/audit.h"
 #include "util/logging.h"
 
 namespace mrl {
@@ -51,6 +52,11 @@ void ParallelCoordinator::Ingest(std::vector<ShippedBuffer> shipped) {
       StagePartial(std::move(buf.values), buf.weight);
     }
   }
+  // Ingest round complete: the tree was audited by IngestFull; B0 must be
+  // back under k elements with a consistent weight.
+  MRL_AUDIT(audit::CheckCoordinatorStaging(staging_.size(), k_,
+                                           staging_weight_));
+  MRL_AUDIT(audit::CheckFramework(framework_));
 }
 
 void ParallelCoordinator::StagePartial(std::vector<Value> values,

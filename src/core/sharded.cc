@@ -1,5 +1,7 @@
 #include "core/sharded.h"
 
+#include <cstdlib>
+
 #include "core/params.h"
 #include "util/logging.h"
 #include "util/random.h"
@@ -28,16 +30,20 @@ Result<ShardedQuantileSketch> ShardedQuantileSketch::Create(
   return ShardedQuantileSketch(std::move(shards));
 }
 
+void ShardedQuantileSketch::ShardIndexFatal(int shard) const {
+  MRL_CHECK(false) << "shard index " << shard << " outside [0, "
+                   << shards_.size() << ")";
+  std::abort();  // unreachable; MRL_CHECK(false) aborts
+}
+
 void ShardedQuantileSketch::Add(int shard, Value v) {
-  MRL_DCHECK_GE(shard, 0);
-  MRL_DCHECK_LT(static_cast<std::size_t>(shard), shards_.size());
+  CheckShardIndex(shard);
   shards_[static_cast<std::size_t>(shard)].Add(v);
 }
 
 void ShardedQuantileSketch::AddBatch(int shard,
                                      std::span<const Value> values) {
-  MRL_DCHECK_GE(shard, 0);
-  MRL_DCHECK_LT(static_cast<std::size_t>(shard), shards_.size());
+  CheckShardIndex(shard);
   shards_[static_cast<std::size_t>(shard)].AddBatch(values);
 }
 

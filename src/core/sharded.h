@@ -42,11 +42,18 @@ class ShardedQuantileSketch {
   int num_shards() const { return static_cast<int>(shards_.size()); }
 
   /// Routes one element to shard `shard` (0-based).
+  ///
+  /// Contract (release-mode, not just debug): `shard` must be in
+  /// [0, num_shards()). An out-of-range index aborts with a message — a
+  /// mis-routed write under the concurrent single-writer contract would
+  /// otherwise corrupt a foreign shard silently. The check is a single
+  /// unsigned comparison on the hot path.
   void Add(int shard, Value v);
 
   /// Routes a whole span to shard `shard` via the batch ingestion path;
   /// state-identical to per-element Add under the same seed. The
-  /// single-writer-per-shard thread contract is unchanged.
+  /// single-writer-per-shard thread contract is unchanged, and the same
+  /// release-mode shard-range contract as Add applies.
   void AddBatch(int shard, std::span<const Value> values);
 
   /// Elements consumed across all shards.
@@ -72,6 +79,18 @@ class ShardedQuantileSketch {
  private:
   explicit ShardedQuantileSketch(std::vector<UnknownNSketch> shards)
       : shards_(std::move(shards)) {}
+
+  /// Release-mode shard-range contract shared by Add/AddBatch: one branch
+  /// (the unsigned cast folds the negative check in), aborting via the
+  /// cold out-of-line path on violation.
+  void CheckShardIndex(int shard) const {
+    if (static_cast<std::size_t>(static_cast<unsigned int>(shard)) >=
+        shards_.size()) [[unlikely]] {
+      ShardIndexFatal(shard);
+    }
+  }
+
+  [[noreturn]] void ShardIndexFatal(int shard) const;
 
   std::vector<UnknownNSketch> shards_;
 };

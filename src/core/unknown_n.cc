@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "core/output.h"
+#include "util/audit.h"
 #include "util/logging.h"
 #include "util/serde.h"
 
@@ -76,6 +77,10 @@ void UnknownNSketch::StartNewFill() {
   fill_level_ = level;
   framework_.buffer(fill_slot_).StartFill();
   filling_ = true;
+  // New round complete: the rate/height coupling of §3.7 must hold now
+  // that the rate has caught up with any collapse-driven tree growth.
+  MRL_AUDIT(audit::CheckUnknownNHeight(framework_, params_.h,
+                                       sampler_.rate()));
 }
 
 void UnknownNSketch::Add(Value v) {
@@ -88,6 +93,7 @@ void UnknownNSketch::Add(Value v) {
   if (buf.size() == buf.capacity()) {
     framework_.CommitFull(fill_slot_, fill_weight_, fill_level_);
     filling_ = false;
+    MRL_AUDIT(audit::CheckWeightConservation(HeldWeight(), count_));
   }
 }
 
@@ -113,6 +119,7 @@ void UnknownNSketch::AddBatch(std::span<const Value> values) {
     if (buf.size() == buf.capacity()) {
       framework_.CommitFull(fill_slot_, fill_weight_, fill_level_);
       filling_ = false;
+      MRL_AUDIT(audit::CheckWeightConservation(HeldWeight(), count_));
     }
     values = values.subspan(static_cast<std::size_t>(take));
   }
@@ -146,12 +153,17 @@ UnknownNSketch::RunSnapshot UnknownNSketch::Snapshot() const {
 
 Result<Value> UnknownNSketch::Query(double phi) const {
   RunSnapshot snap = Snapshot();
+  // Output round: everything consumed must be represented, exactly.
+  MRL_AUDIT(audit::CheckWeightConservation(TotalRunWeight(snap.runs),
+                                           count_));
   return WeightedQuantile(snap.runs, phi);
 }
 
 Result<std::vector<Value>> UnknownNSketch::QueryMany(
     const std::vector<double>& phis) const {
   RunSnapshot snap = Snapshot();
+  MRL_AUDIT(audit::CheckWeightConservation(TotalRunWeight(snap.runs),
+                                           count_));
   return WeightedQuantiles(snap.runs, phis);
 }
 
@@ -287,6 +299,22 @@ Result<UnknownNSketch> UnknownNSketch::Deserialize(
     }
   } else if (num_filling != 0) {
     return Status::InvalidArgument("checkpoint has an orphan filling buffer");
+  }
+  // Checkpoint round: the restored sketch must satisfy the same invariants
+  // as a live one. These run in every build mode (the input is untrusted),
+  // via the same checkers the MRLQUANT_AUDIT hooks use, but reject with a
+  // Status instead of aborting.
+  Status conserved =
+      audit::CheckWeightConservation(sketch.HeldWeight(), sketch.count_);
+  if (!conserved.ok()) {
+    return Status::InvalidArgument("checkpoint inconsistent: " +
+                                   conserved.message());
+  }
+  Status height = audit::CheckUnknownNHeight(
+      sketch.framework_, sketch.params_.h, sketch.sampler_.rate());
+  if (!height.ok()) {
+    return Status::InvalidArgument("checkpoint inconsistent: " +
+                                   height.message());
   }
   return sketch;
 }

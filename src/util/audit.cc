@@ -1,0 +1,193 @@
+#include "util/audit.h"
+
+#include <algorithm>
+#include <string>
+
+#include "core/buffer.h"
+#include "core/framework.h"
+
+namespace mrl {
+namespace audit {
+
+namespace {
+
+Status Violation(const std::string& message) {
+  return Status::InvalidArgument(message);
+}
+
+bool IsPowerOfTwo(Weight w) { return w != 0 && (w & (w - 1)) == 0; }
+
+/// floor(log2(w)) for w >= 1.
+int FloorLog2(Weight w) {
+  int log = 0;
+  while (w > 1) {
+    w >>= 1;
+    ++log;
+  }
+  return log;
+}
+
+}  // namespace
+
+Status CheckBuffer(const Buffer& buffer, std::size_t index) {
+  const std::string tag = "buffer[" + std::to_string(index) + "] ";
+  switch (buffer.state()) {
+    case BufferState::kEmpty:
+      if (buffer.size() != 0) {
+        return Violation(tag + "is empty but holds " +
+                         std::to_string(buffer.size()) + " elements");
+      }
+      if (buffer.weight() != 0) {
+        return Violation(tag + "is empty but has weight " +
+                         std::to_string(buffer.weight()));
+      }
+      break;
+    case BufferState::kFilling:
+      if (buffer.size() >= buffer.capacity()) {
+        return Violation(tag + "is filling but size " +
+                         std::to_string(buffer.size()) +
+                         " has reached capacity " +
+                         std::to_string(buffer.capacity()));
+      }
+      break;
+    case BufferState::kFull: {
+      if (buffer.size() != buffer.capacity()) {
+        return Violation(tag + "is full but holds " +
+                         std::to_string(buffer.size()) + " of " +
+                         std::to_string(buffer.capacity()) + " elements");
+      }
+      if (buffer.weight() < 1) {
+        return Violation(tag + "is full with weight " +
+                         std::to_string(buffer.weight()) + " < 1");
+      }
+      if (buffer.level() < 0) {
+        return Violation(tag + "is full with negative level " +
+                         std::to_string(buffer.level()));
+      }
+      if (!std::is_sorted(buffer.values().begin(), buffer.values().end())) {
+        return Violation(tag + "is full but its elements are not sorted");
+      }
+      break;
+    }
+  }
+  return Status::OK();
+}
+
+Status CheckFramework(const CollapseFramework& framework) {
+  const int b = framework.num_buffers();
+  const int usable = framework.usable_buffers();
+  if (usable < 1 || usable > b) {
+    return Violation("usable_buffers " + std::to_string(usable) +
+                     " outside [1, " + std::to_string(b) + "]");
+  }
+  std::size_t num_filling = 0;
+  for (int i = 0; i < b; ++i) {
+    const Buffer& buffer = framework.buffer(static_cast<std::size_t>(i));
+    MRL_RETURN_IF_ERROR(CheckBuffer(buffer, static_cast<std::size_t>(i)));
+    if (buffer.capacity() != framework.buffer_capacity()) {
+      return Violation("buffer[" + std::to_string(i) + "] capacity " +
+                       std::to_string(buffer.capacity()) +
+                       " != framework capacity " +
+                       std::to_string(framework.buffer_capacity()));
+    }
+    if (buffer.state() == BufferState::kFilling) ++num_filling;
+    if (i >= usable && buffer.state() != BufferState::kEmpty) {
+      return Violation("buffer[" + std::to_string(i) +
+                       "] is non-empty beyond usable_buffers " +
+                       std::to_string(usable));
+    }
+    if (buffer.state() != BufferState::kEmpty &&
+        buffer.level() > framework.stats().max_level) {
+      return Violation("buffer[" + std::to_string(i) + "] level " +
+                       std::to_string(buffer.level()) +
+                       " exceeds recorded max_level " +
+                       std::to_string(framework.stats().max_level));
+    }
+  }
+  if (num_filling > 1) {
+    return Violation(std::to_string(num_filling) +
+                     " buffers are filling; the framework fills one at a "
+                     "time");
+  }
+  // Every collapse merges >= 2 full buffers down to one, so after L leaves
+  // and C collapses the pool holds at most L - C full buffers; equivalently
+  // C + #full <= L. (The kFilling buffer is not a leaf yet.)
+  const TreeStats& stats = framework.stats();
+  const std::uint64_t num_full = framework.CountState(BufferState::kFull);
+  if (stats.num_collapses + num_full > stats.leaves_created) {
+    return Violation("pool holds " + std::to_string(num_full) +
+                     " full buffers but the tree counters (" +
+                     std::to_string(stats.leaves_created) + " leaves, " +
+                     std::to_string(stats.num_collapses) +
+                     " collapses) cannot account for them");
+  }
+  return Status::OK();
+}
+
+Status CheckCollapseConservation(Weight full_weight_before,
+                                 Weight full_weight_after) {
+  if (full_weight_before != full_weight_after) {
+    return Violation("Collapse changed the pool's total full weight from " +
+                     std::to_string(full_weight_before) + " to " +
+                     std::to_string(full_weight_after));
+  }
+  return Status::OK();
+}
+
+Status CheckWeightConservation(Weight held, std::uint64_t consumed) {
+  if (held != consumed) {
+    return Violation("held weight " + std::to_string(held) +
+                     " != consumed elements " + std::to_string(consumed) +
+                     "; weight was lost or invented across "
+                     "New/Collapse/Output");
+  }
+  return Status::OK();
+}
+
+Status CheckUnknownNHeight(const CollapseFramework& framework, int h,
+                           Weight sampling_rate) {
+  if (!IsPowerOfTwo(sampling_rate)) {
+    return Violation("sampling rate " + std::to_string(sampling_rate) +
+                     " is not a power of two");
+  }
+  const int budget = h + FloorLog2(sampling_rate);
+  if (framework.max_level() > budget) {
+    return Violation("tree height " +
+                     std::to_string(framework.max_level()) +
+                     " exceeds the Eq. 3 budget h + log2(rate) = " +
+                     std::to_string(h) + " + " +
+                     std::to_string(FloorLog2(sampling_rate)));
+  }
+  return Status::OK();
+}
+
+Status CheckKnownNHeight(const CollapseFramework& framework, int h) {
+  if (framework.max_level() > h) {
+    return Violation("tree height " +
+                     std::to_string(framework.max_level()) +
+                     " exceeds the Eq. 2 budget h = " + std::to_string(h));
+  }
+  return Status::OK();
+}
+
+Status CheckCoordinatorStaging(std::size_t staging_size, std::size_t k,
+                               Weight staging_weight) {
+  if (staging_size >= k) {
+    return Violation("coordinator staging holds " +
+                     std::to_string(staging_size) +
+                     " elements; >= k = " + std::to_string(k) +
+                     " should have been promoted into the tree");
+  }
+  if (staging_size == 0 && staging_weight != 0) {
+    return Violation("empty coordinator staging has weight " +
+                     std::to_string(staging_weight));
+  }
+  if (staging_size > 0 && staging_weight < 1) {
+    return Violation("non-empty coordinator staging has weight " +
+                     std::to_string(staging_weight) + " < 1");
+  }
+  return Status::OK();
+}
+
+}  // namespace audit
+}  // namespace mrl

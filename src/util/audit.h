@@ -1,0 +1,99 @@
+#ifndef MRLQUANT_UTIL_AUDIT_H_
+#define MRLQUANT_UTIL_AUDIT_H_
+
+#include <cstdint>
+
+#include "util/status.h"
+#include "util/types.h"
+
+namespace mrl {
+
+class Buffer;
+class CollapseFramework;
+
+/// Machine-checked statements of the invariants the MRL99 guarantee rests
+/// on. Every checker returns OK or an InvalidArgument Status naming the
+/// violated invariant; none of them mutate anything. They are compiled in
+/// all build modes (so tests can exercise them directly), but the sketches
+/// only *call* them when the library is built with -DMRLQUANT_AUDIT=ON
+/// (see the MRL_AUDIT macro below), because a full audit after every
+/// New/Collapse/Output round costs O(b*k) per round.
+///
+/// The checkers are deliberately redundant with the CHECKs inside Buffer
+/// and Collapse: those fire at the instant a single operation misbehaves,
+/// while the auditor re-derives the *global* state legality from scratch
+/// after each round, so a bug that corrupts state through a legal-looking
+/// sequence of operations is still caught at the next audit point.
+namespace audit {
+
+/// Single-buffer legality (the Buffer class invariants, §3):
+///  * kEmpty   => size == 0, weight == 0
+///  * kFilling => size < capacity
+///  * kFull    => size == capacity, weight >= 1, level >= 0, values sorted
+Status CheckBuffer(const Buffer& buffer, std::size_t index);
+
+/// Whole-pool legality: every buffer passes CheckBuffer, at most one buffer
+/// is kFilling, usable_buffers is in [1, b], slots past usable_buffers are
+/// empty, and the tree counters cover the pool (stats.max_level is >= the
+/// level of every buffer; leaves_created >= num_collapses' inputs demand).
+Status CheckFramework(const CollapseFramework& framework);
+
+/// Local conservation across one Collapse round: the pool's total full
+/// weight (sum of weight * entries over full buffers) must be identical
+/// before and after, because the output buffer's weight is the sum of its
+/// inputs' weights over the same k entries (§3.2).
+Status CheckCollapseConservation(Weight full_weight_before,
+                                 Weight full_weight_after);
+
+/// Weight conservation (Lemma 4 bookkeeping): the total weight held by a
+/// sketch -- full buffers plus the partial buffer plus the sampler's
+/// in-flight block -- must equal the number of consumed elements exactly.
+/// The block sampler never silently discards: a block's non-picked
+/// elements are represented by the survivor's weight, and an open block by
+/// its candidate weighted pending_count, so `held == consumed` with no
+/// drift term.
+Status CheckWeightConservation(Weight held, std::uint64_t consumed);
+
+/// Tree-height budget for the unknown-N algorithm (Eq. 3 / §3.7): the
+/// sampling rate doubles each time the tree grows a level past h, so at
+/// every audit point rate == 2^i implies max_level <= h + i. Also checks
+/// that the rate is a power of two (the only rates §3.7 can produce).
+Status CheckUnknownNHeight(const CollapseFramework& framework, int h,
+                           Weight sampling_rate);
+
+/// Tree-height budget for the known-N algorithm (Eq. 2): the solver sizes
+/// (b, k, h) so the tree consuming ceil(n / rate) elements stays within
+/// height h. Only meaningful while count <= n and for solver-produced
+/// parameters (explicit caller parameters carry no such promise).
+Status CheckKnownNHeight(const CollapseFramework& framework, int h);
+
+/// Coordinator staging buffer (B0, §6) legality after an ingest round: the
+/// staging area holds fewer than k elements (anything more must have been
+/// promoted into the tree) and carries a weight >= 1 exactly when
+/// non-empty. Weight conservation across reconciliation is *expected*, not
+/// exact (Bernoulli subsampling of the lighter buffer), so it is
+/// deliberately not audited here.
+Status CheckCoordinatorStaging(std::size_t staging_size, std::size_t k,
+                               Weight staging_weight);
+
+}  // namespace audit
+}  // namespace mrl
+
+/// Audit hook: evaluates a `Status`-returning audit expression and aborts
+/// with the violation message when it fails. Compiles to nothing (the
+/// expression is not evaluated) unless the build defines MRLQUANT_AUDIT.
+#ifdef MRLQUANT_AUDIT
+#include "util/logging.h"
+#define MRL_AUDIT(expr)                                          \
+  do {                                                           \
+    const ::mrl::Status mrl_audit_status = (expr);               \
+    MRL_CHECK(mrl_audit_status.ok())                             \
+        << "invariant audit failed: " << mrl_audit_status;       \
+  } while (false)
+#else
+#define MRL_AUDIT(expr) \
+  do {                  \
+  } while (false)
+#endif
+
+#endif  // MRLQUANT_UTIL_AUDIT_H_

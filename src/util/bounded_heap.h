@@ -43,6 +43,7 @@ class KBest {
   }
 
   std::size_t size() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
   std::size_t capacity() const { return capacity_; }
   bool full() const { return values_.size() == capacity_; }
 

@@ -21,7 +21,7 @@ class FatalMessage {
   FatalMessage& operator=(const FatalMessage&) = delete;
 
   [[noreturn]] ~FatalMessage() {
-    std::cerr << stream_.str() << std::endl;
+    std::cerr << stream_.str() << '\n' << std::flush;
     std::abort();
   }
 

@@ -79,6 +79,68 @@ TEST(CoordinatorEdgeTest, MixedFullAndPartialInOneShipment) {
   EXPECT_TRUE(coordinator.Query(0.5).ok());
 }
 
+TEST(CoordinatorEdgeTest, ExtremeWeightRatioReconciliation) {
+  // Weight-1 staging meets a weight-1000 partial: the staging survives
+  // Bernoulli(1/1000) subsampling essentially never, but the *accounted*
+  // weight must stay within the reconciliation's drift bound — the drift
+  // per reconciliation is at most the lighter buffer's total weight.
+  const Weight heavy = 1000;
+  std::vector<Value> light;
+  for (int i = 0; i < 30; ++i) light.push_back(static_cast<Value>(i));
+  const Weight light_total = 1 * light.size();
+
+  ParallelCoordinator coordinator(TinyParams(64), 123);
+  coordinator.Ingest({{light, 1, false}});
+  coordinator.Ingest({{{5000.0, 6000.0}, heavy, false}});
+
+  // Accounting is exact: ReceivedWeight sums raw incoming weight before
+  // reconciliation. The drift lives in the *represented* multiset (the
+  // staging subsample), bounded below via the quantile assertions.
+  EXPECT_EQ(coordinator.ReceivedWeight(), light_total + heavy * 2);
+  // The heavy elements carry 2000 of 2030 total weight (~98.5%); every
+  // quantile above the light mass must come from them, whatever the
+  // Bernoulli draw did to the 30 light survivors.
+  EXPECT_GE(coordinator.Query(0.9).value(), 5000.0);
+  EXPECT_LE(coordinator.Query(0.9).value(), 6000.0);
+}
+
+TEST(CoordinatorEdgeTest, LighterBufferOfSizeOneAtExtremeRatio) {
+  // The degenerate reconciliation: a single weight-1 element against
+  // weight-1000 incoming. Whatever the Bernoulli draw does, the
+  // coordinator must stay legal (staging < k, weight consistent) and
+  // queryable, and accounting drift is bounded by the heavy weight.
+  for (std::uint64_t seed = 1; seed <= 32; ++seed) {
+    ParallelCoordinator coordinator(TinyParams(8), seed);
+    coordinator.Ingest({{{7.0}, 1, false}});
+    coordinator.Ingest({{{9999.0}, 1000, false}});
+    EXPECT_EQ(coordinator.ReceivedWeight(), 1001u) << "seed=" << seed;
+    Result<Value> top = coordinator.Query(1.0);
+    ASSERT_TRUE(top.ok()) << "seed=" << seed;
+    EXPECT_DOUBLE_EQ(top.value(), 9999.0) << "seed=" << seed;
+    // The light element survives the 1/1000 draw essentially never; when
+    // it does it is re-weighted to 1000, so the median may legitimately
+    // be either element — but never anything else.
+    Value median = coordinator.Query(0.5).value();
+    EXPECT_TRUE(median == 9999.0 || median == 7.0) << "seed=" << seed;
+  }
+}
+
+TEST(CoordinatorEdgeTest, ReverseExtremeRatioKeepsHeavyStaging) {
+  // Mirror case: heavy staging, light incoming. The incoming weight-1
+  // buffer is the lighter side and gets subsampled at 1/1000; the heavy
+  // staged elements must never be disturbed.
+  ParallelCoordinator coordinator(TinyParams(64), 9);
+  coordinator.Ingest({{{100.0, 200.0, 300.0}, 1000, false}});
+  std::vector<Value> light;
+  for (int i = 0; i < 50; ++i) light.push_back(static_cast<Value>(i));
+  coordinator.Ingest({{light, 1, false}});
+  // The three heavy values carry 3000 of ~3050 total weight; the median
+  // must be one of them regardless of the subsample outcome.
+  Value median = coordinator.Query(0.5).value();
+  EXPECT_TRUE(median == 100.0 || median == 200.0 || median == 300.0)
+      << median;
+}
+
 TEST(CoordinatorEdgeTest, EmptyShipmentsAreHarmless) {
   ParallelCoordinator coordinator(TinyParams(4), 1);
   coordinator.Ingest({});

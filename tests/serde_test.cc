@@ -1,7 +1,11 @@
+#include <cmath>
+#include <cstring>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "core/extreme.h"
+#include "core/known_n.h"
 #include "core/unknown_n.h"
 #include "stream/generator.h"
 #include "util/serde.h"
@@ -236,6 +240,141 @@ TEST(SketchCheckpointTest, RejectsBitFlippedFullBuffer) {
     }
   }
   EXPECT_GT(rejected, 0);
+}
+
+// The same hostile-input contract holds for every checkpointable sketch
+// kind, not just unknown-N: trailing bytes, truncation at any prefix, and
+// semantically illegal pools must all come back as Status, never a crash.
+
+KnownNSketch MakeKnownNForCorruption() {
+  KnownNOptions options;
+  options.eps = 0.05;
+  options.delta = 1e-3;
+  options.n = 5000;
+  options.seed = 17;
+  KnownNSketch sketch = std::move(KnownNSketch::Create(options)).value();
+  for (int i = 0; i < 3000; ++i) sketch.Add(static_cast<Value>(i * 31 % 997));
+  return sketch;
+}
+
+ExtremeValueSketch MakeExtremeForCorruption() {
+  ExtremeValueOptions options;
+  options.phi = 0.01;
+  options.eps = 0.005;
+  options.delta = 1e-3;
+  options.n = 5000;
+  options.seed = 17;
+  ExtremeValueSketch sketch =
+      std::move(ExtremeValueSketch::Create(options)).value();
+  for (int i = 0; i < 3000; ++i) sketch.Add(static_cast<Value>(i * 31 % 997));
+  return sketch;
+}
+
+TEST(KnownNCheckpointTest, RejectsTrailingBytes) {
+  std::vector<std::uint8_t> bytes = MakeKnownNForCorruption().Serialize();
+  bytes.push_back(0);
+  EXPECT_EQ(KnownNSketch::Deserialize(bytes).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(KnownNCheckpointTest, RejectsTruncation) {
+  std::vector<std::uint8_t> bytes = MakeKnownNForCorruption().Serialize();
+  for (std::size_t len : {std::size_t{0}, std::size_t{4}, bytes.size() / 4,
+                          bytes.size() / 2, bytes.size() - 1}) {
+    std::vector<std::uint8_t> prefix(bytes.begin(),
+                                     bytes.begin() + static_cast<long>(len));
+    EXPECT_FALSE(KnownNSketch::Deserialize(prefix).ok()) << "len=" << len;
+  }
+}
+
+TEST(KnownNCheckpointTest, BitFlipsNeverCrash) {
+  std::vector<std::uint8_t> bytes = MakeKnownNForCorruption().Serialize();
+  int rejected = 0;
+  for (std::size_t pos = 0; pos < bytes.size(); pos += 7) {
+    std::vector<std::uint8_t> corrupted = bytes;
+    corrupted[pos] ^= 0xFF;
+    Result<KnownNSketch> r = KnownNSketch::Deserialize(corrupted);
+    if (!r.ok()) {
+      ++rejected;
+    } else {
+      (void)r.value().Query(0.5);  // must not crash
+    }
+  }
+  EXPECT_GT(rejected, 0);
+}
+
+TEST(ExtremeCheckpointTest, RejectsTrailingBytes) {
+  std::vector<std::uint8_t> bytes = MakeExtremeForCorruption().Serialize();
+  bytes.push_back(0);
+  EXPECT_EQ(ExtremeValueSketch::Deserialize(bytes).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ExtremeCheckpointTest, RejectsTruncation) {
+  std::vector<std::uint8_t> bytes = MakeExtremeForCorruption().Serialize();
+  for (std::size_t len : {std::size_t{0}, std::size_t{4}, bytes.size() / 4,
+                          bytes.size() / 2, bytes.size() - 1}) {
+    std::vector<std::uint8_t> prefix(bytes.begin(),
+                                     bytes.begin() + static_cast<long>(len));
+    EXPECT_FALSE(ExtremeValueSketch::Deserialize(prefix).ok())
+        << "len=" << len;
+  }
+}
+
+TEST(ExtremeCheckpointTest, BitFlipsNeverCrash) {
+  std::vector<std::uint8_t> bytes = MakeExtremeForCorruption().Serialize();
+  int rejected = 0;
+  for (std::size_t pos = 0; pos < bytes.size(); pos += 7) {
+    std::vector<std::uint8_t> corrupted = bytes;
+    corrupted[pos] ^= 0xFF;
+    Result<ExtremeValueSketch> r = ExtremeValueSketch::Deserialize(corrupted);
+    if (!r.ok()) {
+      ++rejected;
+    } else {
+      (void)r.value().Query(0.01);  // must not crash
+    }
+  }
+  EXPECT_GT(rejected, 0);
+}
+
+TEST(SketchCheckpointTest, RejectsIllegalPoolState) {
+  // Serialize a sketch whose pool has a full buffer, then rewrite that
+  // buffer's payload to be unsorted by swapping two value fields. The
+  // decoder must notice the pool is illegal (audit::CheckFramework runs
+  // inside DeserializeFrom in every build mode) rather than accept a
+  // sketch that would answer queries from corrupt runs.
+  UnknownNParams p;
+  p.b = 3;
+  p.k = 16;
+  p.h = 2;
+  p.alpha = 0.5;
+  UnknownNOptions options;
+  options.params = p;
+  options.seed = 5;
+  UnknownNSketch sketch = std::move(UnknownNSketch::Create(options)).value();
+  for (int i = 0; i < 400; ++i) sketch.Add(static_cast<Value>(i));
+  ASSERT_GT(sketch.framework().FullWeight(), 0u);
+  std::vector<std::uint8_t> bytes = sketch.Serialize();
+
+  // Find 8-byte little-endian doubles of two adjacent ascending values in
+  // some full buffer by scanning for any sorted pair and swapping them.
+  int rejections = 0;
+  for (std::size_t pos = 0; pos + 16 <= bytes.size(); ++pos) {
+    double a;
+    double b;
+    std::memcpy(&a, bytes.data() + pos, 8);
+    std::memcpy(&b, bytes.data() + pos + 8, 8);
+    if (std::isfinite(a) && std::isfinite(b) && a < b && a >= 0 &&
+        b < 400) {
+      std::vector<std::uint8_t> corrupted = bytes;
+      // Swap the two doubles: values become locally descending.
+      std::memcpy(corrupted.data() + pos, &b, 8);
+      std::memcpy(corrupted.data() + pos + 8, &a, 8);
+      Result<UnknownNSketch> r = UnknownNSketch::Deserialize(corrupted);
+      if (!r.ok()) ++rejections;
+    }
+  }
+  EXPECT_GT(rejections, 0);
 }
 
 }  // namespace

@@ -1,0 +1,87 @@
+#include "cli_options.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+namespace mrl {
+namespace cli {
+
+namespace {
+
+constexpr char kUsage[] =
+    "usage: mrlquant_cli [--format=text|bin] [--eps=E] "
+    "[--delta=D] [--phi=p1,p2,...] [--rank=v1,v2,...] "
+    "[--seed=S] <file>";
+
+}  // namespace
+
+bool ParseDoubleList(const char* arg, std::vector<double>* out) {
+  out->clear();
+  std::string s(arg);
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    std::size_t comma = s.find(',', pos);
+    std::string token = s.substr(pos, comma == std::string::npos
+                                          ? std::string::npos
+                                          : comma - pos);
+    char* end = nullptr;
+    double v = std::strtod(token.c_str(), &end);
+    if (end == token.c_str() || *end != '\0') return false;
+    out->push_back(v);
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return !out->empty();
+}
+
+bool ParseArgs(int argc, char** argv, CliOptions* options,
+               std::string* error) {
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    auto value_of = [&](const char* prefix) -> const char* {
+      std::size_t len = std::strlen(prefix);
+      return std::strncmp(arg, prefix, len) == 0 ? arg + len : nullptr;
+    };
+    if (const char* v = value_of("--format=")) {
+      options->format = v;
+    } else if (const char* v = value_of("--eps=")) {
+      options->eps = std::atof(v);
+    } else if (const char* v = value_of("--delta=")) {
+      options->delta = std::atof(v);
+    } else if (const char* v = value_of("--seed=")) {
+      errno = 0;
+      options->seed = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = value_of("--phi=")) {
+      if (!ParseDoubleList(v, &options->phis)) {
+        *error = std::string("malformed --phi list: ") + v;
+        return false;
+      }
+    } else if (const char* v = value_of("--rank=")) {
+      if (!ParseDoubleList(v, &options->ranks)) {
+        *error = std::string("malformed --rank list: ") + v;
+        return false;
+      }
+    } else if (std::strncmp(arg, "--", 2) == 0) {
+      *error = std::string("unknown flag: ") + arg;
+      return false;
+    } else if (options->path.empty()) {
+      options->path = arg;
+    } else {
+      *error = std::string("unexpected argument: ") + arg;
+      return false;
+    }
+  }
+  if (options->path.empty()) {
+    *error = kUsage;
+    return false;
+  }
+  if (options->format != "text" && options->format != "bin") {
+    *error = "unknown format: " + options->format;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace cli
+}  // namespace mrl

@@ -1,0 +1,36 @@
+#ifndef MRLQUANT_TOOLS_CLI_OPTIONS_H_
+#define MRLQUANT_TOOLS_CLI_OPTIONS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mrl {
+namespace cli {
+
+/// Parsed command line of mrlquant_cli. Separated from the binary so the
+/// parser can be driven by tests and by the cli_args_fuzz harness.
+struct CliOptions {
+  std::string path;
+  std::string format = "text";
+  double eps = 0.01;
+  double delta = 1e-4;
+  std::vector<double> phis = {0.01, 0.25, 0.5, 0.75, 0.99};
+  std::vector<double> ranks;
+  std::uint64_t seed = 1;
+};
+
+/// Parses a comma-separated list of decimals ("0.5,0.9"). Returns false on
+/// an empty list or any malformed token; `out` is clobbered either way.
+bool ParseDoubleList(const char* arg, std::vector<double>* out);
+
+/// Parses argv into `options`. On failure returns false and stores a
+/// human-readable reason (or the usage string) in `error`; performs no I/O
+/// and touches no files, whatever the input.
+bool ParseArgs(int argc, char** argv, CliOptions* options,
+               std::string* error);
+
+}  // namespace cli
+}  // namespace mrl
+
+#endif  // MRLQUANT_TOOLS_CLI_OPTIONS_H_

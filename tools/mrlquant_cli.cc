@@ -15,12 +15,11 @@
 // Exit status: 0 on success, 1 on any error.
 
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "cli_options.h"
 #include "core/unknown_n.h"
 #include "stream/file_stream.h"
 #include "stream/text_stream.h"
@@ -28,77 +27,7 @@
 
 namespace {
 
-struct CliOptions {
-  std::string path;
-  std::string format = "text";
-  double eps = 0.01;
-  double delta = 1e-4;
-  std::vector<double> phis = {0.01, 0.25, 0.5, 0.75, 0.99};
-  std::vector<double> ranks;
-  std::uint64_t seed = 1;
-};
-
-bool ParseDoubleList(const char* arg, std::vector<double>* out) {
-  out->clear();
-  std::string s(arg);
-  std::size_t pos = 0;
-  while (pos < s.size()) {
-    std::size_t comma = s.find(',', pos);
-    std::string token = s.substr(pos, comma == std::string::npos
-                                          ? std::string::npos
-                                          : comma - pos);
-    char* end = nullptr;
-    double v = std::strtod(token.c_str(), &end);
-    if (end == token.c_str() || *end != '\0') return false;
-    out->push_back(v);
-    if (comma == std::string::npos) break;
-    pos = comma + 1;
-  }
-  return !out->empty();
-}
-
-bool ParseArgs(int argc, char** argv, CliOptions* options) {
-  for (int i = 1; i < argc; ++i) {
-    const char* arg = argv[i];
-    auto value_of = [&](const char* prefix) -> const char* {
-      std::size_t len = std::strlen(prefix);
-      return std::strncmp(arg, prefix, len) == 0 ? arg + len : nullptr;
-    };
-    if (const char* v = value_of("--format=")) {
-      options->format = v;
-    } else if (const char* v = value_of("--eps=")) {
-      options->eps = std::atof(v);
-    } else if (const char* v = value_of("--delta=")) {
-      options->delta = std::atof(v);
-    } else if (const char* v = value_of("--seed=")) {
-      options->seed = std::strtoull(v, nullptr, 10);
-    } else if (const char* v = value_of("--phi=")) {
-      if (!ParseDoubleList(v, &options->phis)) return false;
-    } else if (const char* v = value_of("--rank=")) {
-      if (!ParseDoubleList(v, &options->ranks)) return false;
-    } else if (std::strncmp(arg, "--", 2) == 0) {
-      std::fprintf(stderr, "unknown flag: %s\n", arg);
-      return false;
-    } else if (options->path.empty()) {
-      options->path = arg;
-    } else {
-      std::fprintf(stderr, "unexpected argument: %s\n", arg);
-      return false;
-    }
-  }
-  if (options->path.empty()) {
-    std::fprintf(stderr,
-                 "usage: mrlquant_cli [--format=text|bin] [--eps=E] "
-                 "[--delta=D] [--phi=p1,p2,...] [--rank=v1,v2,...] "
-                 "[--seed=S] <file>\n");
-    return false;
-  }
-  if (options->format != "text" && options->format != "bin") {
-    std::fprintf(stderr, "unknown format: %s\n", options->format.c_str());
-    return false;
-  }
-  return true;
-}
+using mrl::cli::CliOptions;
 
 template <typename Reader>
 mrl::Status FeedAll(Reader* reader, mrl::UnknownNSketch* sketch) {
@@ -115,7 +44,11 @@ mrl::Status FeedAll(Reader* reader, mrl::UnknownNSketch* sketch) {
 
 int main(int argc, char** argv) {
   CliOptions options;
-  if (!ParseArgs(argc, argv, &options)) return 1;
+  std::string parse_error;
+  if (!mrl::cli::ParseArgs(argc, argv, &options, &parse_error)) {
+    std::fprintf(stderr, "%s\n", parse_error.c_str());
+    return 1;
+  }
 
   mrl::UnknownNOptions sketch_options;
   sketch_options.eps = options.eps;
