@@ -8,6 +8,8 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "bench_reporter.h"
+
 #include "baseline/ars.h"
 #include "baseline/munro_paterson.h"
 #include "core/known_n.h"
@@ -91,10 +93,15 @@ int main() {
     auto sketch = std::move(mrl::ArsSketch::Create(options)).value();
     rows.push_back(Measure("collapse-all", sketch, ds));
   }
+  mrl::bench::BenchReporter reporter("ablation_collapse_policies");
   for (const Row& r : rows) {
     std::printf("%-16s %12.5f %10llu %14llu %8d\n", r.policy, r.worst_error,
                 static_cast<unsigned long long>(r.collapses),
                 static_cast<unsigned long long>(r.sum_weights), r.height);
+    reporter.ReportValue(std::string("worst_err/") + r.policy, r.worst_error,
+                         "rank");
+    reporter.ReportValue(std::string("sum_collapse_weights/") + r.policy,
+                         static_cast<double>(r.sum_weights), "weight");
   }
   std::printf("\nexpected shape: the MRL policy needs the smallest W (and so "
               "the smallest error bound) for the same memory — the reason "

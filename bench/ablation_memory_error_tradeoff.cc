@@ -9,6 +9,7 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "bench_reporter.h"
 #include "core/unknown_n.h"
 #include "stream/generator.h"
 
@@ -46,6 +47,7 @@ double MeanWorstError(int b, std::size_t k, int h, std::size_t n,
 }  // namespace
 
 int main() {
+  mrl::bench::BenchReporter reporter("ablation_memory_error_tradeoff");
   const int b = 5;
   const int h = 4;
   const std::size_t n = 300'000;
@@ -64,6 +66,8 @@ int main() {
         static_cast<double>(h + 1) / (2.0 * 0.5 * static_cast<double>(k));
     std::printf("%-8zu %12zu %16.5f %18.5f\n", k,
                 static_cast<std::size_t>(b) * k, err, certified);
+    reporter.ReportValue("mean_worst_err/k=" + std::to_string(k), err,
+                         "rank");
   }
   std::printf("\nexpected shape: observed error shrinks roughly like 1/k and "
               "stays a comfortable factor below the certified bound at "

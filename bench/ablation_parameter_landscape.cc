@@ -9,6 +9,7 @@
 #include <cmath>
 #include <cstdio>
 
+#include "bench_reporter.h"
 #include "util/math.h"
 
 int main() {
@@ -60,5 +61,9 @@ int main() {
               "valley: several (b, h) pairs within ~10%%, so the solver's "
               "exact pick is not fragile\n",
               best_b, best_h, best / 1000.0);
+  mrl::bench::BenchReporter reporter("ablation_parameter_landscape");
+  reporter.ReportValue("best_mem/b=" + std::to_string(best_b) +
+                           "/h=" + std::to_string(best_h),
+                       best, "elements");
   return 0;
 }

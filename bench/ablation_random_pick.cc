@@ -13,6 +13,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench_reporter.h"
 #include "core/unknown_n.h"
 #include "stream/dataset.h"
 #include "util/random.h"
@@ -56,6 +57,7 @@ double WorstError(const mrl::Dataset& ds, bool first_of_block,
 }  // namespace
 
 int main() {
+  mrl::bench::BenchReporter reporter("ablation_random_pick");
   const std::size_t n = 400'000;
   std::printf("Ablation: uniform within-block pick vs deterministic "
               "first-of-block, periodic arrival order, N=%zu\n\n",
@@ -68,6 +70,9 @@ int main() {
     double uniform = WorstError(ds, /*first_of_block=*/false, 11);
     double systematic = WorstError(ds, /*first_of_block=*/true, 11);
     std::printf("%-10d %18.5f %18.5f\n", period, uniform, systematic);
+    const std::string tag = "/period=" + std::to_string(period);
+    reporter.ReportValue("uniform_err" + tag, uniform, "rank");
+    reporter.ReportValue("first_of_block_err" + tag, systematic, "rank");
   }
   std::printf("\nexpected shape: the uniform pick stays within the small-"
               "parameter budget (~0.05) on every period; first-of-block "

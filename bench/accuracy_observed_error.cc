@@ -7,6 +7,7 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "bench_reporter.h"
 #include "core/unknown_n.h"
 #include "stream/generator.h"
 
@@ -24,6 +25,7 @@ double WorstError(const mrl::Dataset& ds, const mrl::UnknownNSketch& sketch) {
 }  // namespace
 
 int main() {
+  mrl::bench::BenchReporter reporter("accuracy_observed_error");
   const double eps = 0.01;
   const double delta = 1e-4;
   const std::size_t n = 1'200'000;  // past the sampling onset for eps=0.01
@@ -57,10 +59,14 @@ int main() {
       std::printf("%-14s %-14s %12.5f %10llu\n", dist,
                   mrl::ArrivalOrderName(order).c_str(), worst,
                   static_cast<unsigned long long>(sketch.sampling_rate()));
+      reporter.ReportValue(
+          std::string("worst_err/") + dist + "/" + mrl::ArrivalOrderName(order),
+          worst, "rank");
     }
   }
   std::printf("\nglobal worst observed error: %.5f (guarantee: %.3f) -> %s\n",
               global_worst, eps, global_worst <= eps ? "PASS" : "FAIL");
+  reporter.ReportValue("global_worst_err", global_worst, "rank");
 
   // Failure-rate check at a loose delta: small forced parameters so the
   // sampling error dominates and failures are actually possible.
@@ -89,5 +95,7 @@ int main() {
   }
   std::printf("  %d / %d medians outside eps=%.2f at b=4,k=128,h=4\n",
               failures, trials, loose_eps);
+  reporter.ReportValue("failure_rate",
+                       static_cast<double>(failures) / trials, "fraction");
   return global_worst <= eps ? 0 : 1;
 }

@@ -9,6 +9,8 @@
 #include <cstdio>
 #include <memory>
 
+#include "bench_reporter.h"
+
 #include "baseline/ars.h"
 #include "baseline/exact.h"
 #include "baseline/munro_paterson.h"
@@ -18,6 +20,7 @@
 #include "stream/generator.h"
 
 int main() {
+  mrl::bench::BenchReporter reporter("baseline_comparison");
   const double delta = 1e-4;
 
   std::printf("(a) memory (K elements) at fixed accuracy, delta=%.0e\n\n",
@@ -36,6 +39,11 @@ int main() {
         mrl::SolveArs(eps, 1'000'000'000).value().MemoryElements();
     std::printf("%-8g %11.2fK %11.2fK %13.2fK %11.2fK\n", eps,
                 mrl / 1000.0, res / 1000.0, mp / 1000.0, ars / 1000.0);
+    const std::string tag = "/eps=" + mrl::bench::FormatG(eps);
+    reporter.ReportValue("mrl99_mem" + tag, static_cast<double>(mrl),
+                         "elements");
+    reporter.ReportValue("reservoir_mem" + tag, static_cast<double>(res),
+                         "elements");
   }
 
   std::printf("\n(b) same stream, every algorithm at eps=0.01: observed "
@@ -96,6 +104,10 @@ int main() {
                 est->MemoryElements() / 1000.0, worst,
                 est->name() == "exact" ? "stores all"
                                        : (knows_n ? "yes" : "no"));
+    reporter.ReportValue("mem/" + est->name(),
+                         static_cast<double>(est->MemoryElements()),
+                         "elements");
+    reporter.ReportValue("worst_err/" + est->name(), worst, "rank");
   }
   std::printf("\nexpected shape: mrl99 and the known-N baselines are within "
               "eps at a fraction of reservoir's memory; reservoir's gap "

@@ -7,18 +7,22 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "bench_reporter.h"
 #include "core/extreme.h"
 #include "core/params.h"
 #include "stream/generator.h"
 #include "util/math.h"
 
 int main() {
+  mrl::bench::BenchReporter reporter("extreme_values");
   const double eps = 0.001;
   const double delta = 1e-4;
   const std::uint64_t n = 2'000'000;
 
   const std::uint64_t general = mrl::UnknownNMemoryElements(eps, delta)
                                     .value();
+  reporter.ReportValue("general_mem", static_cast<double>(general),
+                       "elements");
   std::printf("Section 7: extreme-value estimator vs the general algorithm, "
               "eps=%.4f, delta=%.0e, N=%llu\n",
               eps, delta, static_cast<unsigned long long>(n));
@@ -52,6 +56,11 @@ int main() {
                 static_cast<double>(general) /
                     static_cast<double>(sketch.MemoryElements()),
                 err);
+    reporter.ReportValue("mem/phi=" + mrl::bench::FormatG(phi),
+                         static_cast<double>(sketch.MemoryElements()),
+                         "elements");
+    reporter.ReportValue("obs_err/phi=" + mrl::bench::FormatG(phi), err,
+                         "rank");
   }
 
   std::printf("\nsample-size comparison (the statistical fact behind the "

@@ -8,13 +8,17 @@
 #include <cmath>
 #include <cstdio>
 
+#include "bench_reporter.h"
 #include "core/params.h"
 
 int main() {
+  mrl::bench::BenchReporter reporter("fig4_memory_vs_n");
   const double eps = 0.01;
   const double delta = 1e-4;
   const std::uint64_t unknown = mrl::UnknownNMemoryElements(eps, delta)
                                     .value();
+  reporter.ReportValue("unknown_n_mem", static_cast<double>(unknown),
+                       "elements");
 
   std::printf("Figure 4: memory vs log10(N), eps = %.2f, delta = %.0e\n\n",
               eps, delta);
@@ -28,6 +32,8 @@ int main() {
     std::printf("%-10d %13.2fK %13.2fK\n", exp10,
                 static_cast<double>(known) / 1000.0,
                 static_cast<double>(unknown) / 1000.0);
+    reporter.ReportValue("known_n_mem/log10N=" + std::to_string(exp10),
+                         static_cast<double>(known), "elements");
   }
   std::printf("\nexpected shape: known-N grows with N then flattens "
               "(sampling); unknown-N is constant and within 2x of the "

@@ -11,12 +11,14 @@
 #include <cmath>
 #include <cstdio>
 
+#include "bench_reporter.h"
 #include "core/dynamic_alloc.h"
 #include "core/params.h"
 #include "core/unknown_n.h"
 #include "stream/generator.h"
 
 int main() {
+  mrl::bench::BenchReporter reporter("fig5_dynamic_allocation");
   const double eps = 0.01;
   const double delta = 1e-4;
 
@@ -59,6 +61,9 @@ int main() {
                 static_cast<double>(plan.MemoryElementsAt(n)) / 1000.0,
                 static_cast<double>(limit_at(n)) / 1000.0,
                 static_cast<double>(known) / 1000.0);
+    reporter.ReportValue(
+        "schedule_mem/log10N=" + mrl::bench::FormatG(exp10),
+        static_cast<double>(plan.MemoryElementsAt(n)), "elements");
   }
 
   // Empirical validation: run the sketch under the schedule.
@@ -88,5 +93,7 @@ int main() {
   std::printf("\nempirical run over %zu elements: memory within limits: %s; "
               "worst observed rank error %.5f (guarantee %.2f)\n",
               ds.size(), within_limits ? "yes" : "NO", worst, eps);
+  reporter.ReportValue("within_limits", within_limits ? 1.0 : 0.0, "bool");
+  reporter.ReportValue("worst_rank_error", worst, "rank");
   return within_limits && worst <= eps ? 0 : 1;
 }

@@ -9,11 +9,13 @@
 #include <thread>
 #include <vector>
 
+#include "bench_reporter.h"
 #include "core/parallel.h"
 #include "stream/generator.h"
 #include "util/stopwatch.h"
 
 int main() {
+  mrl::bench::BenchReporter reporter("parallel_scaling");
   const double eps = 0.01;
   const double delta = 1e-4;
   const std::size_t total_elements = 2'000'000;
@@ -83,6 +85,12 @@ int main() {
                 watch.ElapsedSeconds() * 1e3,
                 static_cast<unsigned long long>(shipped),
                 coordinator.tree_stats().max_level, worst);
+    const std::string tag = "/P=" + std::to_string(workers);
+    reporter.ReportValue("sketch_time" + tag,
+                         watch.ElapsedSeconds() * 1e3, "ms");
+    reporter.ReportValue("shipped" + tag, static_cast<double>(shipped),
+                         "elements");
+    reporter.ReportValue("worst_err" + tag, worst, "rank");
   }
   std::printf("\nexpected shape: shipped data stays ~P * (k..2k) elements "
               "(independent of N), the coordinator tree stays within h', "

@@ -11,9 +11,11 @@
 
 #include <cstdio>
 
+#include "bench_reporter.h"
 #include "core/params.h"
 
 int main() {
+  mrl::bench::BenchReporter reporter("table1_memory_footprint");
   const double epss[] = {0.1, 0.05, 0.01, 0.005, 0.001};
   const double deltas[] = {1e-2, 1e-3, 1e-4};
   const std::uint64_t big_n = std::uint64_t{1} << 50;
@@ -35,6 +37,15 @@ int main() {
                   static_cast<double>(known) / 1000.0,
                   static_cast<double>(u.MemoryElements()) /
                       static_cast<double>(known));
+      const std::string cell = "eps=" + mrl::bench::FormatG(eps) +
+                               "/delta=" + mrl::bench::FormatG(delta);
+      reporter.ReportValue("unknown_n_mem/" + cell,
+                           static_cast<double>(u.MemoryElements()),
+                           "elements");
+      reporter.ReportValue("ratio_vs_known_n/" + cell,
+                           static_cast<double>(u.MemoryElements()) /
+                               static_cast<double>(known),
+                           "x");
     }
   }
   std::printf("\npaper reference points (SIGMOD'99 Table 1, eps=0.01): "

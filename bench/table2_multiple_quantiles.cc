@@ -7,9 +7,11 @@
 
 #include <cstdio>
 
+#include "bench_reporter.h"
 #include "core/params.h"
 
 int main() {
+  mrl::bench::BenchReporter reporter("table2_multiple_quantiles");
   const double epss[] = {0.1, 0.05, 0.01, 0.005, 0.001};
   const std::uint64_t ps[] = {1, 10, 100, 1000};
   const double delta = 1e-4;
@@ -28,10 +30,15 @@ int main() {
       std::uint64_t mem =
           mrl::MultiQuantileMemoryElements(eps, delta, p).value();
       std::printf(" %9.2fK", static_cast<double>(mem) / 1000.0);
+      reporter.ReportValue("mem/eps=" + mrl::bench::FormatG(eps) +
+                               "/p=" + std::to_string(p),
+                           static_cast<double>(mem), "elements");
     }
     std::uint64_t grid = mrl::PrecomputedGridMemoryElements(eps, delta)
                              .value();
     std::printf(" %11.2fK\n", static_cast<double>(grid) / 1000.0);
+    reporter.ReportValue("precompute_mem/eps=" + mrl::bench::FormatG(eps),
+                         static_cast<double>(grid), "elements");
   }
   std::printf("\npaper reference (Table 2, eps=0.01): 4.78K / 4.87K / 4.97K "
               "/ ... / 11.3K — slow growth in p, larger precompute bound\n");

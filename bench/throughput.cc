@@ -9,6 +9,8 @@
 
 #include <span>
 
+#include "bench_reporter.h"
+
 #include "baseline/exact.h"
 #include "baseline/munro_paterson.h"
 #include "baseline/reservoir_quantile.h"
@@ -326,4 +328,6 @@ BENCHMARK(BM_SummaryQuery);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return mrl::bench::RunBenchmarksWithReporter(argc, argv, "throughput");
+}

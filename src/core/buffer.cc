@@ -62,6 +62,29 @@ void Buffer::AssignSorted(std::vector<Value> sorted_values, Weight weight,
   state_ = BufferState::kFull;
 }
 
+void Buffer::SwapSorted(std::vector<Value>* sorted_values, Weight weight,
+                        int level) {
+  MRL_CHECK(sorted_values != nullptr);
+  MRL_CHECK_EQ(sorted_values->size(), capacity_);
+  MRL_CHECK_GE(weight, 1u);
+  MRL_DCHECK(std::is_sorted(sorted_values->begin(), sorted_values->end()));
+  values_.swap(*sorted_values);
+  weight_ = weight;
+  level_ = level;
+  state_ = BufferState::kFull;
+}
+
+void Buffer::AssignSortedCopy(const Value* data, std::size_t n, Weight weight,
+                              int level) {
+  MRL_CHECK_EQ(n, capacity_);
+  MRL_CHECK_GE(weight, 1u);
+  MRL_DCHECK(std::is_sorted(data, data + n));
+  values_.assign(data, data + n);
+  weight_ = weight;
+  level_ = level;
+  state_ = BufferState::kFull;
+}
+
 void Buffer::Clear() {
   values_.clear();
   weight_ = 0;

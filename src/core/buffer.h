@@ -63,6 +63,18 @@ class Buffer {
   void AssignSorted(std::vector<Value> sorted_values, Weight weight,
                     int level);
 
+  /// Zero-allocation variant of AssignSorted: swaps storage with
+  /// *sorted_values, so the buffer's previous vector lands back in the
+  /// caller's scratch for recycling on the next collapse.
+  void SwapSorted(std::vector<Value>* sorted_values, Weight weight,
+                  int level);
+
+  /// Copying variant of AssignSorted: assigns the range into the existing
+  /// storage, so no allocation occurs once values_ has ever reached
+  /// capacity() elements.
+  void AssignSortedCopy(const Value* data, std::size_t n, Weight weight,
+                        int level);
+
   /// Any state -> kEmpty.
   void Clear();
 

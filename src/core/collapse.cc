@@ -5,10 +5,11 @@
 
 namespace mrl {
 
-std::vector<Weight> CollapsePositions(Weight w, std::size_t k, bool even_low) {
+void CollapsePositionsInto(Weight w, std::size_t k, bool even_low,
+                           std::vector<Weight>* out) {
   MRL_CHECK_GE(w, 2u);
-  std::vector<Weight> positions;
-  positions.reserve(k);
+  MRL_CHECK(out != nullptr);
+  out->clear();
   Weight offset;
   if (w % 2 == 1) {
     offset = (w + 1) / 2;
@@ -16,42 +17,61 @@ std::vector<Weight> CollapsePositions(Weight w, std::size_t k, bool even_low) {
     offset = even_low ? w / 2 : (w + 2) / 2;
   }
   for (std::size_t j = 0; j < k; ++j) {
-    positions.push_back(static_cast<Weight>(j) * w + offset);
+    out->push_back(static_cast<Weight>(j) * w + offset);
   }
+}
+
+std::vector<Weight> CollapsePositions(Weight w, std::size_t k, bool even_low) {
+  std::vector<Weight> positions;
+  positions.reserve(k);
+  CollapsePositionsInto(w, k, even_low, &positions);
   return positions;
 }
 
 Weight Collapse(const std::vector<Buffer*>& inputs, std::size_t output_slot,
-                int output_level, bool* even_low_offset) {
+                int output_level, bool* even_low_offset,
+                CollapseScratch* scratch) {
   MRL_CHECK_GE(inputs.size(), 2u);
   MRL_CHECK_LT(output_slot, inputs.size());
   MRL_CHECK(even_low_offset != nullptr);
+  MRL_CHECK(scratch != nullptr);
 
   const std::size_t k = inputs[0]->capacity();
   Weight w = 0;
-  std::vector<WeightedRun> runs;
-  runs.reserve(inputs.size());
+  scratch->runs.clear();
   for (Buffer* in : inputs) {
     MRL_CHECK(in->state() == BufferState::kFull)
         << "Collapse input must be full, got " << BufferStateName(in->state());
     MRL_CHECK_EQ(in->capacity(), k);
     MRL_CHECK_EQ(in->size(), k);
     w += in->weight();
-    runs.push_back({in->values().data(), in->size(), in->weight()});
+    scratch->runs.push_back({in->values().data(), in->size(), in->weight()});
   }
 
-  std::vector<Weight> positions = CollapsePositions(w, k, *even_low_offset);
+  CollapsePositionsInto(w, k, *even_low_offset, &scratch->positions);
   if (w % 2 == 0) {
     *even_low_offset = !*even_low_offset;  // alternate on even weights (§3.2)
   }
-  std::vector<Value> selected = SelectWeightedPositions(runs, positions);
-  MRL_CHECK_EQ(selected.size(), k);
+  scratch->selected.resize(k);
+  SelectWeightedPositionsInto(scratch->runs.data(), scratch->runs.size(),
+                              scratch->positions.data(),
+                              scratch->positions.size(), &scratch->merge,
+                              scratch->selected.data());
 
   for (std::size_t i = 0; i < inputs.size(); ++i) {
     if (i != output_slot) inputs[i]->Clear();
   }
-  inputs[output_slot]->AssignSorted(std::move(selected), w, output_level);
+  // Swap rather than move-assign: the output slot's old storage returns to
+  // the scratch arena and is recycled by the next collapse.
+  inputs[output_slot]->SwapSorted(&scratch->selected, w, output_level);
   return w;
+}
+
+Weight Collapse(const std::vector<Buffer*>& inputs, std::size_t output_slot,
+                int output_level, bool* even_low_offset) {
+  CollapseScratch scratch;
+  return Collapse(inputs, output_slot, output_level, even_low_offset,
+                  &scratch);
 }
 
 }  // namespace mrl

@@ -4,9 +4,30 @@
 #include <vector>
 
 #include "core/buffer.h"
+#include "core/collapse_policy.h"
+#include "core/weighted_merge.h"
 #include "util/types.h"
 
 namespace mrl {
+
+/// Reusable arena for everything a Collapse round needs: the run table,
+/// the selected weighted positions, the output storage, and the merge
+/// kernel's tournament state — plus the framework-side full-buffer table,
+/// policy decision, and input pointer list. One instance lives in each
+/// CollapseFramework; after the first few collapses warm its capacity,
+/// steady-state collapses perform zero heap allocations (the output
+/// buffer's previous storage is swapped back into `selected` and
+/// recycled, see Buffer::SwapSorted).
+struct CollapseScratch {
+  std::vector<WeightedRun> runs;
+  std::vector<Weight> positions;
+  std::vector<Value> selected;
+  MergeScratch merge;
+  // Used by CollapseFramework (core/framework.cc):
+  std::vector<FullBufferInfo> full;
+  std::vector<Buffer*> inputs;
+  CollapsePolicy::Decision decision;
+};
 
 /// The Collapse operator (Section 3.2). Merges c >= 2 full buffers of equal
 /// capacity k into one full buffer of weight w(Y) = sum of input weights,
@@ -21,16 +42,25 @@ namespace mrl {
 ///
 /// The output is written into *inputs[output_slot] (the paper performs
 /// Collapse in situ) with the given output level; all other inputs are
-/// cleared to kEmpty.
+/// cleared to kEmpty. All working storage comes from *scratch.
 ///
 /// Returns w(Y).
+Weight Collapse(const std::vector<Buffer*>& inputs, std::size_t output_slot,
+                int output_level, bool* even_low_offset,
+                CollapseScratch* scratch);
+
+/// Allocating convenience wrapper (function-local scratch).
 Weight Collapse(const std::vector<Buffer*>& inputs, std::size_t output_slot,
                 int output_level, bool* even_low_offset);
 
 /// Computes just the k weighted positions a Collapse with output weight `w`
 /// and buffer size `k` would select, given the current alternation phase
-/// `even_low` (ignored for odd w). Exposed for tests and for the dynamic
-/// allocation validity checker.
+/// `even_low` (ignored for odd w), into *out (reusing its capacity).
+/// Exposed for tests and for the dynamic allocation validity checker.
+void CollapsePositionsInto(Weight w, std::size_t k, bool even_low,
+                           std::vector<Weight>* out);
+
+/// Allocating convenience wrapper over CollapsePositionsInto.
 std::vector<Weight> CollapsePositions(Weight w, std::size_t k, bool even_low);
 
 }  // namespace mrl

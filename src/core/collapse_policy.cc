@@ -2,60 +2,73 @@
 
 #include <algorithm>
 #include <limits>
+#include <utility>
 
 #include "util/logging.h"
 
 namespace mrl {
 
-CollapsePolicy::Decision MrlCollapsePolicy::Choose(
-    const std::vector<FullBufferInfo>& full) const {
+void MrlCollapsePolicy::ChooseInto(const std::vector<FullBufferInfo>& full,
+                                   Decision* out) const {
   MRL_CHECK_GE(full.size(), 2u);
   // l* = smallest level at which the cumulative count of buffers with
   // level <= l* reaches two (see class comment for why this matches the
-  // paper's promotion loop).
-  std::vector<int> levels;
-  levels.reserve(full.size());
-  for (const FullBufferInfo& f : full) levels.push_back(f.level);
-  std::sort(levels.begin(), levels.end());
-  int l_star = levels[1];  // level of the second-lowest buffer
-
-  Decision d;
-  d.output_level = l_star + 1;
+  // paper's promotion loop) — i.e. the second-smallest level counting
+  // multiplicity, found with one scan instead of a sorted copy.
+  int min1 = std::numeric_limits<int>::max();
+  int min2 = std::numeric_limits<int>::max();
   for (const FullBufferInfo& f : full) {
-    if (f.level <= l_star) d.indices.push_back(f.index);
+    if (f.level < min1) {
+      min2 = min1;
+      min1 = f.level;
+    } else if (f.level < min2) {
+      min2 = f.level;
+    }
   }
-  MRL_CHECK_GE(d.indices.size(), 2u);
-  return d;
+  const int l_star = min2;
+
+  out->indices.clear();
+  out->output_level = l_star + 1;
+  for (const FullBufferInfo& f : full) {
+    if (f.level <= l_star) out->indices.push_back(f.index);
+  }
+  MRL_CHECK_GE(out->indices.size(), 2u);
 }
 
-CollapsePolicy::Decision MunroPatersonPolicy::Choose(
-    const std::vector<FullBufferInfo>& full) const {
+void MunroPatersonPolicy::ChooseInto(const std::vector<FullBufferInfo>& full,
+                                     Decision* out) const {
   MRL_CHECK_GE(full.size(), 2u);
-  // The two lowest-level buffers; stable on index so the choice is
-  // deterministic.
-  std::vector<FullBufferInfo> sorted = full;
-  std::stable_sort(sorted.begin(), sorted.end(),
-                   [](const FullBufferInfo& a, const FullBufferInfo& b) {
-                     return a.level < b.level;
-                   });
-  Decision d;
-  d.indices = {sorted[0].index, sorted[1].index};
-  std::sort(d.indices.begin(), d.indices.end());
-  d.output_level = std::max(sorted[0].level, sorted[1].level) + 1;
-  return d;
+  // The two lowest-level buffers, ties broken by pool order (the same
+  // pair a stable sort on level would put first).
+  const std::size_t npos = full.size();
+  std::size_t first = npos;
+  for (std::size_t i = 0; i < full.size(); ++i) {
+    if (first == npos || full[i].level < full[first].level) first = i;
+  }
+  std::size_t second = npos;
+  for (std::size_t i = 0; i < full.size(); ++i) {
+    if (i == first) continue;
+    if (second == npos || full[i].level < full[second].level) second = i;
+  }
+  out->indices.clear();
+  out->indices.push_back(full[first].index);
+  out->indices.push_back(full[second].index);
+  if (out->indices[0] > out->indices[1]) {
+    std::swap(out->indices[0], out->indices[1]);
+  }
+  out->output_level = std::max(full[first].level, full[second].level) + 1;
 }
 
-CollapsePolicy::Decision CollapseAllPolicy::Choose(
-    const std::vector<FullBufferInfo>& full) const {
+void CollapseAllPolicy::ChooseInto(const std::vector<FullBufferInfo>& full,
+                                   Decision* out) const {
   MRL_CHECK_GE(full.size(), 2u);
-  Decision d;
+  out->indices.clear();
   int max_level = std::numeric_limits<int>::min();
   for (const FullBufferInfo& f : full) {
-    d.indices.push_back(f.index);
+    out->indices.push_back(f.index);
     max_level = std::max(max_level, f.level);
   }
-  d.output_level = max_level + 1;
-  return d;
+  out->output_level = max_level + 1;
 }
 
 std::unique_ptr<CollapsePolicy> MakeCollapsePolicy(CollapsePolicyKind kind) {

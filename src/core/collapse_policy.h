@@ -29,9 +29,19 @@ class CollapsePolicy {
 
   virtual ~CollapsePolicy() = default;
 
-  /// Chooses the collapse set. `full` holds every full buffer (>= 2 of
-  /// them), in pool order.
-  virtual Decision Choose(const std::vector<FullBufferInfo>& full) const = 0;
+  /// Chooses the collapse set into *out, reusing its capacity (the hot
+  /// path hands the same Decision back every collapse, so steady state
+  /// allocates nothing). `full` holds every full buffer (>= 2 of them),
+  /// in pool order. Implementations must reset *out before writing.
+  virtual void ChooseInto(const std::vector<FullBufferInfo>& full,
+                          Decision* out) const = 0;
+
+  /// Allocating convenience wrapper over ChooseInto.
+  Decision Choose(const std::vector<FullBufferInfo>& full) const {
+    Decision d;
+    ChooseInto(full, &d);
+    return d;
+  }
 
   virtual std::string name() const = 0;
 };
@@ -44,7 +54,8 @@ class CollapsePolicy {
 /// reaches 2; output level l* + 1.
 class MrlCollapsePolicy : public CollapsePolicy {
  public:
-  Decision Choose(const std::vector<FullBufferInfo>& full) const override;
+  void ChooseInto(const std::vector<FullBufferInfo>& full,
+                  Decision* out) const override;
   std::string name() const override { return "mrl"; }
 };
 
@@ -53,7 +64,8 @@ class MrlCollapsePolicy : public CollapsePolicy {
 /// algorithm's merge tree as a special case of the framework.
 class MunroPatersonPolicy : public CollapsePolicy {
  public:
-  Decision Choose(const std::vector<FullBufferInfo>& full) const override;
+  void ChooseInto(const std::vector<FullBufferInfo>& full,
+                  Decision* out) const override;
   std::string name() const override { return "munro_paterson"; }
 };
 
@@ -61,7 +73,8 @@ class MunroPatersonPolicy : public CollapsePolicy {
 /// once (a wide, shallow tree).
 class CollapseAllPolicy : public CollapsePolicy {
  public:
-  Decision Choose(const std::vector<FullBufferInfo>& full) const override;
+  void ChooseInto(const std::vector<FullBufferInfo>& full,
+                  Decision* out) const override;
   std::string name() const override { return "collapse_all"; }
 };
 

@@ -55,17 +55,17 @@ void CollapseFramework::CollapseOnce() {
 #ifdef MRLQUANT_AUDIT
   const Weight full_weight_before = FullWeight();
 #endif
-  std::vector<FullBufferInfo> full = FullBuffers();
-  CollapsePolicy::Decision d = policy_->Choose(full);
+  FullBuffersInto(&scratch_.full);
+  policy_->ChooseInto(scratch_.full, &scratch_.decision);
+  const CollapsePolicy::Decision& d = scratch_.decision;
   MRL_CHECK_GE(d.indices.size(), 2u);
-  std::vector<Buffer*> inputs;
-  inputs.reserve(d.indices.size());
+  scratch_.inputs.clear();
   for (std::size_t idx : d.indices) {
     MRL_CHECK_LT(idx, buffers_.size());
-    inputs.push_back(&buffers_[idx]);
+    scratch_.inputs.push_back(&buffers_[idx]);
   }
-  Weight w = Collapse(inputs, /*output_slot=*/0, d.output_level,
-                      &even_low_offset_);
+  Weight w = Collapse(scratch_.inputs, /*output_slot=*/0, d.output_level,
+                      &even_low_offset_, &scratch_);
   if (!alternation_enabled_) even_low_offset_ = true;
   ++stats_.num_collapses;
   stats_.sum_collapse_weights += w;
@@ -95,17 +95,26 @@ void CollapseFramework::IngestFull(std::vector<Value> sorted, Weight weight,
   MRL_AUDIT(audit::CheckFramework(*this));
 }
 
+void CollapseFramework::IngestFullCopy(const Value* sorted, std::size_t n,
+                                       Weight weight, int level) {
+  std::size_t slot = AcquireEmptySlot();
+  buffers_[slot].AssignSortedCopy(sorted, n, weight, level);
+  ++stats_.leaves_created;
+  stats_.max_level = std::max(stats_.max_level, level);
+  MRL_AUDIT(audit::CheckFramework(*this));
+}
+
 bool CollapseFramework::CollapseAllFull() {
-  std::vector<FullBufferInfo> full = FullBuffers();
-  if (full.size() < 2) return false;
-  std::vector<Buffer*> inputs;
+  FullBuffersInto(&scratch_.full);
+  if (scratch_.full.size() < 2) return false;
+  scratch_.inputs.clear();
   int max_level = 0;
-  for (const FullBufferInfo& f : full) {
-    inputs.push_back(&buffers_[f.index]);
+  for (const FullBufferInfo& f : scratch_.full) {
+    scratch_.inputs.push_back(&buffers_[f.index]);
     max_level = std::max(max_level, f.level);
   }
-  Weight w = Collapse(inputs, /*output_slot=*/0, max_level + 1,
-                      &even_low_offset_);
+  Weight w = Collapse(scratch_.inputs, /*output_slot=*/0, max_level + 1,
+                      &even_low_offset_, &scratch_);
   if (!alternation_enabled_) even_low_offset_ = true;
   ++stats_.num_collapses;
   stats_.sum_collapse_weights += w;
@@ -124,22 +133,34 @@ std::size_t CollapseFramework::CountState(BufferState s) const {
 
 std::vector<FullBufferInfo> CollapseFramework::FullBuffers() const {
   std::vector<FullBufferInfo> out;
+  FullBuffersInto(&out);
+  return out;
+}
+
+void CollapseFramework::FullBuffersInto(
+    std::vector<FullBufferInfo>* out) const {
+  out->clear();
   for (std::size_t i = 0; i < buffers_.size(); ++i) {
     if (buffers_[i].state() == BufferState::kFull) {
-      out.push_back({i, buffers_[i].level(), buffers_[i].weight()});
+      out->push_back({i, buffers_[i].level(), buffers_[i].weight()});
     }
   }
-  return out;
 }
 
 std::vector<WeightedRun> CollapseFramework::FullBufferRuns() const {
   std::vector<WeightedRun> runs;
+  FullBufferRunsInto(&runs);
+  return runs;
+}
+
+void CollapseFramework::FullBufferRunsInto(
+    std::vector<WeightedRun>* out) const {
+  out->clear();
   for (const Buffer& b : buffers_) {
     if (b.state() == BufferState::kFull) {
-      runs.push_back({b.values().data(), b.size(), b.weight()});
+      out->push_back({b.values().data(), b.size(), b.weight()});
     }
   }
-  return runs;
 }
 
 void CollapseFramework::SerializeTo(BinaryWriter* writer) const {

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/buffer.h"
+#include "core/collapse.h"
 #include "core/collapse_policy.h"
 #include "core/weighted_merge.h"
 #include "util/serde.h"
@@ -69,6 +70,11 @@ class CollapseFramework {
   /// buffer_capacity() elements.
   void IngestFull(std::vector<Value> sorted, Weight weight, int level);
 
+  /// Copying variant of IngestFull: assigns the range into the target
+  /// slot's existing storage, so a warmed pool allocates nothing.
+  void IngestFullCopy(const Value* sorted, std::size_t n, Weight weight,
+                      int level);
+
   /// Collapses all full buffers into one (a worker's final collapse before
   /// shipping, Section 6). Returns false (and does nothing) when fewer than
   /// two buffers are full.
@@ -80,9 +86,15 @@ class CollapseFramework {
   /// View of every full buffer for policies / tests.
   std::vector<FullBufferInfo> FullBuffers() const;
 
+  /// As FullBuffers, into caller-provided scratch (capacity reused).
+  void FullBuffersInto(std::vector<FullBufferInfo>* out) const;
+
   /// Weighted runs over all full buffers; the caller appends any partial /
   /// in-flight runs before calling Output.
   std::vector<WeightedRun> FullBufferRuns() const;
+
+  /// As FullBufferRuns, into caller-provided scratch (capacity reused).
+  void FullBufferRunsInto(std::vector<WeightedRun>* out) const;
 
   /// Sum of TotalWeight over full buffers.
   Weight FullWeight() const;
@@ -123,6 +135,10 @@ class CollapseFramework {
   bool even_low_offset_ = true;      // Collapse alternation phase (§3.2)
   bool alternation_enabled_ = true;  // false only in ablation runs
   TreeStats stats_;
+  // Reused across collapses so steady state allocates nothing. Holds only
+  // transient per-collapse state; safe to move with the framework because
+  // every collapse rebuilds it from scratch.
+  CollapseScratch scratch_;
 };
 
 }  // namespace mrl

@@ -95,26 +95,32 @@ void KnownNSketch::AuditAfterCommit() const {
   }
 }
 
-KnownNSketch::RunSnapshot KnownNSketch::Snapshot() const {
-  RunSnapshot snap;
+void KnownNSketch::SnapshotInto(RunSnapshot* snap) const {
+  snap->partial_sorted.clear();
+  snap->tail.clear();
   if (filling_) {
     const Buffer& buf = framework_.buffer(fill_slot_);
     if (!buf.values().empty()) {
-      snap.partial_sorted = buf.values();
-      std::sort(snap.partial_sorted.begin(), snap.partial_sorted.end());
+      snap->partial_sorted.assign(buf.values().begin(), buf.values().end());
+      std::sort(snap->partial_sorted.begin(), snap->partial_sorted.end());
     }
   }
   if (sampler_.pending_count() > 0) {
-    snap.tail.push_back(sampler_.pending_candidate());
+    snap->tail.push_back(sampler_.pending_candidate());
   }
-  snap.runs = framework_.FullBufferRuns();
-  if (!snap.partial_sorted.empty()) {
-    snap.runs.push_back({snap.partial_sorted.data(),
-                         snap.partial_sorted.size(), params_.rate});
+  framework_.FullBufferRunsInto(&snap->runs);
+  if (!snap->partial_sorted.empty()) {
+    snap->runs.push_back({snap->partial_sorted.data(),
+                          snap->partial_sorted.size(), params_.rate});
   }
-  if (!snap.tail.empty()) {
-    snap.runs.push_back({snap.tail.data(), 1, sampler_.pending_count()});
+  if (!snap->tail.empty()) {
+    snap->runs.push_back({snap->tail.data(), 1, sampler_.pending_count()});
   }
+}
+
+KnownNSketch::RunSnapshot KnownNSketch::Snapshot() const {
+  RunSnapshot snap;
+  SnapshotInto(&snap);
   return snap;
 }
 
@@ -123,7 +129,8 @@ Result<Value> KnownNSketch::Query(double phi) const {
     return Status::FailedPrecondition(
         "stream exceeded the declared n; the known-N guarantee is void");
   }
-  RunSnapshot snap = Snapshot();
+  thread_local RunSnapshot snap;
+  SnapshotInto(&snap);
   MRL_AUDIT(audit::CheckWeightConservation(TotalRunWeight(snap.runs),
                                            count_));
   return WeightedQuantile(snap.runs, phi);
@@ -135,14 +142,16 @@ Result<std::vector<Value>> KnownNSketch::QueryMany(
     return Status::FailedPrecondition(
         "stream exceeded the declared n; the known-N guarantee is void");
   }
-  RunSnapshot snap = Snapshot();
+  thread_local RunSnapshot snap;
+  SnapshotInto(&snap);
   MRL_AUDIT(audit::CheckWeightConservation(TotalRunWeight(snap.runs),
                                            count_));
   return WeightedQuantiles(snap.runs, phis);
 }
 
 Weight KnownNSketch::HeldWeight() const {
-  RunSnapshot snap = Snapshot();
+  thread_local RunSnapshot snap;
+  SnapshotInto(&snap);
   return TotalRunWeight(snap.runs);
 }
 

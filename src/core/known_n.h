@@ -83,6 +83,9 @@ class KnownNSketch : public QuantileEstimator {
   };
   RunSnapshot Snapshot() const;
 
+  /// As Snapshot, reusing *snap's capacity (see UnknownNSketch).
+  void SnapshotInto(RunSnapshot* snap) const;
+
   void StartNewFill();
 
   /// MRLQUANT_AUDIT hook run after each buffer commit: weight conservation

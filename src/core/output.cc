@@ -49,7 +49,8 @@ Result<Value> WeightedQuantile(const std::vector<WeightedRun>& runs,
 }
 
 Result<std::vector<Value>> WeightedQuantiles(
-    const std::vector<WeightedRun>& runs, const std::vector<double>& phis) {
+    const std::vector<WeightedRun>& runs, const std::vector<double>& phis,
+    QueryScratch* scratch) {
   for (double phi : phis) {
     MRL_RETURN_IF_ERROR(ValidatePhi(phi));
   }
@@ -60,23 +61,31 @@ Result<std::vector<Value>> WeightedQuantiles(
 
   // Sort queries by target position; answer all in one merge pass; undo the
   // permutation at the end.
-  std::vector<std::size_t> order(phis.size());
-  std::iota(order.begin(), order.end(), 0u);
-  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-    return phis[a] < phis[b];
-  });
-  std::vector<Weight> targets;
-  targets.reserve(phis.size());
-  for (std::size_t i : order) {
-    targets.push_back(PhiToPosition(phis[i], total));
+  scratch->order.resize(phis.size());
+  std::iota(scratch->order.begin(), scratch->order.end(), 0u);
+  std::sort(scratch->order.begin(), scratch->order.end(),
+            [&](std::size_t a, std::size_t b) { return phis[a] < phis[b]; });
+  scratch->targets.clear();
+  for (std::size_t i : scratch->order) {
+    scratch->targets.push_back(PhiToPosition(phis[i], total));
   }
-  std::vector<Value> picked = SelectWeightedPositions(runs, targets);
+  scratch->picked.resize(phis.size());
+  SelectWeightedPositionsInto(runs.data(), runs.size(),
+                              scratch->targets.data(),
+                              scratch->targets.size(), &scratch->merge,
+                              scratch->picked.data());
 
   std::vector<Value> out(phis.size());
-  for (std::size_t i = 0; i < order.size(); ++i) {
-    out[order[i]] = picked[i];
+  for (std::size_t i = 0; i < scratch->order.size(); ++i) {
+    out[scratch->order[i]] = scratch->picked[i];
   }
   return out;
+}
+
+Result<std::vector<Value>> WeightedQuantiles(
+    const std::vector<WeightedRun>& runs, const std::vector<double>& phis) {
+  thread_local QueryScratch scratch;
+  return WeightedQuantiles(runs, phis, &scratch);
 }
 
 }  // namespace mrl

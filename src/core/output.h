@@ -17,9 +17,26 @@ namespace mrl {
 Result<Value> WeightedQuantile(const std::vector<WeightedRun>& runs,
                                double phi);
 
+/// Reusable working storage for WeightedQuantiles: the query permutation,
+/// the sorted weighted targets, the picked values, and the merge kernel's
+/// tournament state. Recycled across calls so repeated queries allocate
+/// only their result vector.
+struct QueryScratch {
+  std::vector<std::size_t> order;
+  std::vector<Weight> targets;
+  std::vector<Value> picked;
+  MergeScratch merge;
+};
+
 /// Batch form: one merge pass answers all of `phis` (any order, duplicates
 /// allowed); result[i] corresponds to phis[i]. This is what equi-depth
-/// histogram maintenance uses.
+/// histogram maintenance uses. All intermediates come from *scratch.
+Result<std::vector<Value>> WeightedQuantiles(
+    const std::vector<WeightedRun>& runs, const std::vector<double>& phis,
+    QueryScratch* scratch);
+
+/// Convenience wrapper using a thread-local scratch (safe for concurrent
+/// const queries on quiescent sketches; see docs/engineering.md).
 Result<std::vector<Value>> WeightedQuantiles(
     const std::vector<WeightedRun>& runs, const std::vector<double>& phis);
 

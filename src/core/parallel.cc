@@ -75,13 +75,15 @@ void ParallelCoordinator::StagePartial(std::vector<Value> values,
     const Weight hi = std::max(staging_weight_, weight);
     const Weight lo = std::min(staging_weight_, weight);
     const double p = static_cast<double>(lo) / static_cast<double>(hi);
+    // In-place compaction: same Bernoulli draw per element in the same
+    // order as the old copy-out loop, so the RNG sequence and the kept
+    // set are bit-identical, with no allocation.
     auto shrink = [&](std::vector<Value>* v) {
-      std::vector<Value> kept;
-      kept.reserve(v->size());
+      auto keep_end = v->begin();
       for (Value x : *v) {
-        if (rng_.Bernoulli(p)) kept.push_back(x);
+        if (rng_.Bernoulli(p)) *keep_end++ = x;
       }
-      *v = std::move(kept);
+      v->erase(keep_end, v->end());
     };
     if (staging_weight_ < weight) {
       shrink(&staging_);
@@ -96,11 +98,16 @@ void ParallelCoordinator::StagePartial(std::vector<Value> values,
 
 void ParallelCoordinator::PromoteStaging() {
   while (staging_.size() >= k_) {
-    std::vector<Value> promoted(staging_.begin(),
-                                staging_.begin() + static_cast<long>(k_));
-    staging_.erase(staging_.begin(), staging_.begin() + static_cast<long>(k_));
-    std::sort(promoted.begin(), promoted.end());
-    framework_.IngestFull(std::move(promoted), staging_weight_, /*level=*/0);
+    // Sort the first k in place and copy them into the framework's own
+    // storage; the sorted prefix is then erased, so the surviving suffix
+    // (and therefore the promoted buffer content) is bit-identical to the
+    // old copy-out-then-erase implementation, without the per-promotion
+    // allocation.
+    const auto prefix_end = staging_.begin() + static_cast<long>(k_);
+    std::sort(staging_.begin(), prefix_end);
+    framework_.IngestFullCopy(staging_.data(), k_, staging_weight_,
+                              /*level=*/0);
+    staging_.erase(staging_.begin(), prefix_end);
   }
   if (staging_.empty()) staging_weight_ = 0;
 }
@@ -113,9 +120,13 @@ Result<Value> ParallelCoordinator::Query(double phi) const {
 
 Result<std::vector<Value>> ParallelCoordinator::QueryMany(
     const std::vector<double>& phis) const {
-  std::vector<Value> staged_sorted = staging_;
+  // Thread-local (not member) scratch: concurrent const queries on a
+  // quiescent coordinator stay race-free.
+  thread_local std::vector<Value> staged_sorted;
+  thread_local std::vector<WeightedRun> runs;
+  staged_sorted.assign(staging_.begin(), staging_.end());
   std::sort(staged_sorted.begin(), staged_sorted.end());
-  std::vector<WeightedRun> runs = framework_.FullBufferRuns();
+  framework_.FullBufferRunsInto(&runs);
   if (!staged_sorted.empty()) {
     runs.push_back(
         {staged_sorted.data(), staged_sorted.size(), staging_weight_});

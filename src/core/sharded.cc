@@ -53,29 +53,60 @@ std::uint64_t ShardedQuantileSketch::count() const {
   return total;
 }
 
-QuantileSummary ShardedQuantileSketch::MergedSummary() const {
+namespace {
+
+/// Per-call working set for the merged-summary query path, reused across
+/// calls (thread-local: concurrent const queries on quiescent shards are
+/// part of the thread contract).
+struct MergedQueryScratch {
   std::vector<QuantileSummary> parts;
-  parts.reserve(shards_.size());
-  for (const UnknownNSketch& s : shards_) {
-    if (s.count() > 0) parts.push_back(s.ExportSummary());
-  }
   std::vector<const QuantileSummary*> pointers;
-  pointers.reserve(parts.size());
-  for (const QuantileSummary& p : parts) pointers.push_back(&p);
-  return QuantileSummary::Merge(pointers);
+  SummaryScratch weighted;
+  QuantileSummary merged;
+};
+
+MergedQueryScratch& QueryScratchForThisThread() {
+  thread_local MergedQueryScratch scratch;
+  return scratch;
+}
+
+}  // namespace
+
+void ShardedQuantileSketch::MergedSummaryInto(QuantileSummary* out) const {
+  MergedQueryScratch& s = QueryScratchForThisThread();
+  s.parts.resize(shards_.size());
+  s.pointers.clear();
+  std::size_t used = 0;
+  for (const UnknownNSketch& shard : shards_) {
+    if (shard.count() > 0) {
+      shard.ExportSummaryInto(&s.parts[used]);
+      s.pointers.push_back(&s.parts[used]);
+      ++used;
+    }
+  }
+  QuantileSummary::MergeInto(s.pointers, &s.weighted, out);
+}
+
+QuantileSummary ShardedQuantileSketch::MergedSummary() const {
+  QuantileSummary out;
+  MergedSummaryInto(&out);
+  return out;
 }
 
 Result<Value> ShardedQuantileSketch::Query(double phi) const {
-  return MergedSummary().Quantile(phi);
+  MergedQueryScratch& s = QueryScratchForThisThread();
+  MergedSummaryInto(&s.merged);
+  return s.merged.Quantile(phi);
 }
 
 Result<std::vector<Value>> ShardedQuantileSketch::QueryMany(
     const std::vector<double>& phis) const {
-  QuantileSummary merged = MergedSummary();
+  MergedQueryScratch& s = QueryScratchForThisThread();
+  MergedSummaryInto(&s.merged);
   std::vector<Value> out;
   out.reserve(phis.size());
   for (double phi : phis) {
-    Result<Value> q = merged.Quantile(phi);
+    Result<Value> q = s.merged.Quantile(phi);
     if (!q.ok()) return q.status();
     out.push_back(q.value());
   }

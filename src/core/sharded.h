@@ -69,6 +69,11 @@ class ShardedQuantileSketch {
   /// cross-process aggregation).
   QuantileSummary MergedSummary() const;
 
+  /// As MergedSummary, into *out (capacity reused). Query/QueryMany route
+  /// through this with thread-local scratch, so each call builds the
+  /// merged summary exactly once and reuses prior allocations.
+  void MergedSummaryInto(QuantileSummary* out) const;
+
   /// Direct access to a shard's sketch (e.g. for per-shard statistics).
   const UnknownNSketch& shard(int s) const {
     return shards_[static_cast<std::size_t>(s)];

@@ -7,57 +7,65 @@
 
 namespace mrl {
 
-QuantileSummary QuantileSummary::FromRuns(
-    const std::vector<WeightedRun>& runs) {
-  std::vector<std::pair<Value, Weight>> weighted;
-  for (const WeightedRun& run : runs) {
-    for (std::size_t i = 0; i < run.size; ++i) {
-      weighted.emplace_back(run.data[i], run.weight);
-    }
-  }
-  std::sort(weighted.begin(), weighted.end(),
+void QuantileSummary::AccumulateInto(SummaryScratch* scratch,
+                                     std::vector<Entry>* entries) {
+  std::sort(scratch->weighted.begin(), scratch->weighted.end(),
             [](const auto& a, const auto& b) { return a.first < b.first; });
-  std::vector<Entry> entries;
-  entries.reserve(weighted.size());
+  entries->clear();
   Weight cum = 0;
-  for (const auto& [value, weight] : weighted) {
+  for (const auto& [value, weight] : scratch->weighted) {
     cum += weight;
-    if (!entries.empty() && entries.back().value == value) {
-      entries.back().cumulative_weight = cum;  // coalesce duplicates
+    if (!entries->empty() && entries->back().value == value) {
+      entries->back().cumulative_weight = cum;  // coalesce duplicates
     } else {
-      entries.push_back({value, cum});
+      entries->push_back({value, cum});
     }
   }
-  return QuantileSummary(std::move(entries));
 }
 
-QuantileSummary QuantileSummary::Merge(
-    const std::vector<const QuantileSummary*>& parts) {
+void QuantileSummary::FromRunsInto(const std::vector<WeightedRun>& runs,
+                                   SummaryScratch* scratch,
+                                   QuantileSummary* out) {
+  scratch->weighted.clear();
+  for (const WeightedRun& run : runs) {
+    for (std::size_t i = 0; i < run.size; ++i) {
+      scratch->weighted.emplace_back(run.data[i], run.weight);
+    }
+  }
+  AccumulateInto(scratch, &out->entries_);
+}
+
+QuantileSummary QuantileSummary::FromRuns(
+    const std::vector<WeightedRun>& runs) {
+  SummaryScratch scratch;
+  QuantileSummary out;
+  FromRunsInto(runs, &scratch, &out);
+  return out;
+}
+
+void QuantileSummary::MergeInto(
+    const std::vector<const QuantileSummary*>& parts,
+    SummaryScratch* scratch, QuantileSummary* out) {
   // Decompose each summary back into (value, weight) deltas, merge-sort,
   // and re-accumulate.
-  std::vector<std::pair<Value, Weight>> weighted;
+  scratch->weighted.clear();
   for (const QuantileSummary* part : parts) {
     MRL_CHECK(part != nullptr);
     Weight prev = 0;
     for (const Entry& e : part->entries_) {
-      weighted.emplace_back(e.value, e.cumulative_weight - prev);
+      scratch->weighted.emplace_back(e.value, e.cumulative_weight - prev);
       prev = e.cumulative_weight;
     }
   }
-  std::sort(weighted.begin(), weighted.end(),
-            [](const auto& a, const auto& b) { return a.first < b.first; });
-  std::vector<Entry> entries;
-  entries.reserve(weighted.size());
-  Weight cum = 0;
-  for (const auto& [value, weight] : weighted) {
-    cum += weight;
-    if (!entries.empty() && entries.back().value == value) {
-      entries.back().cumulative_weight = cum;
-    } else {
-      entries.push_back({value, cum});
-    }
-  }
-  return QuantileSummary(std::move(entries));
+  AccumulateInto(scratch, &out->entries_);
+}
+
+QuantileSummary QuantileSummary::Merge(
+    const std::vector<const QuantileSummary*>& parts) {
+  SummaryScratch scratch;
+  QuantileSummary out;
+  MergeInto(parts, &scratch, &out);
+  return out;
 }
 
 Result<Value> QuantileSummary::Quantile(double phi) const {

@@ -2,6 +2,7 @@
 #define MRLQUANT_CORE_SUMMARY_H_
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "core/weighted_merge.h"
@@ -10,6 +11,13 @@
 #include "util/types.h"
 
 namespace mrl {
+
+/// Reusable staging area for summary construction: the flattened
+/// (value, weight) pairs awaiting sort. Recycled across calls so repeated
+/// exports/merges reuse one allocation.
+struct SummaryScratch {
+  std::vector<std::pair<Value, Weight>> weighted;
+};
 
 /// An immutable snapshot of a sketch's distribution estimate: distinct
 /// values ascending, each with the cumulative weight of everything <= it.
@@ -32,6 +40,11 @@ class QuantileSummary {
   /// values are coalesced.
   static QuantileSummary FromRuns(const std::vector<WeightedRun>& runs);
 
+  /// As FromRuns, but writes into *out and stages through *scratch so both
+  /// reuse their capacity across calls.
+  static void FromRunsInto(const std::vector<WeightedRun>& runs,
+                           SummaryScratch* scratch, QuantileSummary* out);
+
   /// Merges summaries over disjoint data into one over the union: the
   /// weighted multisets simply add, so rank errors add too — merging P
   /// shard summaries that are each eps-approximate for their shard yields
@@ -39,6 +52,10 @@ class QuantileSummary {
   /// combine results when shipping a summary is preferable to the Section
   /// 6 buffer protocol.
   static QuantileSummary Merge(const std::vector<const QuantileSummary*>& parts);
+
+  /// As Merge, into caller-provided scratch and output (capacity reused).
+  static void MergeInto(const std::vector<const QuantileSummary*>& parts,
+                        SummaryScratch* scratch, QuantileSummary* out);
 
   QuantileSummary() = default;
 
@@ -69,6 +86,11 @@ class QuantileSummary {
  private:
   explicit QuantileSummary(std::vector<Entry> entries)
       : entries_(std::move(entries)) {}
+
+  /// Sorts scratch->weighted by value and re-accumulates it into *entries
+  /// (cleared first), coalescing duplicates.
+  static void AccumulateInto(SummaryScratch* scratch,
+                             std::vector<Entry>* entries);
 
   std::vector<Entry> entries_;
 };

@@ -125,34 +125,41 @@ void UnknownNSketch::AddBatch(std::span<const Value> values) {
   }
 }
 
-UnknownNSketch::RunSnapshot UnknownNSketch::Snapshot() const {
-  RunSnapshot snap;
+void UnknownNSketch::SnapshotInto(RunSnapshot* snap) const {
+  snap->partial_sorted.clear();
+  snap->tail.clear();
   if (filling_) {
     const Buffer& buf = framework_.buffer(fill_slot_);
     if (!buf.values().empty()) {
-      snap.partial_sorted = buf.values();
-      std::sort(snap.partial_sorted.begin(), snap.partial_sorted.end());
+      snap->partial_sorted.assign(buf.values().begin(), buf.values().end());
+      std::sort(snap->partial_sorted.begin(), snap->partial_sorted.end());
     }
   }
   if (sampler_.pending_count() > 0) {
-    snap.tail.push_back(sampler_.pending_candidate());
+    snap->tail.push_back(sampler_.pending_candidate());
   }
-  snap.runs = framework_.FullBufferRuns();
-  if (!snap.partial_sorted.empty()) {
-    snap.runs.push_back(
-        {snap.partial_sorted.data(), snap.partial_sorted.size(),
+  framework_.FullBufferRunsInto(&snap->runs);
+  if (!snap->partial_sorted.empty()) {
+    snap->runs.push_back(
+        {snap->partial_sorted.data(), snap->partial_sorted.size(),
          fill_weight_});
   }
-  if (!snap.tail.empty()) {
+  if (!snap->tail.empty()) {
     // The candidate is a uniform pick from the pending_count() elements of
     // the open block; weighting it by that count keeps HeldWeight == count.
-    snap.runs.push_back({snap.tail.data(), 1, sampler_.pending_count()});
+    snap->runs.push_back({snap->tail.data(), 1, sampler_.pending_count()});
   }
+}
+
+UnknownNSketch::RunSnapshot UnknownNSketch::Snapshot() const {
+  RunSnapshot snap;
+  SnapshotInto(&snap);
   return snap;
 }
 
 Result<Value> UnknownNSketch::Query(double phi) const {
-  RunSnapshot snap = Snapshot();
+  thread_local RunSnapshot snap;
+  SnapshotInto(&snap);
   // Output round: everything consumed must be represented, exactly.
   MRL_AUDIT(audit::CheckWeightConservation(TotalRunWeight(snap.runs),
                                            count_));
@@ -161,14 +168,16 @@ Result<Value> UnknownNSketch::Query(double phi) const {
 
 Result<std::vector<Value>> UnknownNSketch::QueryMany(
     const std::vector<double>& phis) const {
-  RunSnapshot snap = Snapshot();
+  thread_local RunSnapshot snap;
+  SnapshotInto(&snap);
   MRL_AUDIT(audit::CheckWeightConservation(TotalRunWeight(snap.runs),
                                            count_));
   return WeightedQuantiles(snap.runs, phis);
 }
 
 Result<double> UnknownNSketch::RankOf(Value v) const {
-  RunSnapshot snap = Snapshot();
+  thread_local RunSnapshot snap;
+  SnapshotInto(&snap);
   Result<Weight> rank = WeightedRankOf(snap.runs, v);
   if (!rank.ok()) return rank.status();
   return static_cast<double>(rank.value()) /
@@ -176,12 +185,21 @@ Result<double> UnknownNSketch::RankOf(Value v) const {
 }
 
 QuantileSummary UnknownNSketch::ExportSummary() const {
-  RunSnapshot snap = Snapshot();
-  return QuantileSummary::FromRuns(snap.runs);
+  QuantileSummary out;
+  ExportSummaryInto(&out);
+  return out;
+}
+
+void UnknownNSketch::ExportSummaryInto(QuantileSummary* out) const {
+  thread_local RunSnapshot snap;
+  thread_local SummaryScratch scratch;
+  SnapshotInto(&snap);
+  QuantileSummary::FromRunsInto(snap.runs, &scratch, out);
 }
 
 Weight UnknownNSketch::HeldWeight() const {
-  RunSnapshot snap = Snapshot();
+  thread_local RunSnapshot snap;
+  SnapshotInto(&snap);
   return TotalRunWeight(snap.runs);
 }
 

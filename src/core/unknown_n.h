@@ -111,6 +111,11 @@ class UnknownNSketch : public QuantileEstimator {
   /// O(log b*k) without touching the live sketch.
   QuantileSummary ExportSummary() const;
 
+  /// As ExportSummary, into *out (reusing its capacity); intermediates come
+  /// from thread-local scratch, so repeated exports allocate nothing once
+  /// warmed. Powers ShardedQuantileSketch's per-call summary reuse.
+  void ExportSummaryInto(QuantileSummary* out) const;
+
   const UnknownNParams& params() const { return params_; }
 
   /// Current block-sampling rate r (1 until the tree reaches height h,
@@ -178,6 +183,11 @@ class UnknownNSketch : public QuantileEstimator {
     std::vector<WeightedRun> runs;
   };
   RunSnapshot Snapshot() const;
+
+  /// As Snapshot, reusing *snap's capacity. The const query paths hand a
+  /// thread-local snapshot here (not a mutable member: concurrent const
+  /// queries on a quiescent sketch are part of the thread contract).
+  void SnapshotInto(RunSnapshot* snap) const;
 
   UnknownNParams params_;
   CollapseFramework framework_;

@@ -1,8 +1,17 @@
 #include "core/weighted_merge.h"
 
+#include <algorithm>
+#include <bit>
+#include <limits>
+
 #include "util/logging.h"
 
 namespace mrl {
+namespace {
+
+constexpr std::size_t kMaxRuns = 1u << 20;  // sanity bound for uint32 nodes
+
+}  // namespace
 
 Weight TotalRunWeight(const std::vector<WeightedRun>& runs) {
   Weight total = 0;
@@ -12,7 +21,215 @@ Weight TotalRunWeight(const std::vector<WeightedRun>& runs) {
   return total;
 }
 
+void SelectWeightedPositionsInto(const WeightedRun* runs,
+                                 std::size_t num_runs, const Weight* targets,
+                                 std::size_t num_targets,
+                                 MergeScratch* scratch, Value* out) {
+  if (num_targets == 0) return;
+  MRL_CHECK(scratch != nullptr);
+  MRL_CHECK(out != nullptr);
+  MRL_CHECK_LE(num_runs, kMaxRuns);
+
+  Weight total = 0;
+  for (std::size_t r = 0; r < num_runs; ++r) {
+    total += static_cast<Weight>(runs[r].size) * runs[r].weight;
+  }
+  MRL_CHECK_GE(targets[0], 1u);
+  MRL_CHECK_LE(targets[num_targets - 1], total);
+  for (std::size_t i = 0; i + 1 < num_targets; ++i) {
+    MRL_DCHECK_LE(targets[i], targets[i + 1]);
+  }
+
+  scratch->cursor.assign(num_runs, 0);
+
+  // Each leaf's head is cached as a (key, sec) pair so a tournament match
+  // is two loads and a compare, with no cursor/size/data chasing:
+  //   key = head value, or +inf once the run is exhausted (or for padding
+  //         leaves with id >= num_runs);
+  //   sec = run index while live, m + run index once exhausted.
+  // Lexicographic (key, sec) order is exactly the order the naive scan's
+  // first-wins strict-< pass induces — equal values resolve to the lower
+  // run index, exhausted runs sort after every live head (even a live
+  // +inf, whose sec stays < m) — so the two kernels select identical
+  // elements.
+  const std::size_t m = std::bit_ceil(std::max<std::size_t>(num_runs, 1));
+  scratch->key.resize(m);
+  scratch->sec.resize(m);
+  Value* key = scratch->key.data();
+  std::uint32_t* sec = scratch->sec.data();
+  constexpr Value kExhausted = std::numeric_limits<Value>::infinity();
+  for (std::size_t i = 0; i < m; ++i) {
+    if (i < num_runs && runs[i].size > 0) {
+      key[i] = runs[i].data[0];
+      sec[i] = static_cast<std::uint32_t>(i);
+    } else {
+      key[i] = kExhausted;
+      sec[i] = static_cast<std::uint32_t>(m + i);
+    }
+  }
+  auto beats = [&](std::uint32_t a, std::uint32_t b) {
+    if (key[a] != key[b]) return key[a] < key[b];
+    return sec[a] < sec[b];
+  };
+
+  // Build the loser tree: m leaves (power of two), internal node i holds
+  // the loser of the match between its subtrees, loser[0] the champion.
+  scratch->loser.resize(m);
+  scratch->winner.resize(2 * m);
+  std::uint32_t* loser = scratch->loser.data();
+  std::uint32_t* winner = scratch->winner.data();
+  for (std::size_t i = 0; i < m; ++i) {
+    winner[m + i] = static_cast<std::uint32_t>(i);
+  }
+  for (std::size_t i = m; i-- > 1;) {
+    const std::uint32_t a = winner[2 * i];
+    const std::uint32_t b = winner[2 * i + 1];
+    if (beats(a, b)) {
+      winner[i] = a;
+      loser[i] = b;
+    } else {
+      winner[i] = b;
+      loser[i] = a;
+    }
+  }
+  loser[0] = m > 1 ? winner[1] : winner[m];
+
+  // Galloping is adaptive (the Timsort heuristic): while runs alternate,
+  // each tournament win advances its run by a single element — one O(log b)
+  // replay, no challenger computation. Once the same run wins kMinGallop
+  // times in a row its data is running well below everyone else's, so we
+  // compute the true runner-up (challenger) and consume the whole eligible
+  // prefix in one galloped chunk, serving the targets inside it with O(1)
+  // arithmetic each and skipping untargeted stretches without touching
+  // their data.
+  constexpr std::uint32_t kMinGallop = 4;
+  std::uint32_t streak = 0;
+  std::uint32_t last_win = static_cast<std::uint32_t>(2 * m);  // != any leaf
+  Weight cum = 0;     // weight consumed so far
+  std::size_t t = 0;  // next target index
+  while (t < num_targets) {
+    const std::uint32_t win = loser[0];
+    MRL_CHECK_LT(sec[win], m) << "targets exceed total weight";
+    const WeightedRun& run = runs[win];
+    const std::size_t start = scratch->cursor[win];
+    if (win == last_win) {
+      ++streak;
+    } else {
+      last_win = win;
+      streak = 1;
+    }
+
+    if (streak < kMinGallop) {
+      // Single-step advance: consume one element (weight `run.weight`).
+      cum += run.weight;
+      while (t < num_targets && targets[t] <= cum) {
+        out[t] = run.data[start];
+        ++t;
+      }
+      const std::size_t next = start + 1;
+      scratch->cursor[win] = next;
+      if (next < run.size) {
+        key[win] = run.data[next];
+      } else {
+        key[win] = kExhausted;
+        sec[win] = static_cast<std::uint32_t>(m + win);
+      }
+    } else {
+      // The challenger (global runner-up) is the best of the losers along
+      // the winner's leaf-to-root path: each such loser is the champion of
+      // a subtree not containing the winner, and together those subtrees
+      // cover every other run.
+      std::uint32_t chal = win;  // == win means "no challenger yet"
+      Value chal_key = 0;
+      std::uint32_t chal_sec = 0;
+      for (std::size_t node = (m + win) >> 1; node >= 1; node >>= 1) {
+        const std::uint32_t l = loser[node];
+        const Value lk = key[l];
+        if (chal == win || lk < chal_key ||
+            (lk == chal_key && sec[l] < chal_sec)) {
+          chal = l;
+          chal_key = lk;
+          chal_sec = sec[l];
+        }
+      }
+
+      // Gallop: find the maximal prefix of the winner's run that precedes
+      // the challenger's head, by exponential probing then binary search on
+      // the bracketed range. At an equal value the lower run index goes
+      // first, so equal values stay eligible only when win < chal.
+      std::size_t limit;
+      if (chal == win || sec[chal] >= m) {
+        limit = run.size;
+      } else {
+        const Value cv = key[chal];
+        std::size_t step = 1;
+        std::size_t lo = start;  // data[lo] known eligible (tournament winner)
+        std::size_t hi = start + 1;
+        auto eligible = [&](Value v) { return win < chal ? v <= cv : v < cv; };
+        while (hi < run.size && eligible(run.data[hi])) {
+          lo = hi;
+          hi = std::min(run.size, hi + step);
+          step <<= 1;
+        }
+        const Value* pos =
+            win < chal
+                ? std::upper_bound(run.data + lo, run.data + hi, cv)
+                : std::lower_bound(run.data + lo, run.data + hi, cv);
+        limit = static_cast<std::size_t>(pos - run.data);
+      }
+
+      // Consume the whole chunk with O(1) arithmetic per selected target;
+      // targets falling between chunks are skipped without touching data.
+      const Weight chunk_weight =
+          static_cast<Weight>(limit - start) * run.weight;
+      while (t < num_targets && targets[t] <= cum + chunk_weight) {
+        const std::size_t idx =
+            start +
+            static_cast<std::size_t>((targets[t] - cum - 1) / run.weight);
+        out[t] = run.data[idx];
+        ++t;
+      }
+      cum += chunk_weight;
+      scratch->cursor[win] = limit;
+      if (limit < run.size) {
+        key[win] = run.data[limit];
+      } else {
+        key[win] = kExhausted;
+        sec[win] = static_cast<std::uint32_t>(m + win);
+      }
+      streak = 0;  // the chunk ended because another run's head is due
+    }
+
+    // Replay the winner's path with its new head. The contender's (key,
+    // sec) ride in locals: writes to loser[] could alias sec[] (same
+    // element type), so indexing through cur would force reloads.
+    std::uint32_t cur = win;
+    Value ck = key[cur];
+    std::uint32_t cs = sec[cur];
+    for (std::size_t node = (m + win) >> 1; node >= 1; node >>= 1) {
+      const std::uint32_t l = loser[node];
+      const Value lk = key[l];
+      if (lk < ck || (lk == ck && sec[l] < cs)) {
+        loser[node] = cur;
+        cur = l;
+        ck = lk;
+        cs = sec[l];
+      }
+    }
+    loser[0] = cur;
+  }
+}
+
 std::vector<Value> SelectWeightedPositions(
+    const std::vector<WeightedRun>& runs, const std::vector<Weight>& targets) {
+  std::vector<Value> out(targets.size());
+  MergeScratch scratch;
+  SelectWeightedPositionsInto(runs.data(), runs.size(), targets.data(),
+                              targets.size(), &scratch, out.data());
+  return out;
+}
+
+std::vector<Value> SelectWeightedPositionsNaive(
     const std::vector<WeightedRun>& runs, const std::vector<Weight>& targets) {
   std::vector<Value> out;
   out.reserve(targets.size());
@@ -26,8 +243,8 @@ std::vector<Value> SelectWeightedPositions(
   }
 
   std::vector<std::size_t> cursor(runs.size(), 0);
-  Weight cum = 0;           // weight consumed so far
-  std::size_t t = 0;        // next target index
+  Weight cum = 0;     // weight consumed so far
+  std::size_t t = 0;  // next target index
   while (t < targets.size()) {
     // Find the smallest current element across runs (ties by run index).
     std::size_t best = runs.size();

@@ -2,6 +2,7 @@
 #define MRLQUANT_CORE_WEIGHTED_MERGE_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "util/types.h"
@@ -21,16 +22,52 @@ struct WeightedRun {
 /// sequence.
 Weight TotalRunWeight(const std::vector<WeightedRun>& runs);
 
-/// Returns the elements of the weighted merge found at the given 1-based
-/// weighted positions. `targets` must be sorted ascending and each must lie
-/// in [1, TotalRunWeight(runs)]. Element e with weight w occupies the
-/// weighted interval (c, c + w] where c is the cumulative weight before it;
-/// the result for target t is the element whose interval contains t.
+/// Reusable state for the loser-tree merge kernel: run cursors plus the
+/// tournament nodes. Sized on first use and recycled across calls, so a
+/// caller that keeps one MergeScratch alive performs no heap allocation in
+/// steady state (part of the CollapseScratch arena; see core/collapse.h).
+struct MergeScratch {
+  std::vector<std::size_t> cursor;    ///< per-run read position
+  std::vector<std::uint32_t> loser;   ///< internal tournament nodes
+  std::vector<std::uint32_t> winner;  ///< build-time winner propagation
+  std::vector<Value> key;             ///< cached head value per leaf
+  std::vector<std::uint32_t> sec;     ///< tie-break rank per leaf
+};
+
+/// Core merge kernel: writes the elements of the weighted merge found at
+/// the given 1-based weighted positions into `out` (which must have room
+/// for `num_targets` values). `targets` must be sorted ascending and each
+/// must lie in [1, total run weight]. Element e with weight w occupies the
+/// weighted interval (c, c + w] where c is the cumulative weight before
+/// it; the result for target t is the element whose interval contains t.
 ///
-/// Runs must each be sorted ascending. Cost: O(total_elements * num_runs)
-/// comparisons with a flat cursor scan (num_runs is at most b <= ~50, and
-/// ties are broken by run index, making the merge deterministic).
+/// Runs must each be sorted ascending; ties across runs are broken by run
+/// index (lower index first), making the merge deterministic and identical
+/// to the naive flat cursor scan below.
+///
+/// Cost: a loser-tree (tournament) k-way merge — O(log b) per advanced
+/// *chunk*, where a chunk is a maximal prefix of the current winner run
+/// that precedes every other run's head. Chunks are located by galloping
+/// (exponential then binary search), and whole chunks whose weight falls
+/// between consecutive targets are skipped with O(1) arithmetic, so
+/// selecting k positions out of a b*k-element weighted merge does not
+/// touch every element of every run.
+void SelectWeightedPositionsInto(const WeightedRun* runs,
+                                 std::size_t num_runs, const Weight* targets,
+                                 std::size_t num_targets,
+                                 MergeScratch* scratch, Value* out);
+
+/// Allocating convenience wrapper over SelectWeightedPositionsInto (uses a
+/// function-local scratch; prefer the Into form on hot paths).
 std::vector<Value> SelectWeightedPositions(
+    const std::vector<WeightedRun>& runs, const std::vector<Weight>& targets);
+
+/// Reference implementation: the original O(total_elements * num_runs)
+/// flat cursor scan. Kept for differential testing (tests/
+/// merge_differential_test.cc) and side-by-side numbers in
+/// bench/merge_kernels.cc; the loser-tree kernel must match it exactly,
+/// including tie-breaking by run index.
+std::vector<Value> SelectWeightedPositionsNaive(
     const std::vector<WeightedRun>& runs, const std::vector<Weight>& targets);
 
 }  // namespace mrl

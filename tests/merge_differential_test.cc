@@ -1,0 +1,145 @@
+// Differential test for the loser-tree weighted-merge kernel: on random
+// inputs, SelectWeightedPositionsInto must produce byte-identical output to
+// SelectWeightedPositionsNaive (the original flat cursor scan, kept as the
+// reference implementation). The adversarial knobs are the ones the loser
+// tree actually branches on: run count (1..12, crossing power-of-two tree
+// sizes), duplicate-heavy values (small alphabets force the cross-run
+// tie-break), uneven run lengths including empty runs, mixed weights, and
+// target sets ranging from a single position to denser-than-element grids.
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/weighted_merge.h"
+#include "util/types.h"
+
+namespace mrl {
+namespace {
+
+class Xorshift {
+ public:
+  explicit Xorshift(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t Next() {
+    state_ ^= state_ << 13;
+    state_ ^= state_ >> 7;
+    state_ ^= state_ << 17;
+    return state_;
+  }
+
+  // Uniform in [0, bound).
+  std::uint64_t Below(std::uint64_t bound) { return Next() % bound; }
+
+ private:
+  std::uint64_t state_;
+};
+
+struct Trial {
+  std::vector<std::vector<Value>> storage;
+  std::vector<WeightedRun> runs;
+  std::vector<Weight> targets;
+};
+
+Trial MakeTrial(Xorshift* rng) {
+  Trial trial;
+  const std::size_t num_runs = 1 + rng->Below(12);
+  // A small alphabet (sometimes just 2 symbols) makes equal heads across
+  // runs the common case, stressing the (value, run index) tie-break and
+  // the gallop's upper/lower-bound asymmetry.
+  const std::uint64_t alphabet = 1 + rng->Below(rng->Below(2) ? 8 : 200);
+  trial.storage.reserve(num_runs);
+  for (std::size_t r = 0; r < num_runs; ++r) {
+    const std::size_t size = rng->Below(5) ? rng->Below(40) : 0;
+    std::vector<Value> run(size);
+    for (Value& v : run) {
+      v = static_cast<Value>(rng->Below(alphabet));
+    }
+    std::sort(run.begin(), run.end());
+    trial.storage.push_back(std::move(run));
+  }
+  for (std::size_t r = 0; r < num_runs; ++r) {
+    const Weight weight = 1 + rng->Below(9);
+    trial.runs.push_back(
+        {trial.storage[r].data(), trial.storage[r].size(), weight});
+  }
+
+  const Weight total = TotalRunWeight(trial.runs);
+  if (total == 0) return trial;  // all-empty: only the empty target set
+  const std::size_t num_targets = rng->Below(3 * trial.storage.size() + 4);
+  for (std::size_t i = 0; i < num_targets; ++i) {
+    trial.targets.push_back(1 + rng->Below(total));
+  }
+  std::sort(trial.targets.begin(), trial.targets.end());
+  return trial;
+}
+
+TEST(MergeDifferentialTest, MatchesNaiveOnRandomInputs) {
+  Xorshift rng(0x9e3779b97f4a7c15ull);
+  MergeScratch scratch;  // reused across trials, like the collapse path
+  for (int trial_idx = 0; trial_idx < 10000; ++trial_idx) {
+    Trial trial = MakeTrial(&rng);
+    std::vector<Value> expected =
+        SelectWeightedPositionsNaive(trial.runs, trial.targets);
+    std::vector<Value> actual(trial.targets.size());
+    SelectWeightedPositionsInto(trial.runs.data(), trial.runs.size(),
+                                trial.targets.data(), trial.targets.size(),
+                                &scratch, actual.data());
+    ASSERT_EQ(expected, actual)
+        << "divergence at trial " << trial_idx << " with "
+        << trial.runs.size() << " runs and " << trial.targets.size()
+        << " targets";
+  }
+}
+
+TEST(MergeDifferentialTest, SingleRunWholeSelection) {
+  // Every position of a single weighted run: the loser tree degenerates to
+  // one leaf and the gallop must consume the entire run in one chunk.
+  std::vector<Value> run = {1, 2, 2, 3, 5, 8, 13};
+  std::vector<WeightedRun> runs = {{run.data(), run.size(), 3}};
+  std::vector<Weight> targets;
+  for (Weight t = 1; t <= 21; ++t) targets.push_back(t);
+  EXPECT_EQ(SelectWeightedPositions(runs, targets),
+            SelectWeightedPositionsNaive(runs, targets));
+}
+
+TEST(MergeDifferentialTest, AllRunsIdenticalValues) {
+  // Pure tie-breaking: every element of every run is equal, so the merge
+  // order is decided solely by run index.
+  std::vector<Value> a(16, 7.0);
+  std::vector<Value> b(16, 7.0);
+  std::vector<Value> c(16, 7.0);
+  std::vector<WeightedRun> runs = {
+      {a.data(), a.size(), 2}, {b.data(), b.size(), 5},
+      {c.data(), c.size(), 1}};
+  std::vector<Weight> targets = {1, 2, 31, 32, 33, 64, 100, 128};
+  EXPECT_EQ(SelectWeightedPositions(runs, targets),
+            SelectWeightedPositionsNaive(runs, targets));
+}
+
+TEST(MergeDifferentialTest, SparseTargetsSkipChunks) {
+  // Two far-apart targets over many runs: most chunks fall strictly
+  // between targets and must be skipped arithmetically.
+  Xorshift rng(42);
+  std::vector<std::vector<Value>> storage;
+  std::vector<WeightedRun> runs;
+  for (int r = 0; r < 10; ++r) {
+    std::vector<Value> run(100);
+    for (Value& v : run) v = static_cast<Value>(rng.Below(1000));
+    std::sort(run.begin(), run.end());
+    storage.push_back(std::move(run));
+  }
+  for (int r = 0; r < 10; ++r) {
+    runs.push_back({storage[r].data(), storage[r].size(),
+                    static_cast<Weight>(r + 1)});
+  }
+  const Weight total = TotalRunWeight(runs);
+  std::vector<Weight> targets = {1, total / 2, total};
+  EXPECT_EQ(SelectWeightedPositions(runs, targets),
+            SelectWeightedPositionsNaive(runs, targets));
+}
+
+}  // namespace
+}  // namespace mrl
