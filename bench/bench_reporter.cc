@@ -47,7 +47,7 @@ std::string FormatG(double v) {
 
 std::string BenchReporter::OutputPath() {
   const char* env = std::getenv("MRLQUANT_BENCH_JSON");
-  return (env != nullptr && env[0] != '\0') ? env : "BENCH_PR3.json";
+  return (env != nullptr && env[0] != '\0') ? env : "BENCH_PR4.json";
 }
 
 BenchReporter::BenchReporter(std::string bench_name)

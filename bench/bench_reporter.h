@@ -9,7 +9,7 @@ namespace mrl {
 namespace bench {
 
 /// One benchmark result row, mirrored into the shared JSON perf artifact
-/// (BENCH_PR3.json by default; override with the MRLQUANT_BENCH_JSON env
+/// (BENCH_PR4.json by default; override with the MRLQUANT_BENCH_JSON env
 /// var). Fields that do not apply stay zero/empty and are omitted from the
 /// JSON: google-benchmark rows fill ns_per_op / elements_per_s /
 /// mem_elements; table-reproduction rows report their headline number via
@@ -48,7 +48,7 @@ class BenchReporter {
   /// closing bracket.
   void Flush();
 
-  /// Resolved JSON artifact path: $MRLQUANT_BENCH_JSON or "BENCH_PR3.json".
+  /// Resolved JSON artifact path: $MRLQUANT_BENCH_JSON or "BENCH_PR4.json".
   static std::string OutputPath();
 
  private:

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/logging.h"
+#include "util/sort.h"
 
 namespace mrl {
 
@@ -45,7 +46,10 @@ void Buffer::MarkFull(Weight weight, int level) {
   MRL_CHECK(state_ == BufferState::kFilling);
   MRL_CHECK_EQ(values_.size(), capacity_);
   MRL_CHECK_GE(weight, 1u);
-  std::sort(values_.begin(), values_.end());
+  // The per-level hot sort of the framework (every New ends here): the
+  // radix engine, with thread-local scratch so steady-state MarkFull
+  // performs no heap allocation (bench/sort_kernels.cc enforces this).
+  SortValues(values_.data(), values_.size());
   weight_ = weight;
   level_ = level;
   state_ = BufferState::kFull;

@@ -20,6 +20,13 @@ class QuantileEstimator {
   virtual ~QuantileEstimator() = default;
 
   /// Consumes one stream element.
+  ///
+  /// NaN contract: the algorithms are comparison based, so NaN input has no
+  /// defined rank and is a caller error. The core sketches trap (CHECK-
+  /// abort) any NaN that would enter sketch state — every element on the
+  /// element-wise path, sampled survivors and the pending block candidate
+  /// on the batch path — and MRLQUANT_AUDIT builds scan whole batches
+  /// (audit::CheckNoNaN). ±inf, ±0.0 and denormals are ordinary values.
   virtual void Add(Value v) = 0;
 
   /// Consumes a contiguous span of stream elements, equivalent to calling

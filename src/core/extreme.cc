@@ -75,6 +75,8 @@ ExtremeValueSketch::ExtremeValueSketch(const ExtremeValueOptions& options,
             /*keep_largest=*/options.phi > 0.5) {}
 
 void ExtremeValueSketch::Add(Value v) {
+  MRL_CHECK(!std::isnan(v)) << "NaN rejected at the sketch boundary: the "
+                               "k-best heap order is undefined over NaN";
   ++count_;
   if (sampler_.Sample()) {
     ++heap_offered_;

@@ -1,12 +1,14 @@
 #include "core/known_n.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 
 #include "core/output.h"
 #include "util/audit.h"
 #include "util/logging.h"
 #include "util/serde.h"
+#include "util/sort.h"
 
 namespace mrl {
 
@@ -49,6 +51,9 @@ void KnownNSketch::StartNewFill() {
 }
 
 void KnownNSketch::Add(Value v) {
+  MRL_CHECK(!std::isnan(v)) << "NaN rejected at the sketch boundary: the "
+                               "comparison-based buffers are undefined over "
+                               "NaN (docs/algorithm.md §8)";
   if (!filling_) StartNewFill();
   std::optional<Value> sample = sampler_.Add(v);
   ++count_;
@@ -63,6 +68,8 @@ void KnownNSketch::Add(Value v) {
 }
 
 void KnownNSketch::AddBatch(std::span<const Value> values) {
+  // NaN boundary contract: see UnknownNSketch::AddBatch.
+  MRL_AUDIT(audit::CheckNoNaN(values.data(), values.size()));
   while (!values.empty()) {
     if (!filling_) StartNewFill();
     Buffer& buf = framework_.buffer(fill_slot_);
@@ -78,6 +85,10 @@ void KnownNSketch::AddBatch(std::span<const Value> values) {
     sampler_.AddBatch(values.data(), static_cast<std::size_t>(take),
                       batch_scratch_);
     count_ += take;
+    for (Value s : batch_scratch_) {
+      MRL_CHECK(!std::isnan(s))
+          << "NaN rejected at the sketch boundary (sampled survivor)";
+    }
     buf.AppendSpan(batch_scratch_.data(), batch_scratch_.size());
     if (buf.size() == buf.capacity()) {
       framework_.CommitFull(fill_slot_, params_.rate, /*level=*/0);
@@ -85,6 +96,10 @@ void KnownNSketch::AddBatch(std::span<const Value> values) {
       AuditAfterCommit();
     }
     values = values.subspan(static_cast<std::size_t>(take));
+  }
+  if (sampler_.pending_count() > 0) {
+    MRL_CHECK(!std::isnan(sampler_.pending_candidate()))
+        << "NaN rejected at the sketch boundary (pending block candidate)";
   }
 }
 
@@ -102,7 +117,7 @@ void KnownNSketch::SnapshotInto(RunSnapshot* snap) const {
     const Buffer& buf = framework_.buffer(fill_slot_);
     if (!buf.values().empty()) {
       snap->partial_sorted.assign(buf.values().begin(), buf.values().end());
-      std::sort(snap->partial_sorted.begin(), snap->partial_sorted.end());
+      SortValues(snap->partial_sorted.data(), snap->partial_sorted.size());
     }
   }
   if (sampler_.pending_count() > 0) {

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <numeric>
 
 namespace mrl {
 
@@ -59,15 +58,18 @@ Result<std::vector<Value>> WeightedQuantiles(
     return Status::FailedPrecondition("no elements consumed yet");
   }
 
-  // Sort queries by target position; answer all in one merge pass; undo the
-  // permutation at the end.
-  scratch->order.resize(phis.size());
-  std::iota(scratch->order.begin(), scratch->order.end(), 0u);
-  std::sort(scratch->order.begin(), scratch->order.end(),
-            [&](std::size_t a, std::size_t b) { return phis[a] < phis[b]; });
+  // Sort queries by phi (the sort engine, stable, carrying each query's
+  // original index as payload); answer all in one merge pass; undo the
+  // permutation at the end. Equal phis map to equal targets, so the
+  // stable order changes no answer.
+  scratch->keyed.clear();
+  for (std::size_t i = 0; i < phis.size(); ++i) {
+    scratch->keyed.emplace_back(phis[i], static_cast<std::uint64_t>(i));
+  }
+  SortPairs(scratch->keyed.data(), scratch->keyed.size());
   scratch->targets.clear();
-  for (std::size_t i : scratch->order) {
-    scratch->targets.push_back(PhiToPosition(phis[i], total));
+  for (const KeyedPayload& q : scratch->keyed) {
+    scratch->targets.push_back(PhiToPosition(q.first, total));
   }
   scratch->picked.resize(phis.size());
   SelectWeightedPositionsInto(runs.data(), runs.size(),
@@ -76,8 +78,9 @@ Result<std::vector<Value>> WeightedQuantiles(
                               scratch->picked.data());
 
   std::vector<Value> out(phis.size());
-  for (std::size_t i = 0; i < scratch->order.size(); ++i) {
-    out[scratch->order[i]] = scratch->picked[i];
+  for (std::size_t i = 0; i < scratch->keyed.size(); ++i) {
+    out[static_cast<std::size_t>(scratch->keyed[i].second)] =
+        scratch->picked[i];
   }
   return out;
 }

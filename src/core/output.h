@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "core/weighted_merge.h"
+#include "util/sort.h"
 #include "util/status.h"
 #include "util/types.h"
 
@@ -17,12 +18,12 @@ namespace mrl {
 Result<Value> WeightedQuantile(const std::vector<WeightedRun>& runs,
                                double phi);
 
-/// Reusable working storage for WeightedQuantiles: the query permutation,
-/// the sorted weighted targets, the picked values, and the merge kernel's
-/// tournament state. Recycled across calls so repeated queries allocate
-/// only their result vector.
+/// Reusable working storage for WeightedQuantiles: the (phi, query index)
+/// permutation records, the sorted weighted targets, the picked values,
+/// and the merge kernel's tournament state. Recycled across calls so
+/// repeated queries allocate only their result vector.
 struct QueryScratch {
-  std::vector<std::size_t> order;
+  std::vector<KeyedPayload> keyed;  ///< (phi, original query index)
   std::vector<Weight> targets;
   std::vector<Value> picked;
   MergeScratch merge;

@@ -7,6 +7,7 @@
 #include "core/output.h"
 #include "util/audit.h"
 #include "util/logging.h"
+#include "util/sort.h"
 
 namespace mrl {
 
@@ -45,7 +46,7 @@ void ParallelCoordinator::Ingest(std::vector<ShippedBuffer> shipped) {
         static_cast<Weight>(buf.values.size()) * buf.weight;
     if (buf.full) {
       MRL_CHECK_EQ(buf.values.size(), k_);
-      std::sort(buf.values.begin(), buf.values.end());
+      SortValues(buf.values.data(), buf.values.size());
       framework_.IngestFull(std::move(buf.values), buf.weight, /*level=*/0);
     } else {
       MRL_CHECK_LT(buf.values.size(), k_);
@@ -104,7 +105,7 @@ void ParallelCoordinator::PromoteStaging() {
     // old copy-out-then-erase implementation, without the per-promotion
     // allocation.
     const auto prefix_end = staging_.begin() + static_cast<long>(k_);
-    std::sort(staging_.begin(), prefix_end);
+    SortValues(staging_.data(), k_);
     framework_.IngestFullCopy(staging_.data(), k_, staging_weight_,
                               /*level=*/0);
     staging_.erase(staging_.begin(), prefix_end);
@@ -125,7 +126,7 @@ Result<std::vector<Value>> ParallelCoordinator::QueryMany(
   thread_local std::vector<Value> staged_sorted;
   thread_local std::vector<WeightedRun> runs;
   staged_sorted.assign(staging_.begin(), staging_.end());
-  std::sort(staged_sorted.begin(), staged_sorted.end());
+  SortValues(staged_sorted.data(), staged_sorted.size());
   framework_.FullBufferRunsInto(&runs);
   if (!staged_sorted.empty()) {
     runs.push_back(

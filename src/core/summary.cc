@@ -2,15 +2,20 @@
 
 #include <algorithm>
 #include <cmath>
+#include <type_traits>
 
 #include "util/logging.h"
+#include "util/sort.h"
 
 namespace mrl {
 
 void QuantileSummary::AccumulateInto(SummaryScratch* scratch,
                                      std::vector<Entry>* entries) {
-  std::sort(scratch->weighted.begin(), scratch->weighted.end(),
-            [](const auto& a, const auto& b) { return a.first < b.first; });
+  // (value, weight) is exactly the engine's KeyedPayload record; the
+  // stable radix sort keeps equal values in insertion order, and the
+  // coalescing below sums their weights either way.
+  static_assert(std::is_same_v<std::pair<Value, Weight>, KeyedPayload>);
+  SortPairs(scratch->weighted.data(), scratch->weighted.size());
   entries->clear();
   Weight cum = 0;
   for (const auto& [value, weight] : scratch->weighted) {

@@ -1,6 +1,7 @@
 #include "core/unknown_n.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <utility>
 
@@ -8,6 +9,7 @@
 #include "util/audit.h"
 #include "util/logging.h"
 #include "util/serde.h"
+#include "util/sort.h"
 
 namespace mrl {
 
@@ -84,6 +86,9 @@ void UnknownNSketch::StartNewFill() {
 }
 
 void UnknownNSketch::Add(Value v) {
+  MRL_CHECK(!std::isnan(v)) << "NaN rejected at the sketch boundary: the "
+                               "comparison-based buffers are undefined over "
+                               "NaN (docs/algorithm.md §8)";
   if (!filling_) StartNewFill();
   std::optional<Value> sample = sampler_.Add(v);
   ++count_;
@@ -98,6 +103,11 @@ void UnknownNSketch::Add(Value v) {
 }
 
 void UnknownNSketch::AddBatch(std::span<const Value> values) {
+  // NaN boundary contract: the release build traps every NaN that would
+  // enter sketch state — sampled survivors (below) and the block candidate
+  // left pending at return — without touching the elements the sampler
+  // skips; audit builds scan the whole span here.
+  MRL_AUDIT(audit::CheckNoNaN(values.data(), values.size()));
   while (!values.empty()) {
     if (!filling_) StartNewFill();
     Buffer& buf = framework_.buffer(fill_slot_);
@@ -115,6 +125,10 @@ void UnknownNSketch::AddBatch(std::span<const Value> values) {
     sampler_.AddBatch(values.data(), static_cast<std::size_t>(take),
                       batch_scratch_);
     count_ += take;
+    for (Value s : batch_scratch_) {
+      MRL_CHECK(!std::isnan(s))
+          << "NaN rejected at the sketch boundary (sampled survivor)";
+    }
     buf.AppendSpan(batch_scratch_.data(), batch_scratch_.size());
     if (buf.size() == buf.capacity()) {
       framework_.CommitFull(fill_slot_, fill_weight_, fill_level_);
@@ -122,6 +136,10 @@ void UnknownNSketch::AddBatch(std::span<const Value> values) {
       MRL_AUDIT(audit::CheckWeightConservation(HeldWeight(), count_));
     }
     values = values.subspan(static_cast<std::size_t>(take));
+  }
+  if (sampler_.pending_count() > 0) {
+    MRL_CHECK(!std::isnan(sampler_.pending_candidate()))
+        << "NaN rejected at the sketch boundary (pending block candidate)";
   }
 }
 
@@ -132,7 +150,7 @@ void UnknownNSketch::SnapshotInto(RunSnapshot* snap) const {
     const Buffer& buf = framework_.buffer(fill_slot_);
     if (!buf.values().empty()) {
       snap->partial_sorted.assign(buf.values().begin(), buf.values().end());
-      std::sort(snap->partial_sorted.begin(), snap->partial_sorted.end());
+      SortValues(snap->partial_sorted.data(), snap->partial_sorted.size());
     }
   }
   if (sampler_.pending_count() > 0) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/logging.h"
+#include "util/sort.h"
 
 namespace mrl {
 
@@ -17,7 +18,7 @@ void ShuffleInPlace(Random* rng, std::vector<Value>* values) {
 }
 
 void SawtoothInPlace(std::vector<Value>* values) {
-  std::sort(values->begin(), values->end());
+  SortValues(values->data(), values->size());
   // Deal the sorted sequence round-robin into 8 teeth, then emit the teeth
   // one after another: each tooth is an ascending run spanning the full
   // value range.
@@ -33,7 +34,7 @@ void SawtoothInPlace(std::vector<Value>* values) {
 }
 
 void AlternatingInPlace(std::vector<Value>* values) {
-  std::sort(values->begin(), values->end());
+  SortValues(values->data(), values->size());
   std::vector<Value> out;
   out.reserve(values->size());
   std::size_t lo = 0;
@@ -46,7 +47,7 @@ void AlternatingInPlace(std::vector<Value>* values) {
 }
 
 void BlockShuffledInPlace(Random* rng, std::vector<Value>* values) {
-  std::sort(values->begin(), values->end());
+  SortValues(values->data(), values->size());
   constexpr std::size_t kBlock = 1024;
   std::size_t num_blocks = (values->size() + kBlock - 1) / kBlock;
   if (num_blocks <= 1) return;
@@ -107,10 +108,12 @@ void ApplyArrivalOrder(ArrivalOrder order, Random* rng,
       ShuffleInPlace(rng, values);
       return;
     case ArrivalOrder::kSortedAsc:
-      std::sort(values->begin(), values->end());
+      // Whole-dataset sorts: the radix engine keeps Fig-4/Table-1 bench
+      // setup time from dwarfing the measured ingestion time.
+      SortValues(values->data(), values->size());
       return;
     case ArrivalOrder::kSortedDesc:
-      std::sort(values->begin(), values->end(), std::greater<Value>());
+      SortValuesDescending(values->data(), values->size());
       return;
     case ArrivalOrder::kSawtooth:
       SawtoothInPlace(values);

@@ -1,6 +1,7 @@
 #include "util/audit.h"
 
 #include <algorithm>
+#include <cmath>
 #include <string>
 
 #include "core/buffer.h"
@@ -185,6 +186,17 @@ Status CheckCoordinatorStaging(std::size_t staging_size, std::size_t k,
   if (staging_size > 0 && staging_weight < 1) {
     return Violation("non-empty coordinator staging has weight " +
                      std::to_string(staging_weight) + " < 1");
+  }
+  return Status::OK();
+}
+
+Status CheckNoNaN(const Value* data, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    if (std::isnan(data[i])) {
+      return Violation("NaN at batch offset " + std::to_string(i) +
+                       "; the sketches are comparison based and reject NaN "
+                       "at the ingestion boundary");
+    }
   }
   return Status::OK();
 }

@@ -67,6 +67,13 @@ Status CheckUnknownNHeight(const CollapseFramework& framework, int h,
 /// parameters (explicit caller parameters carry no such promise).
 Status CheckKnownNHeight(const CollapseFramework& framework, int h);
 
+/// NaN boundary contract (docs/algorithm.md §8): the comparison-based
+/// sketches are undefined over NaN, so `Add`/`AddBatch` trap any NaN that
+/// would enter sketch state with an MRL_CHECK, and MRLQUANT_AUDIT builds
+/// additionally scan every ingested span with this checker — catching
+/// NaNs the sampler would have discarded before they were drawn.
+Status CheckNoNaN(const Value* data, std::size_t n);
+
 /// Coordinator staging buffer (B0, §6) legality after an ingest round: the
 /// staging area holds fewer than k elements (anything more must have been
 /// promoted into the tree) and carries a weight >= 1 exactly when

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "util/logging.h"
+#include "util/sort.h"
 #include "util/types.h"
 
 namespace mrl {
@@ -56,13 +57,14 @@ class KBest {
   }
 
   /// Retained values sorted from the extreme inward (ascending when keeping
-  /// smallest; descending when keeping largest).
+  /// smallest; descending when keeping largest), via the radix sort engine
+  /// — this extraction runs on every extreme-value query.
   std::vector<Value> SortedFromExtreme() const {
     std::vector<Value> out = values_;
     if (keep_largest_) {
-      std::sort(out.begin(), out.end(), std::greater<Value>());
+      SortValuesDescending(out.data(), out.size());
     } else {
-      std::sort(out.begin(), out.end());
+      SortValues(out.data(), out.size());
     }
     return out;
   }

@@ -1,0 +1,149 @@
+#include "util/sort.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/logging.h"
+
+namespace mrl {
+namespace {
+
+/// Below this size the constant costs of the radix path (16 KiB histogram
+/// clear, transform + write-back passes) beat its O(n) advantage;
+/// std::sort over OrderedLess wins. Tuned with bench/sort_kernels.cc.
+constexpr std::size_t kRadixCutoff = 256;
+constexpr int kRadixPasses = 8;
+
+/// All eight byte histograms of keys[0..n) in one fused pass (one read of
+/// the data instead of eight).
+void BuildHistograms(const std::uint64_t* keys, std::size_t n,
+                     std::size_t hist[][256]) {
+  std::memset(
+      hist, 0,
+      static_cast<std::size_t>(kRadixPasses) * 256 * sizeof(hist[0][0]));
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t k = keys[i];
+    ++hist[0][k & 0xFF];
+    ++hist[1][(k >> 8) & 0xFF];
+    ++hist[2][(k >> 16) & 0xFF];
+    ++hist[3][(k >> 24) & 0xFF];
+    ++hist[4][(k >> 32) & 0xFF];
+    ++hist[5][(k >> 40) & 0xFF];
+    ++hist[6][(k >> 48) & 0xFF];
+    ++hist[7][(k >> 56) & 0xFF];
+  }
+}
+
+/// LSD radix core over scratch->keys[0..n): one counting scatter per
+/// non-uniform byte position, ping-ponging between keys and keys_alt (and,
+/// when kWithPayload, between the payload mirrors — the scatter moves each
+/// record's payload alongside its key, which is what makes the sort
+/// stable). Returns the array holding the sorted keys; *payload_out (when
+/// kWithPayload) receives the matching payload array. Requires n >= 1 and
+/// all four scratch vectors resized to n by the caller.
+template <bool kWithPayload>
+const std::uint64_t* RadixSortKeys(SortScratch* scratch, std::size_t n,
+                                   const std::uint64_t** payload_out) {
+  std::size_t hist[kRadixPasses][256];
+  BuildHistograms(scratch->keys.data(), n, hist);
+
+  std::uint64_t* src = scratch->keys.data();
+  std::uint64_t* dst = scratch->keys_alt.data();
+  std::uint64_t* psrc = kWithPayload ? scratch->payload.data() : nullptr;
+  std::uint64_t* pdst = kWithPayload ? scratch->payload_alt.data() : nullptr;
+  for (int p = 0; p < kRadixPasses; ++p) {
+    const int shift = 8 * p;
+    // Skip detection: a byte position on which every key agrees scatters
+    // into a single bucket — the identity permutation. The histogram is a
+    // multiset property, so probing it through the current src is exact.
+    if (hist[p][(src[0] >> shift) & 0xFF] == n) continue;
+    std::size_t pos[256];
+    std::size_t sum = 0;
+    for (int j = 0; j < 256; ++j) {
+      pos[j] = sum;
+      sum += hist[p][j];
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint64_t k = src[i];
+      const std::size_t d = pos[(k >> shift) & 0xFF]++;
+      dst[d] = k;
+      if constexpr (kWithPayload) pdst[d] = psrc[i];
+    }
+    std::swap(src, dst);
+    if constexpr (kWithPayload) std::swap(psrc, pdst);
+  }
+  if constexpr (kWithPayload) *payload_out = psrc;
+  return src;
+}
+
+}  // namespace
+
+void SortValues(Value* data, std::size_t n, SortScratch* scratch) {
+  if (n < kRadixCutoff) {
+    std::sort(data, data + n, OrderedLess);
+    return;
+  }
+  MRL_DCHECK(scratch != nullptr);
+  scratch->keys.resize(n);
+  scratch->keys_alt.resize(n);
+  std::uint64_t* keys = scratch->keys.data();
+  for (std::size_t i = 0; i < n; ++i) keys[i] = OrderedKeyFromValue(data[i]);
+  const std::uint64_t* sorted = RadixSortKeys<false>(scratch, n, nullptr);
+  for (std::size_t i = 0; i < n; ++i) data[i] = ValueFromOrderedKey(sorted[i]);
+}
+
+void SortValues(Value* data, std::size_t n) {
+  thread_local SortScratch scratch;
+  SortValues(data, n, &scratch);
+}
+
+void SortValuesDescending(Value* data, std::size_t n) {
+  SortValues(data, n);
+  std::reverse(data, data + n);
+}
+
+void SortPairs(KeyedPayload* data, std::size_t n, SortScratch* scratch) {
+  if (n < kRadixCutoff) {
+    std::stable_sort(data, data + n,
+                     [](const KeyedPayload& a, const KeyedPayload& b) {
+                       return OrderedLess(a.first, b.first);
+                     });
+    return;
+  }
+  MRL_DCHECK(scratch != nullptr);
+  scratch->keys.resize(n);
+  scratch->keys_alt.resize(n);
+  scratch->payload.resize(n);
+  scratch->payload_alt.resize(n);
+  std::uint64_t* keys = scratch->keys.data();
+  std::uint64_t* payload = scratch->payload.data();
+  for (std::size_t i = 0; i < n; ++i) {
+    keys[i] = OrderedKeyFromValue(data[i].first);
+    payload[i] = data[i].second;
+  }
+  const std::uint64_t* sorted_payload = nullptr;
+  const std::uint64_t* sorted =
+      RadixSortKeys<true>(scratch, n, &sorted_payload);
+  for (std::size_t i = 0; i < n; ++i) {
+    data[i].first = ValueFromOrderedKey(sorted[i]);
+    data[i].second = sorted_payload[i];
+  }
+}
+
+void SortPairs(KeyedPayload* data, std::size_t n) {
+  thread_local SortScratch scratch;
+  SortPairs(data, n, &scratch);
+}
+
+void SortValuesNaive(Value* data, std::size_t n) {
+  std::sort(data, data + n, OrderedLess);
+}
+
+void SortPairsNaive(KeyedPayload* data, std::size_t n) {
+  std::stable_sort(data, data + n,
+                   [](const KeyedPayload& a, const KeyedPayload& b) {
+                     return OrderedLess(a.first, b.first);
+                   });
+}
+
+}  // namespace mrl

@@ -1,0 +1,109 @@
+#ifndef MRLQUANT_UTIL_SORT_H_
+#define MRLQUANT_UTIL_SORT_H_
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "util/types.h"
+
+namespace mrl {
+
+/// The hot-path sort engine. Every full-buffer sort the collapse framework
+/// performs (Buffer::MarkFull, the coordinator staging sorts, summary
+/// accumulation) runs over the same fixed-width key type — IEEE-754
+/// `double` — so comparison sorting leaves throughput on the table. The
+/// engine is an LSD radix sort over the order-preserving bit transform
+/// below: 8-bit digits, one fused histogram pass, per-pass skip detection
+/// (a byte position on which all keys agree costs nothing), and a
+/// comparison-sort fallback below a small-n cutoff. All working storage
+/// lives in a caller-owned (or thread-local) SortScratch, so steady-state
+/// sorting performs zero heap allocations — the same arena contract as
+/// CollapseScratch/MergeScratch (core/collapse.h), and enforced by the
+/// same counting operator-new hook pattern (bench/sort_kernels.cc).
+///
+/// NaN is excluded by the sketch boundary contract (see
+/// UnknownNSketch::Add); the transform maps every non-NaN double, including
+/// -0.0, +0.0, denormals and the infinities, onto a total order.
+
+/// Order-preserving key transform: flip the sign bit of non-negative
+/// doubles, complement negative ones. For any non-NaN a, b:
+///   a < b  (IEEE)  =>  key(a) < key(b),
+/// and the induced order is *total*: -inf < negatives < -0.0 < +0.0 <
+/// positives < +inf, with -0.0 and +0.0 adjacent (their keys differ by
+/// exactly 1). Equals std::strong_order restricted to non-NaN values.
+inline std::uint64_t OrderedKeyFromValue(Value v) {
+  const std::uint64_t bits = std::bit_cast<std::uint64_t>(v);
+  // Negative: mask = all ones (complement). Non-negative: mask = sign bit.
+  const std::uint64_t mask =
+      static_cast<std::uint64_t>(-static_cast<std::int64_t>(bits >> 63)) |
+      (std::uint64_t{1} << 63);
+  return bits ^ mask;
+}
+
+/// Exact inverse of OrderedKeyFromValue (bit-for-bit round trip).
+inline Value ValueFromOrderedKey(std::uint64_t key) {
+  const std::uint64_t mask =
+      (key >> 63) != 0 ? (std::uint64_t{1} << 63) : ~std::uint64_t{0};
+  return std::bit_cast<Value>(key ^ mask);
+}
+
+/// Strict total order on non-NaN doubles (the transform's order). Used by
+/// the small-n fallback and the naive reference so every path through the
+/// engine produces one deterministic output, including -0.0 vs +0.0.
+inline bool OrderedLess(Value a, Value b) {
+  return OrderedKeyFromValue(a) < OrderedKeyFromValue(b);
+}
+
+/// A (sort key, 64-bit payload) record; SortPairs orders by key, stably.
+/// `std::pair<Value, Weight>` (summary staging) is exactly this type.
+using KeyedPayload = std::pair<Value, std::uint64_t>;
+
+/// Reusable working storage for the radix passes: transformed keys and the
+/// ping-pong partner, plus payload mirrors for SortPairs. Sized on first
+/// use and recycled, so a caller that keeps one SortScratch alive (or uses
+/// the thread-local overloads) sorts without heap allocation in steady
+/// state.
+struct SortScratch {
+  std::vector<std::uint64_t> keys;
+  std::vector<std::uint64_t> keys_alt;
+  std::vector<std::uint64_t> payload;
+  std::vector<std::uint64_t> payload_alt;
+};
+
+/// Sorts `data[0..n)` ascending in the engine's total order (a valid
+/// ascending order under `<` too, since only bitwise-distinct equal values
+/// — the two zeros — are ordered more finely). Below the tuned cutoff this
+/// is std::sort with OrderedLess; above it, the radix path.
+void SortValues(Value* data, std::size_t n, SortScratch* scratch);
+
+/// Thread-local-scratch convenience overload (safe on any thread; each
+/// thread warms its own arena).
+void SortValues(Value* data, std::size_t n);
+
+/// Sorts descending: ascending pass + reversal (equal doubles are
+/// bitwise-interchangeable except the zeros, whose relative order after
+/// reversal is +0.0 before -0.0 — the descending total order).
+void SortValuesDescending(Value* data, std::size_t n);
+
+/// Stable sort of (key, payload) records by key: records with equal keys
+/// (even bitwise-equal) keep their input order, which is what makes the
+/// summary accumulation and the batch-query permutation deterministic.
+void SortPairs(KeyedPayload* data, std::size_t n, SortScratch* scratch);
+
+/// Thread-local-scratch convenience overload.
+void SortPairs(KeyedPayload* data, std::size_t n);
+
+/// Reference implementations (std::sort / std::stable_sort over
+/// OrderedLess), kept for differential testing (tests/sort_test.cc) and
+/// side-by-side numbers in bench/sort_kernels.cc — the
+/// SelectWeightedPositionsNaive pattern. The radix paths must match them
+/// bit for bit.
+void SortValuesNaive(Value* data, std::size_t n);
+void SortPairsNaive(KeyedPayload* data, std::size_t n);
+
+}  // namespace mrl
+
+#endif  // MRLQUANT_UTIL_SORT_H_

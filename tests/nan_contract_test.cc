@@ -1,0 +1,118 @@
+// Regression tests for the NaN ingestion contract (estimator.h): the
+// sketches are comparison based, so NaN has no rank and is rejected at the
+// sketch boundary with a CHECK abort — on every element-wise Add, and on
+// the batch path wherever a NaN would actually enter sketch state (sampled
+// survivors and the pending block candidate; MRLQUANT_AUDIT builds scan
+// whole batches). Every other IEEE-754 special — ±inf, ±0.0, denormals —
+// is an ordinary totally-ordered value and must keep working.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "core/extreme.h"
+#include "core/known_n.h"
+#include "core/unknown_n.h"
+#include "util/types.h"
+
+namespace mrl {
+namespace {
+
+const Value kNaN = std::numeric_limits<Value>::quiet_NaN();
+
+UnknownNSketch MakeUnknownN() {
+  UnknownNOptions options;
+  options.eps = 0.05;
+  options.delta = 1e-3;
+  Result<UnknownNSketch> r = UnknownNSketch::Create(options);
+  EXPECT_TRUE(r.ok());
+  return std::move(r).value();
+}
+
+KnownNSketch MakeKnownN() {
+  KnownNOptions options;
+  options.eps = 0.05;
+  options.delta = 1e-3;
+  options.n = 100000;
+  Result<KnownNSketch> r = KnownNSketch::Create(options);
+  EXPECT_TRUE(r.ok());
+  return std::move(r).value();
+}
+
+TEST(NanContractTest, UnknownNAddRejectsNaN) {
+  UnknownNSketch sketch = MakeUnknownN();
+  sketch.Add(1.0);
+  EXPECT_DEATH(sketch.Add(kNaN), "NaN rejected at the sketch boundary");
+}
+
+TEST(NanContractTest, UnknownNAddBatchRejectsSampledNaN) {
+  UnknownNSketch sketch = MakeUnknownN();
+  // The sampler's rate is 1 before any collapse, so every batch element is
+  // a survivor and the boundary check must see the NaN.
+  std::vector<Value> batch = {1.0, 2.0, kNaN, 4.0};
+  // Release builds trap the sampled survivor ("rejected at the sketch
+  // boundary"); MRLQUANT_AUDIT builds trap earlier with the whole-span scan
+  // ("at batch offset"). Either way the batch must die on the NaN.
+  EXPECT_DEATH(sketch.AddBatch(batch), "NaN (rejected|at batch offset)");
+}
+
+TEST(NanContractTest, KnownNAddRejectsNaN) {
+  KnownNSketch sketch = MakeKnownN();
+  sketch.Add(1.0);
+  EXPECT_DEATH(sketch.Add(kNaN), "NaN rejected at the sketch boundary");
+}
+
+TEST(NanContractTest, KnownNAddBatchRejectsSampledNaN) {
+  // Pin the sampling rate to 1 so every batch element is a survivor; with
+  // the solved rate (> 1) the release-mode check only sees the NaN if the
+  // sampler happens to draw it (MRLQUANT_AUDIT builds always see it).
+  KnownNOptions options;
+  KnownNParams params;
+  params.b = 4;
+  params.k = 32;
+  params.h = 4;
+  params.rate = 1;
+  params.n = 100000;
+  options.params = params;
+  Result<KnownNSketch> r = KnownNSketch::Create(options);
+  ASSERT_TRUE(r.ok());
+  KnownNSketch sketch = std::move(r).value();
+  std::vector<Value> batch(64, 1.5);
+  batch[17] = kNaN;
+  // See UnknownNAddBatchRejectsSampledNaN: audit builds die in the
+  // whole-span scan, release builds on the sampled survivor.
+  EXPECT_DEATH(sketch.AddBatch(batch), "NaN (rejected|at batch offset)");
+}
+
+TEST(NanContractTest, ExtremeAddRejectsNaN) {
+  ExtremeValueOptions options;
+  options.phi = 0.01;
+  options.eps = 0.005;
+  options.delta = 1e-3;
+  options.n = 100000;
+  Result<ExtremeValueSketch> r = ExtremeValueSketch::Create(options);
+  ASSERT_TRUE(r.ok());
+  ExtremeValueSketch sketch = std::move(r).value();
+  sketch.Add(1.0);
+  EXPECT_DEATH(sketch.Add(kNaN), "NaN rejected at the sketch boundary");
+}
+
+TEST(NanContractTest, NonNaNSpecialsAreOrdinaryValues) {
+  UnknownNSketch sketch = MakeUnknownN();
+  const Value inf = std::numeric_limits<Value>::infinity();
+  std::vector<Value> batch = {
+      -inf, inf, 0.0, -0.0, std::numeric_limits<Value>::denorm_min(),
+      -std::numeric_limits<Value>::denorm_min(), 1.0, -1.0};
+  for (int rep = 0; rep < 64; ++rep) sketch.AddBatch(batch);
+  Result<Value> low = sketch.Query(0.05);
+  Result<Value> high = sketch.Query(0.99);
+  ASSERT_TRUE(low.ok());
+  ASSERT_TRUE(high.ok());
+  EXPECT_EQ(low.value(), -inf);
+  EXPECT_EQ(high.value(), inf);
+}
+
+}  // namespace
+}  // namespace mrl
