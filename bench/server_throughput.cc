@@ -1,0 +1,243 @@
+// End-to-end daemon throughput: an in-process QuantileServer on a
+// Unix-domain socket, driven through the client library — the full wire
+// path (encode, syscalls, frame decode, registry, sketch ingestion).
+//
+// Also enforces the PR's zero-allocation claim for the steady-state
+// ADD_BATCH path: after warmup, a global operator new hook counts heap
+// allocations across client encode, server decode, registry lookup, and
+// sketch ingestion for a window of frames and aborts the binary if any
+// occur. The hook is compiled out under sanitizers and MRLQUANT_AUDIT
+// builds, whose instrumentation allocates behind our back.
+//
+// Reported rows (values/s unless noted):
+//   server_add_batch_uds         single client, unknown-N tenant
+//   server_add_batch_uds_4x      4 clients, sharded tenant (4 shards)
+//   server_query_latency_us      QUERY round-trip, mean microseconds
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <new>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "bench_reporter.h"
+#include "server/client.h"
+#include "server/server.h"
+#include "util/random.h"
+#include "util/types.h"
+
+#if defined(MRLQUANT_AUDIT) || defined(__SANITIZE_ADDRESS__) || \
+    defined(__SANITIZE_THREAD__)
+#define MRL_BENCH_COUNT_ALLOCS 0
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define MRL_BENCH_COUNT_ALLOCS 0
+#else
+#define MRL_BENCH_COUNT_ALLOCS 1
+#endif
+#else
+#define MRL_BENCH_COUNT_ALLOCS 1
+#endif
+
+#if MRL_BENCH_COUNT_ALLOCS
+
+// GCC cannot see that the replaced operator new/delete pair below is
+// internally consistent (malloc in new, free in delete) and reports a
+// mismatched-new-delete false positive at every call site in this TU.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+
+namespace {
+std::atomic<std::uint64_t> g_alloc_count{0};
+}  // namespace
+
+void* operator new(std::size_t n) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  void* p = std::malloc(n == 0 ? 1 : n);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t n) { return ::operator new(n); }
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+#endif  // MRL_BENCH_COUNT_ALLOCS
+
+namespace mrl {
+namespace {
+
+using server::Client;
+using server::QuantileServer;
+using server::ServerOptions;
+using server::SketchKind;
+using server::TenantConfig;
+
+constexpr std::size_t kBatch = 65536;
+
+std::uint64_t AllocCount() {
+#if MRL_BENCH_COUNT_ALLOCS
+  return g_alloc_count.load(std::memory_order_relaxed);
+#else
+  return 0;
+#endif
+}
+
+void CheckNoAllocs(std::uint64_t before, const char* where) {
+#if MRL_BENCH_COUNT_ALLOCS
+  const std::uint64_t after = AllocCount();
+  if (after != before) {
+    std::fprintf(stderr,
+                 "FATAL: %s performed %llu heap allocation(s) in steady "
+                 "state; the zero-allocation ADD_BATCH contract is broken\n",
+                 where, static_cast<unsigned long long>(after - before));
+    std::abort();
+  }
+#else
+  (void)before;
+  (void)where;
+#endif
+}
+
+std::vector<Value> UniformStream(std::size_t n, std::uint64_t seed) {
+  Random rng(seed);
+  std::vector<Value> values(n);
+  for (Value& v : values) v = rng.UniformDouble();
+  return values;
+}
+
+/// Pushes `values` in kBatch chunks; returns elapsed seconds.
+double PushAll(Client* client, const char* tenant,
+               const std::vector<Value>& values) {
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < values.size(); i += kBatch) {
+    const std::size_t n = std::min(values.size() - i, kBatch);
+    Result<std::uint64_t> count = client->AddBatch(
+        tenant, std::span<const Value>(values.data() + i, n));
+    if (!count.ok()) {
+      std::fprintf(stderr, "ADD_BATCH failed: %s\n",
+                   count.status().ToString().c_str());
+      std::exit(1);
+    }
+  }
+  const auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(end - start).count();
+}
+
+int Run() {
+  bench::BenchReporter reporter("server_throughput");
+  const std::string uds_path =
+      "/tmp/mrlq_bench." + std::to_string(static_cast<long>(::getpid())) +
+      ".sock";
+
+  ServerOptions options;
+  options.uds_path = uds_path;
+  options.num_workers = 8;
+  Result<std::unique_ptr<QuantileServer>> server =
+      QuantileServer::Create(std::move(options));
+  if (!server.ok()) {
+    std::fprintf(stderr, "server start failed: %s\n",
+                 server.status().ToString().c_str());
+    return 1;
+  }
+
+  Result<Client> connected = Client::ConnectUnix(uds_path);
+  if (!connected.ok()) return 1;
+  Client client = std::move(connected).value();
+
+  // --- Single-client ADD_BATCH throughput (unknown-N tenant). -----------
+  if (!client.CreateSketch("bench", TenantConfig{}).ok()) return 1;
+  const std::vector<Value> warmup = UniformStream(1 << 21, 1);
+  PushAll(&client, "bench", warmup);  // warm scratch, buffers, allocator
+
+  // Zero-allocation window: every layer of the ADD_BATCH path is warmed;
+  // a window of further frames must not touch the heap from any thread.
+  {
+    const std::uint64_t before = AllocCount();
+    for (int i = 0; i < 32; ++i) {
+      std::span<const Value> batch(warmup.data() + i * 1024, kBatch / 2);
+      if (!client.AddBatch("bench", batch).ok()) return 1;
+    }
+    CheckNoAllocs(before, "steady-state ADD_BATCH");
+  }
+
+  const std::vector<Value> data = UniformStream(std::size_t{4} << 20, 2);
+  const double seconds = PushAll(&client, "bench", data);
+  const double rate = static_cast<double>(data.size()) / seconds;
+  std::printf("server_add_batch_uds: %.3g values/s\n", rate);
+  reporter.ReportValue("server_add_batch_uds", rate, "values/s");
+
+  // --- QUERY round-trip latency. ----------------------------------------
+  {
+    constexpr int kQueries = 2000;
+    const auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < kQueries; ++i) {
+      const double phi = 0.001 + 0.998 * (static_cast<double>(i) / kQueries);
+      if (!client.Query("bench", phi).ok()) return 1;
+    }
+    const auto end = std::chrono::steady_clock::now();
+    const double us =
+        std::chrono::duration<double, std::micro>(end - start).count() /
+        kQueries;
+    std::printf("server_query_latency_us: %.3g us\n", us);
+    reporter.ReportValue("server_query_latency_us", us, "us");
+  }
+
+  // --- 4 concurrent clients into a sharded tenant. ----------------------
+  {
+    constexpr int kClients = 4;
+    TenantConfig config;
+    config.kind = SketchKind::kSharded;
+    config.num_shards = kClients;
+    if (!client.CreateSketch("bench4x", config).ok()) return 1;
+
+    std::vector<std::vector<Value>> chunks;
+    chunks.reserve(kClients);
+    for (int t = 0; t < kClients; ++t) {
+      chunks.push_back(UniformStream(std::size_t{1} << 20, 100 + t));
+    }
+    std::atomic<int> failures{0};
+    const auto start = std::chrono::steady_clock::now();
+    std::vector<std::thread> pushers;
+    for (int t = 0; t < kClients; ++t) {
+      pushers.emplace_back([&, t] {
+        Result<Client> c = Client::ConnectUnix(uds_path);
+        if (!c.ok()) {
+          failures.fetch_add(1);
+          return;
+        }
+        PushAll(&c.value(), "bench4x", chunks[static_cast<std::size_t>(t)]);
+      });
+    }
+    for (std::thread& p : pushers) p.join();
+    const auto end = std::chrono::steady_clock::now();
+    if (failures.load() != 0) return 1;
+    const double total = static_cast<double>(kClients) *
+                         static_cast<double>(std::size_t{1} << 20);
+    const double rate4 =
+        total / std::chrono::duration<double>(end - start).count();
+    std::printf("server_add_batch_uds_4x: %.3g values/s\n", rate4);
+    reporter.ReportValue("server_add_batch_uds_4x", rate4, "values/s");
+  }
+
+  server.value()->Stop();
+  std::remove(uds_path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace mrl
+
+int main() { return mrl::Run(); }

@@ -41,7 +41,19 @@ KnownNSketch::KnownNSketch(const KnownNParams& params, std::uint64_t seed)
     : params_(params),
       framework_(params.b, params.k,
                  MakeCollapsePolicy(CollapsePolicyKind::kMrl)),
-      sampler_(Random(seed), params.rate) {}
+      sampler_(Random(seed), params.rate),
+      seed_(seed) {}
+
+void KnownNSketch::Reset() { Reset(seed_); }
+
+void KnownNSketch::Reset(std::uint64_t seed) {
+  seed_ = seed;
+  framework_.Reset();
+  sampler_ = BlockSampler(Random(seed), params_.rate);
+  count_ = 0;
+  filling_ = false;
+  fill_slot_ = 0;
+}
 
 void KnownNSketch::StartNewFill() {
   MRL_CHECK(!filling_);

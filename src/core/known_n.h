@@ -59,6 +59,13 @@ class KnownNSketch : public QuantileEstimator {
 
   Result<std::vector<Value>> QueryMany(const std::vector<double>& phis) const;
 
+  /// Returns the sketch to its freshly constructed state (clearing any
+  /// overflow) without releasing the buffer pool; serialized state after
+  /// Reset() is byte-identical to a new sketch with the same options. See
+  /// UnknownNSketch::Reset for the seed semantics.
+  void Reset();
+  void Reset(std::uint64_t seed);
+
   const KnownNParams& params() const { return params_; }
   bool overflowed() const { return count_ > params_.n; }
   const TreeStats& tree_stats() const { return framework_.stats(); }
@@ -95,6 +102,7 @@ class KnownNSketch : public QuantileEstimator {
   KnownNParams params_;
   CollapseFramework framework_;
   BlockSampler sampler_;
+  std::uint64_t seed_ = 1;  ///< construction seed, replayed by Reset()
   std::uint64_t count_ = 0;
 
   bool filling_ = false;

@@ -27,7 +27,31 @@ Result<ShardedQuantileSketch> ShardedQuantileSketch::Create(
     if (!shard.ok()) return shard.status();
     shards.push_back(std::move(shard).value());
   }
+  return ShardedQuantileSketch(std::move(shards), options.seed);
+}
+
+Result<ShardedQuantileSketch> ShardedQuantileSketch::FromShards(
+    std::vector<UnknownNSketch> shards) {
+  if (shards.empty()) {
+    return Status::InvalidArgument("FromShards requires at least one shard");
+  }
+  for (const UnknownNSketch& s : shards) {
+    if (s.params().b != shards.front().params().b ||
+        s.params().k != shards.front().params().k) {
+      return Status::InvalidArgument(
+          "FromShards requires all shards to share (b, k)");
+    }
+  }
   return ShardedQuantileSketch(std::move(shards));
+}
+
+void ShardedQuantileSketch::Reset() { Reset(seed_); }
+
+void ShardedQuantileSketch::Reset(std::uint64_t seed) {
+  seed_ = seed;
+  // Re-derive the per-shard seeds exactly as Create does.
+  Random seeder(seed);
+  for (UnknownNSketch& s : shards_) s.Reset(seeder.NextUint64());
 }
 
 void ShardedQuantileSketch::ShardIndexFatal(int shard) const {

@@ -36,6 +36,13 @@ class ShardedQuantileSketch {
 
   static Result<ShardedQuantileSketch> Create(const Options& options);
 
+  /// Assembles a sharded sketch from independently restored shards (the
+  /// cross-process recovery path: each shard round-trips through
+  /// UnknownNSketch::Serialize/Deserialize). Requires at least one shard;
+  /// all shards must share (b, k) so the merged guarantee is uniform.
+  static Result<ShardedQuantileSketch> FromShards(
+      std::vector<UnknownNSketch> shards);
+
   ShardedQuantileSketch(ShardedQuantileSketch&&) = default;
   ShardedQuantileSketch& operator=(ShardedQuantileSketch&&) = default;
 
@@ -81,9 +88,18 @@ class ShardedQuantileSketch {
 
   std::uint64_t MemoryElements() const;
 
+  /// Returns every shard to its freshly constructed state without
+  /// releasing any buffer pool (see UnknownNSketch::Reset). Reset() replays
+  /// the construction seed; Reset(seed) re-derives the per-shard seeds from
+  /// `seed` exactly as Create would, so serialized per-shard state is
+  /// byte-identical to a fresh Create with that seed.
+  void Reset();
+  void Reset(std::uint64_t seed);
+
  private:
-  explicit ShardedQuantileSketch(std::vector<UnknownNSketch> shards)
-      : shards_(std::move(shards)) {}
+  explicit ShardedQuantileSketch(std::vector<UnknownNSketch> shards,
+                                 std::uint64_t seed = 1)
+      : shards_(std::move(shards)), seed_(seed) {}
 
   /// Release-mode shard-range contract shared by Add/AddBatch: one branch
   /// (the unsigned cast folds the negative check in), aborting via the
@@ -98,6 +114,7 @@ class ShardedQuantileSketch {
   [[noreturn]] void ShardIndexFatal(int shard) const;
 
   std::vector<UnknownNSketch> shards_;
+  std::uint64_t seed_ = 1;  ///< construction seed, replayed by Reset()
 };
 
 }  // namespace mrl

@@ -38,10 +38,29 @@ UnknownNSketch::UnknownNSketch(const UnknownNParams& params,
                options.ablation_first_of_block_sampling
                    ? BlockSampler::PickPolicy::kFirstOfBlock
                    : BlockSampler::PickPolicy::kUniformWithinBlock),
-      buffer_allowance_(options.buffer_allowance) {
+      buffer_allowance_(options.buffer_allowance),
+      seed_(options.seed),
+      ablation_first_of_block_(options.ablation_first_of_block_sampling) {
   if (options.ablation_disable_collapse_alternation) {
     framework_.SetOffsetAlternationEnabled(false);
   }
+  if (buffer_allowance_) UpdateUsableBuffers();
+}
+
+void UnknownNSketch::Reset() { Reset(seed_); }
+
+void UnknownNSketch::Reset(std::uint64_t seed) {
+  seed_ = seed;
+  framework_.Reset();
+  sampler_ = BlockSampler(Random(seed), /*rate=*/1,
+                          ablation_first_of_block_
+                              ? BlockSampler::PickPolicy::kFirstOfBlock
+                              : BlockSampler::PickPolicy::kUniformWithinBlock);
+  count_ = 0;
+  filling_ = false;
+  fill_slot_ = 0;
+  fill_weight_ = 1;
+  fill_level_ = 0;
   if (buffer_allowance_) UpdateUsableBuffers();
 }
 

@@ -98,6 +98,20 @@ class UnknownNSketch : public QuantileEstimator {
   }
   std::string name() const override { return "mrl99_unknown_n"; }
 
+  /// Returns the sketch to its freshly constructed state without releasing
+  /// the buffer pool or any warmed scratch storage, so a serving layer can
+  /// recycle tenant slots allocation-free. Serialized state after Reset()
+  /// is byte-identical to a newly constructed sketch with the same options
+  /// (tests/reset_test.cc pins this). A sketch restored via Deserialize
+  /// resets to the restore-time default seed; use Reset(seed) to pick the
+  /// seed explicitly.
+  void Reset();
+
+  /// As Reset(), but re-seeds the sampler's generator with `seed` (the
+  /// state a fresh sketch constructed with options.seed == seed would
+  /// have). Subsequent Reset() calls reuse this seed.
+  void Reset(std::uint64_t seed);
+
   /// Batch query: one merge pass for all of `phis` (any order).
   Result<std::vector<Value>> QueryMany(const std::vector<double>& phis) const;
 
@@ -193,6 +207,9 @@ class UnknownNSketch : public QuantileEstimator {
   CollapseFramework framework_;
   BlockSampler sampler_;
   std::function<int(std::uint64_t)> buffer_allowance_;
+  std::uint64_t seed_ = 1;  ///< construction seed, replayed by Reset()
+  /// Pick policy of the construction options, replayed by Reset().
+  bool ablation_first_of_block_ = false;
   std::uint64_t count_ = 0;
 
   bool filling_ = false;

@@ -1,0 +1,232 @@
+#include "server/client.h"
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace mrl {
+namespace server {
+
+namespace {
+
+Status StatusFromErrno(const char* what) {
+  return Status::Internal(std::string(what) + ": " + std::strerror(errno));
+}
+
+bool WriteFull(int fd, const std::uint8_t* buf, std::size_t n) {
+  std::size_t sent = 0;
+  while (sent < n) {
+    const ssize_t w = ::send(fd, buf + sent, n - sent, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+bool ReadFull(int fd, std::uint8_t* buf, std::size_t n) {
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::recv(fd, buf + got, n - got, 0);
+    if (r == 0) return false;
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    got += static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<Client> Client::ConnectUnix(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.empty() || path.size() >= sizeof(addr.sun_path)) {
+    return Status::InvalidArgument("bad unix socket path");
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return StatusFromErrno("socket(AF_UNIX)");
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    const Status status = StatusFromErrno("connect");
+    ::close(fd);
+    return status;
+  }
+  return Client(fd);
+}
+
+Result<Client> Client::ConnectTcp(const std::string& host,
+                                  std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("host must be a dotted-quad IPv4 address");
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return StatusFromErrno("socket(AF_INET)");
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    const Status status = StatusFromErrno("connect");
+    ::close(fd);
+    return status;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return Client(fd);
+}
+
+Client::Client(Client&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      request_(std::move(other.request_)),
+      response_(std::move(other.response_)) {}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = std::exchange(other.fd_, -1);
+    request_ = std::move(other.request_);
+    response_ = std::move(other.response_);
+  }
+  return *this;
+}
+
+Client::~Client() { Close(); }
+
+void Client::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<ResponseView> Client::RoundTrip(MsgType sent) {
+  if (fd_ < 0) return Status::FailedPrecondition("client not connected");
+  if (!WriteFull(fd_, request_.data(), request_.size())) {
+    Close();
+    return StatusFromErrno("send");
+  }
+  std::uint8_t prefix[4];
+  if (!ReadFull(fd_, prefix, sizeof(prefix))) {
+    Close();
+    return Status::Internal("connection closed while awaiting response");
+  }
+  const std::uint32_t body_len = static_cast<std::uint32_t>(prefix[0]) |
+                                 (static_cast<std::uint32_t>(prefix[1]) << 8) |
+                                 (static_cast<std::uint32_t>(prefix[2]) << 16) |
+                                 (static_cast<std::uint32_t>(prefix[3]) << 24);
+  if (body_len < kFrameHeaderSize - 4 ||
+      body_len > kMaxPayload + kFrameHeaderSize - 4) {
+    Close();
+    return Status::Internal("response frame length out of range");
+  }
+  response_.resize(body_len);
+  if (!ReadFull(fd_, response_.data(), body_len)) {
+    Close();
+    return Status::Internal("connection closed mid-response");
+  }
+  Result<FrameView> frame = DecodeFrameBody(response_.data(), body_len);
+  if (!frame.ok()) {
+    Close();
+    return frame.status();
+  }
+  if (frame.value().type != MsgType::kResponse) {
+    Close();
+    return Status::Internal("server sent a non-response frame");
+  }
+  Result<ResponseView> view =
+      DecodeResponse(frame.value().payload, frame.value().payload_len);
+  if (!view.ok()) {
+    Close();
+    return view.status();
+  }
+  // kResponse as echoed request type marks a frame the server could not
+  // attribute to a request (e.g. CRC mismatch); pass it through.
+  if (view.value().request_type != sent &&
+      view.value().request_type != MsgType::kResponse) {
+    Close();
+    return Status::Internal("response does not match request type");
+  }
+  return view;
+}
+
+Status Client::CreateSketch(std::string_view name,
+                            const TenantConfig& config) {
+  request_.clear();
+  EncodeCreateSketch(name, config, &request_);
+  Result<ResponseView> response = RoundTrip(MsgType::kCreateSketch);
+  if (!response.ok()) return response.status();
+  return response.value().ToStatus();
+}
+
+Result<std::uint64_t> Client::AddBatch(std::string_view name,
+                                       std::span<const Value> values) {
+  request_.clear();
+  EncodeAddBatch(name, values, &request_);
+  Result<ResponseView> response = RoundTrip(MsgType::kAddBatch);
+  if (!response.ok()) return response.status();
+  if (!response.value().ok()) return response.value().ToStatus();
+  return DecodeAddBatchOk(response.value());
+}
+
+Result<double> Client::Query(std::string_view name, double phi) {
+  request_.clear();
+  EncodeQuery(name, phi, &request_);
+  Result<ResponseView> response = RoundTrip(MsgType::kQuery);
+  if (!response.ok()) return response.status();
+  if (!response.value().ok()) return response.value().ToStatus();
+  return DecodeQueryOk(response.value());
+}
+
+Status Client::QueryMulti(std::string_view name, std::span<const double> phis,
+                          std::vector<Value>* out) {
+  request_.clear();
+  EncodeQueryMulti(name, phis, &request_);
+  Result<ResponseView> response = RoundTrip(MsgType::kQueryMulti);
+  if (!response.ok()) return response.status();
+  if (!response.value().ok()) return response.value().ToStatus();
+  return DecodeQueryMultiOk(response.value(), out);
+}
+
+Status Client::Snapshot(std::string_view name,
+                        std::vector<std::uint8_t>* blob) {
+  request_.clear();
+  EncodeNameRequest(MsgType::kSnapshot, name, &request_);
+  Result<ResponseView> response = RoundTrip(MsgType::kSnapshot);
+  if (!response.ok()) return response.status();
+  if (!response.value().ok()) return response.value().ToStatus();
+  return DecodeSnapshotOk(response.value(), blob);
+}
+
+Status Client::Delete(std::string_view name) {
+  request_.clear();
+  EncodeNameRequest(MsgType::kDelete, name, &request_);
+  Result<ResponseView> response = RoundTrip(MsgType::kDelete);
+  if (!response.ok()) return response.status();
+  return response.value().ToStatus();
+}
+
+Result<StatsReply> Client::Stats(std::string_view name) {
+  request_.clear();
+  EncodeNameRequest(MsgType::kStats, name, &request_);
+  Result<ResponseView> response = RoundTrip(MsgType::kStats);
+  if (!response.ok()) return response.status();
+  if (!response.value().ok()) return response.value().ToStatus();
+  return DecodeStatsOk(response.value());
+}
+
+}  // namespace server
+}  // namespace mrl

@@ -1,0 +1,71 @@
+#ifndef MRLQUANT_SERVER_CLIENT_H_
+#define MRLQUANT_SERVER_CLIENT_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "server/protocol.h"
+#include "util/status.h"
+#include "util/types.h"
+
+namespace mrl {
+namespace server {
+
+/// Blocking single-connection client for mrlquantd. One request in flight
+/// at a time; not thread-safe (open one client per thread — connections are
+/// cheap and the server pins a connection to a worker anyway). Request and
+/// response buffers are reused across calls, so a steady AddBatch loop
+/// allocates nothing client-side either.
+///
+/// Transport failures (peer gone, short read) surface as Internal and leave
+/// the client unusable (`connected()` turns false); server-side failures
+/// surface as the server's own Status and the connection stays usable.
+class Client {
+ public:
+  static Result<Client> ConnectUnix(const std::string& path);
+  static Result<Client> ConnectTcp(const std::string& host,
+                                   std::uint16_t port);
+
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  bool connected() const { return fd_ >= 0; }
+  void Close();
+
+  Status CreateSketch(std::string_view name, const TenantConfig& config);
+  /// Returns the tenant's element count after the batch.
+  Result<std::uint64_t> AddBatch(std::string_view name,
+                                 std::span<const Value> values);
+  Result<double> Query(std::string_view name, double phi);
+  Status QueryMulti(std::string_view name, std::span<const double> phis,
+                    std::vector<Value>* out);
+  /// Tenant checkpoint blob; also persists the server registry durably when
+  /// the daemon runs with a checkpoint path.
+  Status Snapshot(std::string_view name, std::vector<std::uint8_t>* blob);
+  Status Delete(std::string_view name);
+  /// Pass an empty name for registry-wide statistics only.
+  Result<StatsReply> Stats(std::string_view name);
+
+ private:
+  explicit Client(int fd) : fd_(fd) {}
+
+  /// Writes request_, reads one response frame into response_, and decodes
+  /// its header. Checks that the response echoes `sent` as request type.
+  Result<ResponseView> RoundTrip(MsgType sent);
+
+  int fd_ = -1;
+  std::vector<std::uint8_t> request_;
+  std::vector<std::uint8_t> response_;
+};
+
+}  // namespace server
+}  // namespace mrl
+
+#endif  // MRLQUANT_SERVER_CLIENT_H_

@@ -1,0 +1,578 @@
+#include "server/protocol.h"
+
+#include <array>
+#include <cmath>
+#include <cstring>
+#include <string>
+
+#include "util/logging.h"
+#include "util/serde.h"
+
+namespace mrl {
+namespace server {
+
+namespace {
+
+// Reflected CRC-32 (IEEE 802.3), table-driven, byte at a time. The table is
+// built once on first use; lookup allocates nothing.
+const std::array<std::uint32_t, 256>& CrcTable() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        c = (c & 1) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+void PutU16Le(std::vector<std::uint8_t>* out, std::uint16_t v) {
+  out->push_back(v & 0xff);
+  out->push_back((v >> 8) & 0xff);
+}
+
+void PutU32Le(std::vector<std::uint8_t>* out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out->push_back((v >> (8 * i)) & 0xff);
+}
+
+void PutU64Le(std::vector<std::uint8_t>* out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out->push_back((v >> (8 * i)) & 0xff);
+}
+
+std::uint32_t LoadU32Le(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+void StoreU32Le(std::uint8_t* p, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) p[i] = (v >> (8 * i)) & 0xff;
+}
+
+double LoadDoubleLe(const std::uint8_t* p) {
+  std::uint64_t bits = 0;
+  for (int i = 0; i < 8; ++i) {
+    bits |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  }
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+/// Reads a u16-length-prefixed name and validates it. The view borrows from
+/// the payload buffer underlying `reader`.
+bool GetName(BinaryReader* reader, const std::uint8_t* payload,
+             std::size_t payload_len, bool allow_empty,
+             std::string_view* out) {
+  std::uint16_t n;
+  if (!reader->GetU16(&n)) return false;
+  if (n > reader->Remaining()) {
+    reader->Fail("name length exceeds payload");
+    return false;
+  }
+  const std::size_t pos = payload_len - reader->Remaining();
+  *out = std::string_view(reinterpret_cast<const char*>(payload) + pos, n);
+  // Advance the reader past the name bytes.
+  for (std::uint16_t i = 0; i < n; ++i) {
+    std::uint8_t ignored;
+    if (!reader->GetU8(&ignored)) return false;
+  }
+  if (out->empty() ? !allow_empty : !IsValidTenantName(*out)) {
+    reader->Fail("invalid tenant name");
+    return false;
+  }
+  return true;
+}
+
+Status RequireAtEnd(const BinaryReader& reader) {
+  if (!reader.status().ok()) return reader.status();
+  if (reader.Remaining() != 0) {
+    return Status::InvalidArgument("trailing bytes after request payload");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+bool IsKnownMsgType(std::uint8_t type) {
+  return type >= static_cast<std::uint8_t>(MsgType::kCreateSketch) &&
+         type <= static_cast<std::uint8_t>(MsgType::kResponse);
+}
+
+std::uint32_t Crc32(const std::uint8_t* data, std::size_t n) {
+  const std::array<std::uint32_t, 256>& table = CrcTable();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < n; ++i) {
+    crc = table[(crc ^ data[i]) & 0xff] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+bool IsValidTenantName(std::string_view name) {
+  if (name.empty() || name.size() > kMaxTenantNameLen) return false;
+  if (name.front() == '.') return false;
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '.' ||
+                    c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Frame scaffolding
+
+Result<FrameView> DecodeFrame(const std::uint8_t* data, std::size_t size) {
+  if (size < 4) {
+    return Status::OutOfRange("incomplete frame: length prefix missing");
+  }
+  const std::uint32_t body_len = LoadU32Le(data);
+  if (body_len < kFrameHeaderSize - 4 ||
+      body_len > kMaxPayload + (kFrameHeaderSize - 4)) {
+    return Status::InvalidArgument("frame length out of bounds");
+  }
+  if (size < 4 + static_cast<std::size_t>(body_len)) {
+    return Status::OutOfRange("incomplete frame: body not yet buffered");
+  }
+  Result<FrameView> body = DecodeFrameBody(data + 4, body_len);
+  if (!body.ok()) return body.status();
+  FrameView view = body.value();
+  view.frame_size = 4 + static_cast<std::size_t>(body_len);
+  return view;
+}
+
+Result<FrameView> DecodeFrameBody(const std::uint8_t* body, std::size_t len) {
+  if (len < kFrameHeaderSize - 4 || len > kMaxPayload + (kFrameHeaderSize - 4)) {
+    return Status::InvalidArgument("frame body length out of bounds");
+  }
+  const std::uint8_t version = body[0];
+  const std::uint8_t type = body[1];
+  const std::uint16_t reserved =
+      static_cast<std::uint16_t>(body[2] | (body[3] << 8));
+  const std::uint32_t crc = LoadU32Le(body + 4);
+  if (version != kProtocolVersion) {
+    return Status::InvalidArgument("unsupported protocol version");
+  }
+  if (!IsKnownMsgType(type)) {
+    return Status::InvalidArgument("unknown frame type");
+  }
+  if (reserved != 0) {
+    return Status::InvalidArgument("reserved frame bits set");
+  }
+  FrameView view;
+  view.type = static_cast<MsgType>(type);
+  view.payload = body + (kFrameHeaderSize - 4);
+  view.payload_len = len - (kFrameHeaderSize - 4);
+  view.frame_size = 4 + len;
+  if (Crc32(view.payload, view.payload_len) != crc) {
+    return Status::InvalidArgument("frame payload CRC mismatch");
+  }
+  return view;
+}
+
+FrameBuilder::FrameBuilder(MsgType type, std::vector<std::uint8_t>* out)
+    : out_(out), frame_start_(out->size()) {
+  PutU32Le(out_, 0);  // length, backpatched by Finish
+  out_->push_back(kProtocolVersion);
+  out_->push_back(static_cast<std::uint8_t>(type));
+  PutU16Le(out_, 0);  // reserved
+  PutU32Le(out_, 0);  // crc, backpatched by Finish
+}
+
+void FrameBuilder::PutU16(std::uint16_t v) { PutU16Le(out_, v); }
+void FrameBuilder::PutU32(std::uint32_t v) { PutU32Le(out_, v); }
+void FrameBuilder::PutU64(std::uint64_t v) { PutU64Le(out_, v); }
+
+void FrameBuilder::PutDouble(double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64Le(out_, bits);
+}
+
+void FrameBuilder::PutName(std::string_view name) {
+  MRL_CHECK_LE(name.size(), kMaxTenantNameLen);
+  PutU16(static_cast<std::uint16_t>(name.size()));
+  PutBytes(reinterpret_cast<const std::uint8_t*>(name.data()), name.size());
+}
+
+void FrameBuilder::PutBytes(const std::uint8_t* data, std::size_t n) {
+  out_->insert(out_->end(), data, data + n);
+}
+
+void FrameBuilder::Finish() {
+  const std::size_t payload_len =
+      out_->size() - frame_start_ - kFrameHeaderSize;
+  MRL_CHECK_LE(payload_len, kMaxPayload) << "frame payload exceeds cap";
+  std::uint8_t* frame = out_->data() + frame_start_;
+  StoreU32Le(frame, static_cast<std::uint32_t>(payload_len +
+                                               (kFrameHeaderSize - 4)));
+  StoreU32Le(frame + 8,
+             Crc32(frame + kFrameHeaderSize, payload_len));
+}
+
+// ---------------------------------------------------------------------------
+// Request encoders
+
+void EncodeCreateSketch(std::string_view name, const TenantConfig& config,
+                        std::vector<std::uint8_t>* out) {
+  FrameBuilder frame(MsgType::kCreateSketch, out);
+  frame.PutName(name);
+  frame.PutU8(static_cast<std::uint8_t>(config.kind));
+  frame.PutDouble(config.eps);
+  frame.PutDouble(config.delta);
+  frame.PutU32(static_cast<std::uint32_t>(config.num_shards));
+  frame.PutU64(config.seed);
+  frame.Finish();
+}
+
+void EncodeAddBatch(std::string_view name, std::span<const Value> values,
+                    std::vector<std::uint8_t>* out) {
+  FrameBuilder frame(MsgType::kAddBatch, out);
+  frame.PutName(name);
+  frame.PutU64(values.size());
+  for (Value v : values) frame.PutDouble(v);
+  frame.Finish();
+}
+
+void EncodeQuery(std::string_view name, double phi,
+                 std::vector<std::uint8_t>* out) {
+  FrameBuilder frame(MsgType::kQuery, out);
+  frame.PutName(name);
+  frame.PutDouble(phi);
+  frame.Finish();
+}
+
+void EncodeQueryMulti(std::string_view name, std::span<const double> phis,
+                      std::vector<std::uint8_t>* out) {
+  FrameBuilder frame(MsgType::kQueryMulti, out);
+  frame.PutName(name);
+  frame.PutU64(phis.size());
+  for (double phi : phis) frame.PutDouble(phi);
+  frame.Finish();
+}
+
+void EncodeNameRequest(MsgType type, std::string_view name,
+                       std::vector<std::uint8_t>* out) {
+  MRL_CHECK(type == MsgType::kSnapshot || type == MsgType::kDelete ||
+            type == MsgType::kStats);
+  FrameBuilder frame(type, out);
+  frame.PutName(name);
+  frame.Finish();
+}
+
+// ---------------------------------------------------------------------------
+// Request decoders
+
+Result<CreateSketchRequest> DecodeCreateSketch(const std::uint8_t* payload,
+                                               std::size_t len) {
+  BinaryReader reader(payload, len);
+  CreateSketchRequest req;
+  std::uint8_t kind;
+  std::uint32_t num_shards;
+  if (!GetName(&reader, payload, len, /*allow_empty=*/false, &req.name) ||
+      !reader.GetU8(&kind) || !reader.GetDouble(&req.config.eps) ||
+      !reader.GetDouble(&req.config.delta) || !reader.GetU32(&num_shards) ||
+      !reader.GetU64(&req.config.seed)) {
+    return reader.status();
+  }
+  MRL_RETURN_IF_ERROR(RequireAtEnd(reader));
+  if (kind > static_cast<std::uint8_t>(SketchKind::kSharded)) {
+    return Status::InvalidArgument("unknown sketch kind");
+  }
+  req.config.kind = static_cast<SketchKind>(kind);
+  if (!std::isfinite(req.config.eps) || req.config.eps <= 0 ||
+      req.config.eps > 0.5) {
+    return Status::InvalidArgument("eps must be in (0, 0.5]");
+  }
+  if (!std::isfinite(req.config.delta) || req.config.delta <= 0 ||
+      req.config.delta >= 1) {
+    return Status::InvalidArgument("delta must be in (0, 1)");
+  }
+  if (num_shards < 1 || num_shards > 1024) {
+    return Status::InvalidArgument("num_shards must be in [1, 1024]");
+  }
+  req.config.num_shards = static_cast<std::int32_t>(num_shards);
+  return req;
+}
+
+Result<AddBatchRequest> DecodeAddBatch(const std::uint8_t* payload,
+                                       std::size_t len) {
+  BinaryReader reader(payload, len);
+  AddBatchRequest req;
+  if (!GetName(&reader, payload, len, /*allow_empty=*/false, &req.name) ||
+      !reader.GetU64(&req.count)) {
+    return reader.status();
+  }
+  if (req.count != reader.Remaining() / sizeof(double) ||
+      req.count * sizeof(double) != reader.Remaining()) {
+    return Status::InvalidArgument(
+        "ADD_BATCH count disagrees with payload size");
+  }
+  req.values_le = payload + (len - reader.Remaining());
+  return req;
+}
+
+Result<QueryRequest> DecodeQuery(const std::uint8_t* payload,
+                                 std::size_t len) {
+  BinaryReader reader(payload, len);
+  QueryRequest req;
+  if (!GetName(&reader, payload, len, /*allow_empty=*/false, &req.name) ||
+      !reader.GetDouble(&req.phi)) {
+    return reader.status();
+  }
+  MRL_RETURN_IF_ERROR(RequireAtEnd(reader));
+  if (!std::isfinite(req.phi) || req.phi <= 0 || req.phi > 1) {
+    return Status::InvalidArgument("phi must be in (0, 1]");
+  }
+  return req;
+}
+
+Result<QueryMultiRequest> DecodeQueryMulti(const std::uint8_t* payload,
+                                           std::size_t len) {
+  BinaryReader reader(payload, len);
+  QueryMultiRequest req;
+  if (!GetName(&reader, payload, len, /*allow_empty=*/false, &req.name) ||
+      !reader.GetU64(&req.count)) {
+    return reader.status();
+  }
+  if (req.count != reader.Remaining() / sizeof(double) ||
+      req.count * sizeof(double) != reader.Remaining()) {
+    return Status::InvalidArgument(
+        "QUERY_MULTI count disagrees with payload size");
+  }
+  req.phis_le = payload + (len - reader.Remaining());
+  return req;
+}
+
+Result<NameRequest> DecodeNameRequest(MsgType type,
+                                      const std::uint8_t* payload,
+                                      std::size_t len) {
+  BinaryReader reader(payload, len);
+  NameRequest req;
+  const bool allow_empty = type == MsgType::kStats;
+  if (!GetName(&reader, payload, len, allow_empty, &req.name)) {
+    return reader.status();
+  }
+  MRL_RETURN_IF_ERROR(RequireAtEnd(reader));
+  return req;
+}
+
+Status DecodeDoublesInto(const std::uint8_t* le, std::uint64_t count,
+                         bool reject_nan, std::vector<double>* out) {
+  out->clear();
+  out->resize(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const double v = LoadDoubleLe(le + i * sizeof(double));
+    if (reject_nan && std::isnan(v)) {
+      out->clear();
+      return Status::InvalidArgument("NaN rejected at the protocol boundary");
+    }
+    (*out)[static_cast<std::size_t>(i)] = v;
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Responses
+
+Status ResponseView::ToStatus() const {
+  if (code == StatusCode::kOk) return Status::OK();
+  return Status(code, std::string(message));
+}
+
+namespace {
+
+/// Starts a kResponse frame with the shared header; the caller appends the
+/// body and calls Finish.
+FrameBuilder BeginResponse(MsgType request_type, const Status& status,
+                           std::vector<std::uint8_t>* out) {
+  FrameBuilder frame(MsgType::kResponse, out);
+  frame.PutU8(static_cast<std::uint8_t>(request_type));
+  frame.PutU8(static_cast<std::uint8_t>(status.code()));
+  const std::string& msg = status.message();
+  const std::size_t n = msg.size() > 0xFFFF ? 0xFFFF : msg.size();
+  frame.PutU16(static_cast<std::uint16_t>(n));
+  frame.PutBytes(reinterpret_cast<const std::uint8_t*>(msg.data()), n);
+  return frame;
+}
+
+}  // namespace
+
+void EncodeErrorResponse(MsgType request_type, const Status& status,
+                         std::vector<std::uint8_t>* out) {
+  MRL_CHECK(!status.ok());
+  FrameBuilder frame = BeginResponse(request_type, status, out);
+  frame.Finish();
+}
+
+void EncodeEmptyOk(MsgType request_type, std::vector<std::uint8_t>* out) {
+  FrameBuilder frame = BeginResponse(request_type, Status::OK(), out);
+  frame.Finish();
+}
+
+void EncodeAddBatchOk(std::uint64_t new_count,
+                      std::vector<std::uint8_t>* out) {
+  FrameBuilder frame = BeginResponse(MsgType::kAddBatch, Status::OK(), out);
+  frame.PutU64(new_count);
+  frame.Finish();
+}
+
+void EncodeQueryOk(double value, std::vector<std::uint8_t>* out) {
+  FrameBuilder frame = BeginResponse(MsgType::kQuery, Status::OK(), out);
+  frame.PutDouble(value);
+  frame.Finish();
+}
+
+void EncodeQueryMultiOk(std::span<const Value> values,
+                        std::vector<std::uint8_t>* out) {
+  FrameBuilder frame = BeginResponse(MsgType::kQueryMulti, Status::OK(), out);
+  frame.PutU64(values.size());
+  for (Value v : values) frame.PutDouble(v);
+  frame.Finish();
+}
+
+void EncodeSnapshotOk(std::span<const std::uint8_t> blob,
+                      std::vector<std::uint8_t>* out) {
+  FrameBuilder frame = BeginResponse(MsgType::kSnapshot, Status::OK(), out);
+  frame.PutU32(static_cast<std::uint32_t>(blob.size()));
+  frame.PutBytes(blob.data(), blob.size());
+  frame.Finish();
+}
+
+void EncodeStatsOk(const StatsReply& stats, std::vector<std::uint8_t>* out) {
+  FrameBuilder frame = BeginResponse(MsgType::kStats, Status::OK(), out);
+  frame.PutU64(stats.num_tenants);
+  frame.PutU64(stats.total_count);
+  frame.PutU8(stats.tenant_present ? 1 : 0);
+  frame.PutU8(static_cast<std::uint8_t>(stats.tenant_kind));
+  frame.PutU64(stats.tenant_count);
+  frame.PutU64(stats.tenant_memory_elements);
+  frame.Finish();
+}
+
+Result<ResponseView> DecodeResponse(const std::uint8_t* payload,
+                                    std::size_t len) {
+  BinaryReader reader(payload, len);
+  std::uint8_t request_type, code;
+  std::uint16_t msg_len;
+  if (!reader.GetU8(&request_type) || !reader.GetU8(&code) ||
+      !reader.GetU16(&msg_len)) {
+    return reader.status();
+  }
+  if (!IsKnownMsgType(request_type) ||
+      request_type == static_cast<std::uint8_t>(MsgType::kResponse)) {
+    return Status::InvalidArgument("response echoes unknown request type");
+  }
+  if (code > static_cast<std::uint8_t>(StatusCode::kUnimplemented)) {
+    return Status::InvalidArgument("response status code out of range");
+  }
+  if (msg_len > reader.Remaining()) {
+    return Status::InvalidArgument("response message exceeds payload");
+  }
+  ResponseView view;
+  view.request_type = static_cast<MsgType>(request_type);
+  view.code = static_cast<StatusCode>(code);
+  const std::size_t msg_pos = len - reader.Remaining();
+  view.message = std::string_view(
+      reinterpret_cast<const char*>(payload) + msg_pos, msg_len);
+  view.body = payload + msg_pos + msg_len;
+  view.body_len = len - msg_pos - msg_len;
+  if (view.code == StatusCode::kOk && msg_len != 0) {
+    return Status::InvalidArgument("OK response carries an error message");
+  }
+  if (view.code != StatusCode::kOk && view.body_len != 0) {
+    return Status::InvalidArgument("error response carries a body");
+  }
+  return view;
+}
+
+namespace {
+
+Status RequireOkBody(const ResponseView& response, MsgType expect) {
+  if (response.request_type != expect) {
+    return Status::InvalidArgument("response for a different request type");
+  }
+  MRL_RETURN_IF_ERROR(response.ToStatus());
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::uint64_t> DecodeAddBatchOk(const ResponseView& response) {
+  MRL_RETURN_IF_ERROR(RequireOkBody(response, MsgType::kAddBatch));
+  BinaryReader reader(response.body, response.body_len);
+  std::uint64_t count;
+  if (!reader.GetU64(&count)) return reader.status();
+  MRL_RETURN_IF_ERROR(RequireAtEnd(reader));
+  return count;
+}
+
+Result<double> DecodeQueryOk(const ResponseView& response) {
+  MRL_RETURN_IF_ERROR(RequireOkBody(response, MsgType::kQuery));
+  BinaryReader reader(response.body, response.body_len);
+  double value;
+  if (!reader.GetDouble(&value)) return reader.status();
+  MRL_RETURN_IF_ERROR(RequireAtEnd(reader));
+  return value;
+}
+
+Status DecodeQueryMultiOk(const ResponseView& response,
+                          std::vector<Value>* out) {
+  MRL_RETURN_IF_ERROR(RequireOkBody(response, MsgType::kQueryMulti));
+  BinaryReader reader(response.body, response.body_len);
+  std::uint64_t count;
+  if (!reader.GetU64(&count)) return reader.status();
+  if (count != reader.Remaining() / sizeof(double) ||
+      count * sizeof(double) != reader.Remaining()) {
+    return Status::InvalidArgument(
+        "QUERY_MULTI reply count disagrees with payload size");
+  }
+  return DecodeDoublesInto(response.body + (response.body_len -
+                                            reader.Remaining()),
+                           count, /*reject_nan=*/false, out);
+}
+
+Status DecodeSnapshotOk(const ResponseView& response,
+                        std::vector<std::uint8_t>* out) {
+  MRL_RETURN_IF_ERROR(RequireOkBody(response, MsgType::kSnapshot));
+  BinaryReader reader(response.body, response.body_len);
+  std::uint32_t blob_len;
+  if (!reader.GetU32(&blob_len)) return reader.status();
+  if (blob_len != reader.Remaining()) {
+    return Status::InvalidArgument(
+        "SNAPSHOT reply length disagrees with payload size");
+  }
+  const std::uint8_t* blob =
+      response.body + (response.body_len - reader.Remaining());
+  out->assign(blob, blob + blob_len);
+  return Status::OK();
+}
+
+Result<StatsReply> DecodeStatsOk(const ResponseView& response) {
+  MRL_RETURN_IF_ERROR(RequireOkBody(response, MsgType::kStats));
+  BinaryReader reader(response.body, response.body_len);
+  StatsReply stats;
+  std::uint8_t present, kind;
+  if (!reader.GetU64(&stats.num_tenants) ||
+      !reader.GetU64(&stats.total_count) || !reader.GetU8(&present) ||
+      !reader.GetU8(&kind) || !reader.GetU64(&stats.tenant_count) ||
+      !reader.GetU64(&stats.tenant_memory_elements)) {
+    return reader.status();
+  }
+  MRL_RETURN_IF_ERROR(RequireAtEnd(reader));
+  if (present > 1 || kind > static_cast<std::uint8_t>(SketchKind::kSharded)) {
+    return Status::InvalidArgument("STATS reply fields out of range");
+  }
+  stats.tenant_present = present != 0;
+  stats.tenant_kind = static_cast<SketchKind>(kind);
+  return stats;
+}
+
+}  // namespace server
+}  // namespace mrl

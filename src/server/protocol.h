@@ -1,0 +1,259 @@
+#ifndef MRLQUANT_SERVER_PROTOCOL_H_
+#define MRLQUANT_SERVER_PROTOCOL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+#include "util/types.h"
+
+namespace mrl {
+namespace server {
+
+/// The mrlquantd wire protocol (docs/wire_protocol.md): length-prefixed
+/// binary frames over a byte stream (TCP or Unix-domain socket).
+///
+/// Frame layout, all integers little-endian:
+///
+///   | u32 body_len | u8 version | u8 type | u16 reserved | u32 crc | payload |
+///
+/// `body_len` counts everything after itself (8 header bytes + payload);
+/// `crc` is CRC-32 (IEEE, reflected 0xEDB88320) over the payload only. The
+/// decoder is strict: unknown version, unknown type, nonzero reserved bits,
+/// oversized length, or a CRC mismatch reject the frame with a Status —
+/// never a crash — which is what makes it safe to fuzz and to expose to
+/// untrusted peers (fuzz/fuzz_protocol_decode.cc).
+inline constexpr std::uint8_t kProtocolVersion = 1;
+
+/// Bytes before the payload: length prefix + version + type + reserved + crc.
+inline constexpr std::size_t kFrameHeaderSize = 12;
+
+/// Hard cap on the payload of a single frame (16 MiB) — bounds what a
+/// decoder will ever ask a transport buffer to hold.
+inline constexpr std::size_t kMaxPayload = std::size_t{1} << 24;
+
+/// Tenant names are path-safe identifiers: 1..128 chars from
+/// [A-Za-z0-9_.-], not starting with '.' (they appear in checkpoint files
+/// and logs).
+inline constexpr std::size_t kMaxTenantNameLen = 128;
+
+enum class MsgType : std::uint8_t {
+  kCreateSketch = 1,
+  kAddBatch = 2,
+  kQuery = 3,
+  kQueryMulti = 4,
+  kSnapshot = 5,
+  kDelete = 6,
+  kStats = 7,
+  kResponse = 8,
+};
+
+/// True for the request/response types above.
+bool IsKnownMsgType(std::uint8_t type);
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) of `data`.
+std::uint32_t Crc32(const std::uint8_t* data, std::size_t n);
+
+bool IsValidTenantName(std::string_view name);
+
+/// Which sketch backs a tenant (CREATE_SKETCH `kind` field).
+enum class SketchKind : std::uint8_t {
+  kUnknownN = 0,  ///< single UnknownNSketch (single-writer tenants)
+  kSharded = 1,   ///< ShardedQuantileSketch (round-robin ingestion)
+};
+
+/// Tenant configuration carried by CREATE_SKETCH and persisted in registry
+/// checkpoints.
+struct TenantConfig {
+  SketchKind kind = SketchKind::kUnknownN;
+  double eps = 0.01;
+  double delta = 1e-4;
+  std::int32_t num_shards = 4;  ///< kSharded only
+  std::uint64_t seed = 1;
+};
+
+inline bool operator==(const TenantConfig& a, const TenantConfig& b) {
+  return a.kind == b.kind && a.eps == b.eps && a.delta == b.delta &&
+         a.num_shards == b.num_shards && a.seed == b.seed;
+}
+
+// ---------------------------------------------------------------------------
+// Frame scaffolding
+
+/// A parsed frame header plus a view of its payload (borrowed from the
+/// caller's buffer; valid only while that buffer lives).
+struct FrameView {
+  MsgType type = MsgType::kResponse;
+  const std::uint8_t* payload = nullptr;
+  std::size_t payload_len = 0;
+  std::size_t frame_size = 0;  ///< total bytes consumed, incl. length prefix
+};
+
+/// Parses and CRC-checks one complete frame at the front of [data, size).
+/// Fails with InvalidArgument on any malformed header and with OutOfRange
+/// when the buffer does not yet hold the whole frame (a stream transport
+/// should read more and retry).
+Result<FrameView> DecodeFrame(const std::uint8_t* data, std::size_t size);
+
+/// As DecodeFrame for a frame whose 4-byte length prefix was already
+/// consumed by the transport: `body` must hold exactly the `body_len` bytes
+/// the prefix announced.
+Result<FrameView> DecodeFrameBody(const std::uint8_t* body, std::size_t len);
+
+/// Incremental frame writer: appends the header to *out, lets the caller
+/// append payload bytes, and backpatches length + CRC in Finish(). Appends
+/// only — steady-state encoding into a warmed buffer allocates nothing.
+class FrameBuilder {
+ public:
+  FrameBuilder(MsgType type, std::vector<std::uint8_t>* out);
+
+  void PutU8(std::uint8_t v) { out_->push_back(v); }
+  void PutU16(std::uint16_t v);
+  void PutU32(std::uint32_t v);
+  void PutU64(std::uint64_t v);
+  void PutDouble(double v);
+  /// u16 length + bytes.
+  void PutName(std::string_view name);
+  void PutBytes(const std::uint8_t* data, std::size_t n);
+
+  /// Backpatches the length prefix and payload CRC. Must be called exactly
+  /// once; the payload must not exceed kMaxPayload.
+  void Finish();
+
+ private:
+  std::vector<std::uint8_t>* out_;
+  std::size_t frame_start_;
+};
+
+// ---------------------------------------------------------------------------
+// Requests
+//
+// Bulk numeric payloads (ADD_BATCH values, QUERY_MULTI ranks) stay in wire
+// form inside the request view — a pointer into the frame buffer — so the
+// hot ingestion path decodes them straight into a reusable scratch vector
+// (DecodeDoublesInto) with no intermediate allocation.
+
+struct CreateSketchRequest {
+  std::string_view name;
+  TenantConfig config;
+};
+
+struct AddBatchRequest {
+  std::string_view name;
+  const std::uint8_t* values_le = nullptr;  ///< count little-endian doubles
+  std::uint64_t count = 0;
+};
+
+struct QueryRequest {
+  std::string_view name;
+  double phi = 0;
+};
+
+struct QueryMultiRequest {
+  std::string_view name;
+  const std::uint8_t* phis_le = nullptr;
+  std::uint64_t count = 0;
+};
+
+/// SNAPSHOT / DELETE / STATS carry only a name (empty allowed for STATS:
+/// global statistics).
+struct NameRequest {
+  std::string_view name;
+};
+
+void EncodeCreateSketch(std::string_view name, const TenantConfig& config,
+                        std::vector<std::uint8_t>* out);
+void EncodeAddBatch(std::string_view name, std::span<const Value> values,
+                    std::vector<std::uint8_t>* out);
+void EncodeQuery(std::string_view name, double phi,
+                 std::vector<std::uint8_t>* out);
+void EncodeQueryMulti(std::string_view name, std::span<const double> phis,
+                      std::vector<std::uint8_t>* out);
+void EncodeNameRequest(MsgType type, std::string_view name,
+                       std::vector<std::uint8_t>* out);
+
+Result<CreateSketchRequest> DecodeCreateSketch(const std::uint8_t* payload,
+                                               std::size_t len);
+Result<AddBatchRequest> DecodeAddBatch(const std::uint8_t* payload,
+                                       std::size_t len);
+Result<QueryRequest> DecodeQuery(const std::uint8_t* payload,
+                                 std::size_t len);
+Result<QueryMultiRequest> DecodeQueryMulti(const std::uint8_t* payload,
+                                           std::size_t len);
+Result<NameRequest> DecodeNameRequest(MsgType type,
+                                      const std::uint8_t* payload,
+                                      std::size_t len);
+
+/// Copies `count` little-endian doubles into *out (capacity reused).
+/// `reject_nan` refuses NaN bit patterns with InvalidArgument — ADD_BATCH
+/// and QUERY_MULTI both use it, keeping the sketches' NaN CHECK-abort
+/// unreachable from the network.
+Status DecodeDoublesInto(const std::uint8_t* le, std::uint64_t count,
+                         bool reject_nan, std::vector<double>* out);
+
+// ---------------------------------------------------------------------------
+// Responses
+//
+// Every request is answered by one kResponse frame:
+//
+//   | u8 request_type | u8 status_code | u16 msg_len | msg | body |
+//
+// status_code is mrl::StatusCode (0 = OK). On error `msg` holds the
+// human-readable message and `body` is empty; on OK `msg` is empty and
+// `body` is the request-type-specific reply below.
+
+struct StatsReply {
+  std::uint64_t num_tenants = 0;  ///< registry-wide
+  std::uint64_t total_count = 0;  ///< registry-wide ingested elements
+  bool tenant_present = false;    ///< remaining fields valid iff true
+  SketchKind tenant_kind = SketchKind::kUnknownN;
+  std::uint64_t tenant_count = 0;
+  std::uint64_t tenant_memory_elements = 0;
+};
+
+/// Parsed response header plus borrowed views of message and body.
+struct ResponseView {
+  MsgType request_type = MsgType::kResponse;
+  StatusCode code = StatusCode::kOk;
+  std::string_view message;
+  const std::uint8_t* body = nullptr;
+  std::size_t body_len = 0;
+
+  bool ok() const { return code == StatusCode::kOk; }
+  /// Materializes the wire error as a Status (OK when ok()).
+  Status ToStatus() const;
+};
+
+void EncodeErrorResponse(MsgType request_type, const Status& status,
+                         std::vector<std::uint8_t>* out);
+/// OK response with an empty body (CREATE_SKETCH, DELETE).
+void EncodeEmptyOk(MsgType request_type, std::vector<std::uint8_t>* out);
+/// ADD_BATCH: u64 tenant element count after the batch.
+void EncodeAddBatchOk(std::uint64_t new_count, std::vector<std::uint8_t>* out);
+/// QUERY: one double.
+void EncodeQueryOk(double value, std::vector<std::uint8_t>* out);
+/// QUERY_MULTI: u64 count + doubles.
+void EncodeQueryMultiOk(std::span<const Value> values,
+                        std::vector<std::uint8_t>* out);
+/// SNAPSHOT: u32 length + tenant checkpoint blob.
+void EncodeSnapshotOk(std::span<const std::uint8_t> blob,
+                      std::vector<std::uint8_t>* out);
+void EncodeStatsOk(const StatsReply& stats, std::vector<std::uint8_t>* out);
+
+Result<ResponseView> DecodeResponse(const std::uint8_t* payload,
+                                    std::size_t len);
+Result<std::uint64_t> DecodeAddBatchOk(const ResponseView& response);
+Result<double> DecodeQueryOk(const ResponseView& response);
+Status DecodeQueryMultiOk(const ResponseView& response,
+                          std::vector<Value>* out);
+Status DecodeSnapshotOk(const ResponseView& response,
+                        std::vector<std::uint8_t>* out);
+Result<StatsReply> DecodeStatsOk(const ResponseView& response);
+
+}  // namespace server
+}  // namespace mrl
+
+#endif  // MRLQUANT_SERVER_PROTOCOL_H_

@@ -1,0 +1,535 @@
+#include "server/registry.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+#include <utility>
+
+#include "util/logging.h"
+#include "util/serde.h"
+
+// GCC at -O2 issues spurious -Wmaybe-uninitialized on moves of
+// std::optional<std::variant<...>> (Result<SketchVariant>, GCC PR 105562);
+// every path initializes the variant before use.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
+
+namespace mrl {
+namespace server {
+
+namespace {
+
+// Registry checkpoint framing (docs/checkpoint_format.md, "Registry
+// checkpoint"): header, tenant records, CRC-32 trailer over everything
+// before it.
+constexpr std::uint32_t kRegistryMagic = 0x4D524C52;  // "MRLR"
+constexpr std::uint8_t kRegistryVersion = 1;
+constexpr std::uint64_t kMaxCheckpointTenants = std::uint64_t{1} << 20;
+
+std::uint64_t SketchCount(const UnknownNSketch& s) { return s.count(); }
+std::uint64_t SketchCount(const ShardedQuantileSketch& s) {
+  return s.count();
+}
+
+Status WriteFileAtomic(const std::string& path,
+                       const std::vector<std::uint8_t>& bytes) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::Internal("cannot open " + tmp + ": " +
+                            std::strerror(errno));
+  }
+  const std::size_t written =
+      bytes.empty() ? 0 : std::fwrite(bytes.data(), 1, bytes.size(), f);
+  const bool flushed = std::fclose(f) == 0;
+  if (written != bytes.size() || !flushed) {
+    std::remove(tmp.c_str());
+    return Status::Internal("short write to " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::Internal("cannot rename " + tmp + " to " + path + ": " +
+                            std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+/// Reads `path` fully into *out. `*exists` is false (and the status OK)
+/// when the file is simply absent.
+Status ReadFileBytes(const std::string& path, std::vector<std::uint8_t>* out,
+                     bool* exists) {
+  *exists = false;
+  out->clear();
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    if (errno == ENOENT) return Status::OK();
+    return Status::Internal("cannot open " + path + ": " +
+                            std::strerror(errno));
+  }
+  *exists = true;
+  std::uint8_t chunk[1 << 16];
+  std::size_t n;
+  while ((n = std::fread(chunk, 1, sizeof(chunk), f)) > 0) {
+    out->insert(out->end(), chunk, chunk + n);
+  }
+  const bool read_error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (read_error) return Status::Internal("read error on " + path);
+  return Status::OK();
+}
+
+Status ValidateConfig(const TenantConfig& config) {
+  if (config.kind != SketchKind::kUnknownN &&
+      config.kind != SketchKind::kSharded) {
+    return Status::InvalidArgument("unknown sketch kind");
+  }
+  if (!(config.eps > 0) || config.eps > 0.5) {
+    return Status::InvalidArgument("eps must be in (0, 0.5]");
+  }
+  if (!(config.delta > 0) || config.delta >= 1) {
+    return Status::InvalidArgument("delta must be in (0, 1)");
+  }
+  if (config.num_shards < 1 || config.num_shards > 1024) {
+    return Status::InvalidArgument("num_shards must be in [1, 1024]");
+  }
+  return Status::OK();
+}
+
+/// Structural equality for recycling: a pooled sketch can serve any config
+/// that solves to the same shape; the seed is replayed by Reset(seed).
+bool StructurallyEqual(const TenantConfig& a, const TenantConfig& b) {
+  return a.kind == b.kind && a.eps == b.eps && a.delta == b.delta &&
+         (a.kind == SketchKind::kUnknownN || a.num_shards == b.num_shards);
+}
+
+void EncodeConfig(const TenantConfig& config, BinaryWriter* writer) {
+  writer->PutU8(static_cast<std::uint8_t>(config.kind));
+  writer->PutDouble(config.eps);
+  writer->PutDouble(config.delta);
+  writer->PutI32(config.num_shards);
+  writer->PutU64(config.seed);
+}
+
+Status DecodeConfig(BinaryReader* reader, TenantConfig* config) {
+  std::uint8_t kind;
+  if (!reader->GetU8(&kind) || !reader->GetDouble(&config->eps) ||
+      !reader->GetDouble(&config->delta) ||
+      !reader->GetI32(&config->num_shards) ||
+      !reader->GetU64(&config->seed)) {
+    return reader->status();
+  }
+  if (kind > static_cast<std::uint8_t>(SketchKind::kSharded)) {
+    return Status::InvalidArgument("checkpoint: unknown sketch kind");
+  }
+  config->kind = static_cast<SketchKind>(kind);
+  return ValidateConfig(*config);
+}
+
+/// Reads a u32-length-prefixed sketch blob into *blob.
+Status GetBlob(BinaryReader* reader, std::vector<std::uint8_t>* blob) {
+  std::uint32_t len;
+  if (!reader->GetU32(&len)) return reader->status();
+  if (len > reader->Remaining()) {
+    return Status::InvalidArgument("checkpoint: sketch blob truncated");
+  }
+  blob->clear();
+  blob->reserve(len);
+  for (std::uint32_t i = 0; i < len; ++i) {
+    std::uint8_t byte;
+    if (!reader->GetU8(&byte)) return reader->status();
+    blob->push_back(byte);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+SketchRegistry::SketchRegistry(RegistryOptions options)
+    : options_(std::move(options)) {
+  MRL_CHECK_GE(options_.max_tenants, 1u);
+}
+
+Result<SketchRegistry::SketchVariant> SketchRegistry::MakeSketch(
+    const TenantConfig& config) {
+  if (config.kind == SketchKind::kUnknownN) {
+    UnknownNOptions opts;
+    opts.eps = config.eps;
+    opts.delta = config.delta;
+    opts.seed = config.seed;
+    Result<UnknownNSketch> sketch = UnknownNSketch::Create(opts);
+    if (!sketch.ok()) return sketch.status();
+    return SketchVariant(std::move(sketch).value());
+  }
+  ShardedQuantileSketch::Options opts;
+  opts.eps = config.eps;
+  opts.delta = config.delta;
+  opts.num_shards = config.num_shards;
+  opts.seed = config.seed;
+  Result<ShardedQuantileSketch> sketch =
+      ShardedQuantileSketch::Create(opts);
+  if (!sketch.ok()) return sketch.status();
+  return SketchVariant(std::move(sketch).value());
+}
+
+Result<SketchRegistry::SketchVariant> SketchRegistry::ObtainSketch(
+    const TenantConfig& config) {
+  for (std::size_t i = 0; i < free_pool_.size(); ++i) {
+    if (!StructurallyEqual(free_pool_[i].config, config)) continue;
+    SketchVariant sketch = std::move(free_pool_[i].sketch);
+    free_pool_.erase(free_pool_.begin() + static_cast<std::ptrdiff_t>(i));
+    // Reset(seed) makes the recycled sketch byte-identical to a fresh one
+    // with this config (tests/reset_test.cc), so recycling is invisible.
+    if (auto* u = std::get_if<UnknownNSketch>(&sketch)) {
+      u->Reset(config.seed);
+    } else {
+      std::get<ShardedQuantileSketch>(sketch).Reset(config.seed);
+    }
+    recycled_creates_.fetch_add(1, std::memory_order_relaxed);
+    return sketch;
+  }
+  return MakeSketch(config);
+}
+
+void SketchRegistry::RecycleLocked(std::shared_ptr<Tenant> tenant) {
+  if (free_pool_.size() >= options_.max_free_pool) return;
+  free_pool_.push_back(
+      {tenant->config, std::move(tenant->sketch)});
+}
+
+void SketchRegistry::EvictOneLocked() {
+  MRL_CHECK(!tenants_.empty());
+  TenantMap::iterator victim = tenants_.begin();
+  std::uint64_t oldest =
+      victim->second->last_used.load(std::memory_order_relaxed);
+  for (TenantMap::iterator it = std::next(tenants_.begin());
+       it != tenants_.end(); ++it) {
+    const std::uint64_t used =
+        it->second->last_used.load(std::memory_order_relaxed);
+    if (used < oldest) {
+      oldest = used;
+      victim = it;
+    }
+  }
+  std::shared_ptr<Tenant> tenant = std::move(victim->second);
+  tenants_.erase(victim);
+  evictions_.fetch_add(1, std::memory_order_relaxed);
+  // Recycle only when we hold the sole reference: in-flight operations on
+  // the evicted tenant keep their own shared_ptr and must never observe
+  // the sketch being moved out from under them.
+  if (tenant.use_count() == 1) RecycleLocked(std::move(tenant));
+}
+
+std::shared_ptr<SketchRegistry::Tenant> SketchRegistry::FindTenant(
+    std::string_view name) const {
+  std::shared_lock<std::shared_mutex> lock(map_mu_);
+  TenantMap::const_iterator it = tenants_.find(name);
+  if (it == tenants_.end()) return nullptr;
+  it->second->last_used.store(
+      use_clock_.fetch_add(1, std::memory_order_relaxed) + 1,
+      std::memory_order_relaxed);
+  return it->second;
+}
+
+Status SketchRegistry::Create(std::string_view name,
+                              const TenantConfig& config) {
+  if (!IsValidTenantName(name)) {
+    return Status::InvalidArgument("invalid tenant name");
+  }
+  MRL_RETURN_IF_ERROR(ValidateConfig(config));
+  std::unique_lock<std::shared_mutex> lock(map_mu_);
+  if (tenants_.find(name) != tenants_.end()) {
+    return Status::FailedPrecondition("tenant already exists");
+  }
+  if (tenants_.size() >= options_.max_tenants) EvictOneLocked();
+  Result<SketchVariant> sketch = ObtainSketch(config);
+  if (!sketch.ok()) return sketch.status();
+  std::shared_ptr<Tenant> tenant =
+      std::make_shared<Tenant>(config, std::move(sketch).value());
+  tenant->last_used.store(
+      use_clock_.fetch_add(1, std::memory_order_relaxed) + 1,
+      std::memory_order_relaxed);
+  tenants_.emplace(std::string(name), std::move(tenant));
+  return Status::OK();
+}
+
+Result<std::uint64_t> SketchRegistry::AddBatch(std::string_view name,
+                                               std::span<const Value> values) {
+  std::shared_ptr<Tenant> tenant = FindTenant(name);
+  if (tenant == nullptr) return Status::NotFound("unknown tenant");
+  std::unique_lock<std::shared_mutex> lock(tenant->mu);
+  if (auto* u = std::get_if<UnknownNSketch>(&tenant->sketch)) {
+    u->AddBatch(values);
+    return u->count();
+  }
+  ShardedQuantileSketch& sharded =
+      std::get<ShardedQuantileSketch>(tenant->sketch);
+  const int shard = static_cast<int>(
+      tenant->next_shard++ % static_cast<std::uint64_t>(
+                                 sharded.num_shards()));
+  sharded.AddBatch(shard, values);
+  return sharded.count();
+}
+
+Result<Value> SketchRegistry::Query(std::string_view name, double phi) const {
+  std::shared_ptr<Tenant> tenant = FindTenant(name);
+  if (tenant == nullptr) return Status::NotFound("unknown tenant");
+  std::shared_lock<std::shared_mutex> lock(tenant->mu);
+  if (const auto* u = std::get_if<UnknownNSketch>(&tenant->sketch)) {
+    return u->Query(phi);
+  }
+  return std::get<ShardedQuantileSketch>(tenant->sketch).Query(phi);
+}
+
+Status SketchRegistry::QueryMany(std::string_view name,
+                                 std::span<const double> phis,
+                                 std::vector<Value>* out) const {
+  std::shared_ptr<Tenant> tenant = FindTenant(name);
+  if (tenant == nullptr) return Status::NotFound("unknown tenant");
+  // The sketch QueryMany APIs take a vector; stage the span through
+  // thread-local scratch so repeated calls reuse capacity.
+  thread_local std::vector<double> phi_scratch;
+  phi_scratch.assign(phis.begin(), phis.end());
+  std::shared_lock<std::shared_mutex> lock(tenant->mu);
+  Result<std::vector<Value>> answers =
+      std::holds_alternative<UnknownNSketch>(tenant->sketch)
+          ? std::get<UnknownNSketch>(tenant->sketch).QueryMany(phi_scratch)
+          : std::get<ShardedQuantileSketch>(tenant->sketch)
+                .QueryMany(phi_scratch);
+  if (!answers.ok()) return answers.status();
+  *out = std::move(answers).value();
+  return Status::OK();
+}
+
+Status SketchRegistry::Snapshot(std::string_view name,
+                                std::vector<std::uint8_t>* blob) {
+  std::shared_ptr<Tenant> tenant = FindTenant(name);
+  if (tenant == nullptr) return Status::NotFound("unknown tenant");
+  {
+    std::shared_lock<std::shared_mutex> lock(tenant->mu);
+    BinaryWriter writer;
+    EncodeTenantSketch(*tenant, &writer);
+    *blob = writer.Take();
+  }
+  if (!options_.checkpoint_path.empty()) {
+    MRL_RETURN_IF_ERROR(CheckpointNow());
+  }
+  return Status::OK();
+}
+
+Status SketchRegistry::Delete(std::string_view name) {
+  std::unique_lock<std::shared_mutex> lock(map_mu_);
+  TenantMap::iterator it = tenants_.find(name);
+  if (it == tenants_.end()) return Status::NotFound("unknown tenant");
+  std::shared_ptr<Tenant> tenant = std::move(it->second);
+  tenants_.erase(it);
+  if (tenant.use_count() == 1) RecycleLocked(std::move(tenant));
+  return Status::OK();
+}
+
+TenantStats SketchRegistry::Stats(std::string_view name) const {
+  TenantStats stats;
+  std::shared_ptr<Tenant> tenant = FindTenant(name);
+  if (tenant == nullptr) return stats;
+  std::shared_lock<std::shared_mutex> lock(tenant->mu);
+  stats.present = true;
+  stats.config = tenant->config;
+  if (const auto* u = std::get_if<UnknownNSketch>(&tenant->sketch)) {
+    stats.count = SketchCount(*u);
+    stats.memory_elements = u->MemoryElements();
+  } else {
+    const ShardedQuantileSketch& s =
+        std::get<ShardedQuantileSketch>(tenant->sketch);
+    stats.count = SketchCount(s);
+    stats.memory_elements = s.MemoryElements();
+  }
+  return stats;
+}
+
+RegistryStats SketchRegistry::GlobalStats() const {
+  RegistryStats stats;
+  std::vector<std::shared_ptr<Tenant>> snapshot;
+  {
+    std::shared_lock<std::shared_mutex> lock(map_mu_);
+    stats.num_tenants = tenants_.size();
+    snapshot.reserve(tenants_.size());
+    for (const auto& [name, tenant] : tenants_) snapshot.push_back(tenant);
+  }
+  for (const std::shared_ptr<Tenant>& tenant : snapshot) {
+    std::shared_lock<std::shared_mutex> lock(tenant->mu);
+    if (const auto* u = std::get_if<UnknownNSketch>(&tenant->sketch)) {
+      stats.total_count += SketchCount(*u);
+    } else {
+      stats.total_count +=
+          SketchCount(std::get<ShardedQuantileSketch>(tenant->sketch));
+    }
+  }
+  stats.evictions = evictions_.load(std::memory_order_relaxed);
+  stats.recycled_creates = recycled_creates_.load(std::memory_order_relaxed);
+  stats.checkpoints = checkpoints_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+std::size_t SketchRegistry::size() const {
+  std::shared_lock<std::shared_mutex> lock(map_mu_);
+  return tenants_.size();
+}
+
+void SketchRegistry::EncodeTenantSketch(const Tenant& tenant,
+                                        BinaryWriter* writer) {
+  if (const auto* u = std::get_if<UnknownNSketch>(&tenant.sketch)) {
+    std::vector<std::uint8_t> blob = u->Serialize();
+    writer->PutU32(static_cast<std::uint32_t>(blob.size()));
+    for (std::uint8_t byte : blob) writer->PutU8(byte);
+    return;
+  }
+  const ShardedQuantileSketch& sharded =
+      std::get<ShardedQuantileSketch>(tenant.sketch);
+  writer->PutU32(static_cast<std::uint32_t>(sharded.num_shards()));
+  for (int s = 0; s < sharded.num_shards(); ++s) {
+    std::vector<std::uint8_t> blob = sharded.shard(s).Serialize();
+    writer->PutU32(static_cast<std::uint32_t>(blob.size()));
+    for (std::uint8_t byte : blob) writer->PutU8(byte);
+  }
+}
+
+Result<SketchRegistry::SketchVariant> SketchRegistry::DecodeTenantSketch(
+    const TenantConfig& config, BinaryReader* reader) {
+  std::vector<std::uint8_t> blob;
+  if (config.kind == SketchKind::kUnknownN) {
+    MRL_RETURN_IF_ERROR(GetBlob(reader, &blob));
+    Result<UnknownNSketch> sketch = UnknownNSketch::Deserialize(blob);
+    if (!sketch.ok()) return sketch.status();
+    return SketchVariant(std::move(sketch).value());
+  }
+  std::uint32_t num_shards;
+  if (!reader->GetU32(&num_shards)) return reader->status();
+  if (num_shards != static_cast<std::uint32_t>(config.num_shards)) {
+    return Status::InvalidArgument(
+        "checkpoint: shard count disagrees with tenant config");
+  }
+  std::vector<UnknownNSketch> shards;
+  shards.reserve(num_shards);
+  for (std::uint32_t s = 0; s < num_shards; ++s) {
+    MRL_RETURN_IF_ERROR(GetBlob(reader, &blob));
+    Result<UnknownNSketch> shard = UnknownNSketch::Deserialize(blob);
+    if (!shard.ok()) return shard.status();
+    shards.push_back(std::move(shard).value());
+  }
+  Result<ShardedQuantileSketch> sharded =
+      ShardedQuantileSketch::FromShards(std::move(shards));
+  if (!sharded.ok()) return sharded.status();
+  return SketchVariant(std::move(sharded).value());
+}
+
+Status SketchRegistry::CheckpointNow() {
+  if (options_.checkpoint_path.empty()) return Status::OK();
+  std::vector<std::pair<std::string, std::shared_ptr<Tenant>>> snapshot;
+  {
+    std::shared_lock<std::shared_mutex> lock(map_mu_);
+    snapshot.reserve(tenants_.size());
+    for (const auto& [name, tenant] : tenants_) {
+      snapshot.emplace_back(name, tenant);
+    }
+  }
+  BinaryWriter writer;
+  writer.PutU32(kRegistryMagic);
+  writer.PutU8(kRegistryVersion);
+  writer.PutU64(snapshot.size());
+  for (const auto& [name, tenant] : snapshot) {
+    writer.PutU16(static_cast<std::uint16_t>(name.size()));
+    for (char c : name) writer.PutU8(static_cast<std::uint8_t>(c));
+    EncodeConfig(tenant->config, &writer);
+    std::shared_lock<std::shared_mutex> lock(tenant->mu);
+    EncodeTenantSketch(*tenant, &writer);
+  }
+  std::vector<std::uint8_t> bytes = writer.Take();
+  const std::uint32_t crc = Crc32(bytes.data(), bytes.size());
+  bytes.push_back(crc & 0xff);
+  bytes.push_back((crc >> 8) & 0xff);
+  bytes.push_back((crc >> 16) & 0xff);
+  bytes.push_back((crc >> 24) & 0xff);
+  MRL_RETURN_IF_ERROR(WriteFileAtomic(options_.checkpoint_path, bytes));
+  checkpoints_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status SketchRegistry::RecoverFromDisk() {
+  if (options_.checkpoint_path.empty()) return Status::OK();
+  std::vector<std::uint8_t> bytes;
+  bool exists;
+  MRL_RETURN_IF_ERROR(
+      ReadFileBytes(options_.checkpoint_path, &bytes, &exists));
+  if (!exists) return Status::OK();
+  if (bytes.size() < 4) {
+    return Status::InvalidArgument("registry checkpoint truncated");
+  }
+  const std::size_t body_len = bytes.size() - 4;
+  const std::uint32_t stored_crc =
+      static_cast<std::uint32_t>(bytes[body_len]) |
+      (static_cast<std::uint32_t>(bytes[body_len + 1]) << 8) |
+      (static_cast<std::uint32_t>(bytes[body_len + 2]) << 16) |
+      (static_cast<std::uint32_t>(bytes[body_len + 3]) << 24);
+  if (Crc32(bytes.data(), body_len) != stored_crc) {
+    return Status::InvalidArgument("registry checkpoint CRC mismatch");
+  }
+  BinaryReader reader(bytes.data(), body_len);
+  std::uint32_t magic;
+  std::uint8_t version;
+  std::uint64_t num_tenants;
+  if (!reader.GetU32(&magic) || !reader.GetU8(&version) ||
+      !reader.GetU64(&num_tenants)) {
+    return reader.status();
+  }
+  if (magic != kRegistryMagic) {
+    return Status::InvalidArgument("not a registry checkpoint");
+  }
+  if (version != kRegistryVersion) {
+    return Status::InvalidArgument("unsupported registry checkpoint version");
+  }
+  if (num_tenants > kMaxCheckpointTenants) {
+    return Status::InvalidArgument("registry checkpoint tenant count absurd");
+  }
+  TenantMap recovered;
+  for (std::uint64_t i = 0; i < num_tenants; ++i) {
+    std::uint16_t name_len;
+    if (!reader.GetU16(&name_len)) return reader.status();
+    std::string name;
+    name.reserve(name_len);
+    for (std::uint16_t c = 0; c < name_len; ++c) {
+      std::uint8_t byte;
+      if (!reader.GetU8(&byte)) return reader.status();
+      name.push_back(static_cast<char>(byte));
+    }
+    if (!IsValidTenantName(name)) {
+      return Status::InvalidArgument("registry checkpoint: bad tenant name");
+    }
+    TenantConfig config;
+    MRL_RETURN_IF_ERROR(DecodeConfig(&reader, &config));
+    Result<SketchVariant> sketch = DecodeTenantSketch(config, &reader);
+    if (!sketch.ok()) return sketch.status();
+    if (recovered.find(name) != recovered.end()) {
+      return Status::InvalidArgument(
+          "registry checkpoint: duplicate tenant name");
+    }
+    recovered.emplace(
+        std::move(name),
+        std::make_shared<Tenant>(config, std::move(sketch).value()));
+  }
+  if (!reader.AtEnd()) {
+    return Status::InvalidArgument(
+        "registry checkpoint: trailing bytes before CRC");
+  }
+  std::unique_lock<std::shared_mutex> lock(map_mu_);
+  tenants_ = std::move(recovered);
+  for (const auto& [name, tenant] : tenants_) {
+    tenant->last_used.store(
+        use_clock_.fetch_add(1, std::memory_order_relaxed) + 1,
+        std::memory_order_relaxed);
+  }
+  return Status::OK();
+}
+
+}  // namespace server
+}  // namespace mrl

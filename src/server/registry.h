@@ -1,0 +1,176 @@
+#ifndef MRLQUANT_SERVER_REGISTRY_H_
+#define MRLQUANT_SERVER_REGISTRY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <shared_mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <variant>
+#include <vector>
+
+#include "core/sharded.h"
+#include "core/unknown_n.h"
+#include "server/protocol.h"
+#include "util/status.h"
+#include "util/types.h"
+
+namespace mrl {
+namespace server {
+
+struct RegistryOptions {
+  /// Hard cap on live tenants; creating past it evicts the least recently
+  /// used tenant (its sketch is recycled through the free pool).
+  std::size_t max_tenants = 64;
+  /// Checkpoint file for crash recovery (docs/checkpoint_format.md,
+  /// "Registry checkpoint"). Empty disables persistence.
+  std::string checkpoint_path;
+  /// Deleted/evicted sketches kept around for allocation-free recycling of
+  /// tenant slots (UnknownNSketch::Reset).
+  std::size_t max_free_pool = 8;
+};
+
+struct TenantStats {
+  bool present = false;
+  TenantConfig config;
+  std::uint64_t count = 0;
+  std::uint64_t memory_elements = 0;
+};
+
+struct RegistryStats {
+  std::uint64_t num_tenants = 0;
+  std::uint64_t total_count = 0;
+  std::uint64_t evictions = 0;         ///< LRU evictions since start
+  std::uint64_t recycled_creates = 0;  ///< creates served from the free pool
+  std::uint64_t checkpoints = 0;       ///< successful CheckpointNow calls
+};
+
+/// Multi-tenant sketch registry: named sketches behind a two-level locking
+/// scheme. The registry map is guarded by a shared mutex (reads of the
+/// directory are concurrent; create/delete/evict are exclusive); each
+/// tenant holds its own shared mutex so ingestion into tenant A never
+/// blocks queries on tenant B. Within a tenant, AddBatch takes the
+/// exclusive lock and queries take the shared lock — exactly the
+/// single-writer / concurrent-const-reader contract the sketches document.
+///
+/// An operation that races a Delete of the same tenant may still apply to
+/// the outgoing instance (it holds a shared_ptr); it never crashes and
+/// never touches a recycled sketch — recycling only happens once the
+/// registry holds the last reference.
+class SketchRegistry {
+ public:
+  explicit SketchRegistry(RegistryOptions options);
+
+  SketchRegistry(const SketchRegistry&) = delete;
+  SketchRegistry& operator=(const SketchRegistry&) = delete;
+
+  /// Creates tenant `name`. FailedPrecondition when it already exists,
+  /// InvalidArgument on a bad name or config.
+  Status Create(std::string_view name, const TenantConfig& config);
+
+  /// Ingests a batch into tenant `name` (round-robin across shards for
+  /// kSharded tenants) and returns the tenant's element count after the
+  /// batch. Steady state performs no heap allocation.
+  Result<std::uint64_t> AddBatch(std::string_view name,
+                                 std::span<const Value> values);
+
+  Result<Value> Query(std::string_view name, double phi) const;
+
+  /// Answers every phi in one pass; *out is reused.
+  Status QueryMany(std::string_view name, std::span<const double> phis,
+                   std::vector<Value>* out) const;
+
+  /// Serializes tenant `name` into *blob (the per-tenant checkpoint format
+  /// of docs/checkpoint_format.md) and, when a checkpoint path is
+  /// configured, persists the whole registry durably before returning.
+  Status Snapshot(std::string_view name, std::vector<std::uint8_t>* blob);
+
+  Status Delete(std::string_view name);
+
+  /// Per-tenant statistics; `present == false` when unknown.
+  TenantStats Stats(std::string_view name) const;
+
+  RegistryStats GlobalStats() const;
+
+  /// Atomically (write-temp + rename) persists every tenant to the
+  /// configured checkpoint path. No-op returning OK when persistence is
+  /// disabled.
+  Status CheckpointNow();
+
+  /// Loads the checkpoint file if it exists (OK and empty registry when it
+  /// does not). Fails without touching the registry on a corrupt file.
+  Status RecoverFromDisk();
+
+  std::size_t size() const;
+
+ private:
+  using SketchVariant = std::variant<UnknownNSketch, ShardedQuantileSketch>;
+
+  struct Tenant {
+    Tenant(TenantConfig c, SketchVariant s)
+        : config(c), sketch(std::move(s)) {}
+    TenantConfig config;
+    SketchVariant sketch;
+    mutable std::shared_mutex mu;  ///< guards `sketch` and `next_shard`
+    std::atomic<std::uint64_t> last_used{0};
+    std::uint64_t next_shard = 0;  ///< kSharded ingestion round-robin
+  };
+
+  /// Transparent string hashing so the hot path looks tenants up by
+  /// string_view without materializing a std::string.
+  struct StringHash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+  using TenantMap = std::unordered_map<std::string, std::shared_ptr<Tenant>,
+                                       StringHash, std::equal_to<>>;
+
+  struct FreeEntry {
+    TenantConfig config;
+    SketchVariant sketch;
+  };
+
+  static Result<SketchVariant> MakeSketch(const TenantConfig& config);
+
+  /// Builds a tenant sketch for `config`, preferring a structurally
+  /// matching free-pool entry (Reset(config.seed) makes it byte-identical
+  /// to a fresh build). Caller holds map_mu_ exclusively.
+  Result<SketchVariant> ObtainSketch(const TenantConfig& config);
+
+  /// Returns a sketch to the free pool (caller holds map_mu_ exclusively
+  /// and the last reference to the tenant).
+  void RecycleLocked(std::shared_ptr<Tenant> tenant);
+
+  /// Evicts the least-recently-used tenant. Caller holds map_mu_
+  /// exclusively and the map is non-empty.
+  void EvictOneLocked();
+
+  /// Shared-locks the map and returns the named tenant (bumping its LRU
+  /// stamp), or null.
+  std::shared_ptr<Tenant> FindTenant(std::string_view name) const;
+
+  /// Serializes one tenant's sketch (shards individually for kSharded)
+  /// under its shared lock.
+  static void EncodeTenantSketch(const Tenant& tenant, BinaryWriter* writer);
+  static Result<SketchVariant> DecodeTenantSketch(const TenantConfig& config,
+                                                  BinaryReader* reader);
+
+  RegistryOptions options_;
+  mutable std::shared_mutex map_mu_;
+  TenantMap tenants_;               // guarded by map_mu_
+  std::vector<FreeEntry> free_pool_;  // guarded by map_mu_
+  mutable std::atomic<std::uint64_t> use_clock_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+  std::atomic<std::uint64_t> recycled_creates_{0};
+  std::atomic<std::uint64_t> checkpoints_{0};
+};
+
+}  // namespace server
+}  // namespace mrl
+
+#endif  // MRLQUANT_SERVER_REGISTRY_H_

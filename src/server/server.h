@@ -1,0 +1,111 @@
+#ifndef MRLQUANT_SERVER_SERVER_H_
+#define MRLQUANT_SERVER_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/registry.h"
+#include "util/status.h"
+
+namespace mrl {
+namespace server {
+
+struct ServerOptions {
+  /// Unix-domain socket path; empty disables the UDS listener.
+  std::string uds_path;
+  /// TCP port on 127.0.0.1; 0 disables the TCP listener. At least one
+  /// listener must be enabled.
+  std::uint16_t tcp_port = 0;
+  /// Worker threads. Each worker serves one connection at a time, so this
+  /// is also the concurrent-connection budget; further connections queue.
+  int num_workers = 4;
+  /// Registry configuration (tenant cap, checkpoint path, free pool).
+  RegistryOptions registry;
+  /// When > 0 and a checkpoint path is configured, a housekeeping thread
+  /// checkpoints the registry this often.
+  int checkpoint_interval_ms = 0;
+  /// Checkpoint once more during Stop(). Off by default so tests can model
+  /// a crash: whatever the last explicit/periodic checkpoint captured is
+  /// exactly what a restarted daemon recovers.
+  bool checkpoint_on_stop = false;
+};
+
+/// Threaded socket daemon: an acceptor thread feeds accepted connections to
+/// a fixed worker pool; each worker owns per-connection scratch buffers
+/// (frame, decoded values, response) that are reused across requests, so
+/// steady-state ADD_BATCH handling performs no heap allocation
+/// (bench/server_throughput.cc pins this with a counting operator new).
+class QuantileServer {
+ public:
+  /// Binds the configured listeners, recovers the registry from its
+  /// checkpoint (if any), and starts the acceptor + worker threads.
+  static Result<std::unique_ptr<QuantileServer>> Create(ServerOptions options);
+
+  ~QuantileServer();
+
+  QuantileServer(const QuantileServer&) = delete;
+  QuantileServer& operator=(const QuantileServer&) = delete;
+
+  /// Stops accepting, drains workers, closes sockets. Idempotent.
+  void Stop();
+
+  /// Port actually bound (useful with an ephemeral tcp_port request).
+  std::uint16_t tcp_port() const { return bound_tcp_port_; }
+
+  SketchRegistry& registry() { return registry_; }
+  const SketchRegistry& registry() const { return registry_; }
+
+ private:
+  explicit QuantileServer(ServerOptions options);
+
+  Status Start();
+
+  void AcceptLoop();
+  void WorkerLoop();
+  void HousekeepingLoop();
+
+  /// Reusable per-connection scratch owned by one worker.
+  struct WorkerScratch {
+    std::vector<std::uint8_t> frame;     ///< one request body
+    std::vector<std::uint8_t> response;  ///< one encoded response frame
+    std::vector<double> doubles;         ///< decoded values / phis
+    std::vector<Value> answers;          ///< QueryMany results
+    std::vector<std::uint8_t> blob;      ///< Snapshot payload
+  };
+
+  /// Serves one connection until EOF/error; returns only transport errors.
+  void ServeConnection(int fd, WorkerScratch* scratch);
+
+  /// Decodes the frame body, executes it against the registry, and encodes
+  /// the response into scratch->response.
+  void HandleFrame(MsgType type, const std::uint8_t* payload,
+                   std::size_t payload_len, WorkerScratch* scratch);
+
+  ServerOptions options_;
+  SketchRegistry registry_;
+
+  int uds_listen_fd_ = -1;
+  int tcp_listen_fd_ = -1;
+  std::uint16_t bound_tcp_port_ = 0;
+
+  std::atomic<bool> running_{false};
+  std::thread acceptor_;
+  std::thread housekeeper_;
+  std::vector<std::thread> workers_;
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<int> pending_fds_;  // guarded by queue_mu_
+};
+
+}  // namespace server
+}  // namespace mrl
+
+#endif  // MRLQUANT_SERVER_SERVER_H_

@@ -17,6 +17,11 @@ class BinaryWriter {
  public:
   void PutU8(std::uint8_t v) { out_.push_back(v); }
 
+  void PutU16(std::uint16_t v) {
+    out_.push_back(v & 0xff);
+    out_.push_back((v >> 8) & 0xff);
+  }
+
   void PutU32(std::uint32_t v) {
     for (int i = 0; i < 4; ++i) out_.push_back((v >> (8 * i)) & 0xff);
   }
@@ -58,6 +63,14 @@ class BinaryReader {
   bool GetU8(std::uint8_t* out) {
     if (!Require(1)) return false;
     *out = data_[pos_++];
+    return true;
+  }
+
+  bool GetU16(std::uint16_t* out) {
+    if (!Require(2)) return false;
+    *out = static_cast<std::uint16_t>(
+        data_[pos_] | (static_cast<std::uint16_t>(data_[pos_ + 1]) << 8));
+    pos_ += 2;
     return true;
   }
 

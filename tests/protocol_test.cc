@@ -1,0 +1,363 @@
+// Wire protocol round-trip and strictness tests (src/server/protocol.h).
+
+#include "server/protocol.h"
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace mrl {
+namespace server {
+namespace {
+
+// Decodes a whole encoded request buffer into a FrameView, asserting well-
+// formedness on the way.
+FrameView MustDecode(const std::vector<std::uint8_t>& wire) {
+  Result<FrameView> frame = DecodeFrame(wire.data(), wire.size());
+  EXPECT_TRUE(frame.ok()) << frame.status().ToString();
+  EXPECT_EQ(frame.value().frame_size, wire.size());
+  return frame.value();
+}
+
+TEST(Crc32Test, MatchesKnownVectors) {
+  // The classic IEEE CRC-32 check value for "123456789".
+  const char* check = "123456789";
+  EXPECT_EQ(Crc32(reinterpret_cast<const std::uint8_t*>(check), 9),
+            0xCBF43926u);
+  EXPECT_EQ(Crc32(nullptr, 0), 0u);
+}
+
+TEST(TenantNameTest, Validation) {
+  EXPECT_TRUE(IsValidTenantName("latency"));
+  EXPECT_TRUE(IsValidTenantName("a"));
+  EXPECT_TRUE(IsValidTenantName("svc-1.region_2"));
+  EXPECT_TRUE(IsValidTenantName(std::string(kMaxTenantNameLen, 'x')));
+  EXPECT_FALSE(IsValidTenantName(""));
+  EXPECT_FALSE(IsValidTenantName(".hidden"));
+  EXPECT_FALSE(IsValidTenantName("has space"));
+  EXPECT_FALSE(IsValidTenantName("sla$h"));
+  EXPECT_FALSE(IsValidTenantName(std::string(kMaxTenantNameLen + 1, 'x')));
+  EXPECT_FALSE(IsValidTenantName(std::string_view("nul\0byte", 8)));
+}
+
+TEST(FrameTest, CreateSketchRoundTrip) {
+  TenantConfig config;
+  config.kind = SketchKind::kSharded;
+  config.eps = 0.02;
+  config.delta = 1e-3;
+  config.num_shards = 8;
+  config.seed = 42;
+  std::vector<std::uint8_t> wire;
+  EncodeCreateSketch("tenant-a", config, &wire);
+
+  const FrameView frame = MustDecode(wire);
+  ASSERT_EQ(frame.type, MsgType::kCreateSketch);
+  Result<CreateSketchRequest> req =
+      DecodeCreateSketch(frame.payload, frame.payload_len);
+  ASSERT_TRUE(req.ok()) << req.status().ToString();
+  EXPECT_EQ(req.value().name, "tenant-a");
+  EXPECT_TRUE(req.value().config == config);
+}
+
+TEST(FrameTest, AddBatchRoundTrip) {
+  const std::vector<Value> values = {1.5, -2.25, 0.0, 1e300};
+  std::vector<std::uint8_t> wire;
+  EncodeAddBatch("t", values, &wire);
+
+  const FrameView frame = MustDecode(wire);
+  ASSERT_EQ(frame.type, MsgType::kAddBatch);
+  Result<AddBatchRequest> req = DecodeAddBatch(frame.payload,
+                                               frame.payload_len);
+  ASSERT_TRUE(req.ok()) << req.status().ToString();
+  EXPECT_EQ(req.value().name, "t");
+  ASSERT_EQ(req.value().count, values.size());
+  std::vector<double> decoded;
+  ASSERT_TRUE(DecodeDoublesInto(req.value().values_le, req.value().count,
+                                /*reject_nan=*/true, &decoded)
+                  .ok());
+  EXPECT_EQ(decoded, values);
+}
+
+TEST(FrameTest, QueryAndQueryMultiRoundTrip) {
+  std::vector<std::uint8_t> wire;
+  EncodeQuery("t", 0.5, &wire);
+  FrameView frame = MustDecode(wire);
+  Result<QueryRequest> q = DecodeQuery(frame.payload, frame.payload_len);
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q.value().name, "t");
+  EXPECT_EQ(q.value().phi, 0.5);
+
+  wire.clear();
+  const std::vector<double> phis = {0.1, 0.5, 0.99};
+  EncodeQueryMulti("t", phis, &wire);
+  frame = MustDecode(wire);
+  Result<QueryMultiRequest> qm =
+      DecodeQueryMulti(frame.payload, frame.payload_len);
+  ASSERT_TRUE(qm.ok());
+  std::vector<double> decoded;
+  ASSERT_TRUE(DecodeDoublesInto(qm.value().phis_le, qm.value().count,
+                                /*reject_nan=*/true, &decoded)
+                  .ok());
+  EXPECT_EQ(decoded, phis);
+}
+
+TEST(FrameTest, NameRequestsRoundTrip) {
+  for (MsgType type :
+       {MsgType::kSnapshot, MsgType::kDelete, MsgType::kStats}) {
+    std::vector<std::uint8_t> wire;
+    EncodeNameRequest(type, "t", &wire);
+    const FrameView frame = MustDecode(wire);
+    ASSERT_EQ(frame.type, type);
+    Result<NameRequest> req =
+        DecodeNameRequest(type, frame.payload, frame.payload_len);
+    ASSERT_TRUE(req.ok());
+    EXPECT_EQ(req.value().name, "t");
+  }
+  // STATS (and only STATS) accepts an empty name: global statistics.
+  std::vector<std::uint8_t> wire;
+  EncodeNameRequest(MsgType::kStats, "", &wire);
+  const FrameView frame = MustDecode(wire);
+  EXPECT_TRUE(
+      DecodeNameRequest(MsgType::kStats, frame.payload, frame.payload_len)
+          .ok());
+}
+
+TEST(FrameTest, IncompleteBufferIsOutOfRange) {
+  std::vector<std::uint8_t> wire;
+  EncodeQuery("t", 0.5, &wire);
+  for (std::size_t n = 0; n < wire.size(); ++n) {
+    Result<FrameView> frame = DecodeFrame(wire.data(), n);
+    ASSERT_FALSE(frame.ok());
+    EXPECT_EQ(frame.status().code(), StatusCode::kOutOfRange)
+        << "prefix length " << n;
+  }
+}
+
+TEST(FrameTest, CorruptionIsRejected) {
+  std::vector<std::uint8_t> wire;
+  EncodeQuery("t", 0.5, &wire);
+
+  // Any single flipped payload bit must fail the CRC.
+  for (std::size_t i = kFrameHeaderSize; i < wire.size(); ++i) {
+    std::vector<std::uint8_t> bad = wire;
+    bad[i] ^= 0x01;
+    Result<FrameView> frame = DecodeFrame(bad.data(), bad.size());
+    ASSERT_FALSE(frame.ok());
+    EXPECT_EQ(frame.status().code(), StatusCode::kInvalidArgument);
+  }
+
+  std::vector<std::uint8_t> bad = wire;
+  bad[4] = 99;  // version
+  EXPECT_FALSE(DecodeFrame(bad.data(), bad.size()).ok());
+
+  bad = wire;
+  bad[5] = 0;  // type below range
+  EXPECT_FALSE(DecodeFrame(bad.data(), bad.size()).ok());
+  bad[5] = 9;  // type above range
+  EXPECT_FALSE(DecodeFrame(bad.data(), bad.size()).ok());
+
+  bad = wire;
+  bad[6] = 1;  // reserved bits
+  EXPECT_FALSE(DecodeFrame(bad.data(), bad.size()).ok());
+
+  bad = wire;
+  bad[0] = 0xFF;  // absurd length prefix
+  bad[1] = 0xFF;
+  bad[2] = 0xFF;
+  bad[3] = 0xFF;
+  Result<FrameView> frame = DecodeFrame(bad.data(), bad.size());
+  ASSERT_FALSE(frame.ok());
+  EXPECT_EQ(frame.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FrameTest, SemanticValidation) {
+  std::vector<std::uint8_t> wire;
+
+  // phi outside (0, 1].
+  for (double phi : {0.0, -0.5, 1.5,
+                     std::numeric_limits<double>::quiet_NaN(),
+                     std::numeric_limits<double>::infinity()}) {
+    wire.clear();
+    EncodeQuery("t", phi, &wire);
+    const FrameView frame = MustDecode(wire);
+    EXPECT_FALSE(DecodeQuery(frame.payload, frame.payload_len).ok())
+        << "phi=" << phi;
+  }
+
+  // NaN values rejected at the boundary (keeps the sketches' NaN
+  // CHECK-abort unreachable from the network).
+  wire.clear();
+  const std::vector<Value> values = {
+      1.0, std::numeric_limits<double>::quiet_NaN()};
+  EncodeAddBatch("t", values, &wire);
+  const FrameView frame = MustDecode(wire);
+  Result<AddBatchRequest> req = DecodeAddBatch(frame.payload,
+                                               frame.payload_len);
+  ASSERT_TRUE(req.ok());
+  std::vector<double> decoded;
+  EXPECT_FALSE(DecodeDoublesInto(req.value().values_le, req.value().count,
+                                 /*reject_nan=*/true, &decoded)
+                   .ok());
+
+  // Bad tenant config.
+  TenantConfig config;
+  config.eps = 0.75;
+  wire.clear();
+  EncodeCreateSketch("t", config, &wire);
+  const FrameView bad_eps = MustDecode(wire);
+  EXPECT_FALSE(DecodeCreateSketch(bad_eps.payload, bad_eps.payload_len).ok());
+}
+
+TEST(FrameTest, TrailingBytesRejected) {
+  // Append a byte to the QUERY payload and refresh length + CRC: framing is
+  // fine, but the request decoder must reject the excess.
+  std::vector<std::uint8_t> wire;
+  EncodeQuery("t", 0.5, &wire);
+  wire.push_back(0x00);
+  const std::uint32_t body_len =
+      static_cast<std::uint32_t>(wire.size() - 4);
+  for (int i = 0; i < 4; ++i) {
+    wire[static_cast<std::size_t>(i)] = (body_len >> (8 * i)) & 0xff;
+  }
+  const std::uint32_t crc =
+      Crc32(wire.data() + kFrameHeaderSize, wire.size() - kFrameHeaderSize);
+  for (int i = 0; i < 4; ++i) {
+    wire[8 + static_cast<std::size_t>(i)] = (crc >> (8 * i)) & 0xff;
+  }
+  const FrameView frame = MustDecode(wire);
+  EXPECT_FALSE(DecodeQuery(frame.payload, frame.payload_len).ok());
+}
+
+TEST(ResponseTest, ErrorRoundTrip) {
+  std::vector<std::uint8_t> wire;
+  EncodeErrorResponse(MsgType::kQuery, Status::NotFound("unknown tenant"),
+                      &wire);
+  const FrameView frame = MustDecode(wire);
+  ASSERT_EQ(frame.type, MsgType::kResponse);
+  Result<ResponseView> response =
+      DecodeResponse(frame.payload, frame.payload_len);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response.value().request_type, MsgType::kQuery);
+  EXPECT_FALSE(response.value().ok());
+  const Status status = response.value().ToStatus();
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+  EXPECT_EQ(status.message(), "unknown tenant");
+}
+
+TEST(ResponseTest, TypedBodiesRoundTrip) {
+  std::vector<std::uint8_t> wire;
+
+  EncodeAddBatchOk(12345, &wire);
+  FrameView frame = MustDecode(wire);
+  Result<ResponseView> response =
+      DecodeResponse(frame.payload, frame.payload_len);
+  ASSERT_TRUE(response.ok());
+  Result<std::uint64_t> count = DecodeAddBatchOk(response.value());
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(count.value(), 12345u);
+
+  wire.clear();
+  EncodeQueryOk(3.25, &wire);
+  frame = MustDecode(wire);
+  response = DecodeResponse(frame.payload, frame.payload_len);
+  ASSERT_TRUE(response.ok());
+  Result<double> answer = DecodeQueryOk(response.value());
+  ASSERT_TRUE(answer.ok());
+  EXPECT_EQ(answer.value(), 3.25);
+
+  wire.clear();
+  const std::vector<Value> values = {1.0, 2.0, 3.0};
+  EncodeQueryMultiOk(values, &wire);
+  frame = MustDecode(wire);
+  response = DecodeResponse(frame.payload, frame.payload_len);
+  ASSERT_TRUE(response.ok());
+  std::vector<Value> out;
+  ASSERT_TRUE(DecodeQueryMultiOk(response.value(), &out).ok());
+  EXPECT_EQ(out, values);
+
+  wire.clear();
+  const std::vector<std::uint8_t> blob = {0xDE, 0xAD, 0xBE, 0xEF};
+  EncodeSnapshotOk(blob, &wire);
+  frame = MustDecode(wire);
+  response = DecodeResponse(frame.payload, frame.payload_len);
+  ASSERT_TRUE(response.ok());
+  std::vector<std::uint8_t> blob_out;
+  ASSERT_TRUE(DecodeSnapshotOk(response.value(), &blob_out).ok());
+  EXPECT_EQ(blob_out, blob);
+
+  wire.clear();
+  StatsReply stats;
+  stats.num_tenants = 2;
+  stats.total_count = 1000;
+  stats.tenant_present = true;
+  stats.tenant_kind = SketchKind::kSharded;
+  stats.tenant_count = 600;
+  stats.tenant_memory_elements = 4096;
+  EncodeStatsOk(stats, &wire);
+  frame = MustDecode(wire);
+  response = DecodeResponse(frame.payload, frame.payload_len);
+  ASSERT_TRUE(response.ok());
+  Result<StatsReply> stats_out = DecodeStatsOk(response.value());
+  ASSERT_TRUE(stats_out.ok());
+  EXPECT_EQ(stats_out.value().num_tenants, 2u);
+  EXPECT_EQ(stats_out.value().total_count, 1000u);
+  EXPECT_TRUE(stats_out.value().tenant_present);
+  EXPECT_EQ(stats_out.value().tenant_kind, SketchKind::kSharded);
+  EXPECT_EQ(stats_out.value().tenant_count, 600u);
+  EXPECT_EQ(stats_out.value().tenant_memory_elements, 4096u);
+}
+
+TEST(ResponseTest, MixedOkAndErrorShapesRejected) {
+  // Hand-build a response claiming OK but carrying an error message.
+  std::vector<std::uint8_t> wire;
+  {
+    FrameBuilder frame(MsgType::kResponse, &wire);
+    frame.PutU8(static_cast<std::uint8_t>(MsgType::kQuery));
+    frame.PutU8(static_cast<std::uint8_t>(StatusCode::kOk));
+    frame.PutU16(3);
+    const char* msg = "boo";
+    frame.PutBytes(reinterpret_cast<const std::uint8_t*>(msg), 3);
+    frame.Finish();
+  }
+  FrameView frame = MustDecode(wire);
+  EXPECT_FALSE(DecodeResponse(frame.payload, frame.payload_len).ok());
+
+  // And an error that smuggles a body.
+  wire.clear();
+  {
+    FrameBuilder builder(MsgType::kResponse, &wire);
+    builder.PutU8(static_cast<std::uint8_t>(MsgType::kQuery));
+    builder.PutU8(static_cast<std::uint8_t>(StatusCode::kNotFound));
+    builder.PutU16(0);
+    builder.PutU64(7);  // body where none is allowed
+    builder.Finish();
+  }
+  frame = MustDecode(wire);
+  EXPECT_FALSE(DecodeResponse(frame.payload, frame.payload_len).ok());
+}
+
+TEST(FrameTest, StreamDecodingConsumesExactFrames) {
+  // Two back-to-back frames in one buffer: DecodeFrame must report the
+  // first frame's exact size so a stream loop can advance.
+  std::vector<std::uint8_t> wire;
+  EncodeQuery("a", 0.25, &wire);
+  const std::size_t first = wire.size();
+  EncodeNameRequest(MsgType::kDelete, "b", &wire);
+
+  Result<FrameView> frame = DecodeFrame(wire.data(), wire.size());
+  ASSERT_TRUE(frame.ok());
+  EXPECT_EQ(frame.value().type, MsgType::kQuery);
+  EXPECT_EQ(frame.value().frame_size, first);
+
+  Result<FrameView> second = DecodeFrame(wire.data() + first,
+                                         wire.size() - first);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second.value().type, MsgType::kDelete);
+}
+
+}  // namespace
+}  // namespace server
+}  // namespace mrl

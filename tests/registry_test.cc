@@ -1,0 +1,261 @@
+// SketchRegistry unit tests: tenancy lifecycle, LRU eviction, free-pool
+// recycling, and checkpoint/recover (src/server/registry.h).
+
+#include "server/registry.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "util/random.h"
+
+namespace mrl {
+namespace server {
+namespace {
+
+std::vector<Value> UniformStream(std::size_t n, std::uint64_t seed) {
+  Random rng(seed);
+  std::vector<Value> values(n);
+  for (Value& v : values) v = rng.UniformDouble();
+  return values;
+}
+
+/// Exact normalized rank of `answer` in `sorted`.
+double RankOf(const std::vector<Value>& sorted, Value answer) {
+  const auto it = std::upper_bound(sorted.begin(), sorted.end(), answer);
+  return static_cast<double>(it - sorted.begin()) /
+         static_cast<double>(sorted.size());
+}
+
+std::string TempPath(const char* name) {
+  const char* dir = std::getenv("TMPDIR");
+  std::string path = dir != nullptr ? dir : "/tmp";
+  path += '/';
+  path += name;
+  path += '.';
+  path += std::to_string(::getpid());
+  return path;
+}
+
+TEST(RegistryTest, LifecycleAndErrors) {
+  SketchRegistry registry(RegistryOptions{});
+  TenantConfig config;
+
+  EXPECT_EQ(registry.Create("bad name!", config).code(),
+            StatusCode::kInvalidArgument);
+  ASSERT_TRUE(registry.Create("t", config).ok());
+  EXPECT_EQ(registry.Create("t", config).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(registry.size(), 1u);
+
+  const std::vector<Value> values = {3.0, 1.0, 2.0};
+  Result<std::uint64_t> count = registry.AddBatch("t", values);
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(count.value(), 3u);
+  EXPECT_EQ(registry.AddBatch("ghost", values).status().code(),
+            StatusCode::kNotFound);
+
+  Result<Value> median = registry.Query("t", 0.5);
+  ASSERT_TRUE(median.ok());
+  EXPECT_EQ(median.value(), 2.0);
+  EXPECT_EQ(registry.Query("ghost", 0.5).status().code(),
+            StatusCode::kNotFound);
+
+  std::vector<Value> answers;
+  ASSERT_TRUE(registry.QueryMany("t", std::vector<double>{0.5, 1.0},
+                                 &answers)
+                  .ok());
+  ASSERT_EQ(answers.size(), 2u);
+  EXPECT_EQ(answers[1], 3.0);
+
+  const TenantStats stats = registry.Stats("t");
+  EXPECT_TRUE(stats.present);
+  EXPECT_EQ(stats.count, 3u);
+  EXPECT_FALSE(registry.Stats("ghost").present);
+
+  ASSERT_TRUE(registry.Delete("t").ok());
+  EXPECT_EQ(registry.Delete("t").code(), StatusCode::kNotFound);
+  EXPECT_EQ(registry.size(), 0u);
+}
+
+TEST(RegistryTest, ShardedTenantRoundRobin) {
+  SketchRegistry registry(RegistryOptions{});
+  TenantConfig config;
+  config.kind = SketchKind::kSharded;
+  config.num_shards = 4;
+  ASSERT_TRUE(registry.Create("s", config).ok());
+
+  const std::size_t kN = 200000;
+  const std::vector<Value> values = UniformStream(kN, 7);
+  std::vector<Value> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+
+  // Feed in many small batches so every shard sees work.
+  const std::size_t kBatch = 1000;
+  for (std::size_t i = 0; i < kN; i += kBatch) {
+    std::span<const Value> batch(values.data() + i, kBatch);
+    ASSERT_TRUE(registry.AddBatch("s", batch).ok());
+  }
+  EXPECT_EQ(registry.Stats("s").count, kN);
+
+  for (double phi : {0.1, 0.5, 0.9, 0.99}) {
+    Result<Value> answer = registry.Query("s", phi);
+    ASSERT_TRUE(answer.ok());
+    EXPECT_NEAR(RankOf(sorted, answer.value()), phi, config.eps)
+        << "phi=" << phi;
+  }
+}
+
+TEST(RegistryTest, LruEvictionAndRecycling) {
+  RegistryOptions options;
+  options.max_tenants = 3;
+  SketchRegistry registry(options);
+  TenantConfig config;
+
+  ASSERT_TRUE(registry.Create("a", config).ok());
+  ASSERT_TRUE(registry.Create("b", config).ok());
+  ASSERT_TRUE(registry.Create("c", config).ok());
+
+  // Touch a and c so b is the LRU entry.
+  ASSERT_TRUE(registry.AddBatch("a", std::vector<Value>{1.0}).ok());
+  ASSERT_TRUE(registry.AddBatch("c", std::vector<Value>{1.0}).ok());
+
+  ASSERT_TRUE(registry.Create("d", config).ok());
+  EXPECT_EQ(registry.size(), 3u);
+  EXPECT_FALSE(registry.Stats("b").present);
+  EXPECT_TRUE(registry.Stats("a").present);
+  EXPECT_TRUE(registry.Stats("c").present);
+  EXPECT_TRUE(registry.Stats("d").present);
+
+  const RegistryStats global = registry.GlobalStats();
+  EXPECT_EQ(global.evictions, 1u);
+  // d's create was served from the pool (b's evicted sketch recycled).
+  EXPECT_EQ(global.recycled_creates, 1u);
+
+  // A recycled slot must behave exactly like a fresh sketch.
+  ASSERT_TRUE(registry.AddBatch("d", std::vector<Value>{5.0}).ok());
+  Result<Value> answer = registry.Query("d", 1.0);
+  ASSERT_TRUE(answer.ok());
+  EXPECT_EQ(answer.value(), 5.0);
+  EXPECT_EQ(registry.Stats("d").count, 1u);
+}
+
+TEST(RegistryTest, CheckpointRecoverRoundTrip) {
+  const std::string path = TempPath("registry_ckpt");
+  const std::vector<Value> values = UniformStream(50000, 11);
+
+  RegistryStats before;
+  {
+    RegistryOptions options;
+    options.checkpoint_path = path;
+    SketchRegistry registry(options);
+    TenantConfig unknown_cfg;
+    TenantConfig sharded_cfg;
+    sharded_cfg.kind = SketchKind::kSharded;
+    sharded_cfg.num_shards = 3;
+    ASSERT_TRUE(registry.Create("u", unknown_cfg).ok());
+    ASSERT_TRUE(registry.Create("s", sharded_cfg).ok());
+    for (std::size_t i = 0; i < values.size(); i += 5000) {
+      std::span<const Value> batch(values.data() + i, 5000);
+      ASSERT_TRUE(registry.AddBatch("u", batch).ok());
+      ASSERT_TRUE(registry.AddBatch("s", batch).ok());
+    }
+    ASSERT_TRUE(registry.CheckpointNow().ok());
+    before = registry.GlobalStats();
+  }
+
+  RegistryOptions options;
+  options.checkpoint_path = path;
+  SketchRegistry recovered(options);
+  ASSERT_TRUE(recovered.RecoverFromDisk().ok());
+  EXPECT_EQ(recovered.size(), 2u);
+  EXPECT_EQ(recovered.GlobalStats().total_count, before.total_count);
+  EXPECT_EQ(recovered.Stats("u").count, values.size());
+  EXPECT_EQ(recovered.Stats("s").count, values.size());
+  EXPECT_EQ(recovered.Stats("s").config.kind, SketchKind::kSharded);
+
+  std::vector<Value> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  for (const char* tenant : {"u", "s"}) {
+    Result<Value> answer = recovered.Query(tenant, 0.5);
+    ASSERT_TRUE(answer.ok());
+    EXPECT_NEAR(RankOf(sorted, answer.value()), 0.5, 0.01);
+  }
+
+  // Recovered tenants keep ingesting.
+  ASSERT_TRUE(recovered.AddBatch("u", std::vector<Value>{0.5}).ok());
+  EXPECT_EQ(recovered.Stats("u").count, values.size() + 1);
+
+  std::remove(path.c_str());
+}
+
+TEST(RegistryTest, RecoverRejectsCorruptCheckpoint) {
+  const std::string path = TempPath("registry_ckpt_corrupt");
+  {
+    RegistryOptions options;
+    options.checkpoint_path = path;
+    SketchRegistry registry(options);
+    ASSERT_TRUE(registry.Create("t", TenantConfig{}).ok());
+    ASSERT_TRUE(registry.CheckpointNow().ok());
+  }
+
+  // Flip one byte mid-file: the CRC trailer must catch it.
+  std::FILE* f = std::fopen(path.c_str(), "r+b");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fseek(f, 10, SEEK_SET), 0);
+  const int c = std::fgetc(f);
+  ASSERT_NE(c, EOF);
+  ASSERT_EQ(std::fseek(f, 10, SEEK_SET), 0);
+  std::fputc(c ^ 0xFF, f);
+  std::fclose(f);
+
+  RegistryOptions options;
+  options.checkpoint_path = path;
+  SketchRegistry recovered(options);
+  const Status status = recovered.RecoverFromDisk();
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(recovered.size(), 0u);
+
+  std::remove(path.c_str());
+}
+
+TEST(RegistryTest, MissingCheckpointIsEmptyRegistry) {
+  RegistryOptions options;
+  options.checkpoint_path = TempPath("registry_ckpt_missing");
+  SketchRegistry registry(options);
+  EXPECT_TRUE(registry.RecoverFromDisk().ok());
+  EXPECT_EQ(registry.size(), 0u);
+}
+
+TEST(RegistryTest, SnapshotBlobMatchesSketchSerialization) {
+  SketchRegistry registry(RegistryOptions{});
+  ASSERT_TRUE(registry.Create("t", TenantConfig{}).ok());
+  ASSERT_TRUE(registry.AddBatch("t", UniformStream(10000, 3)).ok());
+
+  std::vector<std::uint8_t> blob;
+  ASSERT_TRUE(registry.Snapshot("t", &blob).ok());
+  ASSERT_FALSE(blob.empty());
+
+  // An unknown-N tenant snapshot is a u32 length + the sketch's own v2
+  // checkpoint bytes; the embedded blob must deserialize standalone.
+  ASSERT_GE(blob.size(), 4u);
+  const std::uint32_t len = static_cast<std::uint32_t>(blob[0]) |
+                            (static_cast<std::uint32_t>(blob[1]) << 8) |
+                            (static_cast<std::uint32_t>(blob[2]) << 16) |
+                            (static_cast<std::uint32_t>(blob[3]) << 24);
+  ASSERT_EQ(blob.size(), 4u + len);
+  const std::vector<std::uint8_t> sketch_bytes(blob.begin() + 4, blob.end());
+  Result<UnknownNSketch> sketch = UnknownNSketch::Deserialize(sketch_bytes);
+  ASSERT_TRUE(sketch.ok()) << sketch.status().ToString();
+  EXPECT_EQ(sketch.value().count(), 10000u);
+}
+
+}  // namespace
+}  // namespace server
+}  // namespace mrl

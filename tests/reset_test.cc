@@ -1,0 +1,146 @@
+// Reset() contract: a reset sketch is indistinguishable — byte-for-byte in
+// serialized state, and therefore in every future answer and every future
+// random draw — from a freshly constructed one, while reusing the existing
+// buffer pool. This is what lets a serving layer (src/server/registry)
+// recycle tenant slots without reallocating.
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/known_n.h"
+#include "core/sharded.h"
+#include "core/unknown_n.h"
+#include "util/random.h"
+
+namespace mrl {
+namespace {
+
+std::vector<Value> TestStream(std::size_t n, std::uint64_t seed) {
+  Random rng(seed);
+  std::vector<Value> values(n);
+  for (Value& v : values) v = rng.UniformDouble(-1e6, 1e6);
+  return values;
+}
+
+TEST(ResetTest, UnknownNByteIdenticalToFresh) {
+  UnknownNOptions options;
+  options.eps = 0.05;
+  options.delta = 1e-3;
+  options.seed = 42;
+  Result<UnknownNSketch> fresh = UnknownNSketch::Create(options);
+  ASSERT_TRUE(fresh.ok());
+  Result<UnknownNSketch> used = UnknownNSketch::Create(options);
+  ASSERT_TRUE(used.ok());
+  UnknownNSketch& sketch = used.value();
+  sketch.AddAll(TestStream(100000, 7));
+  ASSERT_GT(sketch.count(), 0u);
+
+  sketch.Reset();
+  EXPECT_EQ(sketch.count(), 0u);
+  EXPECT_EQ(sketch.Serialize(), fresh.value().Serialize());
+
+  // Indistinguishable going forward too: same stream => same bytes again.
+  const std::vector<Value> stream = TestStream(50000, 9);
+  sketch.AddAll(stream);
+  fresh.value().AddAll(stream);
+  EXPECT_EQ(sketch.Serialize(), fresh.value().Serialize());
+}
+
+TEST(ResetTest, UnknownNResetWithExplicitSeed) {
+  UnknownNOptions options;
+  options.eps = 0.05;
+  options.delta = 1e-3;
+  options.seed = 1234;
+  Result<UnknownNSketch> fresh = UnknownNSketch::Create(options);
+  ASSERT_TRUE(fresh.ok());
+
+  options.seed = 999;  // construct under a different seed, then re-seed
+  Result<UnknownNSketch> used = UnknownNSketch::Create(options);
+  ASSERT_TRUE(used.ok());
+  used.value().AddAll(TestStream(20000, 3));
+  used.value().Reset(1234);
+  EXPECT_EQ(used.value().Serialize(), fresh.value().Serialize());
+}
+
+TEST(ResetTest, KnownNByteIdenticalToFresh) {
+  KnownNOptions options;
+  options.eps = 0.02;
+  options.delta = 1e-3;
+  options.n = 200000;
+  options.seed = 11;
+  Result<KnownNSketch> fresh = KnownNSketch::Create(options);
+  ASSERT_TRUE(fresh.ok());
+  Result<KnownNSketch> used = KnownNSketch::Create(options);
+  ASSERT_TRUE(used.ok());
+  used.value().AddAll(TestStream(150000, 5));
+
+  used.value().Reset();
+  EXPECT_EQ(used.value().count(), 0u);
+  EXPECT_EQ(used.value().Serialize(), fresh.value().Serialize());
+}
+
+TEST(ResetTest, KnownNResetClearsOverflow) {
+  KnownNOptions options;
+  options.eps = 0.1;
+  options.delta = 1e-2;
+  options.n = 1000;
+  Result<KnownNSketch> sketch = KnownNSketch::Create(options);
+  ASSERT_TRUE(sketch.ok());
+  sketch.value().AddAll(TestStream(1500, 2));  // overflow the declared n
+  ASSERT_TRUE(sketch.value().overflowed());
+  sketch.value().Reset();
+  EXPECT_FALSE(sketch.value().overflowed());
+  sketch.value().AddAll(TestStream(500, 2));
+  EXPECT_TRUE(sketch.value().Query(0.5).ok());
+}
+
+TEST(ResetTest, ShardedByteIdenticalPerShard) {
+  ShardedQuantileSketch::Options options;
+  options.eps = 0.05;
+  options.delta = 1e-3;
+  options.num_shards = 3;
+  options.seed = 77;
+  Result<ShardedQuantileSketch> fresh =
+      ShardedQuantileSketch::Create(options);
+  ASSERT_TRUE(fresh.ok());
+  Result<ShardedQuantileSketch> used =
+      ShardedQuantileSketch::Create(options);
+  ASSERT_TRUE(used.ok());
+  for (int s = 0; s < options.num_shards; ++s) {
+    used.value().AddBatch(s, TestStream(30000, 100 + s));
+  }
+
+  used.value().Reset();
+  EXPECT_EQ(used.value().count(), 0u);
+  for (int s = 0; s < options.num_shards; ++s) {
+    EXPECT_EQ(used.value().shard(s).Serialize(),
+              fresh.value().shard(s).Serialize())
+        << "shard " << s;
+  }
+}
+
+TEST(ResetTest, ShardedResetWithSeedMatchesCreate) {
+  ShardedQuantileSketch::Options options;
+  options.eps = 0.05;
+  options.delta = 1e-3;
+  options.num_shards = 2;
+  options.seed = 5;
+  Result<ShardedQuantileSketch> a = ShardedQuantileSketch::Create(options);
+  ASSERT_TRUE(a.ok());
+  a.value().AddBatch(0, TestStream(10000, 1));
+
+  options.seed = 6;
+  Result<ShardedQuantileSketch> b = ShardedQuantileSketch::Create(options);
+  ASSERT_TRUE(b.ok());
+
+  a.value().Reset(6);  // re-derive per-shard seeds from the new top seed
+  for (int s = 0; s < options.num_shards; ++s) {
+    EXPECT_EQ(a.value().shard(s).Serialize(), b.value().shard(s).Serialize())
+        << "shard " << s;
+  }
+}
+
+}  // namespace
+}  // namespace mrl
