@@ -54,6 +54,27 @@ int main(int argc, char** argv) {
   EncodeCreateSketch("t", TenantConfig{}, &wire);
   ok = WriteFile(dir, "create_default", wire) && ok;
 
+  // Protocol v2 backends: seed the fuzzer with well-formed CREATE_SKETCH
+  // frames for each new kind byte so mutations explore the kind validator
+  // from inside valid frames.
+  wire.clear();
+  TenantConfig kll;
+  kll.kind = SketchKind::kKll;
+  kll.eps = 0.005;
+  kll.delta = 1e-4;
+  kll.seed = 7;
+  EncodeCreateSketch("tenant-k", kll, &wire);
+  ok = WriteFile(dir, "create_kll", wire) && ok;
+
+  wire.clear();
+  TenantConfig reservoir;
+  reservoir.kind = SketchKind::kDetReservoir;
+  reservoir.eps = 0.01;
+  reservoir.delta = 1e-3;
+  reservoir.seed = 9;
+  EncodeCreateSketch("tenant-r", reservoir, &wire);
+  ok = WriteFile(dir, "create_det_reservoir", wire) && ok;
+
   wire.clear();
   const std::vector<mrl::Value> values = {1.5, -2.25, 0.0, 1e300, -1e-300};
   EncodeAddBatch("tenant-a", values, &wire);

@@ -115,4 +115,11 @@ Result<Value> ArsSketch::Query(double phi) const {
   return WeightedQuantile(snap.runs, phi);
 }
 
+void ArsSketch::Reset() {
+  framework_.Reset();
+  count_ = 0;
+  filling_ = false;
+  fill_slot_ = 0;
+}
+
 }  // namespace mrl

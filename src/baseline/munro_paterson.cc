@@ -99,4 +99,11 @@ Result<Value> MunroPatersonSketch::Query(double phi) const {
   return WeightedQuantile(snap.runs, phi);
 }
 
+void MunroPatersonSketch::Reset() {
+  framework_.Reset();
+  count_ = 0;
+  filling_ = false;
+  fill_slot_ = 0;
+}
+
 }  // namespace mrl

@@ -16,7 +16,8 @@ Result<ReservoirQuantileSketch> ReservoirQuantileSketch::Create(
   const std::size_t capacity = static_cast<std::size_t>(
       HoeffdingSampleSize(options.eps, options.delta));
   return ReservoirQuantileSketch(
-      ReservoirSampler(capacity, Random(options.seed), options.method));
+      ReservoirSampler(capacity, Random(options.seed), options.method),
+      options.seed);
 }
 
 Result<Value> ReservoirQuantileSketch::Query(double phi) const {

@@ -12,9 +12,12 @@
 namespace mrl {
 
 /// Common interface of every single-pass quantile estimator in the library
-/// (the MRL99 sketches and the baselines), so that tests and benchmark
-/// harnesses can sweep over algorithms uniformly. Hot paths are free to use
-/// the concrete classes directly and skip the virtual dispatch.
+/// (the MRL99 sketches, the KLL and deterministic-reservoir backends, and
+/// the baselines). Since PR 6 this is the full backend lifecycle contract —
+/// the serving registry, the checkpoint paths and the differential/bench
+/// harnesses all drive sketches through it — not just a query-side test
+/// convenience. Hot paths are still free to use the concrete classes
+/// directly and skip the virtual dispatch.
 class QuantileEstimator {
  public:
   virtual ~QuantileEstimator() = default;
@@ -34,6 +37,8 @@ class QuantileEstimator {
   /// (UnknownNSketch and its wrappers) override this with an implementation
   /// that is bit-identical to the element-wise loop under the same seed but
   /// substantially faster; the default simply loops.
+  /// tests/batch_equivalence_test.cc pins the bit-identity contract for
+  /// every backend.
   virtual void AddBatch(std::span<const Value> values) {
     for (Value v : values) Add(v);
   }
@@ -46,12 +51,82 @@ class QuantileEstimator {
   /// InvalidArgument for phi outside (0, 1].
   virtual Result<Value> Query(double phi) const = 0;
 
+  /// Answers every phi in one call. Backends with a merged-summary batch
+  /// path override this to build their synopsis once; the default loops
+  /// Query. Fails under the same conditions as Query.
+  virtual Result<std::vector<Value>> QueryMany(
+      const std::vector<double>& phis) const {
+    std::vector<Value> answers;
+    answers.reserve(phis.size());
+    for (double phi : phis) {
+      Result<Value> answer = Query(phi);
+      if (!answer.ok()) return answer.status();
+      answers.push_back(answer.value());
+    }
+    return answers;
+  }
+
   /// Peak main-memory footprint in stored elements (the unit the paper's
-  /// tables use; multiply by sizeof(Value) for bytes).
+  /// tables use).
   virtual std::uint64_t MemoryElements() const = 0;
+
+  /// Peak main-memory footprint in bytes. The default charges
+  /// sizeof(Value) per stored element; backends that carry per-element
+  /// metadata (e.g. the deterministic reservoir's hash tags) override it.
+  virtual std::uint64_t MemoryBytes() const {
+    return MemoryElements() * sizeof(Value);
+  }
 
   /// Short display name for reports.
   virtual std::string name() const = 0;
+
+  // -------------------------------------------------------------------------
+  // Lifecycle (registry/checkpoint surface)
+
+  /// Returns the sketch to its freshly constructed state without releasing
+  /// buffer pools or warmed scratch storage, so a serving layer can recycle
+  /// tenant slots allocation-free. For checkpoint-capable backends the
+  /// serialized state after Reset() is byte-identical to a newly
+  /// constructed sketch with the same options (tests/reset_test.cc).
+  virtual void Reset() = 0;
+
+  /// As Reset(), but re-seeds the backend's randomness with `seed` (the
+  /// state a fresh sketch constructed with that seed would have).
+  /// Deterministic backends without internal randomness ignore the seed;
+  /// the default delegates to Reset().
+  virtual void Reset(std::uint64_t seed) {
+    (void)seed;
+    Reset();
+  }
+
+  /// Folds `other` into this sketch so that subsequent queries answer over
+  /// the union of both streams. Backends that cannot merge return
+  /// Unimplemented (the default); mergeable backends document their
+  /// compatibility requirements (same structural parameters, and for the
+  /// deterministic reservoir the same hash seed).
+  virtual Status Merge(const QuantileEstimator& other) {
+    (void)other;
+    return Status::Unimplemented("this backend does not support Merge");
+  }
+
+  /// True when Serialize()/Restore() round-trip the complete sketch state
+  /// (docs/checkpoint_format.md). The registry only instantiates
+  /// checkpoint-capable backends.
+  virtual bool SupportsCheckpoint() const { return false; }
+
+  /// Encodes the complete sketch state in the backend's versioned
+  /// checkpoint format. Returns an empty blob for backends without
+  /// checkpoint support (SupportsCheckpoint() == false).
+  virtual std::vector<std::uint8_t> Serialize() const { return {}; }
+
+  /// Restores this instance from Serialize() output of a structurally
+  /// compatible sketch. Rejects truncated, corrupt or kind-mismatched
+  /// input with a Status rather than crashing; on error the sketch is
+  /// unchanged. The default (non-checkpoint backends) is Unimplemented.
+  virtual Status Restore(std::span<const std::uint8_t> bytes) {
+    (void)bytes;
+    return Status::Unimplemented("this backend does not support Restore");
+  }
 
   /// Convenience: consume a whole vector (via the batch path).
   void AddAll(const std::vector<Value>& values) {

@@ -296,4 +296,12 @@ Result<KnownNSketch> KnownNSketch::Deserialize(
   return sketch;
 }
 
+Status KnownNSketch::Restore(std::span<const std::uint8_t> bytes) {
+  Result<KnownNSketch> restored =
+      Deserialize(std::vector<std::uint8_t>(bytes.begin(), bytes.end()));
+  if (!restored.ok()) return restored.status();
+  *this = std::move(restored).value();
+  return Status::OK();
+}
+
 }  // namespace mrl

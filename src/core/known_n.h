@@ -57,14 +57,15 @@ class KnownNSketch : public QuantileEstimator {
   }
   std::string name() const override { return "mrl98_known_n"; }
 
-  Result<std::vector<Value>> QueryMany(const std::vector<double>& phis) const;
+  Result<std::vector<Value>> QueryMany(
+      const std::vector<double>& phis) const override;
 
   /// Returns the sketch to its freshly constructed state (clearing any
   /// overflow) without releasing the buffer pool; serialized state after
   /// Reset() is byte-identical to a new sketch with the same options. See
   /// UnknownNSketch::Reset for the seed semantics.
-  void Reset();
-  void Reset(std::uint64_t seed);
+  void Reset() override;
+  void Reset(std::uint64_t seed) override;
 
   const KnownNParams& params() const { return params_; }
   bool overflowed() const { return count_ > params_.n; }
@@ -76,9 +77,13 @@ class KnownNSketch : public QuantileEstimator {
   const CollapseFramework& framework() const { return framework_; }
 
   /// Checkpointing, mirroring UnknownNSketch::Serialize/Deserialize.
-  std::vector<std::uint8_t> Serialize() const;
+  bool SupportsCheckpoint() const override { return true; }
+  std::vector<std::uint8_t> Serialize() const override;
   static Result<KnownNSketch> Deserialize(
       const std::vector<std::uint8_t>& bytes);
+
+  /// In-place restore from Serialize() output (see UnknownNSketch::Restore).
+  Status Restore(std::span<const std::uint8_t> bytes) override;
 
  private:
   KnownNSketch(const KnownNParams& params, std::uint64_t seed);

@@ -1,10 +1,12 @@
 #include "core/sharded.h"
 
 #include <cstdlib>
+#include <utility>
 
 #include "core/params.h"
 #include "util/logging.h"
 #include "util/random.h"
+#include "util/serde.h"
 
 namespace mrl {
 
@@ -49,6 +51,7 @@ void ShardedQuantileSketch::Reset() { Reset(seed_); }
 
 void ShardedQuantileSketch::Reset(std::uint64_t seed) {
   seed_ = seed;
+  rr_cursor_ = 0;
   // Re-derive the per-shard seeds exactly as Create does.
   Random seeder(seed);
   for (UnknownNSketch& s : shards_) s.Reset(seeder.NextUint64());
@@ -69,6 +72,37 @@ void ShardedQuantileSketch::AddBatch(int shard,
                                      std::span<const Value> values) {
   CheckShardIndex(shard);
   shards_[static_cast<std::size_t>(shard)].AddBatch(values);
+}
+
+void ShardedQuantileSketch::Add(Value v) {
+  shards_[static_cast<std::size_t>(rr_cursor_)].Add(v);
+  rr_cursor_ = (rr_cursor_ + 1) % shards_.size();
+}
+
+void ShardedQuantileSketch::AddBatch(std::span<const Value> values) {
+  const std::size_t num_shards = shards_.size();
+  if (num_shards == 1) {
+    shards_[0].AddBatch(values);
+    return;
+  }
+  // Element i belongs to shard (rr_cursor_ + i) mod S — the same routing
+  // the element-wise Add performs. Gathering each shard's strided slice
+  // keeps that bit-identity while still driving the per-shard batch fast
+  // path; the staging vector is reused across calls.
+  for (std::size_t sh = 0; sh < num_shards; ++sh) {
+    const std::size_t first =
+        (sh + num_shards - static_cast<std::size_t>(rr_cursor_) % num_shards) %
+        num_shards;
+    batch_scratch_.clear();
+    for (std::size_t i = first; i < values.size(); i += num_shards) {
+      batch_scratch_.push_back(values[i]);
+    }
+    if (!batch_scratch_.empty()) {
+      shards_[sh].AddBatch(std::span<const Value>(batch_scratch_.data(),
+                                                  batch_scratch_.size()));
+    }
+  }
+  rr_cursor_ = (rr_cursor_ + values.size()) % num_shards;
 }
 
 std::uint64_t ShardedQuantileSketch::count() const {
@@ -141,6 +175,83 @@ std::uint64_t ShardedQuantileSketch::MemoryElements() const {
   std::uint64_t total = 0;
   for (const UnknownNSketch& s : shards_) total += s.MemoryElements();
   return total;
+}
+
+namespace {
+constexpr std::uint32_t kCheckpointMagic = 0x4D524C51;  // "MRLQ"
+constexpr std::uint8_t kCheckpointVersion = 2;
+constexpr std::uint8_t kKindSharded = 4;
+constexpr std::uint32_t kMaxShards = 1024;  // matches the wire-level bound
+}  // namespace
+
+std::vector<std::uint8_t> ShardedQuantileSketch::Serialize() const {
+  BinaryWriter writer;
+  writer.PutU32(kCheckpointMagic);
+  writer.PutU8(kCheckpointVersion);
+  writer.PutU8(kKindSharded);
+  writer.PutU64(seed_);
+  writer.PutU64(rr_cursor_);
+  writer.PutU32(static_cast<std::uint32_t>(shards_.size()));
+  for (const UnknownNSketch& s : shards_) {
+    const std::vector<std::uint8_t> blob = s.Serialize();
+    writer.PutU32(static_cast<std::uint32_t>(blob.size()));
+    for (std::uint8_t byte : blob) writer.PutU8(byte);
+  }
+  return writer.Take();
+}
+
+Status ShardedQuantileSketch::Restore(std::span<const std::uint8_t> bytes) {
+  BinaryReader reader(bytes.data(), bytes.size());
+  std::uint32_t magic;
+  std::uint8_t version, kind;
+  std::uint64_t seed, rr_cursor;
+  std::uint32_t num_shards;
+  if (!reader.GetU32(&magic) || !reader.GetU8(&version) ||
+      !reader.GetU8(&kind) || !reader.GetU64(&seed) ||
+      !reader.GetU64(&rr_cursor) || !reader.GetU32(&num_shards)) {
+    return reader.status();
+  }
+  if (magic != kCheckpointMagic) {
+    return Status::InvalidArgument("not an mrlquant checkpoint");
+  }
+  if (version != kCheckpointVersion || kind != kKindSharded) {
+    return Status::InvalidArgument("unsupported checkpoint version or kind");
+  }
+  if (num_shards < 1 || num_shards > kMaxShards) {
+    return Status::InvalidArgument("checkpoint shard count out of range");
+  }
+  if (rr_cursor >= num_shards) {
+    return Status::InvalidArgument("checkpoint round-robin cursor invalid");
+  }
+  std::vector<UnknownNSketch> shards;
+  shards.reserve(num_shards);
+  std::vector<std::uint8_t> blob;
+  for (std::uint32_t s = 0; s < num_shards; ++s) {
+    std::uint32_t len;
+    if (!reader.GetU32(&len)) return reader.status();
+    if (len > reader.Remaining()) {
+      return Status::InvalidArgument("checkpoint shard blob truncated");
+    }
+    blob.clear();
+    blob.reserve(len);
+    for (std::uint32_t i = 0; i < len; ++i) {
+      std::uint8_t byte;
+      if (!reader.GetU8(&byte)) return reader.status();
+      blob.push_back(byte);
+    }
+    Result<UnknownNSketch> shard = UnknownNSketch::Deserialize(blob);
+    if (!shard.ok()) return shard.status();
+    shards.push_back(std::move(shard).value());
+  }
+  if (!reader.AtEnd()) {
+    return Status::InvalidArgument("trailing bytes after checkpoint");
+  }
+  Result<ShardedQuantileSketch> restored = FromShards(std::move(shards));
+  if (!restored.ok()) return restored.status();
+  *this = std::move(restored).value();
+  seed_ = seed;
+  rr_cursor_ = rr_cursor;
+  return Status::OK();
 }
 
 }  // namespace mrl

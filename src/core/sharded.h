@@ -5,6 +5,7 @@
 #include <span>
 #include <vector>
 
+#include "core/estimator.h"
 #include "core/summary.h"
 #include "core/unknown_n.h"
 #include "util/status.h"
@@ -25,7 +26,12 @@ namespace mrl {
 /// concurrently across different shards with no synchronization. Queries
 /// must not run concurrently with Adds (take a scan barrier first) — the
 /// same external-synchronization contract as mainstream sketch libraries.
-class ShardedQuantileSketch {
+///
+/// The QuantileEstimator overrides (shardless Add/AddBatch) route elements
+/// round-robin across shards from an internal cursor and require external
+/// synchronization like any single-threaded backend; the shard-indexed
+/// entry points below keep the concurrent single-writer-per-shard contract.
+class ShardedQuantileSketch : public QuantileEstimator {
  public:
   struct Options {
     double eps = 0.01;
@@ -63,14 +69,23 @@ class ShardedQuantileSketch {
   /// release-mode shard-range contract as Add applies.
   void AddBatch(int shard, std::span<const Value> values);
 
+  /// QuantileEstimator ingestion: routes each element to the next shard in
+  /// round-robin order from an internal cursor (the serving registry's
+  /// distribution policy). AddBatch gathers each shard's strided slice and
+  /// feeds it through that shard's batch fast path, so it is bit-identical
+  /// to calling Add per element while keeping per-shard batch throughput.
+  void Add(Value v) override;
+  void AddBatch(std::span<const Value> values) override;
+
   /// Elements consumed across all shards.
-  std::uint64_t count() const;
+  std::uint64_t count() const override;
 
   /// The phi-quantile of the union of all shards.
-  Result<Value> Query(double phi) const;
+  Result<Value> Query(double phi) const override;
 
   /// Batch form over the merged summary (one merge for all phis).
-  Result<std::vector<Value>> QueryMany(const std::vector<double>& phis) const;
+  Result<std::vector<Value>> QueryMany(
+      const std::vector<double>& phis) const override;
 
   /// Merged summary over all shards (also the hand-off format for
   /// cross-process aggregation).
@@ -86,15 +101,25 @@ class ShardedQuantileSketch {
     return shards_[static_cast<std::size_t>(s)];
   }
 
-  std::uint64_t MemoryElements() const;
+  std::uint64_t MemoryElements() const override;
+  std::string name() const override { return "mrl99_sharded"; }
 
   /// Returns every shard to its freshly constructed state without
   /// releasing any buffer pool (see UnknownNSketch::Reset). Reset() replays
   /// the construction seed; Reset(seed) re-derives the per-shard seeds from
   /// `seed` exactly as Create would, so serialized per-shard state is
-  /// byte-identical to a fresh Create with that seed.
-  void Reset();
-  void Reset(std::uint64_t seed);
+  /// byte-identical to a fresh Create with that seed. The round-robin
+  /// cursor returns to shard 0 either way.
+  void Reset() override;
+  void Reset(std::uint64_t seed) override;
+
+  /// Checkpointing: a framed blob (docs/checkpoint_format.md, kind 4)
+  /// carrying the top seed, the round-robin cursor and every shard's own
+  /// checkpoint, so a restored sketch continues routing exactly where the
+  /// original stopped.
+  bool SupportsCheckpoint() const override { return true; }
+  std::vector<std::uint8_t> Serialize() const override;
+  Status Restore(std::span<const std::uint8_t> bytes) override;
 
  private:
   explicit ShardedQuantileSketch(std::vector<UnknownNSketch> shards,
@@ -115,6 +140,11 @@ class ShardedQuantileSketch {
 
   std::vector<UnknownNSketch> shards_;
   std::uint64_t seed_ = 1;  ///< construction seed, replayed by Reset()
+  /// Next shard the interface-level Add routes to (round-robin).
+  std::uint64_t rr_cursor_ = 0;
+  /// Strided-gather staging for the interface-level AddBatch; holds at most
+  /// one batch and is reused across calls (not sketch state).
+  std::vector<Value> batch_scratch_;
 };
 
 }  // namespace mrl

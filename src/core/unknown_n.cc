@@ -374,6 +374,14 @@ Result<UnknownNSketch> UnknownNSketch::Deserialize(
   return sketch;
 }
 
+Status UnknownNSketch::Restore(std::span<const std::uint8_t> bytes) {
+  Result<UnknownNSketch> restored =
+      Deserialize(std::vector<std::uint8_t>(bytes.begin(), bytes.end()));
+  if (!restored.ok()) return restored.status();
+  *this = std::move(restored).value();
+  return Status::OK();
+}
+
 std::vector<ShippedBuffer> UnknownNSketch::FinishAndExport() {
   std::vector<ShippedBuffer> out;
   framework_.CollapseAllFull();

@@ -105,15 +105,16 @@ class UnknownNSketch : public QuantileEstimator {
   /// (tests/reset_test.cc pins this). A sketch restored via Deserialize
   /// resets to the restore-time default seed; use Reset(seed) to pick the
   /// seed explicitly.
-  void Reset();
+  void Reset() override;
 
   /// As Reset(), but re-seeds the sampler's generator with `seed` (the
   /// state a fresh sketch constructed with options.seed == seed would
   /// have). Subsequent Reset() calls reuse this seed.
-  void Reset(std::uint64_t seed);
+  void Reset(std::uint64_t seed) override;
 
   /// Batch query: one merge pass for all of `phis` (any order).
-  Result<std::vector<Value>> QueryMany(const std::vector<double>& phis) const;
+  Result<std::vector<Value>> QueryMany(
+      const std::vector<double>& phis) const override;
 
   /// Dual query: the approximate normalized rank of `v` — the fraction of
   /// consumed elements that are <= v, accurate to within eps with the same
@@ -158,7 +159,14 @@ class UnknownNSketch : public QuantileEstimator {
   /// can suspend and resume a scan. The byte format is versioned;
   /// Deserialize rejects truncated or inconsistent input with a Status
   /// rather than crashing.
-  std::vector<std::uint8_t> Serialize() const;
+  bool SupportsCheckpoint() const override { return true; }
+  std::vector<std::uint8_t> Serialize() const override;
+
+  /// In-place restore from Serialize() output (the interface-driven
+  /// counterpart of the static Deserialize; registry recovery uses it).
+  /// Any dynamic buffer-allowance schedule is dropped, as with
+  /// Deserialize's default argument. On error the sketch is unchanged.
+  Status Restore(std::span<const std::uint8_t> bytes) override;
 
   /// Restores a sketch from Serialize() output. `buffer_allowance` is a
   /// function and cannot be encoded; when the original sketch ran under a

@@ -104,6 +104,24 @@ bool IsKnownMsgType(std::uint8_t type) {
          type <= static_cast<std::uint8_t>(MsgType::kResponse);
 }
 
+bool IsKnownSketchKind(std::uint8_t kind) {
+  return kind <= static_cast<std::uint8_t>(SketchKind::kDetReservoir);
+}
+
+std::string_view SketchKindName(SketchKind kind) {
+  switch (kind) {
+    case SketchKind::kUnknownN:
+      return "unknown_n";
+    case SketchKind::kSharded:
+      return "sharded";
+    case SketchKind::kKll:
+      return "kll";
+    case SketchKind::kDetReservoir:
+      return "det_reservoir";
+  }
+  return "invalid";
+}
+
 std::uint32_t Crc32(const std::uint8_t* data, std::size_t n) {
   const std::array<std::uint32_t, 256>& table = CrcTable();
   std::uint32_t crc = 0xFFFFFFFFu;
@@ -282,8 +300,9 @@ Result<CreateSketchRequest> DecodeCreateSketch(const std::uint8_t* payload,
     return reader.status();
   }
   MRL_RETURN_IF_ERROR(RequireAtEnd(reader));
-  if (kind > static_cast<std::uint8_t>(SketchKind::kSharded)) {
-    return Status::InvalidArgument("unknown sketch kind");
+  if (!IsKnownSketchKind(kind)) {
+    return Status::InvalidArgument("unknown sketch kind " +
+                                   std::to_string(kind));
   }
   req.config.kind = static_cast<SketchKind>(kind);
   if (!std::isfinite(req.config.eps) || req.config.eps <= 0 ||
@@ -566,7 +585,7 @@ Result<StatsReply> DecodeStatsOk(const ResponseView& response) {
     return reader.status();
   }
   MRL_RETURN_IF_ERROR(RequireAtEnd(reader));
-  if (present > 1 || kind > static_cast<std::uint8_t>(SketchKind::kSharded)) {
+  if (present > 1 || !IsKnownSketchKind(kind)) {
     return Status::InvalidArgument("STATS reply fields out of range");
   }
   stats.tenant_present = present != 0;

@@ -26,7 +26,10 @@ namespace server {
 /// oversized length, or a CRC mismatch reject the frame with a Status —
 /// never a crash — which is what makes it safe to fuzz and to expose to
 /// untrusted peers (fuzz/fuzz_protocol_decode.cc).
-inline constexpr std::uint8_t kProtocolVersion = 1;
+/// Version history: 1 = initial protocol (kinds unknown-n, sharded);
+/// 2 = pluggable backends (CREATE_SKETCH/STATS gained the kll and
+/// det_reservoir kinds). Frames carrying any other version are rejected.
+inline constexpr std::uint8_t kProtocolVersion = 2;
 
 /// Bytes before the payload: length prefix + version + type + reserved + crc.
 inline constexpr std::size_t kFrameHeaderSize = 12;
@@ -61,9 +64,22 @@ bool IsValidTenantName(std::string_view name);
 
 /// Which sketch backs a tenant (CREATE_SKETCH `kind` field).
 enum class SketchKind : std::uint8_t {
-  kUnknownN = 0,  ///< single UnknownNSketch (single-writer tenants)
-  kSharded = 1,   ///< ShardedQuantileSketch (round-robin ingestion)
+  kUnknownN = 0,      ///< single UnknownNSketch (single-writer tenants)
+  kSharded = 1,       ///< ShardedQuantileSketch (round-robin ingestion)
+  kKll = 2,           ///< KllSketch (protocol v2)
+  kDetReservoir = 3,  ///< DeterministicReservoirSketch (protocol v2)
 };
+
+/// The single validator for kind bytes arriving from the outside — the
+/// CREATE_SKETCH decoder, the STATS reply decoder and the registry
+/// checkpoint decoder all call it, so adding a backend extends exactly one
+/// check. Unknown bytes must produce a clean Status, never a crash.
+bool IsKnownSketchKind(std::uint8_t kind);
+
+/// Display name of a kind ("unknown_n", "sharded", "kll", "det_reservoir";
+/// "invalid" for out-of-range values). Used in server error text and the
+/// CLI stats output.
+std::string_view SketchKindName(SketchKind kind);
 
 /// Tenant configuration carried by CREATE_SKETCH and persisted in registry
 /// checkpoints.

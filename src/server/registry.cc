@@ -6,15 +6,12 @@
 #include <mutex>
 #include <utility>
 
+#include "core/det_reservoir.h"
+#include "core/kll.h"
+#include "core/sharded.h"
+#include "core/unknown_n.h"
 #include "util/logging.h"
 #include "util/serde.h"
-
-// GCC at -O2 issues spurious -Wmaybe-uninitialized on moves of
-// std::optional<std::variant<...>> (Result<SketchVariant>, GCC PR 105562);
-// every path initializes the variant before use.
-#if defined(__GNUC__) && !defined(__clang__)
-#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
-#endif
 
 namespace mrl {
 namespace server {
@@ -23,15 +20,12 @@ namespace {
 
 // Registry checkpoint framing (docs/checkpoint_format.md, "Registry
 // checkpoint"): header, tenant records, CRC-32 trailer over everything
-// before it.
+// before it. Version 2 made the sketch record uniform across backends —
+// one u32 length plus the backend's own Serialize() blob — replacing the
+// v1 per-kind layouts; v1 files are rejected (re-ingest or re-snapshot).
 constexpr std::uint32_t kRegistryMagic = 0x4D524C52;  // "MRLR"
-constexpr std::uint8_t kRegistryVersion = 1;
+constexpr std::uint8_t kRegistryVersion = 2;
 constexpr std::uint64_t kMaxCheckpointTenants = std::uint64_t{1} << 20;
-
-std::uint64_t SketchCount(const UnknownNSketch& s) { return s.count(); }
-std::uint64_t SketchCount(const ShardedQuantileSketch& s) {
-  return s.count();
-}
 
 Status WriteFileAtomic(const std::string& path,
                        const std::vector<std::uint8_t>& bytes) {
@@ -81,8 +75,7 @@ Status ReadFileBytes(const std::string& path, std::vector<std::uint8_t>* out,
 }
 
 Status ValidateConfig(const TenantConfig& config) {
-  if (config.kind != SketchKind::kUnknownN &&
-      config.kind != SketchKind::kSharded) {
+  if (!IsKnownSketchKind(static_cast<std::uint8_t>(config.kind))) {
     return Status::InvalidArgument("unknown sketch kind");
   }
   if (!(config.eps > 0) || config.eps > 0.5) {
@@ -101,7 +94,7 @@ Status ValidateConfig(const TenantConfig& config) {
 /// that solves to the same shape; the seed is replayed by Reset(seed).
 bool StructurallyEqual(const TenantConfig& a, const TenantConfig& b) {
   return a.kind == b.kind && a.eps == b.eps && a.delta == b.delta &&
-         (a.kind == SketchKind::kUnknownN || a.num_shards == b.num_shards);
+         (a.kind != SketchKind::kSharded || a.num_shards == b.num_shards);
 }
 
 void EncodeConfig(const TenantConfig& config, BinaryWriter* writer) {
@@ -120,8 +113,9 @@ Status DecodeConfig(BinaryReader* reader, TenantConfig* config) {
       !reader->GetU64(&config->seed)) {
     return reader->status();
   }
-  if (kind > static_cast<std::uint8_t>(SketchKind::kSharded)) {
-    return Status::InvalidArgument("checkpoint: unknown sketch kind");
+  if (!IsKnownSketchKind(kind)) {
+    return Status::InvalidArgument("checkpoint: unknown sketch kind " +
+                                   std::to_string(kind));
   }
   config->kind = static_cast<SketchKind>(kind);
   return ValidateConfig(*config);
@@ -151,41 +145,66 @@ SketchRegistry::SketchRegistry(RegistryOptions options)
   MRL_CHECK_GE(options_.max_tenants, 1u);
 }
 
-Result<SketchRegistry::SketchVariant> SketchRegistry::MakeSketch(
+Result<std::unique_ptr<QuantileEstimator>> SketchRegistry::MakeSketch(
     const TenantConfig& config) {
-  if (config.kind == SketchKind::kUnknownN) {
-    UnknownNOptions opts;
-    opts.eps = config.eps;
-    opts.delta = config.delta;
-    opts.seed = config.seed;
-    Result<UnknownNSketch> sketch = UnknownNSketch::Create(opts);
-    if (!sketch.ok()) return sketch.status();
-    return SketchVariant(std::move(sketch).value());
+  switch (config.kind) {
+    case SketchKind::kUnknownN: {
+      UnknownNOptions opts;
+      opts.eps = config.eps;
+      opts.delta = config.delta;
+      opts.seed = config.seed;
+      Result<UnknownNSketch> sketch = UnknownNSketch::Create(opts);
+      if (!sketch.ok()) return sketch.status();
+      return std::unique_ptr<QuantileEstimator>(
+          new UnknownNSketch(std::move(sketch).value()));
+    }
+    case SketchKind::kSharded: {
+      ShardedQuantileSketch::Options opts;
+      opts.eps = config.eps;
+      opts.delta = config.delta;
+      opts.num_shards = config.num_shards;
+      opts.seed = config.seed;
+      Result<ShardedQuantileSketch> sketch =
+          ShardedQuantileSketch::Create(opts);
+      if (!sketch.ok()) return sketch.status();
+      return std::unique_ptr<QuantileEstimator>(
+          new ShardedQuantileSketch(std::move(sketch).value()));
+    }
+    case SketchKind::kKll: {
+      KllOptions opts;
+      opts.eps = config.eps;
+      opts.delta = config.delta;
+      opts.seed = config.seed;
+      Result<KllSketch> sketch = KllSketch::Create(opts);
+      if (!sketch.ok()) return sketch.status();
+      return std::unique_ptr<QuantileEstimator>(
+          new KllSketch(std::move(sketch).value()));
+    }
+    case SketchKind::kDetReservoir: {
+      DetReservoirOptions opts;
+      opts.eps = config.eps;
+      opts.delta = config.delta;
+      opts.seed = config.seed;
+      Result<DeterministicReservoirSketch> sketch =
+          DeterministicReservoirSketch::Create(opts);
+      if (!sketch.ok()) return sketch.status();
+      return std::unique_ptr<QuantileEstimator>(
+          new DeterministicReservoirSketch(std::move(sketch).value()));
+    }
   }
-  ShardedQuantileSketch::Options opts;
-  opts.eps = config.eps;
-  opts.delta = config.delta;
-  opts.num_shards = config.num_shards;
-  opts.seed = config.seed;
-  Result<ShardedQuantileSketch> sketch =
-      ShardedQuantileSketch::Create(opts);
-  if (!sketch.ok()) return sketch.status();
-  return SketchVariant(std::move(sketch).value());
+  return Status::InvalidArgument("unknown sketch kind");
 }
 
-Result<SketchRegistry::SketchVariant> SketchRegistry::ObtainSketch(
+Result<std::unique_ptr<QuantileEstimator>> SketchRegistry::ObtainSketch(
     const TenantConfig& config) {
   for (std::size_t i = 0; i < free_pool_.size(); ++i) {
     if (!StructurallyEqual(free_pool_[i].config, config)) continue;
-    SketchVariant sketch = std::move(free_pool_[i].sketch);
+    std::unique_ptr<QuantileEstimator> sketch =
+        std::move(free_pool_[i].sketch);
     free_pool_.erase(free_pool_.begin() + static_cast<std::ptrdiff_t>(i));
     // Reset(seed) makes the recycled sketch byte-identical to a fresh one
     // with this config (tests/reset_test.cc), so recycling is invisible.
-    if (auto* u = std::get_if<UnknownNSketch>(&sketch)) {
-      u->Reset(config.seed);
-    } else {
-      std::get<ShardedQuantileSketch>(sketch).Reset(config.seed);
-    }
+    sketch->Reset(config.seed);
     recycled_creates_.fetch_add(1, std::memory_order_relaxed);
     return sketch;
   }
@@ -194,8 +213,7 @@ Result<SketchRegistry::SketchVariant> SketchRegistry::ObtainSketch(
 
 void SketchRegistry::RecycleLocked(std::shared_ptr<Tenant> tenant) {
   if (free_pool_.size() >= options_.max_free_pool) return;
-  free_pool_.push_back(
-      {tenant->config, std::move(tenant->sketch)});
+  free_pool_.push_back({tenant->config, std::move(tenant->sketch)});
 }
 
 void SketchRegistry::EvictOneLocked() {
@@ -238,12 +256,34 @@ Status SketchRegistry::Create(std::string_view name,
     return Status::InvalidArgument("invalid tenant name");
   }
   MRL_RETURN_IF_ERROR(ValidateConfig(config));
+  if (!options_.allowed_kinds.empty()) {
+    bool allowed = false;
+    for (SketchKind kind : options_.allowed_kinds) {
+      if (kind == config.kind) {
+        allowed = true;
+        break;
+      }
+    }
+    if (!allowed) {
+      return Status::FailedPrecondition(
+          "backend '" + std::string(SketchKindName(config.kind)) +
+          "' is disabled on this server");
+    }
+  }
   std::unique_lock<std::shared_mutex> lock(map_mu_);
-  if (tenants_.find(name) != tenants_.end()) {
+  TenantMap::iterator existing = tenants_.find(name);
+  if (existing != tenants_.end()) {
+    const SketchKind have = existing->second->config.kind;
+    if (have != config.kind) {
+      return Status::FailedPrecondition(
+          "tenant already exists with kind '" +
+          std::string(SketchKindName(have)) + "', requested '" +
+          std::string(SketchKindName(config.kind)) + "'");
+    }
     return Status::FailedPrecondition("tenant already exists");
   }
   if (tenants_.size() >= options_.max_tenants) EvictOneLocked();
-  Result<SketchVariant> sketch = ObtainSketch(config);
+  Result<std::unique_ptr<QuantileEstimator>> sketch = ObtainSketch(config);
   if (!sketch.ok()) return sketch.status();
   std::shared_ptr<Tenant> tenant =
       std::make_shared<Tenant>(config, std::move(sketch).value());
@@ -259,27 +299,15 @@ Result<std::uint64_t> SketchRegistry::AddBatch(std::string_view name,
   std::shared_ptr<Tenant> tenant = FindTenant(name);
   if (tenant == nullptr) return Status::NotFound("unknown tenant");
   std::unique_lock<std::shared_mutex> lock(tenant->mu);
-  if (auto* u = std::get_if<UnknownNSketch>(&tenant->sketch)) {
-    u->AddBatch(values);
-    return u->count();
-  }
-  ShardedQuantileSketch& sharded =
-      std::get<ShardedQuantileSketch>(tenant->sketch);
-  const int shard = static_cast<int>(
-      tenant->next_shard++ % static_cast<std::uint64_t>(
-                                 sharded.num_shards()));
-  sharded.AddBatch(shard, values);
-  return sharded.count();
+  tenant->sketch->AddBatch(values);
+  return tenant->sketch->count();
 }
 
 Result<Value> SketchRegistry::Query(std::string_view name, double phi) const {
   std::shared_ptr<Tenant> tenant = FindTenant(name);
   if (tenant == nullptr) return Status::NotFound("unknown tenant");
   std::shared_lock<std::shared_mutex> lock(tenant->mu);
-  if (const auto* u = std::get_if<UnknownNSketch>(&tenant->sketch)) {
-    return u->Query(phi);
-  }
-  return std::get<ShardedQuantileSketch>(tenant->sketch).Query(phi);
+  return tenant->sketch->Query(phi);
 }
 
 Status SketchRegistry::QueryMany(std::string_view name,
@@ -292,11 +320,7 @@ Status SketchRegistry::QueryMany(std::string_view name,
   thread_local std::vector<double> phi_scratch;
   phi_scratch.assign(phis.begin(), phis.end());
   std::shared_lock<std::shared_mutex> lock(tenant->mu);
-  Result<std::vector<Value>> answers =
-      std::holds_alternative<UnknownNSketch>(tenant->sketch)
-          ? std::get<UnknownNSketch>(tenant->sketch).QueryMany(phi_scratch)
-          : std::get<ShardedQuantileSketch>(tenant->sketch)
-                .QueryMany(phi_scratch);
+  Result<std::vector<Value>> answers = tenant->sketch->QueryMany(phi_scratch);
   if (!answers.ok()) return answers.status();
   *out = std::move(answers).value();
   return Status::OK();
@@ -335,15 +359,8 @@ TenantStats SketchRegistry::Stats(std::string_view name) const {
   std::shared_lock<std::shared_mutex> lock(tenant->mu);
   stats.present = true;
   stats.config = tenant->config;
-  if (const auto* u = std::get_if<UnknownNSketch>(&tenant->sketch)) {
-    stats.count = SketchCount(*u);
-    stats.memory_elements = u->MemoryElements();
-  } else {
-    const ShardedQuantileSketch& s =
-        std::get<ShardedQuantileSketch>(tenant->sketch);
-    stats.count = SketchCount(s);
-    stats.memory_elements = s.MemoryElements();
-  }
+  stats.count = tenant->sketch->count();
+  stats.memory_elements = tenant->sketch->MemoryElements();
   return stats;
 }
 
@@ -358,12 +375,7 @@ RegistryStats SketchRegistry::GlobalStats() const {
   }
   for (const std::shared_ptr<Tenant>& tenant : snapshot) {
     std::shared_lock<std::shared_mutex> lock(tenant->mu);
-    if (const auto* u = std::get_if<UnknownNSketch>(&tenant->sketch)) {
-      stats.total_count += SketchCount(*u);
-    } else {
-      stats.total_count +=
-          SketchCount(std::get<ShardedQuantileSketch>(tenant->sketch));
-    }
+    stats.total_count += tenant->sketch->count();
   }
   stats.evictions = evictions_.load(std::memory_order_relaxed);
   stats.recycled_creates = recycled_creates_.load(std::memory_order_relaxed);
@@ -378,49 +390,20 @@ std::size_t SketchRegistry::size() const {
 
 void SketchRegistry::EncodeTenantSketch(const Tenant& tenant,
                                         BinaryWriter* writer) {
-  if (const auto* u = std::get_if<UnknownNSketch>(&tenant.sketch)) {
-    std::vector<std::uint8_t> blob = u->Serialize();
-    writer->PutU32(static_cast<std::uint32_t>(blob.size()));
-    for (std::uint8_t byte : blob) writer->PutU8(byte);
-    return;
-  }
-  const ShardedQuantileSketch& sharded =
-      std::get<ShardedQuantileSketch>(tenant.sketch);
-  writer->PutU32(static_cast<std::uint32_t>(sharded.num_shards()));
-  for (int s = 0; s < sharded.num_shards(); ++s) {
-    std::vector<std::uint8_t> blob = sharded.shard(s).Serialize();
-    writer->PutU32(static_cast<std::uint32_t>(blob.size()));
-    for (std::uint8_t byte : blob) writer->PutU8(byte);
-  }
+  std::vector<std::uint8_t> blob = tenant.sketch->Serialize();
+  writer->PutU32(static_cast<std::uint32_t>(blob.size()));
+  for (std::uint8_t byte : blob) writer->PutU8(byte);
 }
 
-Result<SketchRegistry::SketchVariant> SketchRegistry::DecodeTenantSketch(
+Result<std::unique_ptr<QuantileEstimator>> SketchRegistry::DecodeTenantSketch(
     const TenantConfig& config, BinaryReader* reader) {
   std::vector<std::uint8_t> blob;
-  if (config.kind == SketchKind::kUnknownN) {
-    MRL_RETURN_IF_ERROR(GetBlob(reader, &blob));
-    Result<UnknownNSketch> sketch = UnknownNSketch::Deserialize(blob);
-    if (!sketch.ok()) return sketch.status();
-    return SketchVariant(std::move(sketch).value());
-  }
-  std::uint32_t num_shards;
-  if (!reader->GetU32(&num_shards)) return reader->status();
-  if (num_shards != static_cast<std::uint32_t>(config.num_shards)) {
-    return Status::InvalidArgument(
-        "checkpoint: shard count disagrees with tenant config");
-  }
-  std::vector<UnknownNSketch> shards;
-  shards.reserve(num_shards);
-  for (std::uint32_t s = 0; s < num_shards; ++s) {
-    MRL_RETURN_IF_ERROR(GetBlob(reader, &blob));
-    Result<UnknownNSketch> shard = UnknownNSketch::Deserialize(blob);
-    if (!shard.ok()) return shard.status();
-    shards.push_back(std::move(shard).value());
-  }
-  Result<ShardedQuantileSketch> sharded =
-      ShardedQuantileSketch::FromShards(std::move(shards));
-  if (!sharded.ok()) return sharded.status();
-  return SketchVariant(std::move(sharded).value());
+  MRL_RETURN_IF_ERROR(GetBlob(reader, &blob));
+  Result<std::unique_ptr<QuantileEstimator>> sketch = MakeSketch(config);
+  if (!sketch.ok()) return sketch.status();
+  MRL_RETURN_IF_ERROR(sketch.value()->Restore(
+      std::span<const std::uint8_t>(blob.data(), blob.size())));
+  return sketch;
 }
 
 Status SketchRegistry::CheckpointNow() {
@@ -507,7 +490,8 @@ Status SketchRegistry::RecoverFromDisk() {
     }
     TenantConfig config;
     MRL_RETURN_IF_ERROR(DecodeConfig(&reader, &config));
-    Result<SketchVariant> sketch = DecodeTenantSketch(config, &reader);
+    Result<std::unique_ptr<QuantileEstimator>> sketch =
+        DecodeTenantSketch(config, &reader);
     if (!sketch.ok()) return sketch.status();
     if (recovered.find(name) != recovered.end()) {
       return Status::InvalidArgument(

@@ -9,12 +9,11 @@
 #include <string>
 #include <string_view>
 #include <unordered_map>
-#include <variant>
 #include <vector>
 
-#include "core/sharded.h"
-#include "core/unknown_n.h"
+#include "core/estimator.h"
 #include "server/protocol.h"
+#include "util/serde.h"
 #include "util/status.h"
 #include "util/types.h"
 
@@ -29,8 +28,12 @@ struct RegistryOptions {
   /// "Registry checkpoint"). Empty disables persistence.
   std::string checkpoint_path;
   /// Deleted/evicted sketches kept around for allocation-free recycling of
-  /// tenant slots (UnknownNSketch::Reset).
+  /// tenant slots (QuantileEstimator::Reset(seed)).
   std::size_t max_free_pool = 8;
+  /// Backends this server will instantiate; empty means all. CREATE_SKETCH
+  /// for a kind outside the list fails with a descriptive error (the
+  /// mrlquantd --backends flag feeds this).
+  std::vector<SketchKind> allowed_kinds;
 };
 
 struct TenantStats {
@@ -107,16 +110,18 @@ class SketchRegistry {
   std::size_t size() const;
 
  private:
-  using SketchVariant = std::variant<UnknownNSketch, ShardedQuantileSketch>;
-
+  /// Tenants hold their backend through the full QuantileEstimator
+  /// lifecycle interface — ingestion, queries, Reset-based recycling and
+  /// Serialize/Restore checkpointing are all virtual calls, so adding a
+  /// backend touches MakeSketch and nothing else here. (Sharded ingestion
+  /// round-robin moved into ShardedQuantileSketch itself in PR 6.)
   struct Tenant {
-    Tenant(TenantConfig c, SketchVariant s)
+    Tenant(TenantConfig c, std::unique_ptr<QuantileEstimator> s)
         : config(c), sketch(std::move(s)) {}
     TenantConfig config;
-    SketchVariant sketch;
-    mutable std::shared_mutex mu;  ///< guards `sketch` and `next_shard`
+    std::unique_ptr<QuantileEstimator> sketch;
+    mutable std::shared_mutex mu;  ///< guards `*sketch`
     std::atomic<std::uint64_t> last_used{0};
-    std::uint64_t next_shard = 0;  ///< kSharded ingestion round-robin
   };
 
   /// Transparent string hashing so the hot path looks tenants up by
@@ -132,15 +137,17 @@ class SketchRegistry {
 
   struct FreeEntry {
     TenantConfig config;
-    SketchVariant sketch;
+    std::unique_ptr<QuantileEstimator> sketch;
   };
 
-  static Result<SketchVariant> MakeSketch(const TenantConfig& config);
+  static Result<std::unique_ptr<QuantileEstimator>> MakeSketch(
+      const TenantConfig& config);
 
   /// Builds a tenant sketch for `config`, preferring a structurally
   /// matching free-pool entry (Reset(config.seed) makes it byte-identical
   /// to a fresh build). Caller holds map_mu_ exclusively.
-  Result<SketchVariant> ObtainSketch(const TenantConfig& config);
+  Result<std::unique_ptr<QuantileEstimator>> ObtainSketch(
+      const TenantConfig& config);
 
   /// Returns a sketch to the free pool (caller holds map_mu_ exclusively
   /// and the last reference to the tenant).
@@ -154,11 +161,11 @@ class SketchRegistry {
   /// stamp), or null.
   std::shared_ptr<Tenant> FindTenant(std::string_view name) const;
 
-  /// Serializes one tenant's sketch (shards individually for kSharded)
-  /// under its shared lock.
+  /// Serializes one tenant's sketch — uniformly a u32 length followed by
+  /// the backend's Serialize() blob — under its shared lock.
   static void EncodeTenantSketch(const Tenant& tenant, BinaryWriter* writer);
-  static Result<SketchVariant> DecodeTenantSketch(const TenantConfig& config,
-                                                  BinaryReader* reader);
+  static Result<std::unique_ptr<QuantileEstimator>> DecodeTenantSketch(
+      const TenantConfig& config, BinaryReader* reader);
 
   RegistryOptions options_;
   mutable std::shared_mutex map_mu_;

@@ -7,6 +7,8 @@
 // only on the stream position, never on the chunking.
 
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -15,7 +17,11 @@
 #include "app/equidepth_histogram.h"
 #include "app/online_aggregation.h"
 #include "app/selectivity.h"
+#include "core/det_reservoir.h"
+#include "core/estimator.h"
+#include "core/extreme.h"
 #include "core/int64_sketch.h"
+#include "core/kll.h"
 #include "core/known_n.h"
 #include "core/sharded.h"
 #include "core/unknown_n.h"
@@ -397,6 +403,101 @@ TEST(BatchEquivalenceTest, SelectivityEstimatorMatches) {
   for (Value c : {0.1, 0.5, 0.9}) {
     EXPECT_EQ(elementwise.LessOrEqual(c).value(),
               batched.LessOrEqual(c).value());
+  }
+}
+
+// --------------------------------------------- interface-level backend sweep
+
+// Every registry-instantiable backend, driven purely through the
+// QuantileEstimator interface: AddBatch over ANY chunking must leave
+// bit-identical serialized state to element-wise Add. This is the contract
+// the server's batch ingestion path (registry AddBatch) relies on.
+TEST(BatchEquivalenceTest, EveryBackendAddBatchBitIdenticalToAdd) {
+  struct Backend {
+    const char* name;
+    std::function<std::unique_ptr<QuantileEstimator>(std::uint64_t)> make;
+  };
+  std::vector<Backend> backends;
+  backends.push_back({"unknown_n", [](std::uint64_t seed) {
+    UnknownNOptions options;
+    options.eps = 0.05;
+    options.delta = 1e-3;
+    options.seed = seed;
+    return std::unique_ptr<QuantileEstimator>(new UnknownNSketch(
+        std::move(UnknownNSketch::Create(options)).value()));
+  }});
+  backends.push_back({"known_n", [](std::uint64_t seed) {
+    KnownNOptions options;
+    options.eps = 0.02;
+    options.delta = 1e-3;
+    options.n = std::uint64_t{1} << 20;
+    options.seed = seed;
+    return std::unique_ptr<QuantileEstimator>(
+        new KnownNSketch(std::move(KnownNSketch::Create(options)).value()));
+  }});
+  backends.push_back({"sharded", [](std::uint64_t seed) {
+    ShardedQuantileSketch::Options options;
+    options.eps = 0.05;
+    options.delta = 1e-3;
+    options.num_shards = 3;
+    options.seed = seed;
+    return std::unique_ptr<QuantileEstimator>(new ShardedQuantileSketch(
+        std::move(ShardedQuantileSketch::Create(options)).value()));
+  }});
+  backends.push_back({"extreme_value", [](std::uint64_t seed) {
+    ExtremeValueOptions options;
+    options.phi = 0.05;
+    options.eps = 0.01;
+    options.delta = 1e-3;
+    options.n = 100000;
+    options.seed = seed;
+    return std::unique_ptr<QuantileEstimator>(new ExtremeValueSketch(
+        std::move(ExtremeValueSketch::Create(options)).value()));
+  }});
+  backends.push_back({"kll", [](std::uint64_t seed) {
+    KllOptions options;
+    options.eps = 0.02;
+    options.delta = 1e-3;
+    options.seed = seed;
+    return std::unique_ptr<QuantileEstimator>(
+        new KllSketch(std::move(KllSketch::Create(options)).value()));
+  }});
+  backends.push_back({"det_reservoir", [](std::uint64_t seed) {
+    DetReservoirOptions options;
+    options.eps = 0.02;
+    options.delta = 1e-3;
+    options.seed = seed;
+    return std::unique_ptr<QuantileEstimator>(new DeterministicReservoirSketch(
+        std::move(DeterministicReservoirSketch::Create(options)).value()));
+  }});
+
+  Random splitter(61);
+  for (const Backend& backend : backends) {
+    SCOPED_TRACE(backend.name);
+    for (int trial = 0; trial < 3; ++trial) {
+      StreamSpec spec;
+      spec.distribution = trial % 2 == 0 ? "uniform" : "gaussian";
+      spec.n = 25000 + static_cast<std::size_t>(splitter.UniformUint64(5000));
+      spec.seed = 500 + static_cast<std::uint64_t>(trial);
+      const std::vector<Value> stream = GenerateStream(spec).values();
+
+      std::unique_ptr<QuantileEstimator> elementwise =
+          backend.make(9 + static_cast<std::uint64_t>(trial));
+      std::unique_ptr<QuantileEstimator> batched =
+          backend.make(9 + static_cast<std::uint64_t>(trial));
+
+      for (Value v : stream) elementwise->Add(v);
+      std::size_t pos = 0;
+      for (std::size_t chunk : RandomSplits(stream.size(), 800, &splitter)) {
+        batched->AddBatch(
+            std::span<const Value>(stream.data() + pos, chunk));
+        pos += chunk;
+      }
+
+      EXPECT_EQ(elementwise->count(), batched->count()) << "trial " << trial;
+      EXPECT_EQ(elementwise->Serialize(), batched->Serialize())
+          << "trial " << trial;
+    }
   }
 }
 

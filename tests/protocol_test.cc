@@ -62,6 +62,76 @@ TEST(FrameTest, CreateSketchRoundTrip) {
   EXPECT_TRUE(req.value().config == config);
 }
 
+TEST(SketchKindTest, ValidatorCoversExactlyTheKnownKinds) {
+  EXPECT_TRUE(IsKnownSketchKind(0));
+  EXPECT_TRUE(IsKnownSketchKind(1));
+  EXPECT_TRUE(IsKnownSketchKind(2));
+  EXPECT_TRUE(IsKnownSketchKind(3));
+  for (int kind = 4; kind <= 255; ++kind) {
+    EXPECT_FALSE(IsKnownSketchKind(static_cast<std::uint8_t>(kind)))
+        << "kind " << kind;
+  }
+  EXPECT_EQ(SketchKindName(SketchKind::kUnknownN), "unknown_n");
+  EXPECT_EQ(SketchKindName(SketchKind::kSharded), "sharded");
+  EXPECT_EQ(SketchKindName(SketchKind::kKll), "kll");
+  EXPECT_EQ(SketchKindName(SketchKind::kDetReservoir), "det_reservoir");
+  EXPECT_EQ(SketchKindName(static_cast<SketchKind>(200)), "invalid");
+}
+
+TEST(FrameTest, ProtocolV2KindsRoundTrip) {
+  for (SketchKind kind : {SketchKind::kKll, SketchKind::kDetReservoir}) {
+    TenantConfig config;
+    config.kind = kind;
+    config.eps = 0.01;
+    config.delta = 1e-4;
+    config.seed = 7;
+    std::vector<std::uint8_t> wire;
+    EncodeCreateSketch("t", config, &wire);
+    const FrameView frame = MustDecode(wire);
+    Result<CreateSketchRequest> req =
+        DecodeCreateSketch(frame.payload, frame.payload_len);
+    ASSERT_TRUE(req.ok()) << req.status().ToString();
+    EXPECT_TRUE(req.value().config == config);
+  }
+}
+
+TEST(FrameTest, UnknownSketchKindByteIsCleanError) {
+  // Hand-build CREATE_SKETCH payloads carrying hostile kind bytes: every
+  // one must come back as InvalidArgument from the decoder — never an
+  // abort, and never a half-decoded request.
+  for (int kind : {4, 5, 17, 128, 255}) {
+    std::vector<std::uint8_t> wire;
+    {
+      FrameBuilder frame(MsgType::kCreateSketch, &wire);
+      frame.PutName("t");
+      frame.PutU8(static_cast<std::uint8_t>(kind));
+      frame.PutDouble(0.01);   // eps
+      frame.PutDouble(1e-4);   // delta
+      frame.PutU32(4);         // num_shards
+      frame.PutU64(1);         // seed
+      frame.Finish();
+    }
+    const FrameView frame = MustDecode(wire);
+    Result<CreateSketchRequest> req =
+        DecodeCreateSketch(frame.payload, frame.payload_len);
+    ASSERT_FALSE(req.ok()) << "kind " << kind;
+    EXPECT_EQ(req.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(ResponseTest, StatsReplyUnknownKindRejected) {
+  StatsReply stats;
+  stats.tenant_present = true;
+  stats.tenant_kind = static_cast<SketchKind>(9);
+  std::vector<std::uint8_t> wire;
+  EncodeStatsOk(stats, &wire);
+  const FrameView frame = MustDecode(wire);
+  Result<ResponseView> response =
+      DecodeResponse(frame.payload, frame.payload_len);
+  ASSERT_TRUE(response.ok());
+  EXPECT_FALSE(DecodeStatsOk(response.value()).ok());
+}
+
 TEST(FrameTest, AddBatchRoundTrip) {
   const std::vector<Value> values = {1.5, -2.25, 0.0, 1e300};
   std::vector<std::uint8_t> wire;

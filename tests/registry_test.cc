@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "core/unknown_n.h"
 #include "gtest/gtest.h"
 #include "util/random.h"
 

@@ -5,9 +5,12 @@
 // checked against an exact baseline, and kill + restart mid-stream with
 // checkpoint recovery.
 
+#include <sys/wait.h>
 #include <unistd.h>
 
 #include <algorithm>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
@@ -271,6 +274,130 @@ TEST_F(ServerE2eTest, KillAndRestartRecoversFromCheckpoint) {
     }
     server->Stop();
   }
+}
+
+TEST_F(ServerE2eTest, DisabledBackendErrorTextReachesClient) {
+  ServerOptions options;
+  options.registry.allowed_kinds = {SketchKind::kUnknownN,
+                                    SketchKind::kSharded};
+  std::unique_ptr<QuantileServer> server = StartServer(std::move(options));
+  ASSERT_NE(server, nullptr);
+  Client client = Connect();
+
+  // CREATE_SKETCH for a backend outside --backends: the server's exact
+  // error text must round-trip to the caller, naming the backend.
+  TenantConfig kll_config;
+  kll_config.kind = SketchKind::kKll;
+  const Status disabled = client.CreateSketch("t", kll_config);
+  EXPECT_EQ(disabled.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(disabled.message().find("disabled on this server"),
+            std::string::npos)
+      << disabled.message();
+  EXPECT_NE(disabled.message().find("kll"), std::string::npos)
+      << disabled.message();
+
+  // Re-creating an existing tenant under a different kind names both the
+  // held and the requested backend in the error.
+  ASSERT_TRUE(client.CreateSketch("t", TenantConfig{}).ok());
+  TenantConfig sharded_config;
+  sharded_config.kind = SketchKind::kSharded;
+  const Status mismatch = client.CreateSketch("t", sharded_config);
+  EXPECT_EQ(mismatch.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(mismatch.message().find("unknown_n"), std::string::npos)
+      << mismatch.message();
+  EXPECT_NE(mismatch.message().find("sharded"), std::string::npos)
+      << mismatch.message();
+
+  // The error responses must leave the connection usable.
+  ASSERT_TRUE(client.AddBatch("t", std::vector<Value>{1.0}).ok());
+  server->Stop();
+}
+
+TEST_F(ServerE2eTest, KllTenantSurvivesDaemonSigkill) {
+  checkpoint_path_ = TempName("e2e_kll_ckpt");
+  const std::string uds_flag = "--uds=" + uds_path_;
+  const std::string ckpt_flag = "--checkpoint=" + checkpoint_path_;
+
+  // Launches the real daemon binary — the process a SIGKILL can reach.
+  const auto spawn_daemon = [&]() -> pid_t {
+    const pid_t pid = ::fork();
+    if (pid == 0) {
+      ::execl(MRLQUANT_DAEMON_PATH, "mrlquantd", uds_flag.c_str(),
+              ckpt_flag.c_str(), static_cast<char*>(nullptr));
+      ::_exit(127);  // exec failed
+    }
+    return pid;
+  };
+  const auto wait_for_daemon = [&]() -> Client {
+    for (int attempt = 0; attempt < 200; ++attempt) {
+      Result<Client> client = Client::ConnectUnix(uds_path_);
+      if (client.ok()) return std::move(client).value();
+      std::this_thread::sleep_for(std::chrono::milliseconds(25));
+    }
+    ADD_FAILURE() << "daemon did not come up on " << uds_path_;
+    return std::move(Client::ConnectUnix(uds_path_)).value();
+  };
+
+  constexpr std::size_t kFirstHalf = 60000;
+  constexpr std::size_t kSecondHalf = 40000;
+  constexpr std::size_t kBatch = 10000;
+  const std::vector<Value> values =
+      UniformStream(kFirstHalf + kSecondHalf, 123);
+
+  pid_t pid = spawn_daemon();
+  ASSERT_GT(pid, 0);
+  {
+    Client client = wait_for_daemon();
+    TenantConfig config;
+    config.kind = SketchKind::kKll;
+    config.eps = 0.01;
+    ASSERT_TRUE(client.CreateSketch("k", config).ok());
+    for (std::size_t i = 0; i < kFirstHalf; i += kBatch) {
+      ASSERT_TRUE(client
+                      .AddBatch("k", std::span<const Value>(
+                                         values.data() + i, kBatch))
+                      .ok());
+    }
+    // Durable point, then a real SIGKILL: no shutdown path runs at all.
+    std::vector<std::uint8_t> blob;
+    ASSERT_TRUE(client.Snapshot("k", &blob).ok());
+    ASSERT_TRUE(client
+                    .AddBatch("k", std::span<const Value>(
+                                       values.data() + kFirstHalf, kBatch))
+                    .ok());
+  }
+  ASSERT_EQ(::kill(pid, SIGKILL), 0);
+  int wstatus = 0;
+  ASSERT_EQ(::waitpid(pid, &wstatus, 0), pid);
+  ASSERT_TRUE(WIFSIGNALED(wstatus));
+
+  pid = spawn_daemon();
+  ASSERT_GT(pid, 0);
+  {
+    Client client = wait_for_daemon();
+    Result<StatsReply> stats = client.Stats("k");
+    ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+    EXPECT_TRUE(stats.value().tenant_present);
+    EXPECT_EQ(stats.value().tenant_kind, SketchKind::kKll);
+    EXPECT_EQ(stats.value().tenant_count, kFirstHalf);
+
+    // Replay the lost tail and finish the stream on the recovered tenant.
+    for (std::size_t i = kFirstHalf; i < values.size(); i += kBatch) {
+      ASSERT_TRUE(client
+                      .AddBatch("k", std::span<const Value>(
+                                         values.data() + i, kBatch))
+                      .ok());
+    }
+    std::vector<Value> sorted = values;
+    std::sort(sorted.begin(), sorted.end());
+    for (double phi : {0.1, 0.5, 0.9}) {
+      Result<double> answer = client.Query("k", phi);
+      ASSERT_TRUE(answer.ok());
+      EXPECT_NEAR(RankOf(sorted, answer.value()), phi, 0.01) << "phi=" << phi;
+    }
+  }
+  ASSERT_EQ(::kill(pid, SIGTERM), 0);
+  ASSERT_EQ(::waitpid(pid, &wstatus, 0), pid);
 }
 
 TEST_F(ServerE2eTest, ConnectionSurvivesMalformedFrame) {

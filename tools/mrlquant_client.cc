@@ -31,7 +31,8 @@ void Usage() {
   std::fprintf(
       stderr,
       "usage: mrlquant_client (--uds=PATH | --host=IP --port=N) CMD ...\n"
-      "  create NAME [--kind=unknown|sharded] [--eps=E] [--delta=D]\n"
+      "  create NAME [--kind=unknown|sharded|kll|dreservoir] [--eps=E]\n"
+      "              [--delta=D]\n"
       "              [--shards=N] [--seed=S]\n"
       "  add NAME V...       ('-' reads whitespace-separated values "
       "from stdin)\n"
@@ -102,12 +103,18 @@ int main(int argc, char** argv) {
     for (; i < argc; ++i) {
       std::string v;
       if (FlagValue(argv[i], "--kind", &v)) {
-        if (v == "unknown") {
+        if (v == "unknown" || v == "unknown_n") {
           config.kind = SketchKind::kUnknownN;
         } else if (v == "sharded") {
           config.kind = SketchKind::kSharded;
+        } else if (v == "kll") {
+          config.kind = SketchKind::kKll;
+        } else if (v == "dreservoir" || v == "det_reservoir") {
+          config.kind = SketchKind::kDetReservoir;
         } else {
-          std::fprintf(stderr, "mrlquant_client: bad --kind: %s\n",
+          std::fprintf(stderr,
+                       "mrlquant_client: bad --kind: %s (expected unknown, "
+                       "sharded, kll or dreservoir)\n",
                        v.c_str());
           return 2;
         }
@@ -229,7 +236,7 @@ int main(int argc, char** argv) {
         std::printf(
             "tenant %s: kind=%s count=%llu memory_elements=%llu\n",
             name.c_str(),
-            reply.tenant_kind == SketchKind::kSharded ? "sharded" : "unknown",
+            std::string(SketchKindName(reply.tenant_kind)).c_str(),
             static_cast<unsigned long long>(reply.tenant_count),
             static_cast<unsigned long long>(reply.tenant_memory_elements));
       }

@@ -19,6 +19,7 @@
 #include <memory>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "server/server.h"
 
@@ -29,12 +30,47 @@ volatile std::sig_atomic_t g_stop = 0;
 void HandleSignal(int) { g_stop = 1; }
 
 void Usage(const char* argv0) {
-  std::fprintf(stderr,
-               "usage: %s [--uds=PATH] [--port=N] [--workers=N]\n"
-               "          [--max-tenants=N] [--checkpoint=PATH]\n"
-               "          [--checkpoint-interval-ms=N] [--checkpoint-on-stop]\n"
-               "At least one of --uds / --port is required.\n",
-               argv0);
+  std::fprintf(
+      stderr,
+      "usage: %s [--uds=PATH] [--port=N] [--workers=N]\n"
+      "          [--max-tenants=N] [--checkpoint=PATH]\n"
+      "          [--checkpoint-interval-ms=N] [--checkpoint-on-stop]\n"
+      "          [--backends=LIST]\n"
+      "At least one of --uds / --port is required.\n"
+      "--backends limits which sketch kinds CREATE_SKETCH may instantiate:\n"
+      "a comma-separated subset of unknown_n,sharded,kll,det_reservoir\n"
+      "(default: all).\n",
+      argv0);
+}
+
+/// Parses a comma-separated backend list ("kll,det_reservoir") into kinds.
+/// Exits with a diagnostic on an unrecognized name.
+std::vector<mrl::server::SketchKind> ParseBackendList(const std::string& text) {
+  std::vector<mrl::server::SketchKind> kinds;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t comma = text.find(',', start);
+    if (comma == std::string::npos) comma = text.size();
+    const std::string name = text.substr(start, comma - start);
+    bool found = false;
+    for (std::uint8_t k = 0; mrl::server::IsKnownSketchKind(k); ++k) {
+      const auto kind = static_cast<mrl::server::SketchKind>(k);
+      if (name == mrl::server::SketchKindName(kind)) {
+        kinds.push_back(kind);
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      std::fprintf(stderr,
+                   "mrlquantd: bad --backends entry: '%s' (expected a subset "
+                   "of unknown_n,sharded,kll,det_reservoir)\n",
+                   name.c_str());
+      std::exit(2);
+    }
+    start = comma + 1;
+  }
+  return kinds;
 }
 
 bool ParseFlag(const char* arg, const char* name, std::string* out) {
@@ -80,6 +116,10 @@ int main(int argc, char** argv) {
     }
     if (ParseFlag(argv[i], "--checkpoint", &options.registry.checkpoint_path))
       continue;
+    if (ParseFlag(argv[i], "--backends", &text)) {
+      options.registry.allowed_kinds = ParseBackendList(text);
+      continue;
+    }
     if (ParseIntFlag(argv[i], "--checkpoint-interval-ms", &value)) {
       options.checkpoint_interval_ms = static_cast<int>(value);
       continue;
