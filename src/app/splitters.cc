@@ -5,6 +5,7 @@
 
 #include "core/multi_quantile.h"
 #include "core/parallel.h"
+#include "util/sort.h"
 
 namespace mrl {
 
@@ -63,7 +64,7 @@ double MaxPartitionSkew(const std::vector<Value>& data,
                         const std::vector<Value>& splitters) {
   if (data.empty()) return 0.0;
   std::vector<Value> sorted_splitters = splitters;
-  std::sort(sorted_splitters.begin(), sorted_splitters.end());
+  SortValues(sorted_splitters.data(), sorted_splitters.size());
   const std::size_t parts = sorted_splitters.size() + 1;
   std::vector<std::uint64_t> counts(parts, 0);
   for (Value v : data) {

@@ -8,6 +8,7 @@
 #include "core/output.h"
 #include "util/logging.h"
 #include "util/math.h"
+#include "util/sort.h"
 
 namespace mrl {
 
@@ -99,7 +100,7 @@ ArsSketch::RunSnapshot ArsSketch::Snapshot() const {
     const Buffer& buf = framework_.buffer(fill_slot_);
     if (!buf.values().empty()) {
       snap.partial_sorted = buf.values();
-      std::sort(snap.partial_sorted.begin(), snap.partial_sorted.end());
+      SortValues(snap.partial_sorted.data(), snap.partial_sorted.size());
     }
   }
   snap.runs = framework_.FullBufferRuns();

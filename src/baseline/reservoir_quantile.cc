@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/math.h"
+#include "util/sort.h"
 
 namespace mrl {
 
@@ -29,7 +30,7 @@ Result<Value> ReservoirQuantileSketch::Query(double phi) const {
     return Status::FailedPrecondition("no elements consumed yet");
   }
   std::vector<Value> sorted = sample;
-  std::sort(sorted.begin(), sorted.end());
+  SortValues(sorted.data(), sorted.size());
   std::size_t pos = static_cast<std::size_t>(
       std::ceil(phi * static_cast<double>(sorted.size())));
   if (pos < 1) pos = 1;

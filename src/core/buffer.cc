@@ -33,12 +33,17 @@ void Buffer::StartFill() {
 void Buffer::Append(Value v) {
   MRL_CHECK(state_ == BufferState::kFilling);
   MRL_CHECK_LT(values_.size(), capacity_);
+  // NOLINTNEXTLINE(mrlquant-no-alloc-in-hot-path): capacity_ elements are
+  // reserved in the constructor and the size CHECK above bounds the fill,
+  // so this push_back can never reallocate.
   values_.push_back(v);
 }
 
 void Buffer::AppendSpan(const Value* data, std::size_t n) {
   MRL_CHECK(state_ == BufferState::kFilling);
   MRL_CHECK_LE(values_.size() + n, capacity_);
+  // NOLINTNEXTLINE(mrlquant-no-alloc-in-hot-path): bounded by the
+  // reserved capacity_ (CHECK above), so no reallocation is possible.
   values_.insert(values_.end(), data, data + n);
 }
 

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "util/thread_annotations.h"
 #include "util/types.h"
 
 namespace mrl {
@@ -47,15 +48,15 @@ class Buffer {
 
   /// Appends one sampled element while kFilling. The caller promotes the
   /// buffer with MarkFull once size() reaches capacity().
-  void Append(Value v);
+  MRLQUANT_HOT void Append(Value v);
 
   /// Appends `n` sampled elements at once (one bulk copy) while kFilling;
   /// the batch ingestion path's fill primitive. Requires room for all `n`.
-  void AppendSpan(const Value* data, std::size_t n);
+  MRLQUANT_HOT void AppendSpan(const Value* data, std::size_t n);
 
   /// kFilling -> kFull: sorts the contents and attaches (weight, level).
   /// Requires size() == capacity().
-  void MarkFull(Weight weight, int level);
+  MRLQUANT_HOT void MarkFull(Weight weight, int level);
 
   /// Installs collapse output: `sorted_values` must be ascending and have
   /// exactly capacity() elements. Valid from any state (a collapse reuses
@@ -66,8 +67,8 @@ class Buffer {
   /// Zero-allocation variant of AssignSorted: swaps storage with
   /// *sorted_values, so the buffer's previous vector lands back in the
   /// caller's scratch for recycling on the next collapse.
-  void SwapSorted(std::vector<Value>* sorted_values, Weight weight,
-                  int level);
+  MRLQUANT_HOT void SwapSorted(std::vector<Value>* sorted_values,
+                               Weight weight, int level);
 
   /// Copying variant of AssignSorted: assigns the range into the existing
   /// storage, so no allocation occurs once values_ has ever reached
@@ -76,7 +77,7 @@ class Buffer {
                         int level);
 
   /// Any state -> kEmpty.
-  void Clear();
+  MRLQUANT_HOT void Clear();
 
   /// Raises the buffer's level (the MRL99 policy promotes a lone buffer at
   /// the lowest level; Section 3.6). Requires kFull and new_level > level().

@@ -17,6 +17,9 @@ void CollapsePositionsInto(Weight w, std::size_t k, bool even_low,
     offset = even_low ? w / 2 : (w + 2) / 2;
   }
   for (std::size_t j = 0; j < k; ++j) {
+    // NOLINTNEXTLINE(mrlquant-no-alloc-in-hot-path): *out is arena-owned
+    // (CollapseScratch::positions); capacity k is warmed by the first
+    // collapse and recycled forever after.
     out->push_back(static_cast<Weight>(j) * w + offset);
   }
 }
@@ -45,6 +48,8 @@ Weight Collapse(const std::vector<Buffer*>& inputs, std::size_t output_slot,
     MRL_CHECK_EQ(in->capacity(), k);
     MRL_CHECK_EQ(in->size(), k);
     w += in->weight();
+    // NOLINTNEXTLINE(mrlquant-no-alloc-in-hot-path): run table capacity
+    // (≤ b entries) is warmed by the first collapse and recycled.
     scratch->runs.push_back({in->values().data(), in->size(), in->weight()});
   }
 
@@ -52,6 +57,9 @@ Weight Collapse(const std::vector<Buffer*>& inputs, std::size_t output_slot,
   if (w % 2 == 0) {
     *even_low_offset = !*even_low_offset;  // alternate on even weights (§3.2)
   }
+  // NOLINTNEXTLINE(mrlquant-no-alloc-in-hot-path): storage swaps back out
+  // of the output buffer (SwapSorted below), so capacity k is always
+  // already present in steady state.
   scratch->selected.resize(k);
   SelectWeightedPositionsInto(scratch->runs.data(), scratch->runs.size(),
                               scratch->positions.data(),

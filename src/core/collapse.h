@@ -6,6 +6,7 @@
 #include "core/buffer.h"
 #include "core/collapse_policy.h"
 #include "core/weighted_merge.h"
+#include "util/thread_annotations.h"
 #include "util/types.h"
 
 namespace mrl {
@@ -44,10 +45,11 @@ struct CollapseScratch {
 /// Collapse in situ) with the given output level; all other inputs are
 /// cleared to kEmpty. All working storage comes from *scratch.
 ///
-/// Returns w(Y).
-Weight Collapse(const std::vector<Buffer*>& inputs, std::size_t output_slot,
-                int output_level, bool* even_low_offset,
-                CollapseScratch* scratch);
+/// Returns w(Y). MRLQUANT_HOT: steady-state collapses draw everything
+/// from *scratch and must not allocate (mrlquant-no-alloc-in-hot-path).
+MRLQUANT_HOT Weight Collapse(const std::vector<Buffer*>& inputs,
+                             std::size_t output_slot, int output_level,
+                             bool* even_low_offset, CollapseScratch* scratch);
 
 /// Allocating convenience wrapper (function-local scratch).
 Weight Collapse(const std::vector<Buffer*>& inputs, std::size_t output_slot,
@@ -57,8 +59,9 @@ Weight Collapse(const std::vector<Buffer*>& inputs, std::size_t output_slot,
 /// and buffer size `k` would select, given the current alternation phase
 /// `even_low` (ignored for odd w), into *out (reusing its capacity).
 /// Exposed for tests and for the dynamic allocation validity checker.
-void CollapsePositionsInto(Weight w, std::size_t k, bool even_low,
-                           std::vector<Weight>* out);
+MRLQUANT_HOT void CollapsePositionsInto(Weight w, std::size_t k,
+                                        bool even_low,
+                                        std::vector<Weight>* out);
 
 /// Allocating convenience wrapper over CollapsePositionsInto.
 std::vector<Weight> CollapsePositions(Weight w, std::size_t k, bool even_low);

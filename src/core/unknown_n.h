@@ -13,6 +13,7 @@
 #include "core/summary.h"
 #include "sampling/block_sampler.h"
 #include "util/random.h"
+#include "util/thread_annotations.h"
 #include "util/status.h"
 #include "util/types.h"
 
@@ -89,7 +90,7 @@ class UnknownNSketch : public QuantileEstimator {
   /// checks. Bit-identical to calling Add on each element in turn under the
   /// same seed — same sampler state, same collapse tree, same answers — for
   /// any partition of the stream into batches.
-  void AddBatch(std::span<const Value> values) override;
+  MRLQUANT_HOT void AddBatch(std::span<const Value> values) override;
 
   std::uint64_t count() const override { return count_; }
   Result<Value> Query(double phi) const override;

@@ -40,6 +40,9 @@ void SelectWeightedPositionsInto(const WeightedRun* runs,
     MRL_DCHECK_LE(targets[i], targets[i + 1]);
   }
 
+  // NOLINTNEXTLINE(mrlquant-no-alloc-in-hot-path): MergeScratch arena —
+  // cursor/key/sec/loser/winner capacities are warmed by the first merge
+  // at each run count and recycled (see core/collapse.h).
   scratch->cursor.assign(num_runs, 0);
 
   // Each leaf's head is cached as a (key, sec) pair so a tournament match
@@ -53,7 +56,9 @@ void SelectWeightedPositionsInto(const WeightedRun* runs,
   // +inf, whose sec stays < m) — so the two kernels select identical
   // elements.
   const std::size_t m = std::bit_ceil(std::max<std::size_t>(num_runs, 1));
+  // NOLINTNEXTLINE(mrlquant-no-alloc-in-hot-path): arena
   scratch->key.resize(m);
+  // NOLINTNEXTLINE(mrlquant-no-alloc-in-hot-path): arena
   scratch->sec.resize(m);
   Value* key = scratch->key.data();
   std::uint32_t* sec = scratch->sec.data();
@@ -74,7 +79,9 @@ void SelectWeightedPositionsInto(const WeightedRun* runs,
 
   // Build the loser tree: m leaves (power of two), internal node i holds
   // the loser of the match between its subtrees, loser[0] the champion.
+  // NOLINTNEXTLINE(mrlquant-no-alloc-in-hot-path): arena
   scratch->loser.resize(m);
+  // NOLINTNEXTLINE(mrlquant-no-alloc-in-hot-path): arena
   scratch->winner.resize(2 * m);
   std::uint32_t* loser = scratch->loser.data();
   std::uint32_t* winner = scratch->winner.data();

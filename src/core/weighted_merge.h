@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "util/thread_annotations.h"
 #include "util/types.h"
 
 namespace mrl {
@@ -52,10 +53,9 @@ struct MergeScratch {
 /// between consecutive targets are skipped with O(1) arithmetic, so
 /// selecting k positions out of a b*k-element weighted merge does not
 /// touch every element of every run.
-void SelectWeightedPositionsInto(const WeightedRun* runs,
-                                 std::size_t num_runs, const Weight* targets,
-                                 std::size_t num_targets,
-                                 MergeScratch* scratch, Value* out);
+MRLQUANT_HOT void SelectWeightedPositionsInto(
+    const WeightedRun* runs, std::size_t num_runs, const Weight* targets,
+    std::size_t num_targets, MergeScratch* scratch, Value* out);
 
 /// Allocating convenience wrapper over SelectWeightedPositionsInto (uses a
 /// function-local scratch; prefer the Into form on hot paths).

@@ -3,7 +3,6 @@
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
-#include <mutex>
 #include <utility>
 
 #include "core/det_reservoir.h"
@@ -12,6 +11,7 @@
 #include "core/unknown_n.h"
 #include "util/logging.h"
 #include "util/serde.h"
+#include "util/thread_annotations.h"
 
 namespace mrl {
 namespace server {
@@ -213,7 +213,12 @@ Result<std::unique_ptr<QuantileEstimator>> SketchRegistry::ObtainSketch(
 
 void SketchRegistry::RecycleLocked(std::shared_ptr<Tenant> tenant) {
   if (free_pool_.size() >= options_.max_free_pool) return;
-  free_pool_.push_back({tenant->config, std::move(tenant->sketch)});
+  Tenant& t = *tenant;
+  // map_mu_ → Tenant::mu, the one annotated nesting (see registry.h). The
+  // caller holds the last reference, so the lock cannot contend; it exists
+  // to move the sketch out under its declared capability.
+  WriterLock lock(t.mu);
+  free_pool_.push_back({t.config, std::move(t.sketch)});
 }
 
 void SketchRegistry::EvictOneLocked() {
@@ -241,7 +246,7 @@ void SketchRegistry::EvictOneLocked() {
 
 std::shared_ptr<SketchRegistry::Tenant> SketchRegistry::FindTenant(
     std::string_view name) const {
-  std::shared_lock<std::shared_mutex> lock(map_mu_);
+  ReaderLock lock(map_mu_);
   TenantMap::const_iterator it = tenants_.find(name);
   if (it == tenants_.end()) return nullptr;
   it->second->last_used.store(
@@ -270,7 +275,7 @@ Status SketchRegistry::Create(std::string_view name,
           "' is disabled on this server");
     }
   }
-  std::unique_lock<std::shared_mutex> lock(map_mu_);
+  WriterLock lock(map_mu_);
   TenantMap::iterator existing = tenants_.find(name);
   if (existing != tenants_.end()) {
     const SketchKind have = existing->second->config.kind;
@@ -298,16 +303,18 @@ Result<std::uint64_t> SketchRegistry::AddBatch(std::string_view name,
                                                std::span<const Value> values) {
   std::shared_ptr<Tenant> tenant = FindTenant(name);
   if (tenant == nullptr) return Status::NotFound("unknown tenant");
-  std::unique_lock<std::shared_mutex> lock(tenant->mu);
-  tenant->sketch->AddBatch(values);
-  return tenant->sketch->count();
+  Tenant& t = *tenant;
+  WriterLock lock(t.mu);
+  t.sketch->AddBatch(values);
+  return t.sketch->count();
 }
 
 Result<Value> SketchRegistry::Query(std::string_view name, double phi) const {
   std::shared_ptr<Tenant> tenant = FindTenant(name);
   if (tenant == nullptr) return Status::NotFound("unknown tenant");
-  std::shared_lock<std::shared_mutex> lock(tenant->mu);
-  return tenant->sketch->Query(phi);
+  Tenant& t = *tenant;
+  ReaderLock lock(t.mu);
+  return t.sketch->Query(phi);
 }
 
 Status SketchRegistry::QueryMany(std::string_view name,
@@ -319,8 +326,9 @@ Status SketchRegistry::QueryMany(std::string_view name,
   // thread-local scratch so repeated calls reuse capacity.
   thread_local std::vector<double> phi_scratch;
   phi_scratch.assign(phis.begin(), phis.end());
-  std::shared_lock<std::shared_mutex> lock(tenant->mu);
-  Result<std::vector<Value>> answers = tenant->sketch->QueryMany(phi_scratch);
+  Tenant& t = *tenant;
+  ReaderLock lock(t.mu);
+  Result<std::vector<Value>> answers = t.sketch->QueryMany(phi_scratch);
   if (!answers.ok()) return answers.status();
   *out = std::move(answers).value();
   return Status::OK();
@@ -331,9 +339,10 @@ Status SketchRegistry::Snapshot(std::string_view name,
   std::shared_ptr<Tenant> tenant = FindTenant(name);
   if (tenant == nullptr) return Status::NotFound("unknown tenant");
   {
-    std::shared_lock<std::shared_mutex> lock(tenant->mu);
+    Tenant& t = *tenant;
+    ReaderLock lock(t.mu);
     BinaryWriter writer;
-    EncodeTenantSketch(*tenant, &writer);
+    EncodeTenantSketch(t, &writer);
     *blob = writer.Take();
   }
   if (!options_.checkpoint_path.empty()) {
@@ -343,7 +352,7 @@ Status SketchRegistry::Snapshot(std::string_view name,
 }
 
 Status SketchRegistry::Delete(std::string_view name) {
-  std::unique_lock<std::shared_mutex> lock(map_mu_);
+  WriterLock lock(map_mu_);
   TenantMap::iterator it = tenants_.find(name);
   if (it == tenants_.end()) return Status::NotFound("unknown tenant");
   std::shared_ptr<Tenant> tenant = std::move(it->second);
@@ -356,26 +365,32 @@ TenantStats SketchRegistry::Stats(std::string_view name) const {
   TenantStats stats;
   std::shared_ptr<Tenant> tenant = FindTenant(name);
   if (tenant == nullptr) return stats;
-  std::shared_lock<std::shared_mutex> lock(tenant->mu);
+  Tenant& t = *tenant;
+  ReaderLock lock(t.mu);
   stats.present = true;
-  stats.config = tenant->config;
-  stats.count = tenant->sketch->count();
-  stats.memory_elements = tenant->sketch->MemoryElements();
+  stats.config = t.config;
+  stats.count = t.sketch->count();
+  stats.memory_elements = t.sketch->MemoryElements();
   return stats;
 }
 
 RegistryStats SketchRegistry::GlobalStats() const {
   RegistryStats stats;
+  // Directory pass and tenant pass deliberately do not nest: copy the
+  // tenant handles out under map_mu_, release it, then visit each tenant
+  // under its own lock (lock order: never hold map_mu_ across sketch
+  // work; see the class comment in registry.h).
   std::vector<std::shared_ptr<Tenant>> snapshot;
   {
-    std::shared_lock<std::shared_mutex> lock(map_mu_);
+    ReaderLock lock(map_mu_);
     stats.num_tenants = tenants_.size();
     snapshot.reserve(tenants_.size());
     for (const auto& [name, tenant] : tenants_) snapshot.push_back(tenant);
   }
   for (const std::shared_ptr<Tenant>& tenant : snapshot) {
-    std::shared_lock<std::shared_mutex> lock(tenant->mu);
-    stats.total_count += tenant->sketch->count();
+    Tenant& t = *tenant;
+    ReaderLock lock(t.mu);
+    stats.total_count += t.sketch->count();
   }
   stats.evictions = evictions_.load(std::memory_order_relaxed);
   stats.recycled_creates = recycled_creates_.load(std::memory_order_relaxed);
@@ -384,7 +399,7 @@ RegistryStats SketchRegistry::GlobalStats() const {
 }
 
 std::size_t SketchRegistry::size() const {
-  std::shared_lock<std::shared_mutex> lock(map_mu_);
+  ReaderLock lock(map_mu_);
   return tenants_.size();
 }
 
@@ -408,9 +423,12 @@ Result<std::unique_ptr<QuantileEstimator>> SketchRegistry::DecodeTenantSketch(
 
 Status SketchRegistry::CheckpointNow() {
   if (options_.checkpoint_path.empty()) return Status::OK();
+  // Same two-pass shape as GlobalStats: directory handles out under
+  // map_mu_, then the (slow) per-tenant serialization under Tenant::mu
+  // only — a checkpoint never blocks lookups or other tenants.
   std::vector<std::pair<std::string, std::shared_ptr<Tenant>>> snapshot;
   {
-    std::shared_lock<std::shared_mutex> lock(map_mu_);
+    ReaderLock lock(map_mu_);
     snapshot.reserve(tenants_.size());
     for (const auto& [name, tenant] : tenants_) {
       snapshot.emplace_back(name, tenant);
@@ -423,9 +441,10 @@ Status SketchRegistry::CheckpointNow() {
   for (const auto& [name, tenant] : snapshot) {
     writer.PutU16(static_cast<std::uint16_t>(name.size()));
     for (char c : name) writer.PutU8(static_cast<std::uint8_t>(c));
-    EncodeConfig(tenant->config, &writer);
-    std::shared_lock<std::shared_mutex> lock(tenant->mu);
-    EncodeTenantSketch(*tenant, &writer);
+    Tenant& t = *tenant;
+    EncodeConfig(t.config, &writer);
+    ReaderLock lock(t.mu);
+    EncodeTenantSketch(t, &writer);
   }
   std::vector<std::uint8_t> bytes = writer.Take();
   const std::uint32_t crc = Crc32(bytes.data(), bytes.size());
@@ -505,7 +524,7 @@ Status SketchRegistry::RecoverFromDisk() {
     return Status::InvalidArgument(
         "registry checkpoint: trailing bytes before CRC");
   }
-  std::unique_lock<std::shared_mutex> lock(map_mu_);
+  WriterLock lock(map_mu_);
   tenants_ = std::move(recovered);
   for (const auto& [name, tenant] : tenants_) {
     tenant->last_used.store(

@@ -4,7 +4,6 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <shared_mutex>
 #include <span>
 #include <string>
 #include <string_view>
@@ -15,6 +14,7 @@
 #include "server/protocol.h"
 #include "util/serde.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 #include "util/types.h"
 
 namespace mrl {
@@ -59,6 +59,21 @@ struct RegistryStats {
 /// exclusive lock and queries take the shared lock — exactly the
 /// single-writer / concurrent-const-reader contract the sketches document.
 ///
+/// Lock order (statically annotated, checked by -Wthread-safety on Clang):
+///
+///   map_mu_  →  Tenant::mu
+///
+/// A thread holding any Tenant::mu must never acquire map_mu_. In
+/// practice almost no path nests the two at all: every read path
+/// (AddBatch/Query/QueryMany/Stats/Snapshot/GlobalStats/CheckpointNow)
+/// shared-locks map_mu_ only long enough to copy out shared_ptr<Tenant>
+/// handles, releases it, and only then takes the per-tenant lock for the
+/// long sketch work — so a slow tenant operation never stalls directory
+/// lookups. The one deliberate nesting is eviction/recycling
+/// (EvictOneLocked → RecycleLocked), which takes Tenant::mu while holding
+/// map_mu_ exclusively — in the map_mu_ → mu direction, and only when the
+/// registry holds the last reference, so the lock is uncontended.
+///
 /// An operation that races a Delete of the same tenant may still apply to
 /// the outgoing instance (it holds a shared_ptr); it never crashes and
 /// never touches a recycled sketch — recycling only happens once the
@@ -72,42 +87,46 @@ class SketchRegistry {
 
   /// Creates tenant `name`. FailedPrecondition when it already exists,
   /// InvalidArgument on a bad name or config.
-  Status Create(std::string_view name, const TenantConfig& config);
+  Status Create(std::string_view name, const TenantConfig& config)
+      MRLQUANT_EXCLUDES(map_mu_);
 
   /// Ingests a batch into tenant `name` (round-robin across shards for
   /// kSharded tenants) and returns the tenant's element count after the
   /// batch. Steady state performs no heap allocation.
-  Result<std::uint64_t> AddBatch(std::string_view name,
-                                 std::span<const Value> values);
+  MRLQUANT_HOT Result<std::uint64_t> AddBatch(std::string_view name,
+                                              std::span<const Value> values)
+      MRLQUANT_EXCLUDES(map_mu_);
 
-  Result<Value> Query(std::string_view name, double phi) const;
+  MRLQUANT_HOT Result<Value> Query(std::string_view name, double phi) const
+      MRLQUANT_EXCLUDES(map_mu_);
 
   /// Answers every phi in one pass; *out is reused.
   Status QueryMany(std::string_view name, std::span<const double> phis,
-                   std::vector<Value>* out) const;
+                   std::vector<Value>* out) const MRLQUANT_EXCLUDES(map_mu_);
 
   /// Serializes tenant `name` into *blob (the per-tenant checkpoint format
   /// of docs/checkpoint_format.md) and, when a checkpoint path is
   /// configured, persists the whole registry durably before returning.
-  Status Snapshot(std::string_view name, std::vector<std::uint8_t>* blob);
+  Status Snapshot(std::string_view name, std::vector<std::uint8_t>* blob)
+      MRLQUANT_EXCLUDES(map_mu_);
 
-  Status Delete(std::string_view name);
+  Status Delete(std::string_view name) MRLQUANT_EXCLUDES(map_mu_);
 
   /// Per-tenant statistics; `present == false` when unknown.
-  TenantStats Stats(std::string_view name) const;
+  TenantStats Stats(std::string_view name) const MRLQUANT_EXCLUDES(map_mu_);
 
-  RegistryStats GlobalStats() const;
+  RegistryStats GlobalStats() const MRLQUANT_EXCLUDES(map_mu_);
 
   /// Atomically (write-temp + rename) persists every tenant to the
   /// configured checkpoint path. No-op returning OK when persistence is
   /// disabled.
-  Status CheckpointNow();
+  Status CheckpointNow() MRLQUANT_EXCLUDES(map_mu_);
 
   /// Loads the checkpoint file if it exists (OK and empty registry when it
   /// does not). Fails without touching the registry on a corrupt file.
-  Status RecoverFromDisk();
+  Status RecoverFromDisk() MRLQUANT_EXCLUDES(map_mu_);
 
-  std::size_t size() const;
+  std::size_t size() const MRLQUANT_EXCLUDES(map_mu_);
 
  private:
   /// Tenants hold their backend through the full QuantileEstimator
@@ -118,9 +137,9 @@ class SketchRegistry {
   struct Tenant {
     Tenant(TenantConfig c, std::unique_ptr<QuantileEstimator> s)
         : config(c), sketch(std::move(s)) {}
-    TenantConfig config;
-    std::unique_ptr<QuantileEstimator> sketch;
-    mutable std::shared_mutex mu;  ///< guards `*sketch`
+    TenantConfig config;  ///< immutable after construction; read lock-free
+    mutable SharedMutex mu;
+    std::unique_ptr<QuantileEstimator> sketch MRLQUANT_GUARDED_BY(mu);
     std::atomic<std::uint64_t> last_used{0};
   };
 
@@ -147,30 +166,35 @@ class SketchRegistry {
   /// matching free-pool entry (Reset(config.seed) makes it byte-identical
   /// to a fresh build). Caller holds map_mu_ exclusively.
   Result<std::unique_ptr<QuantileEstimator>> ObtainSketch(
-      const TenantConfig& config);
+      const TenantConfig& config) MRLQUANT_REQUIRES(map_mu_);
 
-  /// Returns a sketch to the free pool (caller holds map_mu_ exclusively
-  /// and the last reference to the tenant).
-  void RecycleLocked(std::shared_ptr<Tenant> tenant);
+  /// Returns a sketch to the free pool. Caller holds map_mu_ exclusively
+  /// and the last reference to the tenant; takes Tenant::mu (map_mu_ → mu,
+  /// uncontended by the last-reference precondition) to move the sketch
+  /// out under its capability.
+  void RecycleLocked(std::shared_ptr<Tenant> tenant)
+      MRLQUANT_REQUIRES(map_mu_);
 
   /// Evicts the least-recently-used tenant. Caller holds map_mu_
   /// exclusively and the map is non-empty.
-  void EvictOneLocked();
+  void EvictOneLocked() MRLQUANT_REQUIRES(map_mu_);
 
   /// Shared-locks the map and returns the named tenant (bumping its LRU
   /// stamp), or null.
-  std::shared_ptr<Tenant> FindTenant(std::string_view name) const;
+  std::shared_ptr<Tenant> FindTenant(std::string_view name) const
+      MRLQUANT_EXCLUDES(map_mu_);
 
   /// Serializes one tenant's sketch — uniformly a u32 length followed by
-  /// the backend's Serialize() blob — under its shared lock.
-  static void EncodeTenantSketch(const Tenant& tenant, BinaryWriter* writer);
+  /// the backend's Serialize() blob — under its (at least shared) lock.
+  static void EncodeTenantSketch(const Tenant& tenant, BinaryWriter* writer)
+      MRLQUANT_REQUIRES_SHARED(tenant.mu);
   static Result<std::unique_ptr<QuantileEstimator>> DecodeTenantSketch(
       const TenantConfig& config, BinaryReader* reader);
 
   RegistryOptions options_;
-  mutable std::shared_mutex map_mu_;
-  TenantMap tenants_;               // guarded by map_mu_
-  std::vector<FreeEntry> free_pool_;  // guarded by map_mu_
+  mutable SharedMutex map_mu_;
+  TenantMap tenants_ MRLQUANT_GUARDED_BY(map_mu_);
+  std::vector<FreeEntry> free_pool_ MRLQUANT_GUARDED_BY(map_mu_);
   mutable std::atomic<std::uint64_t> use_clock_{0};
   std::atomic<std::uint64_t> evictions_{0};
   std::atomic<std::uint64_t> recycled_creates_{0};

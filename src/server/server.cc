@@ -164,7 +164,7 @@ void QuantileServer::Stop() {
   }
   if (housekeeper_.joinable()) housekeeper_.join();
   {
-    std::lock_guard<std::mutex> lock(queue_mu_);
+    MutexLock lock(queue_mu_);
     for (int fd : pending_fds_) ::close(fd);
     pending_fds_.clear();
   }
@@ -205,7 +205,7 @@ void QuantileServer::AcceptLoop() {
         ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
       }
       {
-        std::lock_guard<std::mutex> lock(queue_mu_);
+        MutexLock lock(queue_mu_);
         pending_fds_.push_back(fd);
       }
       queue_cv_.notify_one();
@@ -218,11 +218,16 @@ void QuantileServer::WorkerLoop() {
   while (true) {
     int fd = -1;
     {
-      std::unique_lock<std::mutex> lock(queue_mu_);
-      queue_cv_.wait(lock, [this] {
-        return !pending_fds_.empty() ||
-               !running_.load(std::memory_order_acquire);
-      });
+      MutexLock lock(queue_mu_);
+      // Open-coded predicate loop (not the lambda overload): the lambda's
+      // body would be analysed as a separate function with no capability
+      // context, defeating the GUARDED_BY on pending_fds_. The condvar
+      // reacquires queue_mu_ before every predicate evaluation, so the
+      // scoped capability is genuinely held at each read.
+      while (pending_fds_.empty() &&
+             running_.load(std::memory_order_acquire)) {
+        queue_cv_.wait(lock.native());
+      }
       if (!running_.load(std::memory_order_acquire)) return;
       fd = pending_fds_.front();
       pending_fds_.pop_front();

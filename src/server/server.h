@@ -6,13 +6,13 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "server/registry.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace mrl {
 namespace server {
@@ -67,8 +67,8 @@ class QuantileServer {
 
   Status Start();
 
-  void AcceptLoop();
-  void WorkerLoop();
+  void AcceptLoop() MRLQUANT_EXCLUDES(queue_mu_);
+  void WorkerLoop() MRLQUANT_EXCLUDES(queue_mu_);
   void HousekeepingLoop();
 
   /// Reusable per-connection scratch owned by one worker.
@@ -100,9 +100,13 @@ class QuantileServer {
   std::thread housekeeper_;
   std::vector<std::thread> workers_;
 
-  std::mutex queue_mu_;
+  /// Connection hand-off: the acceptor pushes accepted fds, workers pop
+  /// them. queue_mu_ is a leaf lock — nothing else is ever acquired while
+  /// it is held (in particular not the registry's map_mu_), so it cannot
+  /// participate in a lock-order cycle.
+  Mutex queue_mu_;
   std::condition_variable queue_cv_;
-  std::deque<int> pending_fds_;  // guarded by queue_mu_
+  std::deque<int> pending_fds_ MRLQUANT_GUARDED_BY(queue_mu_);
 };
 
 }  // namespace server

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/logging.h"
+#include "util/sort.h"
 
 namespace mrl {
 
@@ -12,7 +13,7 @@ Dataset::Dataset(std::vector<Value> values) : values_(std::move(values)) {}
 void Dataset::EnsureSorted() const {
   if (sorted_.size() != values_.size()) {
     sorted_ = values_;
-    std::sort(sorted_.begin(), sorted_.end());
+    SortValues(sorted_.data(), sorted_.size());
   }
 }
 

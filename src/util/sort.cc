@@ -84,7 +84,10 @@ void SortValues(Value* data, std::size_t n, SortScratch* scratch) {
     return;
   }
   MRL_DCHECK(scratch != nullptr);
+  // NOLINTNEXTLINE(mrlquant-no-alloc-in-hot-path): SortScratch arena —
+  // warmed to the largest n seen, then recycled allocation-free.
   scratch->keys.resize(n);
+  // NOLINTNEXTLINE(mrlquant-no-alloc-in-hot-path): arena
   scratch->keys_alt.resize(n);
   std::uint64_t* keys = scratch->keys.data();
   for (std::size_t i = 0; i < n; ++i) keys[i] = OrderedKeyFromValue(data[i]);
@@ -111,9 +114,14 @@ void SortPairs(KeyedPayload* data, std::size_t n, SortScratch* scratch) {
     return;
   }
   MRL_DCHECK(scratch != nullptr);
+  // NOLINTNEXTLINE(mrlquant-no-alloc-in-hot-path): SortScratch arena —
+  // warmed to the largest n seen, then recycled allocation-free.
   scratch->keys.resize(n);
+  // NOLINTNEXTLINE(mrlquant-no-alloc-in-hot-path): arena
   scratch->keys_alt.resize(n);
+  // NOLINTNEXTLINE(mrlquant-no-alloc-in-hot-path): arena
   scratch->payload.resize(n);
+  // NOLINTNEXTLINE(mrlquant-no-alloc-in-hot-path): arena
   scratch->payload_alt.resize(n);
   std::uint64_t* keys = scratch->keys.data();
   std::uint64_t* payload = scratch->payload.data();

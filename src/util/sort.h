@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "util/thread_annotations.h"
 #include "util/types.h"
 
 namespace mrl {
@@ -77,11 +78,12 @@ struct SortScratch {
 /// ascending order under `<` too, since only bitwise-distinct equal values
 /// — the two zeros — are ordered more finely). Below the tuned cutoff this
 /// is std::sort with OrderedLess; above it, the radix path.
-void SortValues(Value* data, std::size_t n, SortScratch* scratch);
+MRLQUANT_HOT void SortValues(Value* data, std::size_t n,
+                             SortScratch* scratch);
 
 /// Thread-local-scratch convenience overload (safe on any thread; each
 /// thread warms its own arena).
-void SortValues(Value* data, std::size_t n);
+MRLQUANT_HOT void SortValues(Value* data, std::size_t n);
 
 /// Sorts descending: ascending pass + reversal (equal doubles are
 /// bitwise-interchangeable except the zeros, whose relative order after
@@ -91,10 +93,11 @@ void SortValuesDescending(Value* data, std::size_t n);
 /// Stable sort of (key, payload) records by key: records with equal keys
 /// (even bitwise-equal) keep their input order, which is what makes the
 /// summary accumulation and the batch-query permutation deterministic.
-void SortPairs(KeyedPayload* data, std::size_t n, SortScratch* scratch);
+MRLQUANT_HOT void SortPairs(KeyedPayload* data, std::size_t n,
+                            SortScratch* scratch);
 
 /// Thread-local-scratch convenience overload.
-void SortPairs(KeyedPayload* data, std::size_t n);
+MRLQUANT_HOT void SortPairs(KeyedPayload* data, std::size_t n);
 
 /// Reference implementations (std::sort / std::stable_sort over
 /// OrderedLess), kept for differential testing (tests/sort_test.cc) and

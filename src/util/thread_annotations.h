@@ -1,0 +1,189 @@
+#ifndef MRLQUANT_UTIL_THREAD_ANNOTATIONS_H_
+#define MRLQUANT_UTIL_THREAD_ANNOTATIONS_H_
+
+#include <mutex>
+#include <shared_mutex>
+
+/// Clang thread-safety capability annotations (no-ops everywhere else),
+/// plus the annotated mutex wrappers the rest of the tree uses instead of
+/// raw std::mutex / std::shared_mutex.
+///
+/// Why wrappers and not bare std types: libstdc++'s std::mutex carries no
+/// capability attribute, so `-Wthread-safety` cannot see it — a
+/// GUARDED_BY(raw_std_mutex) is rejected by the analysis itself. mrl::Mutex
+/// and mrl::SharedMutex are zero-overhead shells whose type carries
+/// MRLQUANT_CAPABILITY, which makes every GUARDED_BY / REQUIRES /
+/// ACQUIRE annotation over them statically checkable. The in-repo
+/// clang-tidy check `mrlquant-guarded-mutex` (tools/tidy) enforces the
+/// policy: a raw std mutex member anywhere in src/ is a finding.
+///
+/// The annotation policy itself (which members get GUARDED_BY, how lock
+/// order is documented, how to suppress a finding) lives in
+/// docs/engineering.md, "The static-analysis wall".
+
+#if defined(__clang__) && !defined(SWIG)
+#define MRLQUANT_THREAD_ATTR__(x) __attribute__((x))
+#else
+#define MRLQUANT_THREAD_ATTR__(x)  // no-op
+#endif
+
+/// A type that is a lockable capability ("mutex", "shared_mutex", ...).
+#define MRLQUANT_CAPABILITY(x) MRLQUANT_THREAD_ATTR__(capability(x))
+
+/// RAII types that acquire in the constructor and release in the
+/// destructor.
+#define MRLQUANT_SCOPED_CAPABILITY MRLQUANT_THREAD_ATTR__(scoped_lockable)
+
+/// Data member readable/writable only while holding the given capability
+/// (shared suffices for reads, exclusive for writes).
+#define MRLQUANT_GUARDED_BY(x) MRLQUANT_THREAD_ATTR__(guarded_by(x))
+
+/// Pointer member whose *pointee* is guarded by the given capability.
+#define MRLQUANT_PT_GUARDED_BY(x) MRLQUANT_THREAD_ATTR__(pt_guarded_by(x))
+
+/// The function must be called with the capability held exclusively /
+/// shared; it neither acquires nor releases it.
+#define MRLQUANT_REQUIRES(...) \
+  MRLQUANT_THREAD_ATTR__(requires_capability(__VA_ARGS__))
+#define MRLQUANT_REQUIRES_SHARED(...) \
+  MRLQUANT_THREAD_ATTR__(requires_shared_capability(__VA_ARGS__))
+
+/// The function acquires/releases the capability (exclusive or shared).
+#define MRLQUANT_ACQUIRE(...) \
+  MRLQUANT_THREAD_ATTR__(acquire_capability(__VA_ARGS__))
+#define MRLQUANT_ACQUIRE_SHARED(...) \
+  MRLQUANT_THREAD_ATTR__(acquire_shared_capability(__VA_ARGS__))
+#define MRLQUANT_RELEASE(...) \
+  MRLQUANT_THREAD_ATTR__(release_capability(__VA_ARGS__))
+#define MRLQUANT_RELEASE_SHARED(...) \
+  MRLQUANT_THREAD_ATTR__(release_shared_capability(__VA_ARGS__))
+/// Generic release: matches however the scope acquired (used by scoped
+/// guards whose constructor may take either mode).
+#define MRLQUANT_RELEASE_GENERIC(...) \
+  MRLQUANT_THREAD_ATTR__(release_generic_capability(__VA_ARGS__))
+
+/// The caller must NOT hold the capability (non-reentrant helper that
+/// acquires it itself).
+#define MRLQUANT_EXCLUDES(...) \
+  MRLQUANT_THREAD_ATTR__(locks_excluded(__VA_ARGS__))
+
+/// Static lock-order edges between capabilities.
+#define MRLQUANT_ACQUIRED_BEFORE(...) \
+  MRLQUANT_THREAD_ATTR__(acquired_before(__VA_ARGS__))
+#define MRLQUANT_ACQUIRED_AFTER(...) \
+  MRLQUANT_THREAD_ATTR__(acquired_after(__VA_ARGS__))
+
+/// Returns a reference to the named capability.
+#define MRLQUANT_RETURN_CAPABILITY(x) \
+  MRLQUANT_THREAD_ATTR__(lock_returned(x))
+
+/// Escape hatch: the function's locking is deliberately invisible to the
+/// analysis. Every use must carry a comment justifying it.
+#define MRLQUANT_NO_THREAD_SAFETY_ANALYSIS \
+  MRLQUANT_THREAD_ATTR__(no_thread_safety_analysis)
+
+/// Steady-state hot-path marker: functions annotated MRLQUANT_HOT are the
+/// zero-allocation contract surface (AddBatch ingestion, Collapse, the
+/// merge/sort kernels, the query read path). The in-repo clang-tidy check
+/// `mrlquant-no-alloc-in-hot-path` flags `new`, make_unique/make_shared,
+/// malloc-family calls, and growth-prone container calls lexically inside
+/// them; warmed-arena growth (capacity reached once, recycled forever) is
+/// suppressed per line with
+///   // NOLINT(mrlquant-no-alloc-in-hot-path): <why the line cannot
+///   // allocate in steady state>
+/// Compiles to an `annotate` attribute under Clang (which is what the
+/// check matches on) and to nothing elsewhere.
+#if defined(__clang__)
+#define MRLQUANT_HOT __attribute__((annotate("mrlquant_hot")))
+#else
+#define MRLQUANT_HOT
+#endif
+
+namespace mrl {
+
+/// std::mutex with a capability-annotated type. Prefer the scoped
+/// MutexLock; Lock/Unlock exist for the rare manual pattern.
+class MRLQUANT_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() MRLQUANT_ACQUIRE() { mu_.lock(); }
+  void Unlock() MRLQUANT_RELEASE() { mu_.unlock(); }
+
+  /// The wrapped std::mutex, for interop with std::condition_variable
+  /// (via MutexLock::native()). Not part of the analysed surface.
+  std::mutex& native() { return mu_; }
+
+ private:
+  std::mutex mu_;
+};
+
+/// std::shared_mutex with a capability-annotated type: exclusive for
+/// writers (WriterLock), shared for readers (ReaderLock).
+class MRLQUANT_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() MRLQUANT_ACQUIRE() { mu_.lock(); }
+  void Unlock() MRLQUANT_RELEASE() { mu_.unlock(); }
+  void LockShared() MRLQUANT_ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void UnlockShared() MRLQUANT_RELEASE_SHARED() { mu_.unlock_shared(); }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+/// Scoped exclusive lock on a Mutex. Holds a std::unique_lock so a
+/// std::condition_variable can wait on it through native(); the analysis
+/// treats the capability as held for the whole lexical scope, which is the
+/// correct reading of a condvar wait loop (the predicate is only examined
+/// with the lock reacquired).
+class MRLQUANT_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) MRLQUANT_ACQUIRE(mu) : lock_(mu.native()) {}
+  ~MutexLock() MRLQUANT_RELEASE() = default;
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  std::unique_lock<std::mutex>& native() { return lock_; }
+
+ private:
+  std::unique_lock<std::mutex> lock_;
+};
+
+/// Scoped exclusive (writer) lock on a SharedMutex.
+class MRLQUANT_SCOPED_CAPABILITY WriterLock {
+ public:
+  explicit WriterLock(SharedMutex& mu) MRLQUANT_ACQUIRE(mu) : mu_(mu) {
+    mu_.Lock();
+  }
+  ~WriterLock() MRLQUANT_RELEASE() { mu_.Unlock(); }
+  WriterLock(const WriterLock&) = delete;
+  WriterLock& operator=(const WriterLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// Scoped shared (reader) lock on a SharedMutex.
+class MRLQUANT_SCOPED_CAPABILITY ReaderLock {
+ public:
+  explicit ReaderLock(SharedMutex& mu) MRLQUANT_ACQUIRE_SHARED(mu)
+      : mu_(mu) {
+    mu_.LockShared();
+  }
+  ~ReaderLock() MRLQUANT_RELEASE_GENERIC() { mu_.UnlockShared(); }
+  ReaderLock(const ReaderLock&) = delete;
+  ReaderLock& operator=(const ReaderLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+}  // namespace mrl
+
+#endif  // MRLQUANT_UTIL_THREAD_ANNOTATIONS_H_

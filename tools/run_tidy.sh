@@ -1,0 +1,96 @@
+#!/usr/bin/env bash
+# The static-analysis wall, runnable locally and invoked verbatim by the CI
+# static-analysis lane — one script so the two can never drift.
+#
+#   1. configures a clang build dir (compile_commands.json with clang's
+#      flags, fuzz harnesses included so their TUs are analyzed too),
+#   2. builds the in-repo clang-tidy plugin (tools/tidy) and asserts all
+#      three mrlquant-* checks actually load — a plugin that silently fails
+#      to build would otherwise shrink the wall,
+#   3. runs clang-tidy (curated .clang-tidy set + clang-analyzer-* +
+#      mrlquant-*) over every first-party TU, teeing findings to a log.
+#
+# Exit status: nonzero iff any finding or infrastructure failure.
+#
+# Environment:
+#   BUILD_DIR     build directory (default: build-tidy)
+#   CLANG_TIDY    clang-tidy binary (default: first of clang-tidy{,-18..15})
+#   CC / CXX      compilers for the configure (default: clang / clang++)
+#   TIDY_LOG      findings log path (default: $BUILD_DIR/tidy-findings.log)
+#   TIDY_JOBS     parallel clang-tidy processes (default: nproc)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build-tidy}"
+TIDY_LOG="${TIDY_LOG:-${BUILD_DIR}/tidy-findings.log}"
+TIDY_JOBS="${TIDY_JOBS:-$(nproc)}"
+export CC="${CC:-clang}"
+export CXX="${CXX:-clang++}"
+
+if [[ -z "${CLANG_TIDY:-}" ]]; then
+  for cand in clang-tidy clang-tidy-18 clang-tidy-17 clang-tidy-16 \
+      clang-tidy-15; do
+    if command -v "$cand" >/dev/null 2>&1; then
+      CLANG_TIDY="$cand"
+      break
+    fi
+  done
+fi
+if [[ -z "${CLANG_TIDY:-}" ]]; then
+  echo "run_tidy: no clang-tidy binary found" >&2
+  exit 1
+fi
+echo "run_tidy: using $("$CLANG_TIDY" --version | head -n1)"
+
+# --- 1. Configure ---------------------------------------------------------
+gen=()
+command -v ninja >/dev/null 2>&1 && gen=(-G Ninja)
+cmake -B "$BUILD_DIR" -S . "${gen[@]}" -DMRLQUANT_FUZZ=ON
+
+# --- 2. Plugin ------------------------------------------------------------
+# The lane is only meaningful with the custom checks loaded; refuse to run
+# a reduced wall. (Plugin configuration requires the clang-tidy dev
+# headers; see tools/tidy/CMakeLists.txt for the packages.)
+if ! cmake --build "$BUILD_DIR" -j --target mrlquant_tidy_checks; then
+  echo "run_tidy: mrlquant_tidy_checks did not build — install the" \
+       "clang-tidy dev headers (clang-tidy + libclang-N-dev + llvm-N-dev)" >&2
+  exit 1
+fi
+PLUGIN="$(find "$BUILD_DIR/tools/tidy" -name 'libmrlquant_tidy_checks*' \
+  | head -n1)"
+if [[ -z "$PLUGIN" ]]; then
+  echo "run_tidy: plugin module not found under $BUILD_DIR/tools/tidy" >&2
+  exit 1
+fi
+
+loaded="$("$CLANG_TIDY" --load "$PLUGIN" --list-checks \
+  --checks='-*,mrlquant-*' || true)"
+for check in mrlquant-no-alloc-in-hot-path mrlquant-use-sort-engine \
+    mrlquant-guarded-mutex; do
+  if ! grep -q "$check" <<<"$loaded"; then
+    echo "run_tidy: check $check failed to load from $PLUGIN" >&2
+    exit 1
+  fi
+done
+echo "run_tidy: all 3 mrlquant-* checks loaded from $PLUGIN"
+
+# --- 3. Analyze -----------------------------------------------------------
+# First-party TUs only; tools/tidy is excluded (the plugin compiles against
+# LLVM headers we do not lint, and its fixtures are intentionally bad).
+mapfile -t files < <(git ls-files 'src/**/*.cc' 'tools/*.cc' 'fuzz/*.cc' \
+  | grep -v '^tools/tidy/')
+echo "run_tidy: analyzing ${#files[@]} translation units..."
+
+mkdir -p "$(dirname "$TIDY_LOG")"
+status=0
+printf '%s\n' "${files[@]}" \
+  | xargs -P "$TIDY_JOBS" -n 1 \
+      "$CLANG_TIDY" --load "$PLUGIN" -p "$BUILD_DIR" --quiet \
+  2>&1 | tee "$TIDY_LOG" || status=$?
+
+if [[ "$status" -ne 0 ]]; then
+  echo "run_tidy: findings detected (log: $TIDY_LOG)" >&2
+  exit 1
+fi
+echo "run_tidy: clean (log: $TIDY_LOG)"

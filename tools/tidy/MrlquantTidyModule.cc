@@ -1,0 +1,347 @@
+//===--- MrlquantTidyModule.cc - mrlquant custom clang-tidy checks --------===//
+//
+// An out-of-tree clang-tidy module (loaded with `clang-tidy --load`) that
+// enforces three repo-specific contracts the stock check set cannot express:
+//
+//   mrlquant-no-alloc-in-hot-path
+//     Functions marked MRLQUANT_HOT (util/thread_annotations.h expands it to
+//     __attribute__((annotate("mrlquant_hot"))) under Clang) are the
+//     steady-state ingest/collapse/query paths; the arena design
+//     (CollapseScratch / MergeScratch / SortScratch, see core/collapse.h)
+//     promises they perform zero heap allocation once warmed. The check
+//     flags operator new, std::make_unique / make_shared, the malloc
+//     family, and growth-prone member calls (push_back, resize, ...) on
+//     std containers inside such functions. Deliberate warm-up or
+//     CHECK-bounded growth is suppressed with a justified
+//     NOLINTNEXTLINE(mrlquant-no-alloc-in-hot-path) comment — the
+//     suppression *is* the documentation (docs/engineering.md).
+//
+//   mrlquant-use-sort-engine
+//     Every sort of doubles in src/ must go through the radix engine
+//     (util/sort.h): it is faster past the cutoff, deterministic on the
+//     two zeros, and arena-backed. Raw std::sort / std::stable_sort on
+//     double ranges is flagged everywhere except the engine's own
+//     implementation file and *Naive reference functions kept for
+//     differential testing.
+//
+//   mrlquant-guarded-mutex
+//     A bare std::mutex / std::shared_mutex data member is invisible to
+//     Clang's -Wthread-safety analysis. Every mutex member must be one of
+//     the annotated wrappers (mrl::Mutex / mrl::SharedMutex — types
+//     carrying a capability attribute), so lock order and GUARDED_BY
+//     contracts stay machine-checked.
+//
+// Target API: the stable ClangTidyCheck interface of LLVM 15-18. Built as a
+// MODULE library with no clang libs linked; all symbols resolve from the
+// host clang-tidy binary at --load time (see CMakeLists.txt here).
+//
+//===----------------------------------------------------------------------===//
+
+#include "clang-tidy/ClangTidyCheck.h"
+#include "clang-tidy/ClangTidyModule.h"
+#include "clang-tidy/ClangTidyModuleRegistry.h"
+#include "clang/AST/ASTContext.h"
+#include "clang/AST/Attr.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+#include "clang/ASTMatchers/ASTMatchers.h"
+#include "llvm/Support/Regex.h"
+
+namespace clang::tidy::mrlquant {
+
+using namespace clang::ast_matchers;
+
+namespace {
+
+/// True if any redeclaration of `fn` carries annotate("mrlquant_hot").
+/// MRLQUANT_HOT normally sits on the declaration in the header while the
+/// match lands on the definition, so the whole redecl chain is walked.
+bool isHotFunction(const FunctionDecl* fn) {
+  if (fn == nullptr) return false;
+  for (const FunctionDecl* redecl : fn->redecls()) {
+    for (const auto* attr : redecl->specific_attrs<AnnotateAttr>()) {
+      if (attr->getAnnotation() == "mrlquant_hot") return true;
+    }
+  }
+  // An out-of-line method definition does not redeclare the in-class
+  // declaration; hop to the canonical declaration explicitly.
+  const FunctionDecl* canon = fn->getCanonicalDecl();
+  if (canon != nullptr && canon != fn) {
+    for (const auto* attr : canon->specific_attrs<AnnotateAttr>()) {
+      if (attr->getAnnotation() == "mrlquant_hot") return true;
+    }
+  }
+  return false;
+}
+
+AST_MATCHER(FunctionDecl, isMrlquantHot) { return isHotFunction(&Node); }
+
+/// True if the type (after stripping references/pointers and desugaring)
+/// names a record in namespace std — the check only polices std
+/// containers/smart-pointer factories; calls on repo types
+/// (Buffer::Append, ...) are themselves hot-annotated and checked at their
+/// own definition. The object expression of `p->push_back(v)` has pointer
+/// type, hence the strip.
+bool isStdRecordType(QualType qt) {
+  if (qt.isNull()) return false;
+  QualType canon = qt.getNonReferenceType().getCanonicalType();
+  if (const auto* ptr = canon->getAs<PointerType>()) {
+    canon = ptr->getPointeeType().getCanonicalType();
+  }
+  const auto* record = canon->getAsCXXRecordDecl();
+  if (record == nullptr) return false;
+  return record->isInStdNamespace();
+}
+
+/// LLVM-15-compatible StringRef suffix test (ends_with landed in 16,
+/// endswith was removed later; spell it out to span both).
+bool endsWith(StringRef s, StringRef suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+}  // namespace
+
+//===----------------------------------------------------------------------===//
+// mrlquant-no-alloc-in-hot-path
+//===----------------------------------------------------------------------===//
+
+class NoAllocInHotPathCheck : public ClangTidyCheck {
+ public:
+  NoAllocInHotPathCheck(StringRef Name, ClangTidyContext* Context)
+      : ClangTidyCheck(Name, Context) {}
+
+  bool isLanguageVersionSupported(const LangOptions& LangOpts) const override {
+    return LangOpts.CPlusPlus;
+  }
+
+  void registerMatchers(ast_matchers::MatchFinder* Finder) override {
+    const auto InHot = forFunction(functionDecl(isMrlquantHot()).bind("fn"));
+
+    // operator new (scalar and array), including placement forms that still
+    // allocate; `new (std::nothrow)` is allocation too.
+    Finder->addMatcher(cxxNewExpr(InHot).bind("new"), this);
+
+    // Allocation-by-factory: make_unique / make_shared, and the C heap.
+    Finder->addMatcher(
+        callExpr(InHot,
+                 callee(functionDecl(hasAnyName(
+                     "::std::make_unique", "::std::make_shared", "::malloc",
+                     "::calloc", "::realloc", "::aligned_alloc", "::strdup"))))
+            .bind("alloc_call"),
+        this);
+
+    // Growth-prone member calls on std containers. Each of these can
+    // reallocate; on a warmed arena they are no-ops and carry a justified
+    // NOLINTNEXTLINE, which is exactly the audit trail we want.
+    Finder->addMatcher(
+        cxxMemberCallExpr(
+            InHot,
+            callee(cxxMethodDecl(hasAnyName(
+                "push_back", "emplace_back", "resize", "reserve", "insert",
+                "emplace", "assign", "append", "push_front", "emplace_front"))),
+            on(expr(hasType(qualType().bind("obj_type")))))
+            .bind("grow_call"),
+        this);
+  }
+
+  void check(const ast_matchers::MatchFinder::MatchResult& Result) override {
+    const auto* Fn = Result.Nodes.getNodeAs<FunctionDecl>("fn");
+    if (const auto* New = Result.Nodes.getNodeAs<CXXNewExpr>("new")) {
+      diag(New->getBeginLoc(),
+           "operator new in MRLQUANT_HOT function %0; hot paths must be "
+           "allocation-free in steady state (use a warmed scratch arena, or "
+           "suppress with a justified NOLINT if growth is provably bounded)")
+          << Fn;
+      return;
+    }
+    if (const auto* Call = Result.Nodes.getNodeAs<CallExpr>("alloc_call")) {
+      diag(Call->getBeginLoc(),
+           "heap allocation in MRLQUANT_HOT function %0; hot paths must be "
+           "allocation-free in steady state")
+          << Fn;
+      return;
+    }
+    if (const auto* Grow =
+            Result.Nodes.getNodeAs<CXXMemberCallExpr>("grow_call")) {
+      const auto* ObjType = Result.Nodes.getNodeAs<QualType>("obj_type");
+      if (ObjType == nullptr || !isStdRecordType(*ObjType)) return;
+      diag(Grow->getBeginLoc(),
+           "growth-prone container call in MRLQUANT_HOT function %0 may "
+           "reallocate; prove it cannot (warmed arena / reserved capacity) "
+           "and suppress with a justified "
+           "NOLINTNEXTLINE(mrlquant-no-alloc-in-hot-path)")
+          << Fn;
+    }
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// mrlquant-use-sort-engine
+//===----------------------------------------------------------------------===//
+
+class UseSortEngineCheck : public ClangTidyCheck {
+ public:
+  UseSortEngineCheck(StringRef Name, ClangTidyContext* Context)
+      : ClangTidyCheck(Name, Context),
+        AllowedFilesRegex_(Options.get("AllowedFilesRegex",
+                                       "(^|/)src/util/sort\\.cc$")),
+        AllowedFiles_(AllowedFilesRegex_) {}
+
+  void storeOptions(ClangTidyOptions::OptionMap& Opts) override {
+    Options.store(Opts, "AllowedFilesRegex", AllowedFilesRegex_);
+  }
+
+  bool isLanguageVersionSupported(const LangOptions& LangOpts) const override {
+    return LangOpts.CPlusPlus;
+  }
+
+  void registerMatchers(ast_matchers::MatchFinder* Finder) override {
+    Finder->addMatcher(
+        callExpr(callee(functionDecl(
+                     hasAnyName("::std::sort", "::std::stable_sort"))),
+                 forFunction(functionDecl().bind("encl")))
+            .bind("sort_call"),
+        this);
+  }
+
+  void check(const ast_matchers::MatchFinder::MatchResult& Result) override {
+    const auto* Call = Result.Nodes.getNodeAs<CallExpr>("sort_call");
+    if (Call == nullptr || Call->getNumArgs() < 1) return;
+
+    // Only sorts over double ranges belong to the engine; integer or
+    // struct sorts (e.g. slot-index ordering) are out of scope.
+    if (!rangeElementIsDouble(Call->getArg(0)->getType())) return;
+
+    // The engine's own implementation file hosts the std::sort fallback.
+    const SourceManager& SM = *Result.SourceManager;
+    const StringRef File =
+        SM.getFilename(SM.getExpansionLoc(Call->getBeginLoc()));
+    if (AllowedFiles_.isValid() && AllowedFiles_.match(File)) return;
+
+    // *Naive reference implementations are kept for differential testing.
+    if (const auto* Encl = Result.Nodes.getNodeAs<FunctionDecl>("encl")) {
+      if (Encl->getDeclName().isIdentifier() &&
+          endsWith(Encl->getName(), "Naive")) {
+        return;
+      }
+    }
+
+    diag(Call->getBeginLoc(),
+         "raw %0 on a double range; use the radix sort engine "
+         "(SortValues/SortPairs in util/sort.h) — it is faster past the "
+         "cutoff, arena-backed, and deterministic on -0.0/+0.0")
+        << (isStableSort(Call) ? "std::stable_sort" : "std::sort");
+  }
+
+ private:
+  static bool isStableSort(const CallExpr* Call) {
+    const FunctionDecl* Callee = Call->getDirectCallee();
+    return Callee != nullptr && Callee->getName() == "stable_sort";
+  }
+
+  /// Heuristic: the first argument of std::sort is an iterator; a `double*`
+  /// pointee or an iterator whose value_type involves `double` (vector
+  /// iterators desugar to double* or wrap it) marks a double-range sort.
+  static bool rangeElementIsDouble(QualType qt) {
+    QualType canon = qt.getCanonicalType();
+    if (const auto* ptr = canon->getAs<PointerType>()) {
+      return ptr->getPointeeType()
+          .getCanonicalType()
+          .getUnqualifiedType()
+          ->isSpecificBuiltinType(BuiltinType::Double);
+    }
+    // Class-type iterators (__normal_iterator<double*, ...>,
+    // _Deque_iterator<double, ...>): scan template arguments for a double
+    // or double* parameter.
+    if (const auto* spec =
+            canon->getAs<TemplateSpecializationType>()) {
+      canon = spec->desugar().getCanonicalType();
+    }
+    if (const auto* record = canon->getAsCXXRecordDecl()) {
+      if (const auto* ctsd =
+              llvm::dyn_cast<ClassTemplateSpecializationDecl>(record)) {
+        for (const TemplateArgument& arg :
+             ctsd->getTemplateArgs().asArray()) {
+          if (arg.getKind() != TemplateArgument::Type) continue;
+          QualType at = arg.getAsType().getCanonicalType();
+          if (const auto* ap = at->getAs<PointerType>()) {
+            at = ap->getPointeeType().getCanonicalType();
+          }
+          if (at.getUnqualifiedType()->isSpecificBuiltinType(
+                  BuiltinType::Double)) {
+            return true;
+          }
+        }
+      }
+    }
+    return false;
+  }
+
+  const StringRef AllowedFilesRegex_;
+  llvm::Regex AllowedFiles_;
+};
+
+//===----------------------------------------------------------------------===//
+// mrlquant-guarded-mutex
+//===----------------------------------------------------------------------===//
+
+class GuardedMutexCheck : public ClangTidyCheck {
+ public:
+  GuardedMutexCheck(StringRef Name, ClangTidyContext* Context)
+      : ClangTidyCheck(Name, Context) {}
+
+  bool isLanguageVersionSupported(const LangOptions& LangOpts) const override {
+    return LangOpts.CPlusPlus;
+  }
+
+  void registerMatchers(ast_matchers::MatchFinder* Finder) override {
+    Finder->addMatcher(
+        fieldDecl(hasType(cxxRecordDecl(hasAnyName(
+                      "::std::mutex", "::std::shared_mutex",
+                      "::std::recursive_mutex", "::std::timed_mutex",
+                      "::std::shared_timed_mutex"))))
+            .bind("field"),
+        this);
+  }
+
+  void check(const ast_matchers::MatchFinder::MatchResult& Result) override {
+    const auto* Field = Result.Nodes.getNodeAs<FieldDecl>("field");
+    if (Field == nullptr) return;
+
+    // Annotated wrapper types (mrl::Mutex / mrl::SharedMutex) legitimately
+    // embed a std mutex: the enclosing record carries the capability
+    // attribute that makes -Wthread-safety see it.
+    const RecordDecl* Parent = Field->getParent();
+    if (Parent != nullptr && Parent->hasAttr<CapabilityAttr>()) return;
+
+    diag(Field->getLocation(),
+         "bare %0 data member is invisible to -Wthread-safety; use "
+         "mrl::Mutex / mrl::SharedMutex (util/thread_annotations.h) so the "
+         "capability analysis can check lock order and GUARDED_BY contracts")
+        << Field->getType();
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Module registration
+//===----------------------------------------------------------------------===//
+
+class MrlquantModule : public ClangTidyModule {
+ public:
+  void addCheckFactories(ClangTidyCheckFactories& CheckFactories) override {
+    CheckFactories.registerCheck<NoAllocInHotPathCheck>(
+        "mrlquant-no-alloc-in-hot-path");
+    CheckFactories.registerCheck<UseSortEngineCheck>(
+        "mrlquant-use-sort-engine");
+    CheckFactories.registerCheck<GuardedMutexCheck>("mrlquant-guarded-mutex");
+  }
+};
+
+static ClangTidyModuleRegistry::Add<MrlquantModule> X(
+    "mrlquant-module", "mrlquant repo-specific checks.");
+
+}  // namespace clang::tidy::mrlquant
+
+// Pull the registry entry into any binary that links (or dlopens) this
+// module; clang-tidy's --load path references this symbol convention.
+volatile int MrlquantModuleAnchorSource = 0;

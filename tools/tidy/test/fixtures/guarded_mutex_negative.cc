@@ -1,0 +1,39 @@
+// Negative fixture for mrlquant-guarded-mutex: nothing here may be
+// diagnosed.
+#include <mutex>
+#include <shared_mutex>
+
+#include "util/thread_annotations.h"
+
+namespace fixture {
+
+// The annotated wrappers from util/thread_annotations.h are the sanctioned
+// mutex members: the capability attribute on the type is what makes
+// -Wthread-safety see them.
+class UsesWrappers {
+ private:
+  mrl::Mutex queue_mu_;
+  mrl::SharedMutex map_mu_;
+  int value_ MRLQUANT_GUARDED_BY(queue_mu_) = 0;
+};
+
+// A hand-rolled capability-annotated wrapper may embed the raw std mutex —
+// that is exactly how mrl::Mutex itself is built, so the enclosing record's
+// capability attribute exempts the field.
+class MRLQUANT_CAPABILITY("mutex") CustomWrapper {
+ public:
+  void Lock() MRLQUANT_ACQUIRE() { mu_.lock(); }
+  void Unlock() MRLQUANT_RELEASE() { mu_.unlock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+// Locals and statics are not data members; the check is about shared state.
+inline int LocalMutexIsFine() {
+  std::mutex local;
+  std::lock_guard<std::mutex> lock(local);
+  return 1;
+}
+
+}  // namespace fixture

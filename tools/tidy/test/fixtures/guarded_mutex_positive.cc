@@ -1,0 +1,23 @@
+// Positive fixture for mrlquant-guarded-mutex: every bare std mutex data
+// member below must be diagnosed.
+#include <mutex>
+#include <shared_mutex>
+
+namespace fixture {
+
+class BareMutexHolder {
+ private:
+  std::mutex mu_;  // finding 1: invisible to -Wthread-safety
+  int guarded_value_ = 0;
+};
+
+class BareSharedMutexHolder {
+ private:
+  std::shared_mutex map_mu_;  // finding 2
+};
+
+struct BareRecursive {
+  std::recursive_mutex mu;  // finding 3
+};
+
+}  // namespace fixture

@@ -1,0 +1,48 @@
+// Negative fixture for mrlquant-no-alloc-in-hot-path: nothing here may be
+// diagnosed.
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "util/thread_annotations.h"
+
+namespace fixture {
+
+// Not hot: allocation is fine in setup/teardown code.
+std::vector<double> ColdAllocates() {
+  std::vector<double> v;
+  v.push_back(1.0);
+  v.resize(10);
+  return v;
+}
+
+// Repo-owned types with growth-sounding method names are exempt — the
+// check polices std containers only; repo types are themselves
+// hot-annotated and audited at their own definitions.
+struct Arena {
+  void push_back(double) {}
+  void resize(std::size_t) {}
+};
+
+MRLQUANT_HOT void HotUsesRepoType(Arena& a) {
+  a.push_back(1.0);
+  a.resize(8);
+}
+
+// The documented suppression idiom: warmed-arena growth with a justified
+// NOLINTNEXTLINE is the sanctioned escape hatch.
+MRLQUANT_HOT void HotWarmedArena(std::vector<double>& scratch,
+                                 std::size_t n) {
+  // NOLINTNEXTLINE(mrlquant-no-alloc-in-hot-path): arena — warmed to the
+  // largest n seen, then recycled allocation-free.
+  scratch.resize(n);
+}
+
+// Non-growing container reads must not fire.
+MRLQUANT_HOT double HotReadsOnly(const std::vector<double>& v) {
+  double sum = 0;
+  for (double d : v) sum += d;
+  return sum;
+}
+
+}  // namespace fixture

@@ -1,0 +1,39 @@
+// Positive fixture for mrlquant-no-alloc-in-hot-path: every construct
+// below must be diagnosed. The driver asserts the check name appears and
+// counts the findings.
+#include <memory>
+#include <vector>
+
+#include "util/thread_annotations.h"
+
+namespace fixture {
+
+struct Widget {
+  int x = 0;
+};
+
+MRLQUANT_HOT int* HotNew() {
+  return new int(42);  // finding 1: operator new
+}
+
+MRLQUANT_HOT std::unique_ptr<Widget> HotMakeUnique() {
+  return std::make_unique<Widget>();  // finding 2: factory allocation
+}
+
+MRLQUANT_HOT void HotPushBack(std::vector<double>* v) {
+  v->push_back(1.0);  // finding 3: growth-prone member call via pointer
+}
+
+MRLQUANT_HOT void HotResize(std::vector<int>& v) {
+  v.resize(100);  // finding 4: growth-prone member call via reference
+}
+
+// The annotation may live on a declaration while the allocation sits in an
+// out-of-line definition — the redecl-chain walk must still fire.
+MRLQUANT_HOT void HotDeclaredElsewhere(std::vector<int>& v);
+
+void HotDeclaredElsewhere(std::vector<int>& v) {
+  v.reserve(10);  // finding 5: hot via declaration's annotation
+}
+
+}  // namespace fixture

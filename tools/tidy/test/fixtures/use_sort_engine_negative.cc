@@ -1,0 +1,38 @@
+// Negative fixture for mrlquant-use-sort-engine: nothing here may be
+// diagnosed.
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fixture {
+
+// Integer sorts are out of the engine's scope.
+void SortInts(std::vector<int>& v) { std::sort(v.begin(), v.end()); }
+
+void SortUint64(std::vector<std::uint64_t>& v) {
+  std::sort(v.begin(), v.end());
+}
+
+// Struct sorts (no double range) are out of scope even with a
+// double-reading comparator key.
+struct Slot {
+  int index;
+};
+void SortSlots(std::vector<Slot>& v) {
+  std::sort(v.begin(), v.end(),
+            [](const Slot& a, const Slot& b) { return a.index < b.index; });
+}
+
+// *Naive reference implementations are the sanctioned exemption — they
+// exist so differential tests can compare the engine against std::sort.
+void SortDoublesNaive(double* data, std::size_t n) {
+  std::sort(data, data + n);
+}
+
+void StableSortDoublesNaive(std::vector<double>& v) {
+  std::stable_sort(v.begin(), v.end());
+}
+
+}  // namespace fixture

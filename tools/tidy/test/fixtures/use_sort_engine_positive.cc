@@ -1,0 +1,27 @@
+// Positive fixture for mrlquant-use-sort-engine: every sort below is over
+// doubles and outside the allowed file / Naive exemptions, so each must be
+// diagnosed.
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+namespace fixture {
+
+void SortVectorOfDoubles(std::vector<double>& v) {
+  std::sort(v.begin(), v.end());  // finding 1: vector<double> iterators
+}
+
+void SortRawDoublePointers(double* data, std::size_t n) {
+  std::sort(data, data + n);  // finding 2: double* range
+}
+
+void StableSortDoubles(std::vector<double>& v) {
+  std::stable_sort(v.begin(), v.end());  // finding 3: stable_sort too
+}
+
+void SortWithComparator(std::vector<double>& v) {
+  // finding 4: a custom comparator does not exempt the call
+  std::sort(v.begin(), v.end(), [](double a, double b) { return a > b; });
+}
+
+}  // namespace fixture

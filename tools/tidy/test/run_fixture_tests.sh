@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# Fixture tests for the mrlquant clang-tidy plugin (tools/tidy).
+#
+# Each fixture is compiled under exactly one custom check; the driver
+# asserts the expected number of findings (positives) or zero findings
+# (negatives). Expected counts are the `// finding N:` markers in the
+# fixtures — update both together.
+#
+# Environment (set by the ctest registration in tools/tidy/CMakeLists.txt):
+#   MRLQUANT_TIDY_PLUGIN   path to mrlquant_tidy_checks module
+#   MRLQUANT_CLANG_TIDY    clang-tidy binary
+#   MRLQUANT_REPO_ROOT     repo root (for -Isrc)
+set -u -o pipefail
+
+PLUGIN="${MRLQUANT_TIDY_PLUGIN:?MRLQUANT_TIDY_PLUGIN not set}"
+CLANG_TIDY="${MRLQUANT_CLANG_TIDY:?MRLQUANT_CLANG_TIDY not set}"
+ROOT="${MRLQUANT_REPO_ROOT:?MRLQUANT_REPO_ROOT not set}"
+FIXTURES="$(cd "$(dirname "$0")/fixtures" && pwd)"
+
+failures=0
+
+# run_fixture <fixture.cc> <check-name> <expected-finding-count>
+run_fixture() {
+  local fixture="$1" check="$2" expected="$3"
+  local out
+  # || true: clang-tidy exits non-zero when it emits warnings; the
+  # assertion below is on the diagnostic count, not the exit code.
+  out="$("$CLANG_TIDY" --load "$PLUGIN" --quiet \
+      "--checks=-*,${check}" \
+      "${FIXTURES}/${fixture}" -- -std=c++20 "-I${ROOT}/src" 2>&1)" || true
+
+  if grep -q "error:" <<<"$out"; then
+    echo "FAIL ${fixture}: fixture failed to compile:"
+    echo "$out"
+    failures=$((failures + 1))
+    return
+  fi
+
+  local count
+  count="$(grep -c "\[${check}\]" <<<"$out" || true)"
+  if [[ "$count" -ne "$expected" ]]; then
+    echo "FAIL ${fixture}: expected ${expected} ${check} findings, got ${count}:"
+    echo "$out"
+    failures=$((failures + 1))
+  else
+    echo "PASS ${fixture}: ${count} ${check} finding(s)"
+  fi
+}
+
+run_fixture no_alloc_positive.cc        mrlquant-no-alloc-in-hot-path 5
+run_fixture no_alloc_negative.cc        mrlquant-no-alloc-in-hot-path 0
+run_fixture use_sort_engine_positive.cc mrlquant-use-sort-engine      4
+run_fixture use_sort_engine_negative.cc mrlquant-use-sort-engine      0
+run_fixture guarded_mutex_positive.cc   mrlquant-guarded-mutex        3
+run_fixture guarded_mutex_negative.cc   mrlquant-guarded-mutex        0
+
+if [[ "$failures" -ne 0 ]]; then
+  echo "${failures} fixture test(s) failed"
+  exit 1
+fi
+echo "all tidy plugin fixture tests passed"
