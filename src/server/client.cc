@@ -92,7 +92,8 @@ Result<Client> Client::ConnectTcp(const std::string& host,
 Client::Client(Client&& other) noexcept
     : fd_(std::exchange(other.fd_, -1)),
       request_(std::move(other.request_)),
-      response_(std::move(other.response_)) {}
+      response_(std::move(other.response_)),
+      expected_(std::move(other.expected_)) {}
 
 Client& Client::operator=(Client&& other) noexcept {
   if (this != &other) {
@@ -100,6 +101,7 @@ Client& Client::operator=(Client&& other) noexcept {
     fd_ = std::exchange(other.fd_, -1);
     request_ = std::move(other.request_);
     response_ = std::move(other.response_);
+    expected_ = std::move(other.expected_);
   }
   return *this;
 }
@@ -113,12 +115,22 @@ void Client::Close() {
   }
 }
 
+Status Client::CheckNoPipeline() const {
+  if (expected_.empty()) return Status::OK();
+  return Status::FailedPrecondition(
+      "pipeline requests queued; call PipelineFlush first");
+}
+
 Result<ResponseView> Client::RoundTrip(MsgType sent) {
   if (fd_ < 0) return Status::FailedPrecondition("client not connected");
   if (!WriteFull(fd_, request_.data(), request_.size())) {
     Close();
     return StatusFromErrno("send");
   }
+  return ReadResponse(sent);
+}
+
+Result<ResponseView> Client::ReadResponse(MsgType sent) {
   std::uint8_t prefix[4];
   if (!ReadFull(fd_, prefix, sizeof(prefix))) {
     Close();
@@ -163,8 +175,80 @@ Result<ResponseView> Client::RoundTrip(MsgType sent) {
   return view;
 }
 
+void Client::PipelineCreateSketch(std::string_view name,
+                                  const TenantConfig& config) {
+  if (expected_.empty()) request_.clear();
+  EncodeCreateSketch(name, config, &request_);
+  expected_.push_back(MsgType::kCreateSketch);
+}
+
+void Client::PipelineAddBatch(std::string_view name,
+                              std::span<const Value> values) {
+  if (expected_.empty()) request_.clear();
+  EncodeAddBatch(name, values, &request_);
+  expected_.push_back(MsgType::kAddBatch);
+}
+
+void Client::PipelineQuery(std::string_view name, double phi) {
+  if (expected_.empty()) request_.clear();
+  EncodeQuery(name, phi, &request_);
+  expected_.push_back(MsgType::kQuery);
+}
+
+Status Client::PipelineFlush(std::vector<PipelineReply>* replies) {
+  if (fd_ < 0) {
+    expected_.clear();
+    return Status::FailedPrecondition("client not connected");
+  }
+  if (expected_.empty()) return Status::OK();
+  if (!WriteFull(fd_, request_.data(), request_.size())) {
+    expected_.clear();
+    Close();
+    return StatusFromErrno("send");
+  }
+  // Responses arrive on this connection in request order (the pipelining
+  // guarantee of docs/wire_protocol.md); read exactly one per queued
+  // request. response_ is reused per frame, so each reply is materialized
+  // before the next read.
+  Status result = Status::OK();
+  for (std::size_t i = 0; i < expected_.size(); ++i) {
+    Result<ResponseView> response = ReadResponse(expected_[i]);
+    if (!response.ok()) {
+      // Transport/framing failure: the connection is closed; the
+      // remaining responses are unrecoverable.
+      result = response.status();
+      break;
+    }
+    if (replies == nullptr) continue;
+    PipelineReply reply;
+    reply.request_type = expected_[i];
+    reply.status = response.value().ToStatus();
+    if (reply.status.ok()) {
+      if (expected_[i] == MsgType::kAddBatch) {
+        Result<std::uint64_t> count = DecodeAddBatchOk(response.value());
+        if (count.ok()) {
+          reply.count = count.value();
+        } else {
+          reply.status = count.status();
+        }
+      } else if (expected_[i] == MsgType::kQuery) {
+        Result<double> value = DecodeQueryOk(response.value());
+        if (value.ok()) {
+          reply.value = value.value();
+        } else {
+          reply.status = value.status();
+        }
+      }
+    }
+    replies->push_back(std::move(reply));
+  }
+  expected_.clear();
+  return result;
+}
+
 Status Client::CreateSketch(std::string_view name,
                             const TenantConfig& config) {
+  if (Status busy = CheckNoPipeline(); !busy.ok()) return busy;
   request_.clear();
   EncodeCreateSketch(name, config, &request_);
   Result<ResponseView> response = RoundTrip(MsgType::kCreateSketch);
@@ -174,6 +258,7 @@ Status Client::CreateSketch(std::string_view name,
 
 Result<std::uint64_t> Client::AddBatch(std::string_view name,
                                        std::span<const Value> values) {
+  if (Status busy = CheckNoPipeline(); !busy.ok()) return busy;
   request_.clear();
   EncodeAddBatch(name, values, &request_);
   Result<ResponseView> response = RoundTrip(MsgType::kAddBatch);
@@ -183,6 +268,7 @@ Result<std::uint64_t> Client::AddBatch(std::string_view name,
 }
 
 Result<double> Client::Query(std::string_view name, double phi) {
+  if (Status busy = CheckNoPipeline(); !busy.ok()) return busy;
   request_.clear();
   EncodeQuery(name, phi, &request_);
   Result<ResponseView> response = RoundTrip(MsgType::kQuery);
@@ -193,6 +279,7 @@ Result<double> Client::Query(std::string_view name, double phi) {
 
 Status Client::QueryMulti(std::string_view name, std::span<const double> phis,
                           std::vector<Value>* out) {
+  if (Status busy = CheckNoPipeline(); !busy.ok()) return busy;
   request_.clear();
   EncodeQueryMulti(name, phis, &request_);
   Result<ResponseView> response = RoundTrip(MsgType::kQueryMulti);
@@ -203,6 +290,7 @@ Status Client::QueryMulti(std::string_view name, std::span<const double> phis,
 
 Status Client::Snapshot(std::string_view name,
                         std::vector<std::uint8_t>* blob) {
+  if (Status busy = CheckNoPipeline(); !busy.ok()) return busy;
   request_.clear();
   EncodeNameRequest(MsgType::kSnapshot, name, &request_);
   Result<ResponseView> response = RoundTrip(MsgType::kSnapshot);
@@ -212,6 +300,7 @@ Status Client::Snapshot(std::string_view name,
 }
 
 Status Client::Delete(std::string_view name) {
+  if (Status busy = CheckNoPipeline(); !busy.ok()) return busy;
   request_.clear();
   EncodeNameRequest(MsgType::kDelete, name, &request_);
   Result<ResponseView> response = RoundTrip(MsgType::kDelete);
@@ -220,6 +309,7 @@ Status Client::Delete(std::string_view name) {
 }
 
 Result<StatsReply> Client::Stats(std::string_view name) {
+  if (Status busy = CheckNoPipeline(); !busy.ok()) return busy;
   request_.clear();
   EncodeNameRequest(MsgType::kStats, name, &request_);
   Result<ResponseView> response = RoundTrip(MsgType::kStats);

@@ -14,10 +14,12 @@
 namespace mrl {
 namespace server {
 
-/// Blocking single-connection client for mrlquantd. One request in flight
-/// at a time; not thread-safe (open one client per thread — connections are
-/// cheap and the server pins a connection to a worker anyway). Request and
-/// response buffers are reused across calls, so a steady AddBatch loop
+/// Blocking single-connection client for mrlquantd. The plain methods run
+/// one request per round trip; the Pipeline* methods queue many requests
+/// and flush them in one write (the server answers in request order). Not
+/// thread-safe (open one client per thread — connections are cheap and the
+/// server routes each connection to its tenant's shard anyway). Request
+/// and response buffers are reused across calls, so a steady AddBatch loop
 /// allocates nothing client-side either.
 ///
 /// Transport failures (peer gone, short read) surface as Internal and leave
@@ -53,16 +55,58 @@ class Client {
   /// Pass an empty name for registry-wide statistics only.
   Result<StatsReply> Stats(std::string_view name);
 
+  // -------------------------------------------------------------------------
+  // Pipelining (docs/wire_protocol.md, "Request pipelining"): queue any
+  // number of requests, send them in one write, then collect the responses
+  // — the server returns them on this connection in request order, so one
+  // round trip amortizes over the whole batch. Queued requests are
+  // buffered client-side until PipelineFlush; mixing in a blocking call
+  // while a pipeline is queued is an error (FailedPrecondition).
+
+  /// One reply from a pipelined flush, positionally matching the queued
+  /// requests.
+  struct PipelineReply {
+    MsgType request_type = MsgType::kResponse;
+    Status status;            ///< the server's status for this request
+    std::uint64_t count = 0;  ///< AddBatch: tenant count after the batch
+    double value = 0;         ///< Query: the quantile answer
+  };
+
+  void PipelineCreateSketch(std::string_view name, const TenantConfig& config);
+  void PipelineAddBatch(std::string_view name, std::span<const Value> values);
+  void PipelineQuery(std::string_view name, double phi);
+
+  /// Queued-but-unflushed request count.
+  std::size_t pipeline_depth() const { return expected_.size(); }
+
+  /// Sends every queued request in one write and reads exactly as many
+  /// responses, appending one PipelineReply per request (in order) to
+  /// *replies. Returns non-OK only on transport/framing failure (the
+  /// connection is closed); per-request server errors land in each reply's
+  /// status. `replies` may be null when only the side effects matter —
+  /// responses are still read and the per-request statuses discarded.
+  Status PipelineFlush(std::vector<PipelineReply>* replies);
+
  private:
   explicit Client(int fd) : fd_(fd) {}
+
+  /// FailedPrecondition while pipeline requests are queued — the blocking
+  /// methods call this BEFORE touching request_, so a misplaced blocking
+  /// call cannot clobber a queued pipeline.
+  Status CheckNoPipeline() const;
 
   /// Writes request_, reads one response frame into response_, and decodes
   /// its header. Checks that the response echoes `sent` as request type.
   Result<ResponseView> RoundTrip(MsgType sent);
 
+  /// Reads one response frame into response_ and decodes its header.
+  Result<ResponseView> ReadResponse(MsgType sent);
+
   int fd_ = -1;
   std::vector<std::uint8_t> request_;
   std::vector<std::uint8_t> response_;
+  /// Request types queued in request_ awaiting PipelineFlush.
+  std::vector<MsgType> expected_;
 };
 
 }  // namespace server

@@ -1,0 +1,63 @@
+#ifndef MRLQUANT_SERVER_EVENT_LOOP_H_
+#define MRLQUANT_SERVER_EVENT_LOOP_H_
+
+#include <sys/epoll.h>
+
+#include <cstdint>
+
+#include "util/status.h"
+
+namespace mrl {
+namespace server {
+
+/// Thin epoll wrapper with an eventfd wakeup channel, owned by exactly one
+/// thread (the waiter); Wake() is the only cross-thread entry point. This
+/// is what replaces every timeout-poll loop in the server: threads block
+/// in Wait() indefinitely and are woken by readiness or by Wake(), so an
+/// idle daemon performs zero periodic wakeups (verifiable with strace -c:
+/// no poll/epoll_wait churn at rest).
+class EventLoop {
+ public:
+  static Result<EventLoop> Create();
+
+  /// Empty loop (no epoll set); usable only as a move-assignment target.
+  EventLoop() = default;
+  ~EventLoop();
+
+  EventLoop(EventLoop&& other) noexcept;
+  EventLoop& operator=(EventLoop&& other) noexcept;
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Registers `fd` with `events` (EPOLLIN/EPOLLOUT/...); `data` comes
+  /// back verbatim in the epoll_event. The wakeup eventfd is pre-registered
+  /// with data == nullptr, so callers can use null as "wakeup" sentinel.
+  Status Add(int fd, std::uint32_t events, void* data);
+  Status Modify(int fd, std::uint32_t events, void* data);
+  void Remove(int fd);
+
+  /// Blocks until readiness or Wake(); returns the number of events
+  /// written to `events` (retries EINTR internally). timeout_ms < 0 means
+  /// block indefinitely.
+  int Wait(epoll_event* events, int max_events, int timeout_ms);
+
+  /// Wakes the waiter. Safe from any thread, async-signal-safe (a single
+  /// eventfd write), idempotent until consumed.
+  void Wake();
+
+  /// Drains the wakeup eventfd; call when Wait() reports the null-data
+  /// event. Returns true if a wakeup was pending.
+  bool ConsumeWake();
+
+ private:
+  EventLoop(int epoll_fd, int wake_fd)
+      : epoll_fd_(epoll_fd), wake_fd_(wake_fd) {}
+
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+};
+
+}  // namespace server
+}  // namespace mrl
+
+#endif  // MRLQUANT_SERVER_EVENT_LOOP_H_

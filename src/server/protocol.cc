@@ -382,6 +382,15 @@ Result<NameRequest> DecodeNameRequest(MsgType type,
   return req;
 }
 
+std::string_view FrameTenantName(const std::uint8_t* payload,
+                                 std::size_t len) {
+  if (payload == nullptr || len < 2) return {};
+  const std::uint16_t n = static_cast<std::uint16_t>(
+      payload[0] | (static_cast<std::uint16_t>(payload[1]) << 8));
+  if (static_cast<std::size_t>(n) + 2 > len) return {};
+  return std::string_view(reinterpret_cast<const char*>(payload) + 2, n);
+}
+
 Status DecodeDoublesInto(const std::uint8_t* le, std::uint64_t count,
                          bool reject_nan, std::vector<double>* out) {
   out->clear();

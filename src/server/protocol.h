@@ -203,6 +203,15 @@ Result<NameRequest> DecodeNameRequest(MsgType type,
                                       const std::uint8_t* payload,
                                       std::size_t len);
 
+/// Peeks the tenant name at the front of a request payload without fully
+/// decoding it — every request payload begins with a u16-length-prefixed
+/// name. The sharded server uses this to route a connection to the shard
+/// owning the tenant before dispatch. Returns an empty view when the
+/// payload is too short or the length runs past it (the real decoder will
+/// produce the error); does not validate name characters.
+std::string_view FrameTenantName(const std::uint8_t* payload,
+                                 std::size_t len);
+
 /// Copies `count` little-endian doubles into *out (capacity reused).
 /// `reject_nan` refuses NaN bit patterns with InvalidArgument — ADD_BATCH
 /// and QUERY_MULTI both use it, keeping the sketches' NaN CHECK-abort

@@ -23,6 +23,9 @@ namespace {
 // before it. Version 2 made the sketch record uniform across backends —
 // one u32 length plus the backend's own Serialize() blob — replacing the
 // v1 per-kind layouts; v1 files are rejected (re-ingest or re-snapshot).
+// The on-disk format is partition-agnostic: tenants are written as one
+// flat list and re-hashed into partitions on recovery, so the same file
+// works across --shards settings.
 constexpr std::uint32_t kRegistryMagic = 0x4D524C52;  // "MRLR"
 constexpr std::uint8_t kRegistryVersion = 2;
 constexpr std::uint64_t kMaxCheckpointTenants = std::uint64_t{1} << 20;
@@ -143,6 +146,24 @@ Status GetBlob(BinaryReader* reader, std::vector<std::uint8_t>* blob) {
 SketchRegistry::SketchRegistry(RegistryOptions options)
     : options_(std::move(options)) {
   MRL_CHECK_GE(options_.max_tenants, 1u);
+  MRL_CHECK_GE(options_.num_partitions, 1u);
+  MRL_CHECK_LE(options_.num_partitions, 256u);
+  partitions_.reserve(options_.num_partitions);
+  for (std::size_t i = 0; i < options_.num_partitions; ++i) {
+    partitions_.push_back(std::make_unique<Partition>());
+  }
+}
+
+std::uint64_t SketchRegistry::NameHash(std::string_view name) {
+  // FNV-1a, 64-bit: stable across platforms and standard-library versions,
+  // so tenant → partition routing never changes under recompilation (the
+  // checkpoint format does not depend on it either way).
+  std::uint64_t hash = 0xcbf29ce484222325ull;
+  for (const char c : name) {
+    hash ^= static_cast<std::uint8_t>(c);
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
 }
 
 Result<std::unique_ptr<QuantileEstimator>> SketchRegistry::MakeSketch(
@@ -196,12 +217,12 @@ Result<std::unique_ptr<QuantileEstimator>> SketchRegistry::MakeSketch(
 }
 
 Result<std::unique_ptr<QuantileEstimator>> SketchRegistry::ObtainSketch(
-    const TenantConfig& config) {
-  for (std::size_t i = 0; i < free_pool_.size(); ++i) {
-    if (!StructurallyEqual(free_pool_[i].config, config)) continue;
+    Partition& p, const TenantConfig& config) {
+  for (std::size_t i = 0; i < p.free_pool.size(); ++i) {
+    if (!StructurallyEqual(p.free_pool[i].config, config)) continue;
     std::unique_ptr<QuantileEstimator> sketch =
-        std::move(free_pool_[i].sketch);
-    free_pool_.erase(free_pool_.begin() + static_cast<std::ptrdiff_t>(i));
+        std::move(p.free_pool[i].sketch);
+    p.free_pool.erase(p.free_pool.begin() + static_cast<std::ptrdiff_t>(i));
     // Reset(seed) makes the recycled sketch byte-identical to a fresh one
     // with this config (tests/reset_test.cc), so recycling is invisible.
     sketch->Reset(config.seed);
@@ -211,44 +232,64 @@ Result<std::unique_ptr<QuantileEstimator>> SketchRegistry::ObtainSketch(
   return MakeSketch(config);
 }
 
-void SketchRegistry::RecycleLocked(std::shared_ptr<Tenant> tenant) {
-  if (free_pool_.size() >= options_.max_free_pool) return;
+void SketchRegistry::RecycleLocked(Partition& p,
+                                   std::shared_ptr<Tenant> tenant) {
+  if (p.free_pool.size() >= options_.max_free_pool) return;
   Tenant& t = *tenant;
-  // map_mu_ → Tenant::mu, the one annotated nesting (see registry.h). The
-  // caller holds the last reference, so the lock cannot contend; it exists
-  // to move the sketch out under its declared capability.
+  // Partition::mu → Tenant::mu, the one annotated nesting (see
+  // registry.h). The caller holds the last reference, so the lock cannot
+  // contend; it exists to move the sketch out under its declared
+  // capability.
   WriterLock lock(t.mu);
-  free_pool_.push_back({t.config, std::move(t.sketch)});
+  p.free_pool.push_back({t.config, std::move(t.sketch)});
 }
 
-void SketchRegistry::EvictOneLocked() {
-  MRL_CHECK(!tenants_.empty());
-  TenantMap::iterator victim = tenants_.begin();
-  std::uint64_t oldest =
-      victim->second->last_used.load(std::memory_order_relaxed);
-  for (TenantMap::iterator it = std::next(tenants_.begin());
-       it != tenants_.end(); ++it) {
-    const std::uint64_t used =
-        it->second->last_used.load(std::memory_order_relaxed);
-    if (used < oldest) {
-      oldest = used;
-      victim = it;
+bool SketchRegistry::EvictGlobalLru() {
+  // Phase 1: find the globally oldest tenant, visiting partitions one at a
+  // time under their reader locks (two partition locks are never held at
+  // once — see the lock-order comment in registry.h).
+  std::size_t victim_part = partitions_.size();
+  std::string victim_name;
+  std::uint64_t oldest = ~std::uint64_t{0};
+  for (std::size_t pi = 0; pi < partitions_.size(); ++pi) {
+    Partition& p = *partitions_[pi];
+    ReaderLock lock(p.mu);
+    for (const auto& [name, tenant] : p.tenants) {
+      const std::uint64_t used =
+          tenant->last_used.load(std::memory_order_relaxed);
+      if (used <= oldest) {
+        oldest = used;
+        victim_part = pi;
+        victim_name = name;
+      }
     }
   }
-  std::shared_ptr<Tenant> tenant = std::move(victim->second);
-  tenants_.erase(victim);
+  if (victim_part == partitions_.size()) return false;
+
+  // Phase 2: re-lock the victim's partition exclusively and evict. A
+  // racing Delete may have beaten us to it — the caller's loop re-checks
+  // the live count either way.
+  Partition& p = *partitions_[victim_part];
+  WriterLock lock(p.mu);
+  TenantMap::iterator it = p.tenants.find(victim_name);
+  if (it == p.tenants.end()) return true;
+  std::shared_ptr<Tenant> tenant = std::move(it->second);
+  p.tenants.erase(it);
+  live_tenants_.fetch_sub(1, std::memory_order_relaxed);
   evictions_.fetch_add(1, std::memory_order_relaxed);
   // Recycle only when we hold the sole reference: in-flight operations on
   // the evicted tenant keep their own shared_ptr and must never observe
   // the sketch being moved out from under them.
-  if (tenant.use_count() == 1) RecycleLocked(std::move(tenant));
+  if (tenant.use_count() == 1) RecycleLocked(p, std::move(tenant));
+  return true;
 }
 
 std::shared_ptr<SketchRegistry::Tenant> SketchRegistry::FindTenant(
     std::string_view name) const {
-  ReaderLock lock(map_mu_);
-  TenantMap::const_iterator it = tenants_.find(name);
-  if (it == tenants_.end()) return nullptr;
+  const Partition& p = PartitionFor(name);
+  ReaderLock lock(p.mu);
+  TenantMap::const_iterator it = p.tenants.find(name);
+  if (it == p.tenants.end()) return nullptr;
   it->second->last_used.store(
       use_clock_.fetch_add(1, std::memory_order_relaxed) + 1,
       std::memory_order_relaxed);
@@ -275,10 +316,10 @@ Status SketchRegistry::Create(std::string_view name,
           "' is disabled on this server");
     }
   }
-  WriterLock lock(map_mu_);
-  TenantMap::iterator existing = tenants_.find(name);
-  if (existing != tenants_.end()) {
-    const SketchKind have = existing->second->config.kind;
+  Partition& home = PartitionFor(name);
+
+  const auto exists_error = [&](const Tenant& existing) {
+    const SketchKind have = existing.config.kind;
     if (have != config.kind) {
       return Status::FailedPrecondition(
           "tenant already exists with kind '" +
@@ -286,16 +327,51 @@ Status SketchRegistry::Create(std::string_view name,
           std::string(SketchKindName(config.kind)) + "'");
     }
     return Status::FailedPrecondition("tenant already exists");
+  };
+
+  // Existence pre-check so creating an existing tenant never evicts.
+  {
+    ReaderLock lock(home.mu);
+    TenantMap::const_iterator it = home.tenants.find(name);
+    if (it != home.tenants.end()) return exists_error(*it->second);
   }
-  if (tenants_.size() >= options_.max_tenants) EvictOneLocked();
-  Result<std::unique_ptr<QuantileEstimator>> sketch = ObtainSketch(config);
-  if (!sketch.ok()) return sketch.status();
-  std::shared_ptr<Tenant> tenant =
-      std::make_shared<Tenant>(config, std::move(sketch).value());
-  tenant->last_used.store(
-      use_clock_.fetch_add(1, std::memory_order_relaxed) + 1,
-      std::memory_order_relaxed);
-  tenants_.emplace(std::string(name), std::move(tenant));
+
+  // Free a slot before building the sketch: the evicted tenant's sketch
+  // lands in a free pool and — when it was in this partition and is
+  // structurally compatible — serves this very create allocation-free.
+  if (live_tenants_.load(std::memory_order_relaxed) >= options_.max_tenants) {
+    WriterLock cross(cross_mu_);
+    while (live_tenants_.load(std::memory_order_relaxed) >=
+           options_.max_tenants) {
+      if (!EvictGlobalLru()) break;
+    }
+  }
+
+  {
+    WriterLock lock(home.mu);
+    TenantMap::iterator it = home.tenants.find(name);
+    if (it != home.tenants.end()) return exists_error(*it->second);
+    Result<std::unique_ptr<QuantileEstimator>> sketch =
+        ObtainSketch(home, config);
+    if (!sketch.ok()) return sketch.status();
+    std::shared_ptr<Tenant> tenant =
+        std::make_shared<Tenant>(config, std::move(sketch).value());
+    tenant->last_used.store(
+        use_clock_.fetch_add(1, std::memory_order_relaxed) + 1,
+        std::memory_order_relaxed);
+    home.tenants.emplace(std::string(name), std::move(tenant));
+    live_tenants_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // Concurrent creates can overshoot the cap transiently (each saw a free
+  // slot); self-heal before returning so the cap holds at quiescence.
+  if (live_tenants_.load(std::memory_order_relaxed) > options_.max_tenants) {
+    WriterLock cross(cross_mu_);
+    while (live_tenants_.load(std::memory_order_relaxed) >
+           options_.max_tenants) {
+      if (!EvictGlobalLru()) break;
+    }
+  }
   return Status::OK();
 }
 
@@ -352,12 +428,14 @@ Status SketchRegistry::Snapshot(std::string_view name,
 }
 
 Status SketchRegistry::Delete(std::string_view name) {
-  WriterLock lock(map_mu_);
-  TenantMap::iterator it = tenants_.find(name);
-  if (it == tenants_.end()) return Status::NotFound("unknown tenant");
+  Partition& p = PartitionFor(name);
+  WriterLock lock(p.mu);
+  TenantMap::iterator it = p.tenants.find(name);
+  if (it == p.tenants.end()) return Status::NotFound("unknown tenant");
   std::shared_ptr<Tenant> tenant = std::move(it->second);
-  tenants_.erase(it);
-  if (tenant.use_count() == 1) RecycleLocked(std::move(tenant));
+  p.tenants.erase(it);
+  live_tenants_.fetch_sub(1, std::memory_order_relaxed);
+  if (tenant.use_count() == 1) RecycleLocked(p, std::move(tenant));
   return Status::OK();
 }
 
@@ -377,15 +455,16 @@ TenantStats SketchRegistry::Stats(std::string_view name) const {
 RegistryStats SketchRegistry::GlobalStats() const {
   RegistryStats stats;
   // Directory pass and tenant pass deliberately do not nest: copy the
-  // tenant handles out under map_mu_, release it, then visit each tenant
-  // under its own lock (lock order: never hold map_mu_ across sketch
-  // work; see the class comment in registry.h).
+  // tenant handles out partition by partition, release each partition
+  // lock, then visit every tenant under its own lock (lock order: never
+  // hold a partition lock across sketch work; see registry.h).
   std::vector<std::shared_ptr<Tenant>> snapshot;
-  {
-    ReaderLock lock(map_mu_);
-    stats.num_tenants = tenants_.size();
-    snapshot.reserve(tenants_.size());
-    for (const auto& [name, tenant] : tenants_) snapshot.push_back(tenant);
+  for (const std::unique_ptr<Partition>& part : partitions_) {
+    const Partition& p = *part;
+    ReaderLock lock(p.mu);
+    stats.num_tenants += p.tenants.size();
+    snapshot.reserve(snapshot.size() + p.tenants.size());
+    for (const auto& [name, tenant] : p.tenants) snapshot.push_back(tenant);
   }
   for (const std::shared_ptr<Tenant>& tenant : snapshot) {
     Tenant& t = *tenant;
@@ -399,8 +478,13 @@ RegistryStats SketchRegistry::GlobalStats() const {
 }
 
 std::size_t SketchRegistry::size() const {
-  ReaderLock lock(map_mu_);
-  return tenants_.size();
+  std::size_t total = 0;
+  for (const std::unique_ptr<Partition>& part : partitions_) {
+    const Partition& p = *part;
+    ReaderLock lock(p.mu);
+    total += p.tenants.size();
+  }
+  return total;
 }
 
 void SketchRegistry::EncodeTenantSketch(const Tenant& tenant,
@@ -423,14 +507,19 @@ Result<std::unique_ptr<QuantileEstimator>> SketchRegistry::DecodeTenantSketch(
 
 Status SketchRegistry::CheckpointNow() {
   if (options_.checkpoint_path.empty()) return Status::OK();
-  // Same two-pass shape as GlobalStats: directory handles out under
-  // map_mu_, then the (slow) per-tenant serialization under Tenant::mu
-  // only — a checkpoint never blocks lookups or other tenants.
+  // cross_mu_ serializes whole-registry operations against each other
+  // (two concurrent checkpoints would race on the temp file; a checkpoint
+  // racing a recover would interleave half-swapped directories).
+  WriterLock cross(cross_mu_);
+  // Same two-pass shape as GlobalStats: directory handles out under the
+  // partition locks, then the (slow) per-tenant serialization under
+  // Tenant::mu only — a checkpoint never blocks lookups or other tenants.
   std::vector<std::pair<std::string, std::shared_ptr<Tenant>>> snapshot;
-  {
-    ReaderLock lock(map_mu_);
-    snapshot.reserve(tenants_.size());
-    for (const auto& [name, tenant] : tenants_) {
+  for (const std::unique_ptr<Partition>& part : partitions_) {
+    const Partition& p = *part;
+    ReaderLock lock(p.mu);
+    snapshot.reserve(snapshot.size() + p.tenants.size());
+    for (const auto& [name, tenant] : p.tenants) {
       snapshot.emplace_back(name, tenant);
     }
   }
@@ -493,7 +582,10 @@ Status SketchRegistry::RecoverFromDisk() {
   if (num_tenants > kMaxCheckpointTenants) {
     return Status::InvalidArgument("registry checkpoint tenant count absurd");
   }
-  TenantMap recovered;
+  // Decode into per-partition staging maps (tenants re-hash to partitions
+  // here — the file is a flat list) and swap in only on full success.
+  std::vector<TenantMap> recovered(partitions_.size());
+  std::uint64_t recovered_count = 0;
   for (std::uint64_t i = 0; i < num_tenants; ++i) {
     std::uint16_t name_len;
     if (!reader.GetU16(&name_len)) return reader.status();
@@ -512,25 +604,32 @@ Status SketchRegistry::RecoverFromDisk() {
     Result<std::unique_ptr<QuantileEstimator>> sketch =
         DecodeTenantSketch(config, &reader);
     if (!sketch.ok()) return sketch.status();
-    if (recovered.find(name) != recovered.end()) {
+    TenantMap& target = recovered[PartitionOf(name)];
+    if (target.find(name) != target.end()) {
       return Status::InvalidArgument(
           "registry checkpoint: duplicate tenant name");
     }
-    recovered.emplace(
+    target.emplace(
         std::move(name),
         std::make_shared<Tenant>(config, std::move(sketch).value()));
+    ++recovered_count;
   }
   if (!reader.AtEnd()) {
     return Status::InvalidArgument(
         "registry checkpoint: trailing bytes before CRC");
   }
-  WriterLock lock(map_mu_);
-  tenants_ = std::move(recovered);
-  for (const auto& [name, tenant] : tenants_) {
-    tenant->last_used.store(
-        use_clock_.fetch_add(1, std::memory_order_relaxed) + 1,
-        std::memory_order_relaxed);
+  WriterLock cross(cross_mu_);
+  for (std::size_t pi = 0; pi < partitions_.size(); ++pi) {
+    Partition& p = *partitions_[pi];
+    WriterLock lock(p.mu);
+    p.tenants = std::move(recovered[pi]);
+    for (const auto& [name, tenant] : p.tenants) {
+      tenant->last_used.store(
+          use_clock_.fetch_add(1, std::memory_order_relaxed) + 1,
+          std::memory_order_relaxed);
+    }
   }
+  live_tenants_.store(recovered_count, std::memory_order_relaxed);
   return Status::OK();
 }
 

@@ -21,19 +21,28 @@ namespace mrl {
 namespace server {
 
 struct RegistryOptions {
-  /// Hard cap on live tenants; creating past it evicts the least recently
-  /// used tenant (its sketch is recycled through the free pool).
+  /// Hard cap on live tenants across all partitions; creating past it
+  /// evicts the globally least recently used tenant (its sketch is
+  /// recycled through the evicting partition's free pool).
   std::size_t max_tenants = 64;
   /// Checkpoint file for crash recovery (docs/checkpoint_format.md,
   /// "Registry checkpoint"). Empty disables persistence.
   std::string checkpoint_path;
   /// Deleted/evicted sketches kept around for allocation-free recycling of
-  /// tenant slots (QuantileEstimator::Reset(seed)).
+  /// tenant slots (QuantileEstimator::Reset(seed)), per partition.
   std::size_t max_free_pool = 8;
   /// Backends this server will instantiate; empty means all. CREATE_SKETCH
   /// for a kind outside the list fails with a descriptive error (the
   /// mrlquantd --backends flag feeds this).
   std::vector<SketchKind> allowed_kinds;
+  /// Number of directory partitions, in [1, 256]. Tenants are assigned to
+  /// partitions by a stable hash of their name (PartitionOf); each
+  /// partition has its own directory lock and free pool, so operations on
+  /// tenants in different partitions never contend on a shared mutex. The
+  /// sharded event-loop server sets this to its shard count and routes
+  /// each connection to the shard owning its tenant's partition, making
+  /// the steady-state ingest path shared-nothing.
+  std::size_t num_partitions = 1;
 };
 
 struct TenantStats {
@@ -47,37 +56,50 @@ struct RegistryStats {
   std::uint64_t num_tenants = 0;
   std::uint64_t total_count = 0;
   std::uint64_t evictions = 0;         ///< LRU evictions since start
-  std::uint64_t recycled_creates = 0;  ///< creates served from the free pool
+  std::uint64_t recycled_creates = 0;  ///< creates served from a free pool
   std::uint64_t checkpoints = 0;       ///< successful CheckpointNow calls
 };
 
-/// Multi-tenant sketch registry: named sketches behind a two-level locking
-/// scheme. The registry map is guarded by a shared mutex (reads of the
-/// directory are concurrent; create/delete/evict are exclusive); each
-/// tenant holds its own shared mutex so ingestion into tenant A never
-/// blocks queries on tenant B. Within a tenant, AddBatch takes the
+/// Multi-tenant sketch registry, partitioned for shared-nothing serving:
+/// tenant names hash to one of `num_partitions` directory partitions
+/// (PartitionOf), each with its own shared mutex, tenant map, and free
+/// pool. Reads of a partition's directory are concurrent;
+/// create/delete/evict are exclusive per partition. Each tenant
+/// additionally holds its own shared mutex so ingestion into tenant A
+/// never blocks queries on tenant B. Within a tenant, AddBatch takes the
 /// exclusive lock and queries take the shared lock — exactly the
 /// single-writer / concurrent-const-reader contract the sketches document.
 ///
 /// Lock order (statically annotated, checked by -Wthread-safety on Clang):
 ///
-///   map_mu_  →  Tenant::mu
+///   cross_mu_  →  Partition::mu  →  Tenant::mu
 ///
-/// A thread holding any Tenant::mu must never acquire map_mu_. In
-/// practice almost no path nests the two at all: every read path
-/// (AddBatch/Query/QueryMany/Stats/Snapshot/GlobalStats/CheckpointNow)
-/// shared-locks map_mu_ only long enough to copy out shared_ptr<Tenant>
-/// handles, releases it, and only then takes the per-tenant lock for the
-/// long sketch work — so a slow tenant operation never stalls directory
-/// lookups. The one deliberate nesting is eviction/recycling
-/// (EvictOneLocked → RecycleLocked), which takes Tenant::mu while holding
-/// map_mu_ exclusively — in the map_mu_ → mu direction, and only when the
+/// * `Partition::mu` guards one partition's directory and free pool.
+///   Steady-state per-tenant operations (AddBatch/Query/Stats/...) touch
+///   exactly one partition lock — shared, only long enough to copy out a
+///   shared_ptr<Tenant> handle — and then the tenant's own lock. When the
+///   server routes each connection to the shard owning its tenant's
+///   partition, that partition lock is only ever taken by one thread and
+///   is therefore uncontended: the ingest path crosses no shared lock.
+/// * `cross_mu_` survives only for cross-partition operations that must
+///   not interleave with each other: CheckpointNow (file write),
+///   RecoverFromDisk (directory swap), and global LRU eviction
+///   (EvictGlobalLru). Per-partition operations never touch it.
+/// * Two partition locks are never held at once: the global LRU scan
+///   visits partitions one at a time, and eviction re-locks only the
+///   victim's partition.
+///
+/// The one deliberate nesting below a partition lock is recycling
+/// (RecycleLocked), which takes Tenant::mu while holding the partition
+/// lock exclusively — in the documented direction, and only when the
 /// registry holds the last reference, so the lock is uncontended.
 ///
 /// An operation that races a Delete of the same tenant may still apply to
 /// the outgoing instance (it holds a shared_ptr); it never crashes and
 /// never touches a recycled sketch — recycling only happens once the
-/// registry holds the last reference.
+/// registry holds the last reference. Under concurrent creates the
+/// max_tenants cap may be overshot transiently; Create self-heals by
+/// evicting until the registry is back under the cap before returning.
 class SketchRegistry {
  public:
   explicit SketchRegistry(RegistryOptions options);
@@ -87,53 +109,58 @@ class SketchRegistry {
 
   /// Creates tenant `name`. FailedPrecondition when it already exists,
   /// InvalidArgument on a bad name or config.
-  Status Create(std::string_view name, const TenantConfig& config)
-      MRLQUANT_EXCLUDES(map_mu_);
+  Status Create(std::string_view name, const TenantConfig& config);
 
   /// Ingests a batch into tenant `name` (round-robin across shards for
   /// kSharded tenants) and returns the tenant's element count after the
   /// batch. Steady state performs no heap allocation.
   MRLQUANT_HOT Result<std::uint64_t> AddBatch(std::string_view name,
-                                              std::span<const Value> values)
-      MRLQUANT_EXCLUDES(map_mu_);
+                                              std::span<const Value> values);
 
-  MRLQUANT_HOT Result<Value> Query(std::string_view name, double phi) const
-      MRLQUANT_EXCLUDES(map_mu_);
+  MRLQUANT_HOT Result<Value> Query(std::string_view name, double phi) const;
 
   /// Answers every phi in one pass; *out is reused.
   Status QueryMany(std::string_view name, std::span<const double> phis,
-                   std::vector<Value>* out) const MRLQUANT_EXCLUDES(map_mu_);
+                   std::vector<Value>* out) const;
 
   /// Serializes tenant `name` into *blob (the per-tenant checkpoint format
   /// of docs/checkpoint_format.md) and, when a checkpoint path is
   /// configured, persists the whole registry durably before returning.
-  Status Snapshot(std::string_view name, std::vector<std::uint8_t>* blob)
-      MRLQUANT_EXCLUDES(map_mu_);
+  Status Snapshot(std::string_view name, std::vector<std::uint8_t>* blob);
 
-  Status Delete(std::string_view name) MRLQUANT_EXCLUDES(map_mu_);
+  Status Delete(std::string_view name);
 
   /// Per-tenant statistics; `present == false` when unknown.
-  TenantStats Stats(std::string_view name) const MRLQUANT_EXCLUDES(map_mu_);
+  TenantStats Stats(std::string_view name) const;
 
-  RegistryStats GlobalStats() const MRLQUANT_EXCLUDES(map_mu_);
+  RegistryStats GlobalStats() const;
 
   /// Atomically (write-temp + rename) persists every tenant to the
   /// configured checkpoint path. No-op returning OK when persistence is
   /// disabled.
-  Status CheckpointNow() MRLQUANT_EXCLUDES(map_mu_);
+  Status CheckpointNow() MRLQUANT_EXCLUDES(cross_mu_);
 
   /// Loads the checkpoint file if it exists (OK and empty registry when it
   /// does not). Fails without touching the registry on a corrupt file.
-  Status RecoverFromDisk() MRLQUANT_EXCLUDES(map_mu_);
+  Status RecoverFromDisk() MRLQUANT_EXCLUDES(cross_mu_);
 
-  std::size_t size() const MRLQUANT_EXCLUDES(map_mu_);
+  std::size_t size() const;
+
+  /// Stable hash of a tenant name (FNV-1a); PartitionOf reduces it modulo
+  /// num_partitions. The server uses the same function to route a
+  /// connection to the shard owning its tenant, so "partition i" and
+  /// "shard i" agree by construction.
+  static std::uint64_t NameHash(std::string_view name);
+  std::size_t PartitionOf(std::string_view name) const {
+    return static_cast<std::size_t>(NameHash(name)) % partitions_.size();
+  }
+  std::size_t num_partitions() const { return partitions_.size(); }
 
  private:
   /// Tenants hold their backend through the full QuantileEstimator
   /// lifecycle interface — ingestion, queries, Reset-based recycling and
   /// Serialize/Restore checkpointing are all virtual calls, so adding a
-  /// backend touches MakeSketch and nothing else here. (Sharded ingestion
-  /// round-robin moved into ShardedQuantileSketch itself in PR 6.)
+  /// backend touches MakeSketch and nothing else here.
   struct Tenant {
     Tenant(TenantConfig c, std::unique_ptr<QuantileEstimator> s)
         : config(c), sketch(std::move(s)) {}
@@ -159,30 +186,43 @@ class SketchRegistry {
     std::unique_ptr<QuantileEstimator> sketch;
   };
 
+  /// One directory partition: its own lock, tenant map, and free pool.
+  /// Heap-allocated so the SharedMutex never moves.
+  struct Partition {
+    mutable SharedMutex mu;
+    TenantMap tenants MRLQUANT_GUARDED_BY(mu);
+    std::vector<FreeEntry> free_pool MRLQUANT_GUARDED_BY(mu);
+  };
+
   static Result<std::unique_ptr<QuantileEstimator>> MakeSketch(
       const TenantConfig& config);
 
+  Partition& PartitionFor(std::string_view name) const {
+    return *partitions_[PartitionOf(name)];
+  }
+
   /// Builds a tenant sketch for `config`, preferring a structurally
-  /// matching free-pool entry (Reset(config.seed) makes it byte-identical
-  /// to a fresh build). Caller holds map_mu_ exclusively.
+  /// matching free-pool entry of `p` (Reset(config.seed) makes it
+  /// byte-identical to a fresh build). Caller holds p.mu exclusively.
   Result<std::unique_ptr<QuantileEstimator>> ObtainSketch(
-      const TenantConfig& config) MRLQUANT_REQUIRES(map_mu_);
+      Partition& p, const TenantConfig& config) MRLQUANT_REQUIRES(p.mu);
 
-  /// Returns a sketch to the free pool. Caller holds map_mu_ exclusively
-  /// and the last reference to the tenant; takes Tenant::mu (map_mu_ → mu,
-  /// uncontended by the last-reference precondition) to move the sketch
-  /// out under its capability.
-  void RecycleLocked(std::shared_ptr<Tenant> tenant)
-      MRLQUANT_REQUIRES(map_mu_);
+  /// Returns a sketch to `p`'s free pool. Caller holds p.mu exclusively
+  /// and the last reference to the tenant; takes Tenant::mu (Partition::mu
+  /// → Tenant::mu, uncontended by the last-reference precondition) to move
+  /// the sketch out under its capability.
+  void RecycleLocked(Partition& p, std::shared_ptr<Tenant> tenant)
+      MRLQUANT_REQUIRES(p.mu);
 
-  /// Evicts the least-recently-used tenant. Caller holds map_mu_
-  /// exclusively and the map is non-empty.
-  void EvictOneLocked() MRLQUANT_REQUIRES(map_mu_);
+  /// Evicts the globally least-recently-used tenant, scanning partitions
+  /// one at a time (never holding two partition locks). Returns false when
+  /// every partition is empty. Caller holds cross_mu_ (eviction
+  /// accounting: concurrent evictors would pick the same victim).
+  bool EvictGlobalLru() MRLQUANT_REQUIRES(cross_mu_);
 
-  /// Shared-locks the map and returns the named tenant (bumping its LRU
-  /// stamp), or null.
-  std::shared_ptr<Tenant> FindTenant(std::string_view name) const
-      MRLQUANT_EXCLUDES(map_mu_);
+  /// Shared-locks the owning partition and returns the named tenant
+  /// (bumping its LRU stamp), or null.
+  std::shared_ptr<Tenant> FindTenant(std::string_view name) const;
 
   /// Serializes one tenant's sketch — uniformly a u32 length followed by
   /// the backend's Serialize() blob — under its (at least shared) lock.
@@ -192,9 +232,15 @@ class SketchRegistry {
       const TenantConfig& config, BinaryReader* reader);
 
   RegistryOptions options_;
-  mutable SharedMutex map_mu_;
-  TenantMap tenants_ MRLQUANT_GUARDED_BY(map_mu_);
-  std::vector<FreeEntry> free_pool_ MRLQUANT_GUARDED_BY(map_mu_);
+  /// Fixed at construction; the vector itself is immutable after that, so
+  /// PartitionFor needs no lock.
+  std::vector<std::unique_ptr<Partition>> partitions_;
+  /// Cross-partition operations only (checkpoint, recover, global LRU
+  /// eviction); see the lock-order comment above.
+  mutable SharedMutex cross_mu_;
+  /// Live tenants across all partitions — eviction accounting without a
+  /// global directory lock.
+  std::atomic<std::uint64_t> live_tenants_{0};
   mutable std::atomic<std::uint64_t> use_clock_{0};
   std::atomic<std::uint64_t> evictions_{0};
   std::atomic<std::uint64_t> recycled_creates_{0};

@@ -1,9 +1,9 @@
 #include "server/server.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
-#include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -14,6 +14,7 @@
 #include <iostream>
 #include <utility>
 
+#include "server/conn.h"
 #include "server/protocol.h"
 #include "util/logging.h"
 
@@ -22,49 +23,23 @@ namespace server {
 
 namespace {
 
-/// How long blocking socket waits sleep before re-checking running_.
-constexpr int kPollIntervalMs = 100;
+/// Listen backlog. C10k bursts arrive faster than the acceptor drains
+/// them; the kernel clamps this to somaxconn.
+constexpr int kListenBacklog = 4096;
 
 Status StatusFromErrno(const char* what) {
   return Status::Internal(std::string(what) + ": " + std::strerror(errno));
 }
 
-/// Reads exactly `n` bytes. Returns 0 on success, -1 on transport error,
-/// and 1 on clean EOF before any byte (only possible when allow_eof).
-int ReadFull(int fd, std::uint8_t* buf, std::size_t n,
-             const std::atomic<bool>& running, bool allow_eof) {
-  std::size_t got = 0;
-  while (got < n) {
-    pollfd pfd{fd, POLLIN, 0};
-    const int ready = ::poll(&pfd, 1, kPollIntervalMs);
-    if (!running.load(std::memory_order_relaxed)) return -1;
-    if (ready < 0) {
-      if (errno == EINTR) continue;
-      return -1;
-    }
-    if (ready == 0) continue;
-    const ssize_t r = ::recv(fd, buf + got, n - got, 0);
-    if (r == 0) return (got == 0 && allow_eof) ? 1 : -1;
-    if (r < 0) {
-      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
-      return -1;
-    }
-    got += static_cast<std::size_t>(r);
-  }
-  return 0;
+void SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
 }
 
-bool WriteFull(int fd, const std::uint8_t* buf, std::size_t n) {
-  std::size_t sent = 0;
-  while (sent < n) {
-    const ssize_t w = ::send(fd, buf + sent, n - sent, MSG_NOSIGNAL);
-    if (w < 0) {
-      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
-      return false;
-    }
-    sent += static_cast<std::size_t>(w);
-  }
-  return true;
+int ResolveNumShards(int requested) {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
 }
 
 }  // namespace
@@ -77,8 +52,18 @@ Result<std::unique_ptr<QuantileServer>> QuantileServer::Create(
   if (options.uds_path.empty() && options.tcp_port == 0) {
     return Status::InvalidArgument("no listener configured");
   }
-  if (options.num_workers < 1 || options.num_workers > 256) {
-    return Status::InvalidArgument("num_workers must be in [1, 256]");
+  const int num_shards = ResolveNumShards(options.num_shards);
+  if (num_shards < 1 || num_shards > 256) {
+    return Status::InvalidArgument("num_shards must be in [1, 256]");
+  }
+  options.num_shards = num_shards;
+  // Partition the registry exactly as the shards are laid out, so shard i
+  // exclusively serves partition i once connections migrate home.
+  options.registry.num_partitions = static_cast<std::size_t>(num_shards);
+  if (options.write_buffer_cap == 0) {
+    // One max-size response frame (SNAPSHOT of the largest tenant) plus
+    // slack for small responses queued behind it.
+    options.write_buffer_cap = kMaxPayload + kFrameHeaderSize + (64u << 10);
   }
   std::unique_ptr<QuantileServer> server(
       new QuantileServer(std::move(options)));
@@ -102,49 +87,59 @@ Status QuantileServer::Start() {
     ::unlink(options_.uds_path.c_str());
     if (::bind(uds_listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
                sizeof(addr)) != 0 ||
-        ::listen(uds_listen_fd_, 64) != 0) {
+        ::listen(uds_listen_fd_, kListenBacklog) != 0) {
       const Status status = StatusFromErrno("bind/listen(AF_UNIX)");
       ::close(uds_listen_fd_);
       uds_listen_fd_ = -1;
       return status;
     }
+    SetNonBlocking(uds_listen_fd_);
   }
 
-  if (options_.tcp_port != 0 || options_.uds_path.empty()) {
-    if (options_.tcp_port != 0) {
-      tcp_listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-      if (tcp_listen_fd_ < 0) return StatusFromErrno("socket(AF_INET)");
-      const int one = 1;
-      ::setsockopt(tcp_listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one,
-                   sizeof(one));
-      sockaddr_in addr{};
-      addr.sin_family = AF_INET;
-      addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-      addr.sin_port = htons(options_.tcp_port);
-      if (::bind(tcp_listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
-                 sizeof(addr)) != 0 ||
-          ::listen(tcp_listen_fd_, 64) != 0) {
-        const Status status = StatusFromErrno("bind/listen(AF_INET)");
-        ::close(tcp_listen_fd_);
-        tcp_listen_fd_ = -1;
-        return status;
-      }
-      sockaddr_in bound{};
-      socklen_t bound_len = sizeof(bound);
-      if (::getsockname(tcp_listen_fd_,
-                        reinterpret_cast<sockaddr*>(&bound),
-                        &bound_len) == 0) {
-        bound_tcp_port_ = ntohs(bound.sin_port);
-      }
+  if (options_.tcp_port != 0) {
+    tcp_listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (tcp_listen_fd_ < 0) return StatusFromErrno("socket(AF_INET)");
+    const int one = 1;
+    ::setsockopt(tcp_listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one,
+                 sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(options_.tcp_port);
+    if (::bind(tcp_listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+               sizeof(addr)) != 0 ||
+        ::listen(tcp_listen_fd_, kListenBacklog) != 0) {
+      const Status status = StatusFromErrno("bind/listen(AF_INET)");
+      ::close(tcp_listen_fd_);
+      tcp_listen_fd_ = -1;
+      return status;
+    }
+    SetNonBlocking(tcp_listen_fd_);
+    sockaddr_in bound{};
+    socklen_t bound_len = sizeof(bound);
+    if (::getsockname(tcp_listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                      &bound_len) == 0) {
+      bound_tcp_port_ = ntohs(bound.sin_port);
     }
   }
 
-  running_.store(true, std::memory_order_release);
-  acceptor_ = std::thread(&QuantileServer::AcceptLoop, this);
-  workers_.reserve(static_cast<std::size_t>(options_.num_workers));
-  for (int i = 0; i < options_.num_workers; ++i) {
-    workers_.emplace_back(&QuantileServer::WorkerLoop, this);
+  Result<EventLoop> accept_loop = EventLoop::Create();
+  if (!accept_loop.ok()) return accept_loop.status();
+  accept_loop_.emplace(std::move(accept_loop).value());
+
+  shards_.reserve(static_cast<std::size_t>(options_.num_shards));
+  for (int i = 0; i < options_.num_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>(
+        static_cast<std::size_t>(i), &registry_, options_.write_buffer_cap));
   }
+  for (std::unique_ptr<Shard>& shard : shards_) {
+    shard->SetPeers(shards_);
+  }
+  running_.store(true, std::memory_order_release);
+  for (std::unique_ptr<Shard>& shard : shards_) {
+    MRL_RETURN_IF_ERROR(shard->Start());
+  }
+  acceptor_ = std::thread(&QuantileServer::AcceptLoop, this);
   if (options_.checkpoint_interval_ms > 0 &&
       !options_.registry.checkpoint_path.empty()) {
     housekeeper_ = std::thread(&QuantileServer::HousekeepingLoop, this);
@@ -155,18 +150,20 @@ Status QuantileServer::Start() {
 QuantileServer::~QuantileServer() { Stop(); }
 
 void QuantileServer::Stop() {
-  bool was_running = running_.exchange(false, std::memory_order_acq_rel);
+  const bool was_running = running_.exchange(false, std::memory_order_acq_rel);
   if (!was_running) return;
-  queue_cv_.notify_all();
+  if (accept_loop_.has_value()) accept_loop_->Wake();
   if (acceptor_.joinable()) acceptor_.join();
-  for (std::thread& w : workers_) {
-    if (w.joinable()) w.join();
-  }
-  if (housekeeper_.joinable()) housekeeper_.join();
-  {
-    MutexLock lock(queue_mu_);
-    for (int fd : pending_fds_) ::close(fd);
-    pending_fds_.clear();
+  // Wind the shards down in parallel: signal them all, then reap.
+  for (std::unique_ptr<Shard>& shard : shards_) shard->RequestStop();
+  for (std::unique_ptr<Shard>& shard : shards_) shard->Join();
+  if (housekeeper_.joinable()) {
+    {
+      MutexLock lock(housekeeper_mu_);
+      housekeeper_stop_ = true;
+    }
+    housekeeper_cv_.notify_all();
+    housekeeper_.join();
   }
   if (uds_listen_fd_ >= 0) {
     ::close(uds_listen_fd_);
@@ -187,202 +184,64 @@ void QuantileServer::Stop() {
 }
 
 void QuantileServer::AcceptLoop() {
-  pollfd pfds[2];
-  int nfds = 0;
-  if (uds_listen_fd_ >= 0) pfds[nfds++] = {uds_listen_fd_, POLLIN, 0};
-  if (tcp_listen_fd_ >= 0) pfds[nfds++] = {tcp_listen_fd_, POLLIN, 0};
-  while (running_.load(std::memory_order_acquire)) {
-    for (int i = 0; i < nfds; ++i) pfds[i].revents = 0;
-    const int ready = ::poll(pfds, static_cast<nfds_t>(nfds),
-                             kPollIntervalMs);
-    if (ready <= 0) continue;
-    for (int i = 0; i < nfds; ++i) {
-      if ((pfds[i].revents & POLLIN) == 0) continue;
-      const int fd = ::accept(pfds[i].fd, nullptr, nullptr);
-      if (fd < 0) continue;
-      if (pfds[i].fd == tcp_listen_fd_) {
-        const int one = 1;
-        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-      }
-      {
-        MutexLock lock(queue_mu_);
-        pending_fds_.push_back(fd);
-      }
-      queue_cv_.notify_one();
+  int listeners[2];
+  int num_listeners = 0;
+  if (uds_listen_fd_ >= 0) listeners[num_listeners++] = uds_listen_fd_;
+  if (tcp_listen_fd_ >= 0) listeners[num_listeners++] = tcp_listen_fd_;
+  for (int i = 0; i < num_listeners; ++i) {
+    if (!accept_loop_->Add(listeners[i], EPOLLIN, &listeners[i]).ok()) {
+      return;
     }
   }
-}
-
-void QuantileServer::WorkerLoop() {
-  WorkerScratch scratch;
-  while (true) {
-    int fd = -1;
-    {
-      MutexLock lock(queue_mu_);
-      // Open-coded predicate loop (not the lambda overload): the lambda's
-      // body would be analysed as a separate function with no capability
-      // context, defeating the GUARDED_BY on pending_fds_. The condvar
-      // reacquires queue_mu_ before every predicate evaluation, so the
-      // scoped capability is genuinely held at each read.
-      while (pending_fds_.empty() &&
-             running_.load(std::memory_order_acquire)) {
-        queue_cv_.wait(lock.native());
+  std::size_t next_shard = 0;
+  epoll_event events[4];
+  while (running_.load(std::memory_order_acquire)) {
+    const int n = accept_loop_->Wait(events, 4, /*timeout_ms=*/-1);
+    if (n < 0) return;
+    for (int i = 0; i < n; ++i) {
+      if (events[i].data.ptr == nullptr) {
+        accept_loop_->ConsumeWake();
+        continue;  // the while condition re-checks running_
       }
-      if (!running_.load(std::memory_order_acquire)) return;
-      fd = pending_fds_.front();
-      pending_fds_.pop_front();
+      const int listen_fd = *static_cast<int*>(events[i].data.ptr);
+      for (;;) {
+        const int fd =
+            ::accept4(listen_fd, nullptr, nullptr,
+                      SOCK_NONBLOCK | SOCK_CLOEXEC);
+        if (fd < 0) break;  // EAGAIN: drained; anything else: retry on event
+        if (listen_fd == tcp_listen_fd_) {
+          const int one = 1;
+          ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+        }
+        // Round-robin placement; the shard re-routes to the tenant's home
+        // shard when the first frame arrives.
+        shards_[next_shard]->Adopt(
+            std::make_unique<Conn>(fd, options_.write_buffer_cap));
+        next_shard = (next_shard + 1) % shards_.size();
+      }
     }
-    ServeConnection(fd, &scratch);
-    ::close(fd);
   }
 }
 
 void QuantileServer::HousekeepingLoop() {
   const auto interval =
       std::chrono::milliseconds(options_.checkpoint_interval_ms);
-  auto next = std::chrono::steady_clock::now() + interval;
-  while (running_.load(std::memory_order_acquire)) {
-    std::this_thread::sleep_for(std::chrono::milliseconds(kPollIntervalMs));
-    if (std::chrono::steady_clock::now() < next) continue;
+  for (;;) {
+    {
+      MutexLock lock(housekeeper_mu_);
+      // A spurious wakeup just checkpoints early — harmless, and it keeps
+      // the stop flag read under its declared capability. The lock is
+      // released before CheckpointNow so housekeeper_mu_ stays a true leaf
+      // (never held across a registry lock).
+      housekeeper_cv_.wait_for(lock.native(), interval);
+      if (housekeeper_stop_) return;
+    }
     const Status status = registry_.CheckpointNow();
     if (!status.ok()) {
       std::cerr << "mrlquantd: periodic checkpoint failed: "
                 << status.message() << '\n';
     }
-    next = std::chrono::steady_clock::now() + interval;
   }
-}
-
-void QuantileServer::ServeConnection(int fd, WorkerScratch* scratch) {
-  while (running_.load(std::memory_order_acquire)) {
-    std::uint8_t prefix[4];
-    const int r = ReadFull(fd, prefix, sizeof(prefix), running_,
-                           /*allow_eof=*/true);
-    if (r != 0) return;  // EOF or transport error: drop the connection
-    const std::uint32_t body_len =
-        static_cast<std::uint32_t>(prefix[0]) |
-        (static_cast<std::uint32_t>(prefix[1]) << 8) |
-        (static_cast<std::uint32_t>(prefix[2]) << 16) |
-        (static_cast<std::uint32_t>(prefix[3]) << 24);
-    if (body_len < kFrameHeaderSize - 4 ||
-        body_len > kMaxPayload + kFrameHeaderSize - 4) {
-      return;  // unframeable garbage: no way to resync a byte stream
-    }
-    scratch->frame.resize(body_len);
-    if (ReadFull(fd, scratch->frame.data(), body_len, running_,
-                 /*allow_eof=*/false) != 0) {
-      return;
-    }
-    Result<FrameView> frame =
-        DecodeFrameBody(scratch->frame.data(), body_len);
-    scratch->response.clear();
-    if (!frame.ok()) {
-      // Header parsed but the frame is malformed (bad CRC, unknown type):
-      // answer with the error and keep the connection — framing is intact.
-      EncodeErrorResponse(MsgType::kResponse, frame.status(),
-                          &scratch->response);
-    } else if (frame.value().type == MsgType::kResponse) {
-      EncodeErrorResponse(
-          MsgType::kResponse,
-          Status::InvalidArgument("response frame sent to server"),
-          &scratch->response);
-    } else {
-      HandleFrame(frame.value().type, frame.value().payload,
-                  frame.value().payload_len, scratch);
-    }
-    if (!WriteFull(fd, scratch->response.data(), scratch->response.size())) {
-      return;
-    }
-  }
-}
-
-void QuantileServer::HandleFrame(MsgType type, const std::uint8_t* payload,
-                                 std::size_t payload_len,
-                                 WorkerScratch* scratch) {
-  std::vector<std::uint8_t>* out = &scratch->response;
-  switch (type) {
-    case MsgType::kCreateSketch: {
-      Result<CreateSketchRequest> req = DecodeCreateSketch(payload,
-                                                           payload_len);
-      if (!req.ok()) return EncodeErrorResponse(type, req.status(), out);
-      const Status status =
-          registry_.Create(req.value().name, req.value().config);
-      if (!status.ok()) return EncodeErrorResponse(type, status, out);
-      return EncodeEmptyOk(type, out);
-    }
-    case MsgType::kAddBatch: {
-      Result<AddBatchRequest> req = DecodeAddBatch(payload, payload_len);
-      if (!req.ok()) return EncodeErrorResponse(type, req.status(), out);
-      const Status decoded =
-          DecodeDoublesInto(req.value().values_le, req.value().count,
-                            /*reject_nan=*/true, &scratch->doubles);
-      if (!decoded.ok()) return EncodeErrorResponse(type, decoded, out);
-      Result<std::uint64_t> count =
-          registry_.AddBatch(req.value().name, scratch->doubles);
-      if (!count.ok()) return EncodeErrorResponse(type, count.status(), out);
-      return EncodeAddBatchOk(count.value(), out);
-    }
-    case MsgType::kQuery: {
-      Result<QueryRequest> req = DecodeQuery(payload, payload_len);
-      if (!req.ok()) return EncodeErrorResponse(type, req.status(), out);
-      Result<Value> answer =
-          registry_.Query(req.value().name, req.value().phi);
-      if (!answer.ok()) {
-        return EncodeErrorResponse(type, answer.status(), out);
-      }
-      return EncodeQueryOk(answer.value(), out);
-    }
-    case MsgType::kQueryMulti: {
-      Result<QueryMultiRequest> req = DecodeQueryMulti(payload, payload_len);
-      if (!req.ok()) return EncodeErrorResponse(type, req.status(), out);
-      const Status decoded =
-          DecodeDoublesInto(req.value().phis_le, req.value().count,
-                            /*reject_nan=*/true, &scratch->doubles);
-      if (!decoded.ok()) return EncodeErrorResponse(type, decoded, out);
-      const Status status = registry_.QueryMany(
-          req.value().name, scratch->doubles, &scratch->answers);
-      if (!status.ok()) return EncodeErrorResponse(type, status, out);
-      return EncodeQueryMultiOk(scratch->answers, out);
-    }
-    case MsgType::kSnapshot: {
-      Result<NameRequest> req =
-          DecodeNameRequest(type, payload, payload_len);
-      if (!req.ok()) return EncodeErrorResponse(type, req.status(), out);
-      const Status status =
-          registry_.Snapshot(req.value().name, &scratch->blob);
-      if (!status.ok()) return EncodeErrorResponse(type, status, out);
-      return EncodeSnapshotOk(scratch->blob, out);
-    }
-    case MsgType::kDelete: {
-      Result<NameRequest> req =
-          DecodeNameRequest(type, payload, payload_len);
-      if (!req.ok()) return EncodeErrorResponse(type, req.status(), out);
-      const Status status = registry_.Delete(req.value().name);
-      if (!status.ok()) return EncodeErrorResponse(type, status, out);
-      return EncodeEmptyOk(type, out);
-    }
-    case MsgType::kStats: {
-      Result<NameRequest> req =
-          DecodeNameRequest(type, payload, payload_len);
-      if (!req.ok()) return EncodeErrorResponse(type, req.status(), out);
-      const RegistryStats global = registry_.GlobalStats();
-      StatsReply reply;
-      reply.num_tenants = global.num_tenants;
-      reply.total_count = global.total_count;
-      if (!req.value().name.empty()) {
-        const TenantStats tenant = registry_.Stats(req.value().name);
-        reply.tenant_present = tenant.present;
-        reply.tenant_kind = tenant.config.kind;
-        reply.tenant_count = tenant.count;
-        reply.tenant_memory_elements = tenant.memory_elements;
-      }
-      return EncodeStatsOk(reply, out);
-    }
-    case MsgType::kResponse:
-      break;  // rejected by the caller
-  }
-  EncodeErrorResponse(type, Status::Unimplemented("unhandled request type"),
-                      out);
 }
 
 }  // namespace server

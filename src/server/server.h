@@ -4,13 +4,15 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <memory>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "server/event_loop.h"
 #include "server/registry.h"
+#include "server/shard.h"
 #include "util/status.h"
 #include "util/thread_annotations.h"
 
@@ -23,10 +25,14 @@ struct ServerOptions {
   /// TCP port on 127.0.0.1; 0 disables the TCP listener. At least one
   /// listener must be enabled.
   std::uint16_t tcp_port = 0;
-  /// Worker threads. Each worker serves one connection at a time, so this
-  /// is also the concurrent-connection budget; further connections queue.
-  int num_workers = 4;
+  /// Shared-nothing event-loop shards, each a thread with its own epoll
+  /// set and registry partition. 0 means one per core. A shard multiplexes
+  /// any number of connections, so — unlike the PR5 worker pool — this is
+  /// not a concurrent-connection cap.
+  int num_shards = 0;
   /// Registry configuration (tenant cap, checkpoint path, free pool).
+  /// `num_partitions` is overridden to the resolved shard count so
+  /// "partition i" and "shard i" coincide.
   RegistryOptions registry;
   /// When > 0 and a checkpoint path is configured, a housekeeping thread
   /// checkpoints the registry this often.
@@ -35,17 +41,29 @@ struct ServerOptions {
   /// a crash: whatever the last explicit/periodic checkpoint captured is
   /// exactly what a restarted daemon recovers.
   bool checkpoint_on_stop = false;
+  /// Per-connection cap on buffered-but-unflushed response bytes; a
+  /// pipelining client that outruns its own reads is answered with a
+  /// ResourceExhausted ERROR and closed instead of growing the buffer
+  /// without bound. 0 means one max-size frame plus slack (so SNAPSHOT of
+  /// the largest tenant always fits).
+  std::size_t write_buffer_cap = 0;
 };
 
-/// Threaded socket daemon: an acceptor thread feeds accepted connections to
-/// a fixed worker pool; each worker owns per-connection scratch buffers
-/// (frame, decoded values, response) that are reused across requests, so
-/// steady-state ADD_BATCH handling performs no heap allocation
-/// (bench/server_throughput.cc pins this with a counting operator new).
+/// Sharded event-loop socket daemon (docs/engineering.md, "The sharded
+/// event-loop server"): an acceptor thread multiplexes the listen sockets
+/// and hands accepted connections round-robin to N shared-nothing shards;
+/// each shard owns an epoll set, the connections routed to it, and the
+/// registry partition with its index, so once a connection migrates to its
+/// tenant's home shard (on its first frame) steady-state ADD_BATCH touches
+/// no cross-shard lock. Connections are nonblocking with buffered framing
+/// and request pipelining — many frames decoded per read, responses
+/// batched per write — so a single fat connection can keep a shard busy.
+/// Every thread blocks in epoll_wait indefinitely; an idle daemon performs
+/// zero periodic wakeups.
 class QuantileServer {
  public:
   /// Binds the configured listeners, recovers the registry from its
-  /// checkpoint (if any), and starts the acceptor + worker threads.
+  /// checkpoint (if any), and starts the acceptor + shard threads.
   static Result<std::unique_ptr<QuantileServer>> Create(ServerOptions options);
 
   ~QuantileServer();
@@ -53,11 +71,14 @@ class QuantileServer {
   QuantileServer(const QuantileServer&) = delete;
   QuantileServer& operator=(const QuantileServer&) = delete;
 
-  /// Stops accepting, drains workers, closes sockets. Idempotent.
+  /// Stops accepting, winds down shards (closing their connections),
+  /// closes sockets. Idempotent.
   void Stop();
 
   /// Port actually bound (useful with an ephemeral tcp_port request).
   std::uint16_t tcp_port() const { return bound_tcp_port_; }
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
 
   SketchRegistry& registry() { return registry_; }
   const SketchRegistry& registry() const { return registry_; }
@@ -67,26 +88,8 @@ class QuantileServer {
 
   Status Start();
 
-  void AcceptLoop() MRLQUANT_EXCLUDES(queue_mu_);
-  void WorkerLoop() MRLQUANT_EXCLUDES(queue_mu_);
-  void HousekeepingLoop();
-
-  /// Reusable per-connection scratch owned by one worker.
-  struct WorkerScratch {
-    std::vector<std::uint8_t> frame;     ///< one request body
-    std::vector<std::uint8_t> response;  ///< one encoded response frame
-    std::vector<double> doubles;         ///< decoded values / phis
-    std::vector<Value> answers;          ///< QueryMany results
-    std::vector<std::uint8_t> blob;      ///< Snapshot payload
-  };
-
-  /// Serves one connection until EOF/error; returns only transport errors.
-  void ServeConnection(int fd, WorkerScratch* scratch);
-
-  /// Decodes the frame body, executes it against the registry, and encodes
-  /// the response into scratch->response.
-  void HandleFrame(MsgType type, const std::uint8_t* payload,
-                   std::size_t payload_len, WorkerScratch* scratch);
+  void AcceptLoop();
+  void HousekeepingLoop() MRLQUANT_EXCLUDES(housekeeper_mu_);
 
   ServerOptions options_;
   SketchRegistry registry_;
@@ -96,17 +99,23 @@ class QuantileServer {
   std::uint16_t bound_tcp_port_ = 0;
 
   std::atomic<bool> running_{false};
-  std::thread acceptor_;
-  std::thread housekeeper_;
-  std::vector<std::thread> workers_;
 
-  /// Connection hand-off: the acceptor pushes accepted fds, workers pop
-  /// them. queue_mu_ is a leaf lock — nothing else is ever acquired while
-  /// it is held (in particular not the registry's map_mu_), so it cannot
-  /// participate in a lock-order cycle.
-  Mutex queue_mu_;
-  std::condition_variable queue_cv_;
-  std::deque<int> pending_fds_ MRLQUANT_GUARDED_BY(queue_mu_);
+  /// The shards; index i serves registry partition i. Stable once Start()
+  /// returns (shards hold a span over this vector for migration).
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  /// Acceptor: epolls the listen fds, blocks until a connection or a
+  /// shutdown wakeup arrives — no timeout polling.
+  std::optional<EventLoop> accept_loop_;
+  std::thread acceptor_;
+
+  /// Housekeeper: periodic checkpoints on a condvar timed wait (absent
+  /// entirely when no interval is configured — an idle daemon has no
+  /// timers at all). housekeeper_mu_ is a leaf lock.
+  std::thread housekeeper_;
+  Mutex housekeeper_mu_;
+  std::condition_variable housekeeper_cv_;
+  bool housekeeper_stop_ MRLQUANT_GUARDED_BY(housekeeper_mu_) = false;
 };
 
 }  // namespace server

@@ -1,0 +1,345 @@
+#include "server/shard.h"
+
+#include <cstring>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace mrl {
+namespace server {
+
+namespace {
+
+constexpr int kMaxEvents = 64;
+
+std::uint32_t LoadU32Le(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+/// True when the 4-byte length prefix can never frame a valid message —
+/// there is no way to resync a byte stream after that, so the connection
+/// is dropped (same contract as the PR5 worker served).
+bool UnframeableBodyLen(std::uint32_t body_len) {
+  return body_len < kFrameHeaderSize - 4 ||
+         body_len > kMaxPayload + kFrameHeaderSize - 4;
+}
+
+}  // namespace
+
+Shard::Shard(std::size_t index, SketchRegistry* registry,
+             std::size_t write_buffer_cap)
+    : index_(index),
+      registry_(registry),
+      write_buffer_cap_(write_buffer_cap) {}
+
+Shard::~Shard() {
+  RequestStop();
+  Join();
+}
+
+Status Shard::Start() {
+  Result<EventLoop> loop = EventLoop::Create();
+  if (!loop.ok()) return loop.status();
+  loop_ = std::move(loop).value();
+  thread_ = std::thread(&Shard::Loop, this);
+  return Status::OK();
+}
+
+void Shard::RequestStop() {
+  if (!stopping_.exchange(true, std::memory_order_acq_rel)) {
+    loop_.Wake();
+  }
+}
+
+void Shard::Join() {
+  if (thread_.joinable()) thread_.join();
+  conns_.clear();  // closes every remaining fd
+  MutexLock lock(inbox_mu_);
+  inbox_.clear();
+}
+
+void Shard::Adopt(std::unique_ptr<Conn> conn) {
+  {
+    MutexLock lock(inbox_mu_);
+    if (!stopping_.load(std::memory_order_acquire)) {
+      inbox_.push_back(std::move(conn));
+    }
+    // else: dropped here, destructor closes the socket.
+  }
+  loop_.Wake();
+}
+
+void Shard::Loop() {
+  epoll_event events[kMaxEvents];
+  while (!stopping_.load(std::memory_order_acquire)) {
+    const int n = loop_.Wait(events, kMaxEvents, /*timeout_ms=*/-1);
+    if (n < 0) break;
+    for (int i = 0; i < n; ++i) {
+      if (events[i].data.ptr == nullptr) {
+        loop_.ConsumeWake();
+        if (stopping_.load(std::memory_order_acquire)) return;
+        DrainInbox();
+        continue;
+      }
+      Conn* conn = static_cast<Conn*>(events[i].data.ptr);
+      // One epoll_event per fd per Wait: after a handler closes or
+      // migrates the connection the pointer is dead, so each branch below
+      // is terminal for this event.
+      if ((events[i].events & EPOLLIN) != 0) {
+        OnReadable(conn);
+      } else if ((events[i].events & EPOLLOUT) != 0) {
+        OnWritable(conn);
+      } else if ((events[i].events & (EPOLLHUP | EPOLLERR)) != 0) {
+        CloseConn(conn);
+      }
+    }
+  }
+}
+
+void Shard::DrainInbox() {
+  // Swap the inbox out under the leaf lock, register outside it.
+  std::vector<std::unique_ptr<Conn>> adopted;
+  {
+    MutexLock lock(inbox_mu_);
+    adopted.swap(inbox_);
+  }
+  for (std::unique_ptr<Conn>& owned : adopted) {
+    Conn* conn = owned.get();
+    const int fd = conn->fd();
+    conns_.emplace(fd, std::move(owned));
+    const std::uint32_t interest =
+        conn->pending_out() > 0 ? (EPOLLIN | EPOLLOUT) : EPOLLIN;
+    conn->want_write = (interest & EPOLLOUT) != 0;
+    if (!loop_.Add(fd, interest, conn).ok()) {
+      conns_.erase(fd);
+      continue;
+    }
+    // A migrated connection arrives with its first frame already buffered;
+    // nothing will re-arm EPOLLIN for userspace bytes, so process now.
+    OnReadable(conn);
+  }
+}
+
+void Shard::OnReadable(Conn* conn) {
+  const Conn::IoResult io = conn->FillFromSocket();
+  if (io == Conn::IoResult::kError) {
+    CloseConn(conn);
+    return;
+  }
+  if (!conn->routed && MaybeMigrate(conn)) return;
+  ProcessFrames(conn);
+  if (io == Conn::IoResult::kEof) {
+    // Peer half-closed: everything decodable has been answered; finish
+    // flushing the responses, then close.
+    conn->closing = true;
+  }
+  FlushOrArm(conn);
+}
+
+void Shard::OnWritable(Conn* conn) { FlushOrArm(conn); }
+
+bool Shard::MaybeMigrate(Conn* conn) {
+  if (peers_.size() < 2) {
+    conn->routed = true;
+    return false;
+  }
+  const std::size_t avail = conn->available();
+  if (avail < 4) return false;  // prefix not buffered yet: route later
+  const std::uint32_t body_len = LoadU32Le(conn->data());
+  if (UnframeableBodyLen(body_len)) {
+    conn->routed = true;  // garbage: process (= drop) locally
+    return false;
+  }
+  if (avail < 4 + static_cast<std::size_t>(body_len)) return false;
+  conn->routed = true;
+  // Peek the tenant name from the first frame's payload (after the 8
+  // header bytes the prefix counts). Frames without a routable name
+  // (global STATS, malformed) stay where round-robin put them.
+  const std::string_view name =
+      FrameTenantName(conn->data() + kFrameHeaderSize,
+                      body_len - (kFrameHeaderSize - 4));
+  if (name.empty()) return false;
+  const std::size_t target =
+      registry_->PartitionOf(name) % peers_.size();
+  if (target == index_ || peers_[target].get() == this) return false;
+  // Hand the whole connection over (its buffered input travels with it;
+  // no response has been produced yet, so the write buffer is empty).
+  const int fd = conn->fd();
+  loop_.Remove(fd);
+  auto it = conns_.find(fd);
+  MRL_CHECK(it != conns_.end());
+  std::unique_ptr<Conn> owned = std::move(it->second);
+  conns_.erase(it);
+  peers_[target]->Adopt(std::move(owned));
+  return true;
+}
+
+void Shard::ProcessFrames(Conn* conn) {
+  while (!conn->closing) {
+    const std::size_t avail = conn->available();
+    if (avail < 4) return;
+    const std::uint32_t body_len = LoadU32Le(conn->data());
+    if (UnframeableBodyLen(body_len)) {
+      // Flush what has been answered, then drop the connection.
+      conn->closing = true;
+      return;
+    }
+    const std::size_t frame_size = 4 + static_cast<std::size_t>(body_len);
+    if (avail < frame_size) return;  // partial frame: wait for more bytes
+    const Result<FrameView> frame =
+        DecodeFrameBody(conn->data() + 4, body_len);
+    const std::size_t pending_before = conn->pending_out();
+    MsgType request_type = MsgType::kResponse;
+    if (!frame.ok()) {
+      // Framing is intact (the prefix was sane) but the frame is malformed
+      // (bad CRC, unknown type/version): answer the error, keep going.
+      EncodeErrorResponse(MsgType::kResponse, frame.status(), conn->out());
+    } else if (frame.value().type == MsgType::kResponse) {
+      EncodeErrorResponse(
+          MsgType::kResponse,
+          Status::InvalidArgument("response frame sent to server"),
+          conn->out());
+    } else {
+      request_type = frame.value().type;
+      HandleFrame(conn, frame.value().type, frame.value().payload,
+                  frame.value().payload_len);
+    }
+    conn->Consume(frame_size);
+    // Write-buffer cap: a pipelining client that outpaces its own reads
+    // gets its newest response replaced by a ResourceExhausted ERROR and
+    // the connection closed — bounded memory, never OOM. A single
+    // oversized response with no backlog is let through (it drains
+    // incrementally via EPOLLOUT).
+    if (pending_before > 0 &&
+        conn->pending_out() > conn->write_buffer_cap()) {
+      conn->RollbackOut(pending_before);
+      EncodeErrorResponse(
+          request_type,
+          Status::ResourceExhausted(
+              "write buffer cap exceeded: read responses before "
+              "pipelining more requests"),
+          conn->out());
+      conn->closing = true;
+      return;
+    }
+  }
+}
+
+void Shard::HandleFrame(Conn* conn, MsgType type, const std::uint8_t* payload,
+                        std::size_t payload_len) {
+  std::vector<std::uint8_t>* out = conn->out();
+  switch (type) {
+    case MsgType::kCreateSketch: {
+      Result<CreateSketchRequest> req =
+          DecodeCreateSketch(payload, payload_len);
+      if (!req.ok()) return EncodeErrorResponse(type, req.status(), out);
+      const Status status =
+          registry_->Create(req.value().name, req.value().config);
+      if (!status.ok()) return EncodeErrorResponse(type, status, out);
+      return EncodeEmptyOk(type, out);
+    }
+    case MsgType::kAddBatch: {
+      Result<AddBatchRequest> req = DecodeAddBatch(payload, payload_len);
+      if (!req.ok()) return EncodeErrorResponse(type, req.status(), out);
+      const Status decoded =
+          DecodeDoublesInto(req.value().values_le, req.value().count,
+                            /*reject_nan=*/true, &doubles_);
+      if (!decoded.ok()) return EncodeErrorResponse(type, decoded, out);
+      Result<std::uint64_t> count =
+          registry_->AddBatch(req.value().name, doubles_);
+      if (!count.ok()) return EncodeErrorResponse(type, count.status(), out);
+      return EncodeAddBatchOk(count.value(), out);
+    }
+    case MsgType::kQuery: {
+      Result<QueryRequest> req = DecodeQuery(payload, payload_len);
+      if (!req.ok()) return EncodeErrorResponse(type, req.status(), out);
+      Result<Value> answer =
+          registry_->Query(req.value().name, req.value().phi);
+      if (!answer.ok()) {
+        return EncodeErrorResponse(type, answer.status(), out);
+      }
+      return EncodeQueryOk(answer.value(), out);
+    }
+    case MsgType::kQueryMulti: {
+      Result<QueryMultiRequest> req = DecodeQueryMulti(payload, payload_len);
+      if (!req.ok()) return EncodeErrorResponse(type, req.status(), out);
+      const Status decoded =
+          DecodeDoublesInto(req.value().phis_le, req.value().count,
+                            /*reject_nan=*/true, &doubles_);
+      if (!decoded.ok()) return EncodeErrorResponse(type, decoded, out);
+      const Status status =
+          registry_->QueryMany(req.value().name, doubles_, &answers_);
+      if (!status.ok()) return EncodeErrorResponse(type, status, out);
+      return EncodeQueryMultiOk(answers_, out);
+    }
+    case MsgType::kSnapshot: {
+      Result<NameRequest> req = DecodeNameRequest(type, payload, payload_len);
+      if (!req.ok()) return EncodeErrorResponse(type, req.status(), out);
+      const Status status = registry_->Snapshot(req.value().name, &blob_);
+      if (!status.ok()) return EncodeErrorResponse(type, status, out);
+      return EncodeSnapshotOk(blob_, out);
+    }
+    case MsgType::kDelete: {
+      Result<NameRequest> req = DecodeNameRequest(type, payload, payload_len);
+      if (!req.ok()) return EncodeErrorResponse(type, req.status(), out);
+      const Status status = registry_->Delete(req.value().name);
+      if (!status.ok()) return EncodeErrorResponse(type, status, out);
+      return EncodeEmptyOk(type, out);
+    }
+    case MsgType::kStats: {
+      Result<NameRequest> req = DecodeNameRequest(type, payload, payload_len);
+      if (!req.ok()) return EncodeErrorResponse(type, req.status(), out);
+      const RegistryStats global = registry_->GlobalStats();
+      StatsReply reply;
+      reply.num_tenants = global.num_tenants;
+      reply.total_count = global.total_count;
+      if (!req.value().name.empty()) {
+        const TenantStats tenant = registry_->Stats(req.value().name);
+        reply.tenant_present = tenant.present;
+        reply.tenant_kind = tenant.config.kind;
+        reply.tenant_count = tenant.count;
+        reply.tenant_memory_elements = tenant.memory_elements;
+      }
+      return EncodeStatsOk(reply, out);
+    }
+    case MsgType::kResponse:
+      break;  // rejected by ProcessFrames
+  }
+  EncodeErrorResponse(type, Status::Unimplemented("unhandled request type"),
+                      out);
+}
+
+void Shard::FlushOrArm(Conn* conn) {
+  if (conn->Flush() == Conn::IoResult::kError) {
+    CloseConn(conn);
+    return;
+  }
+  if (conn->pending_out() > 0) {
+    if (!conn->want_write) {
+      conn->want_write = true;
+      if (!loop_.Modify(conn->fd(), EPOLLIN | EPOLLOUT, conn).ok()) {
+        CloseConn(conn);
+      }
+    }
+    return;
+  }
+  if (conn->closing) {
+    CloseConn(conn);
+    return;
+  }
+  if (conn->want_write) {
+    conn->want_write = false;
+    if (!loop_.Modify(conn->fd(), EPOLLIN, conn).ok()) CloseConn(conn);
+  }
+}
+
+void Shard::CloseConn(Conn* conn) {
+  loop_.Remove(conn->fd());
+  conns_.erase(conn->fd());  // destroys the Conn, closing the fd
+}
+
+}  // namespace server
+}  // namespace mrl

@@ -1,13 +1,17 @@
-// TSan-targeted stress test for the registry's two-level locking scheme
-// (src/server/registry.h): LRU eviction + free-pool recycling racing
-// concurrent STATS / QUERY / ADD_BATCH / DELETE on the *same* tenant
-// names. The dangerous interleaving is a reader holding a
-// shared_ptr<Tenant> across an eviction of that tenant: eviction must
-// recycle the sketch only once the registry holds the last reference, and
-// every sketch access must go through the tenant's own lock. Run under
-// -fsanitize=thread (the CI tsan lane) this test turns any violation of
-// the documented map_mu_ -> Tenant::mu contract into a hard failure; under
-// plain builds it still exercises the shared_ptr lifetime rules.
+// TSan-targeted stress test for the registry's locking scheme
+// (src/server/registry.h): global LRU eviction + free-pool recycling
+// racing concurrent STATS / QUERY / ADD_BATCH / DELETE on the *same*
+// tenant names, across both a single partition and the sharded-server
+// layout (one partition per shard). The dangerous interleaving is a
+// reader holding a shared_ptr<Tenant> across an eviction of that tenant:
+// eviction must recycle the sketch only once the registry holds the last
+// reference, and every sketch access must go through the tenant's own
+// lock. With multiple partitions, EvictGlobalLru additionally scans and
+// then locks partitions it does not own the names of — racing creates in
+// *other* partitions. Run under -fsanitize=thread (the CI tsan lane) this
+// test turns any violation of the documented cross_mu_ -> Partition::mu ->
+// Tenant::mu contract into a hard failure; under plain builds it still
+// exercises the shared_ptr lifetime rules.
 //
 // Assertions here are deliberately weak (no answer-value checks): racing a
 // DELETE or eviction legitimately yields NotFound, and an operation that
@@ -47,10 +51,11 @@ std::string TenantName(std::uint64_t i) {
   return name;
 }
 
-TEST(RegistryRaceTest, EvictionRacesReadsOnSameTenants) {
+void RunEvictionRace(std::size_t num_partitions) {
   RegistryOptions options;
   options.max_tenants = 3;  // far fewer than the name pool: constant churn
   options.max_free_pool = 2;
+  options.num_partitions = num_partitions;
   SketchRegistry registry(options);
 
   TenantConfig config;
@@ -126,6 +131,17 @@ TEST(RegistryRaceTest, EvictionRacesReadsOnSameTenants) {
   ASSERT_TRUE(registry.Create("post", config).ok());
   ASSERT_TRUE(registry.AddBatch("post", batch).ok());
   EXPECT_TRUE(registry.Query("post", 0.5).ok());
+}
+
+TEST(RegistryRaceTest, EvictionRacesReadsOnSameTenants) {
+  RunEvictionRace(/*num_partitions=*/1);
+}
+
+// The sharded-server layout: the six churned names spread over four
+// partitions, so the global eviction pass constantly crosses partition
+// boundaries while the partitions' own locks are contended.
+TEST(RegistryRaceTest, EvictionRacesReadsAcrossPartitions) {
+  RunEvictionRace(/*num_partitions=*/4);
 }
 
 }  // namespace

@@ -5,14 +5,19 @@
 // checked against an exact baseline, and kill + restart mid-stream with
 // checkpoint recovery.
 
+#include <sys/resource.h>
+#include <sys/socket.h>
+#include <sys/un.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
 #include <algorithm>
+#include <cerrno>
 #include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <span>
 #include <string>
@@ -21,6 +26,7 @@
 
 #include "gtest/gtest.h"
 #include "server/client.h"
+#include "server/protocol.h"
 #include "server/server.h"
 #include "util/random.h"
 
@@ -131,7 +137,7 @@ TEST_F(ServerE2eTest, TenantLifecycleOverTheWire) {
 
 TEST_F(ServerE2eTest, MultiThreadedIngestionMeetsEpsBound) {
   ServerOptions options;
-  options.num_workers = 8;
+  options.num_shards = 4;  // connections migrate to the tenant's home shard
   std::unique_ptr<QuantileServer> server = StartServer(std::move(options));
   ASSERT_NE(server, nullptr);
 
@@ -397,6 +403,221 @@ TEST_F(ServerE2eTest, KllTenantSurvivesDaemonSigkill) {
     }
   }
   ASSERT_EQ(::kill(pid, SIGTERM), 0);
+  ASSERT_EQ(::waitpid(pid, &wstatus, 0), pid);
+}
+
+// SIGKILL + recovery with the sharded registry layout: tenants hash into
+// four partitions, so the checkpoint writer walks all of them and
+// recovery re-hashes the flat on-disk list back into partitions. Each
+// tenant also lives on a different shard, so the pre-kill ingestion
+// exercises cross-shard connection migration too.
+TEST_F(ServerE2eTest, ShardedRegistrySurvivesDaemonSigkill) {
+  checkpoint_path_ = TempName("e2e_shard_ckpt");
+  const std::string uds_flag = "--uds=" + uds_path_;
+  const std::string ckpt_flag = "--checkpoint=" + checkpoint_path_;
+
+  const auto spawn_daemon = [&]() -> pid_t {
+    const pid_t pid = ::fork();
+    if (pid == 0) {
+      ::execl(MRLQUANT_DAEMON_PATH, "mrlquantd", uds_flag.c_str(),
+              ckpt_flag.c_str(), "--shards=4", static_cast<char*>(nullptr));
+      ::_exit(127);  // exec failed
+    }
+    return pid;
+  };
+  const auto wait_for_daemon = [&]() -> Client {
+    for (int attempt = 0; attempt < 200; ++attempt) {
+      Result<Client> client = Client::ConnectUnix(uds_path_);
+      if (client.ok()) return std::move(client).value();
+      std::this_thread::sleep_for(std::chrono::milliseconds(25));
+    }
+    ADD_FAILURE() << "daemon did not come up on " << uds_path_;
+    return std::move(Client::ConnectUnix(uds_path_)).value();
+  };
+
+  constexpr int kTenants = 8;
+  constexpr std::size_t kPerTenant = 20000;
+  const std::vector<Value> values = UniformStream(kPerTenant, 321);
+
+  pid_t pid = spawn_daemon();
+  ASSERT_GT(pid, 0);
+  {
+    // One connection per tenant: each migrates to its tenant's home shard
+    // on the first frame.
+    std::vector<Client> clients;
+    for (int t = 0; t < kTenants; ++t) {
+      Client client = t == 0 ? wait_for_daemon() : Connect();
+      const std::string name = "shard_t" + std::to_string(t);
+      ASSERT_TRUE(client.CreateSketch(name, TenantConfig{}).ok());
+      ASSERT_TRUE(client.AddBatch(name, values).ok());
+      clients.push_back(std::move(client));
+    }
+    // Durable point: any SNAPSHOT persists the whole registry.
+    std::vector<std::uint8_t> blob;
+    ASSERT_TRUE(clients[0].Snapshot("shard_t0", &blob).ok());
+    // Post-snapshot ingestion the SIGKILL must lose.
+    ASSERT_TRUE(clients[1].AddBatch("shard_t1", values).ok());
+  }
+  ASSERT_EQ(::kill(pid, SIGKILL), 0);
+  int wstatus = 0;
+  ASSERT_EQ(::waitpid(pid, &wstatus, 0), pid);
+  ASSERT_TRUE(WIFSIGNALED(wstatus));
+
+  pid = spawn_daemon();
+  ASSERT_GT(pid, 0);
+  {
+    Client client = wait_for_daemon();
+    for (int t = 0; t < kTenants; ++t) {
+      const std::string name = "shard_t" + std::to_string(t);
+      Result<StatsReply> stats = client.Stats(name);
+      ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+      EXPECT_TRUE(stats.value().tenant_present) << name;
+      // Every tenant recovers to the snapshot point — including the
+      // post-snapshot batch on shard_t1 being lost.
+      EXPECT_EQ(stats.value().tenant_count, kPerTenant) << name;
+      EXPECT_TRUE(client.Query(name, 0.5).ok()) << name;
+    }
+    Result<StatsReply> global = client.Stats("");
+    ASSERT_TRUE(global.ok());
+    EXPECT_EQ(global.value().num_tenants, static_cast<std::uint64_t>(kTenants));
+  }
+  ASSERT_EQ(::kill(pid, SIGTERM), 0);
+  ASSERT_EQ(::waitpid(pid, &wstatus, 0), pid);
+}
+
+// C10k: 10,000 concurrent connections against the real daemon binary —
+// open them all, let them idle (shards multiplex idle connections for
+// free), then a burst where every connection does one STATS round trip.
+// The daemon runs in its own process so each side spends its own
+// RLIMIT_NOFILE budget; the test raises its soft limit and skips (with a
+// message) where the hard limit cannot cover the fan-out.
+TEST_F(ServerE2eTest, TenThousandConnectionsOpenIdleBurst) {
+  constexpr int kConns = 10000;
+
+  rlimit nofile{};
+  ASSERT_EQ(::getrlimit(RLIMIT_NOFILE, &nofile), 0);
+  const rlim_t needed = kConns + 512;  // sockets + gtest/runtime slack
+  if (nofile.rlim_max < needed) {
+    GTEST_SKIP() << "RLIMIT_NOFILE hard limit " << nofile.rlim_max
+                 << " cannot cover " << kConns << " connections";
+  }
+  if (nofile.rlim_cur < needed) {
+    rlimit raised = nofile;
+    raised.rlim_cur = needed;
+    if (::setrlimit(RLIMIT_NOFILE, &raised) != 0) {
+      GTEST_SKIP() << "cannot raise RLIMIT_NOFILE to " << needed << ": "
+                   << std::strerror(errno);
+    }
+  }
+
+  const std::string uds_flag = "--uds=" + uds_path_;
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    ::execl(MRLQUANT_DAEMON_PATH, "mrlquantd", uds_flag.c_str(), "--shards=4",
+            static_cast<char*>(nullptr));
+    ::_exit(127);
+  }
+  ASSERT_GT(pid, 0);
+  {
+    bool up = false;
+    for (int attempt = 0; attempt < 200 && !up; ++attempt) {
+      up = Client::ConnectUnix(uds_path_).ok();
+      if (!up) std::this_thread::sleep_for(std::chrono::milliseconds(25));
+    }
+    ASSERT_TRUE(up) << "daemon did not come up on " << uds_path_;
+  }
+
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, uds_path_.c_str(), uds_path_.size() + 1);
+
+  // Open phase. Connect can transiently fail while the acceptor drains
+  // the (somaxconn-bounded) backlog; retry with a short pause.
+  std::vector<int> fds;
+  fds.reserve(kConns);
+  for (int i = 0; i < kConns; ++i) {
+    int fd = -1;
+    for (int attempt = 0; attempt < 100; ++attempt) {
+      fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+      ASSERT_GE(fd, 0) << std::strerror(errno);
+      if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                    sizeof(addr)) == 0) {
+        break;
+      }
+      ::close(fd);
+      fd = -1;
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    ASSERT_GE(fd, 0) << "connection " << i << " never connected";
+    fds.push_back(fd);
+  }
+
+  // Idle phase: nothing to assert beyond the daemon staying alive — the
+  // event loops hold 10k quiescent connections with zero wakeups.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  ASSERT_EQ(::waitpid(pid, nullptr, WNOHANG), 0) << "daemon died while idle";
+
+  // Burst phase: every connection sends one global-STATS frame, then all
+  // responses are collected — 10k in-flight requests across 4 shards.
+  std::vector<std::uint8_t> frame;
+  EncodeNameRequest(MsgType::kStats, "", &frame);
+  const auto send_all = [](int fd, const std::uint8_t* data, std::size_t n) {
+    std::size_t sent = 0;
+    while (sent < n) {
+      const ssize_t w = ::send(fd, data + sent, n - sent, MSG_NOSIGNAL);
+      if (w < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      sent += static_cast<std::size_t>(w);
+    }
+    return true;
+  };
+  const auto recv_all = [](int fd, std::uint8_t* data, std::size_t n) {
+    std::size_t got = 0;
+    while (got < n) {
+      const ssize_t r = ::recv(fd, data + got, n - got, 0);
+      if (r == 0) return false;
+      if (r < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      got += static_cast<std::size_t>(r);
+    }
+    return true;
+  };
+  for (int i = 0; i < kConns; ++i) {
+    ASSERT_TRUE(send_all(fds[static_cast<std::size_t>(i)], frame.data(),
+                         frame.size()))
+        << "send on connection " << i;
+  }
+  int answered = 0;
+  std::vector<std::uint8_t> body;
+  for (int i = 0; i < kConns; ++i) {
+    const int fd = fds[static_cast<std::size_t>(i)];
+    std::uint8_t prefix[4];
+    ASSERT_TRUE(recv_all(fd, prefix, sizeof(prefix))) << "conn " << i;
+    const std::uint32_t body_len =
+        static_cast<std::uint32_t>(prefix[0]) |
+        (static_cast<std::uint32_t>(prefix[1]) << 8) |
+        (static_cast<std::uint32_t>(prefix[2]) << 16) |
+        (static_cast<std::uint32_t>(prefix[3]) << 24);
+    ASSERT_LE(body_len, kMaxPayload + kFrameHeaderSize - 4);
+    body.resize(body_len);
+    ASSERT_TRUE(recv_all(fd, body.data(), body.size())) << "conn " << i;
+    Result<FrameView> decoded = DecodeFrameBody(body.data(), body.size());
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    Result<ResponseView> view = DecodeResponse(decoded.value().payload,
+                                               decoded.value().payload_len);
+    ASSERT_TRUE(view.ok()) << view.status().ToString();
+    EXPECT_EQ(view.value().code, StatusCode::kOk);
+    ++answered;
+  }
+  EXPECT_EQ(answered, kConns);
+
+  for (const int fd : fds) ::close(fd);
+  ASSERT_EQ(::kill(pid, SIGTERM), 0);
+  int wstatus = 0;
   ASSERT_EQ(::waitpid(pid, &wstatus, 0), pid);
 }
 
