@@ -6,6 +6,8 @@
 #include <sstream>
 #include <utility>
 
+#include "util/simd.h"
+
 namespace mrl {
 namespace bench {
 
@@ -47,7 +49,7 @@ std::string FormatG(double v) {
 
 std::string BenchReporter::OutputPath() {
   const char* env = std::getenv("MRLQUANT_BENCH_JSON");
-  return (env != nullptr && env[0] != '\0') ? env : "BENCH_PR4.json";
+  return (env != nullptr && env[0] != '\0') ? env : "BENCH_PR9.json";
 }
 
 BenchReporter::BenchReporter(std::string bench_name)
@@ -71,11 +73,20 @@ void BenchReporter::ReportValue(std::string name, double value,
 void BenchReporter::Flush() {
   if (records_.empty()) return;
 
+  // Stamped on every row: which kernel table produced these numbers and on
+  // what silicon. bench_diff refuses to silently compare rows whose
+  // dispatch path or feature set differ (an "avx2" baseline diffed against
+  // a "forced-scalar" run measures the dispatch, not the change).
+  const std::string dispatch = simd::ActivePathName();
+  const std::string cpu = simd::CpuFeatureString();
+
   std::string entries;
   for (const BenchRecord& r : records_) {
     if (!entries.empty()) entries += ",\n";
     entries += "  {\"bench\": \"" + EscapeJson(bench_name_) +
                "\", \"name\": \"" + EscapeJson(r.name) + "\"";
+    AppendField(&entries, "dispatch", EscapeJson(dispatch), true);
+    AppendField(&entries, "cpu_features", EscapeJson(cpu), true);
     if (r.ns_per_op > 0) {
       AppendField(&entries, "ns_per_op", FormatDouble(r.ns_per_op), false);
     }

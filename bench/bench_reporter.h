@@ -9,11 +9,14 @@ namespace mrl {
 namespace bench {
 
 /// One benchmark result row, mirrored into the shared JSON perf artifact
-/// (BENCH_PR4.json by default; override with the MRLQUANT_BENCH_JSON env
+/// (BENCH_PR9.json by default; override with the MRLQUANT_BENCH_JSON env
 /// var). Fields that do not apply stay zero/empty and are omitted from the
 /// JSON: google-benchmark rows fill ns_per_op / elements_per_s /
 /// mem_elements; table-reproduction rows report their headline number via
-/// value + unit.
+/// value + unit. Every row additionally carries the SIMD dispatch path
+/// ("avx2" / "scalar" / "forced-scalar", util/simd.h) and the detected CPU
+/// feature set that produced it, so tools/bench_diff can warn before
+/// comparing numbers from different kernels or silicon.
 struct BenchRecord {
   std::string name;            ///< row identifier, e.g. "BM_Select/10"
   double ns_per_op = 0;        ///< wall time per iteration
@@ -48,7 +51,7 @@ class BenchReporter {
   /// closing bracket.
   void Flush();
 
-  /// Resolved JSON artifact path: $MRLQUANT_BENCH_JSON or "BENCH_PR4.json".
+  /// Resolved JSON artifact path: $MRLQUANT_BENCH_JSON or "BENCH_PR9.json".
   static std::string OutputPath();
 
  private:

@@ -137,7 +137,16 @@ void BM_SelectNaive(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(in.runs.size() * kK));
 }
-BENCHMARK(BM_SelectNaive)->Arg(2)->Arg(4)->Arg(10)->Arg(16)->Arg(32);
+// Odd run counts (3, 17) exercise the loser tree's padded non-power-of-two
+// bracket and the prefetch paths on partially exhausted leaves.
+BENCHMARK(BM_SelectNaive)
+    ->Arg(2)
+    ->Arg(3)
+    ->Arg(4)
+    ->Arg(10)
+    ->Arg(16)
+    ->Arg(17)
+    ->Arg(32);
 
 void BM_SelectLoserTree(benchmark::State& state) {
   const MergeInput in =
@@ -153,7 +162,14 @@ void BM_SelectLoserTree(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(in.runs.size() * kK));
 }
-BENCHMARK(BM_SelectLoserTree)->Arg(2)->Arg(4)->Arg(10)->Arg(16)->Arg(32);
+BENCHMARK(BM_SelectLoserTree)
+    ->Arg(2)
+    ->Arg(3)
+    ->Arg(4)
+    ->Arg(10)
+    ->Arg(16)
+    ->Arg(17)
+    ->Arg(32);
 
 void BM_CollapseSteadyState(benchmark::State& state) {
   const std::size_t b = static_cast<std::size_t>(state.range(0));

@@ -115,10 +115,18 @@ void BM_StdSortValues(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(n));
 }
+// The grid deliberately includes non-lane-multiple and cutoff-straddling
+// sizes: 3/17/255 take the sub-cutoff comparison fallback, 257 is the
+// smallest radix path (with a 1-element SIMD tail), and 4097 straddles the
+// AVX2 partial-histogram cutoff — so the tail and dispatch overheads are
+// measured, not just the 4-lane-aligned steady state.
 BENCHMARK(BM_StdSortValues)
-    ->Arg(256)
+    ->Arg(3)
+    ->Arg(17)
+    ->Arg(255)
+    ->Arg(257)
     ->Arg(1024)
-    ->Arg(4096)
+    ->Arg(4097)
     ->Arg(16384)
     ->Arg(65536)
     ->Arg(262144);
@@ -137,9 +145,12 @@ void BM_RadixSortValues(benchmark::State& state) {
                           static_cast<std::int64_t>(n));
 }
 BENCHMARK(BM_RadixSortValues)
-    ->Arg(256)
+    ->Arg(3)
+    ->Arg(17)
+    ->Arg(255)
+    ->Arg(257)
     ->Arg(1024)
-    ->Arg(4096)
+    ->Arg(4097)
     ->Arg(16384)
     ->Arg(65536)
     ->Arg(262144);
@@ -198,7 +209,7 @@ void BM_StdSortPairs(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(n));
 }
-BENCHMARK(BM_StdSortPairs)->Arg(4096)->Arg(65536);
+BENCHMARK(BM_StdSortPairs)->Arg(257)->Arg(4097)->Arg(65536);
 
 void BM_RadixSortPairs(benchmark::State& state) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));
@@ -213,7 +224,7 @@ void BM_RadixSortPairs(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(n));
 }
-BENCHMARK(BM_RadixSortPairs)->Arg(4096)->Arg(65536);
+BENCHMARK(BM_RadixSortPairs)->Arg(257)->Arg(4097)->Arg(65536);
 
 // The framework's actual hot call site: refill a Buffer to capacity and
 // promote it with MarkFull, whose sort now runs through the engine's

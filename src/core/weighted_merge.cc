@@ -5,11 +5,22 @@
 #include <limits>
 
 #include "util/logging.h"
+#include "util/simd.h"
 
 namespace mrl {
 namespace {
 
 constexpr std::size_t kMaxRuns = 1u << 20;  // sanity bound for uint32 nodes
+
+/// Leaf-head refill prefetch distance, in elements. When a run wins it
+/// will keep being probed (and, if it keeps winning, consumed) from its
+/// cursor forward; prefetching one cache line past the new head (8 doubles
+/// = 64 bytes) keeps the next refill's load off the miss path while the
+/// tournament replay and target arithmetic execute. Larger distances buy
+/// nothing here: a run that stays hot advances linearly (the hardware
+/// prefetcher takes over), and a run that loses the next match wasted the
+/// fetch — one line is the sweet spot measured in bench/merge_kernels.cc.
+constexpr std::size_t kRefillPrefetchDistance = 8;
 
 }  // namespace
 
@@ -137,6 +148,8 @@ void SelectWeightedPositionsInto(const WeightedRun* runs,
       scratch->cursor[win] = next;
       if (next < run.size) {
         key[win] = run.data[next];
+        simd::PrefetchRead(
+            run.data + std::min(run.size - 1, next + kRefillPrefetchDistance));
       } else {
         key[win] = kExhausted;
         sec[win] = static_cast<std::uint32_t>(m + win);
@@ -177,6 +190,14 @@ void SelectWeightedPositionsInto(const WeightedRun* runs,
           lo = hi;
           hi = std::min(run.size, hi + step);
           step <<= 1;
+          // The next exponential probe (and the first binary-search
+          // midpoint after the bracket closes) lands near hi + step/2;
+          // fetch both candidate lines while the current probe's compare
+          // retires. Prefetching past run.size is safe — hints never
+          // fault — so the bound check is only cosmetic.
+          simd::PrefetchRead(run.data + std::min(run.size - 1, hi));
+          simd::PrefetchRead(run.data +
+                             std::min(run.size - 1, hi + step / 2));
         }
         const Value* pos =
             win < chal
@@ -200,6 +221,9 @@ void SelectWeightedPositionsInto(const WeightedRun* runs,
       scratch->cursor[win] = limit;
       if (limit < run.size) {
         key[win] = run.data[limit];
+        simd::PrefetchRead(
+            run.data +
+            std::min(run.size - 1, limit + kRefillPrefetchDistance));
       } else {
         key[win] = kExhausted;
         sec[win] = static_cast<std::uint32_t>(m + win);

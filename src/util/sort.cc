@@ -1,9 +1,9 @@
 #include "util/sort.h"
 
 #include <algorithm>
-#include <cstring>
 
 #include "util/logging.h"
+#include "util/simd.h"
 
 namespace mrl {
 namespace {
@@ -14,39 +14,27 @@ namespace {
 constexpr std::size_t kRadixCutoff = 256;
 constexpr int kRadixPasses = 8;
 
-/// All eight byte histograms of keys[0..n) in one fused pass (one read of
-/// the data instead of eight).
-void BuildHistograms(const std::uint64_t* keys, std::size_t n,
-                     std::size_t hist[][256]) {
-  std::memset(
-      hist, 0,
-      static_cast<std::size_t>(kRadixPasses) * 256 * sizeof(hist[0][0]));
-  for (std::size_t i = 0; i < n; ++i) {
-    const std::uint64_t k = keys[i];
-    ++hist[0][k & 0xFF];
-    ++hist[1][(k >> 8) & 0xFF];
-    ++hist[2][(k >> 16) & 0xFF];
-    ++hist[3][(k >> 24) & 0xFF];
-    ++hist[4][(k >> 32) & 0xFF];
-    ++hist[5][(k >> 40) & 0xFF];
-    ++hist[6][(k >> 48) & 0xFF];
-    ++hist[7][(k >> 56) & 0xFF];
-  }
-}
+/// How far ahead the counting scatter prefetches its destination. The
+/// store address for element i+d is only known exactly at step i+d (pos[]
+/// advances between now and then), but by at most d slots — well inside
+/// the prefetched line's 64-byte reach for d = 16. One line ≈ 8 keys, so
+/// 16 keeps roughly two lines of slack ahead of the store stream without
+/// overrunning the L1 fill buffers.
+constexpr std::size_t kScatterPrefetchDistance = 16;
 
 /// LSD radix core over scratch->keys[0..n): one counting scatter per
 /// non-uniform byte position, ping-ponging between keys and keys_alt (and,
 /// when kWithPayload, between the payload mirrors — the scatter moves each
 /// record's payload alongside its key, which is what makes the sort
-/// stable). Returns the array holding the sorted keys; *payload_out (when
-/// kWithPayload) receives the matching payload array. Requires n >= 1 and
-/// all four scratch vectors resized to n by the caller.
+/// stable). `hist` holds all eight byte histograms of the keys (built by
+/// the caller through the dispatched fused kernel). Returns the array
+/// holding the sorted keys; *payload_out (when kWithPayload) receives the
+/// matching payload array. Requires n >= 1 and all four scratch vectors
+/// resized to n by the caller.
 template <bool kWithPayload>
 const std::uint64_t* RadixSortKeys(SortScratch* scratch, std::size_t n,
+                                   const std::size_t (*hist)[256],
                                    const std::uint64_t** payload_out) {
-  std::size_t hist[kRadixPasses][256];
-  BuildHistograms(scratch->keys.data(), n, hist);
-
   std::uint64_t* src = scratch->keys.data();
   std::uint64_t* dst = scratch->keys_alt.data();
   std::uint64_t* psrc = kWithPayload ? scratch->payload.data() : nullptr;
@@ -64,6 +52,16 @@ const std::uint64_t* RadixSortKeys(SortScratch* scratch, std::size_t n,
       sum += hist[p][j];
     }
     for (std::size_t i = 0; i < n; ++i) {
+      // The scatter's stores are the one random-access stream in the
+      // engine. Peeking the digit of the key kScatterPrefetchDistance
+      // ahead and prefetching its current bucket cursor hides most of the
+      // store-miss latency; the cursor may advance before that store
+      // lands, but never by more than the distance, so the prefetched
+      // line is (almost) always the one the store hits.
+      if (i + kScatterPrefetchDistance < n) {
+        const std::uint64_t ahead = src[i + kScatterPrefetchDistance];
+        simd::PrefetchWrite(&dst[pos[(ahead >> shift) & 0xFF]]);
+      }
       const std::uint64_t k = src[i];
       const std::size_t d = pos[(k >> shift) & 0xFF]++;
       dst[d] = k;
@@ -89,10 +87,15 @@ void SortValues(Value* data, std::size_t n, SortScratch* scratch) {
   scratch->keys.resize(n);
   // NOLINTNEXTLINE(mrlquant-no-alloc-in-hot-path): arena
   scratch->keys_alt.resize(n);
-  std::uint64_t* keys = scratch->keys.data();
-  for (std::size_t i = 0; i < n; ++i) keys[i] = OrderedKeyFromValue(data[i]);
-  const std::uint64_t* sorted = RadixSortKeys<false>(scratch, n, nullptr);
-  for (std::size_t i = 0; i < n; ++i) data[i] = ValueFromOrderedKey(sorted[i]);
+  // The key transform and the fused histogram pass run through the SIMD
+  // dispatch (util/simd.h): AVX2 when the host has it, the scalar
+  // reference otherwise — bit-identical either way.
+  const simd::SortKernelOps& ops = simd::ActiveSortKernels();
+  std::size_t hist[kRadixPasses][256];
+  ops.transform_and_histogram(data, scratch->keys.data(), n, hist);
+  const std::uint64_t* sorted =
+      RadixSortKeys<false>(scratch, n, hist, nullptr);
+  ops.inverse_keys(sorted, data, n);
 }
 
 void SortValues(Value* data, std::size_t n) {
@@ -125,13 +128,18 @@ void SortPairs(KeyedPayload* data, std::size_t n, SortScratch* scratch) {
   scratch->payload_alt.resize(n);
   std::uint64_t* keys = scratch->keys.data();
   std::uint64_t* payload = scratch->payload.data();
+  // The record split is strided (AoS pairs), so it stays scalar; the
+  // histogram over the freshly packed contiguous keys dispatches.
   for (std::size_t i = 0; i < n; ++i) {
     keys[i] = OrderedKeyFromValue(data[i].first);
     payload[i] = data[i].second;
   }
+  const simd::SortKernelOps& ops = simd::ActiveSortKernels();
+  std::size_t hist[kRadixPasses][256];
+  ops.histogram(keys, n, hist);
   const std::uint64_t* sorted_payload = nullptr;
   const std::uint64_t* sorted =
-      RadixSortKeys<true>(scratch, n, &sorted_payload);
+      RadixSortKeys<true>(scratch, n, hist, &sorted_payload);
   for (std::size_t i = 0; i < n; ++i) {
     data[i].first = ValueFromOrderedKey(sorted[i]);
     data[i].second = sorted_payload[i];

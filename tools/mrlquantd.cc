@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "server/server.h"
+#include "util/simd.h"
 
 namespace {
 
@@ -164,9 +165,12 @@ int main(int argc, char** argv) {
 
   std::signal(SIGINT, HandleSignal);
   std::signal(SIGTERM, HandleSignal);
-  std::fprintf(stderr, "mrlquantd: serving (pid %ld, %d shard%s)\n",
+  std::fprintf(stderr,
+               "mrlquantd: serving (pid %ld, %d shard%s, simd %s [%s])\n",
                static_cast<long>(getpid()), server.value()->num_shards(),
-               server.value()->num_shards() == 1 ? "" : "s");
+               server.value()->num_shards() == 1 ? "" : "s",
+               mrl::simd::ActivePathName(),
+               mrl::simd::CpuFeatureString().c_str());
   // Park until a signal arrives: one blocking read, zero periodic wakeups.
   char byte;
   while (read(g_signal_pipe[0], &byte, 1) < 0 && errno == EINTR) {
