@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "core/partial.h"
 #include "util/status.h"
 #include "util/types.h"
 
@@ -126,6 +127,22 @@ class QuantileEstimator {
   virtual Status Restore(std::span<const std::uint8_t> bytes) {
     (void)bytes;
     return Status::Unimplemented("this backend does not support Restore");
+  }
+
+  /// True when ExportPartial produces a Section 6 partial summary. Only the
+  /// MRL99 backends (collapse-tree buffers are the paper's hand-off unit)
+  /// support it; the router's fan-out merge requires it on every backend of
+  /// a range-partitioned tenant.
+  virtual bool SupportsPartialExport() const { return false; }
+
+  /// Exports the sketch's current content as weighted Section 6 buffers
+  /// without disturbing the live sketch (contrast with
+  /// UnknownNSketch::FinishAndExport, which terminates the worker). The
+  /// default (backends without a buffer structure) is Unimplemented.
+  virtual Status ExportPartial(PartialSummary* out) const {
+    (void)out;
+    return Status::Unimplemented(
+        "this backend does not support partial export");
   }
 
   /// Convenience: consume a whole vector (via the batch path).

@@ -254,4 +254,20 @@ Status ShardedQuantileSketch::Restore(std::span<const std::uint8_t> bytes) {
   return Status::OK();
 }
 
+Status ShardedQuantileSketch::ExportPartial(PartialSummary* out) const {
+  // FromShards/Create guarantee a shared (b, k) across shards, so the
+  // concatenated buffers carry one parameter set.
+  out->params = shards_.front().params();
+  out->count = count();
+  out->buffers.clear();
+  PartialSummary shard_part;
+  for (const UnknownNSketch& shard : shards_) {
+    MRL_RETURN_IF_ERROR(shard.ExportPartial(&shard_part));
+    for (ShippedBuffer& buf : shard_part.buffers) {
+      out->buffers.push_back(std::move(buf));
+    }
+  }
+  return Status::OK();
+}
+
 }  // namespace mrl

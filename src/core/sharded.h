@@ -121,6 +121,12 @@ class ShardedQuantileSketch : public QuantileEstimator {
   std::vector<std::uint8_t> Serialize() const override;
   Status Restore(std::span<const std::uint8_t> bytes) override;
 
+  /// Concatenation of every shard's non-destructive export (all shards
+  /// share (b, k), so the buffers merge under one parameter set). Queries
+  /// must not run concurrently with Adds, as usual.
+  bool SupportsPartialExport() const override { return true; }
+  Status ExportPartial(PartialSummary* out) const override;
+
  private:
   explicit ShardedQuantileSketch(std::vector<UnknownNSketch> shards,
                                  std::uint64_t seed = 1)

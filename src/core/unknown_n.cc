@@ -406,4 +406,34 @@ std::vector<ShippedBuffer> UnknownNSketch::FinishAndExport() {
   return out;
 }
 
+Status UnknownNSketch::ExportPartial(PartialSummary* out) const {
+  out->params = params_;
+  out->count = count_;
+  out->buffers.clear();
+  // Every full buffer travels at its own weight; the coordinator re-enters
+  // them at level 0 (Section 6), so skipping the worker's final collapse
+  // costs nothing but frame bytes — and keeps this const.
+  for (int i = 0; i < framework_.num_buffers(); ++i) {
+    const Buffer& buf = framework_.buffer(static_cast<std::size_t>(i));
+    if (buf.state() == BufferState::kFull) {
+      out->buffers.push_back({buf.values(), buf.weight(), /*full=*/true});
+    }
+  }
+  if (filling_) {
+    const Buffer& buf = framework_.buffer(fill_slot_);
+    if (!buf.values().empty()) {
+      out->buffers.push_back({buf.values(), fill_weight_,
+                              buf.values().size() == params_.k});
+    }
+  }
+  if (sampler_.pending_count() > 0) {
+    // The candidate is a uniform pick from the open block's
+    // pending_count() elements; that weight keeps exported weight == count.
+    out->buffers.push_back({{sampler_.pending_candidate()},
+                            sampler_.pending_count(),
+                            /*full=*/params_.k == 1});
+  }
+  return Status::OK();
+}
+
 }  // namespace mrl

@@ -10,6 +10,7 @@
 #include "core/estimator.h"
 #include "core/framework.h"
 #include "core/params.h"
+#include "core/partial.h"
 #include "core/summary.h"
 #include "sampling/block_sampler.h"
 #include "util/random.h"
@@ -18,15 +19,6 @@
 #include "util/types.h"
 
 namespace mrl {
-
-/// A buffer a parallel worker ships to the coordinator on termination
-/// (Section 6): its elements, their common weight, and whether the buffer
-/// is full (exactly k elements) or partial.
-struct ShippedBuffer {
-  std::vector<Value> values;
-  Weight weight = 1;
-  bool full = false;
-};
 
 /// Configuration for UnknownNSketch.
 struct UnknownNOptions {
@@ -183,6 +175,14 @@ class UnknownNSketch : public QuantileEstimator {
   /// and the in-flight block candidate), each tagged with its weight.
   /// The sketch must not be used afterwards.
   std::vector<ShippedBuffer> FinishAndExport();
+
+  /// Non-destructive counterpart of FinishAndExport for the distributed
+  /// tier: copies every full buffer, the in-progress partial and the
+  /// in-flight block candidate into a PartialSummary without the final
+  /// collapse, so the sketch keeps serving afterwards. Safe under the
+  /// concurrent const-reader contract (a query-side snapshot, copied out).
+  bool SupportsPartialExport() const override { return true; }
+  Status ExportPartial(PartialSummary* out) const override;
 
  private:
   UnknownNSketch(const UnknownNParams& params, const UnknownNOptions& options);

@@ -1,0 +1,1038 @@
+#include "router/router.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+#include "core/partial.h"
+
+namespace mrl {
+namespace router {
+
+namespace {
+
+using server::Client;
+using server::FrameView;
+using server::MsgType;
+using server::TenantConfig;
+
+constexpr int kListenBacklog = 128;
+/// Warm connections kept per backend. Beyond this, surplus connections are
+/// simply closed on release — a burst dials extra sockets, steady state
+/// reuses the pool.
+constexpr std::size_t kMaxPooledConnections = 8;
+
+/// Seed spacing for partitioned CREATE broadcast: each backend gets
+/// config.seed + index * kSeedStride, so partitions sample independently
+/// (identical seeds would correlate their Bernoulli draws) while remaining
+/// reproducible from the tenant's one configured seed.
+constexpr std::uint64_t kSeedStride = 0x9e3779b97f4a7c15ULL;
+
+Status StatusFromErrno(const char* what) {
+  return Status::Internal(std::string(what) + ": " + std::strerror(errno));
+}
+
+bool WriteFull(int fd, const std::uint8_t* buf, std::size_t n) {
+  std::size_t sent = 0;
+  while (sent < n) {
+    const ssize_t w = ::send(fd, buf + sent, n - sent, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+bool ReadFull(int fd, std::uint8_t* buf, std::size_t n) {
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::recv(fd, buf + got, n - got, 0);
+    if (r == 0) return false;
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    got += static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+/// Parses "unix:PATH" or dotted-quad "HOST:PORT" into the Backend fields.
+Status ParseBackendAddress(const std::string& address, bool* is_unix,
+                           std::string* path_or_host, std::uint16_t* port) {
+  if (address.rfind("unix:", 0) == 0) {
+    *is_unix = true;
+    *path_or_host = address.substr(5);
+    if (path_or_host->empty()) {
+      return Status::InvalidArgument("empty unix socket path in '" + address +
+                                     "'");
+    }
+    return Status::OK();
+  }
+  const std::size_t colon = address.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 == address.size()) {
+    return Status::InvalidArgument(
+        "backend address must be unix:PATH or HOST:PORT, got '" + address +
+        "'");
+  }
+  char* end = nullptr;
+  const long parsed = std::strtol(address.c_str() + colon + 1, &end, 10);
+  if (end == nullptr || *end != '\0' || parsed < 1 || parsed > 65535) {
+    return Status::InvalidArgument("bad port in backend address '" + address +
+                                   "'");
+  }
+  *is_unix = false;
+  *path_or_host = address.substr(0, colon);
+  *port = static_cast<std::uint16_t>(parsed);
+  return Status::OK();
+}
+
+}  // namespace
+
+Router::Router(RouterOptions options)
+    : options_(std::move(options)),
+      ring_(options_.backends, options_.vnodes),
+      health_(options_.backends.size(), options_.fail_threshold) {}
+
+Result<std::unique_ptr<Router>> Router::Create(RouterOptions options) {
+  if (options.backends.empty()) {
+    return Status::InvalidArgument("router needs at least one backend");
+  }
+  if (options.uds_path.empty() && options.tcp_port < 0) {
+    return Status::InvalidArgument("no listener configured");
+  }
+  if (options.replicate && options.backends.size() < 2) {
+    return Status::InvalidArgument(
+        "replication needs at least two backends");
+  }
+  std::unique_ptr<Router> router(new Router(std::move(options)));
+  MRL_RETURN_IF_ERROR(router->Start());
+  return router;
+}
+
+Status Router::Start() {
+  backends_.reserve(options_.backends.size());
+  for (const std::string& address : options_.backends) {
+    auto backend = std::make_unique<Backend>();
+    backend->address = address;
+    MRL_RETURN_IF_ERROR(ParseBackendAddress(address, &backend->is_unix,
+                                            &backend->path_or_host,
+                                            &backend->port));
+    backends_.push_back(std::move(backend));
+  }
+
+  if (!options_.uds_path.empty()) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (options_.uds_path.size() >= sizeof(addr.sun_path)) {
+      return Status::InvalidArgument("unix socket path too long");
+    }
+    std::memcpy(addr.sun_path, options_.uds_path.c_str(),
+                options_.uds_path.size() + 1);
+    ::unlink(options_.uds_path.c_str());
+    uds_listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (uds_listen_fd_ < 0) return StatusFromErrno("socket(AF_UNIX)");
+    if (::bind(uds_listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+               sizeof(addr)) != 0 ||
+        ::listen(uds_listen_fd_, kListenBacklog) != 0) {
+      const Status status = StatusFromErrno("bind/listen(AF_UNIX)");
+      ::close(uds_listen_fd_);
+      uds_listen_fd_ = -1;
+      return status;
+    }
+    bound_uds_path_ = options_.uds_path;
+  }
+
+  if (options_.tcp_port >= 0) {
+    tcp_listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (tcp_listen_fd_ < 0) return StatusFromErrno("socket(AF_INET)");
+    const int one = 1;
+    ::setsockopt(tcp_listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(options_.tcp_port));
+    if (::bind(tcp_listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+               sizeof(addr)) != 0 ||
+        ::listen(tcp_listen_fd_, kListenBacklog) != 0) {
+      const Status status = StatusFromErrno("bind/listen(AF_INET)");
+      ::close(tcp_listen_fd_);
+      tcp_listen_fd_ = -1;
+      return status;
+    }
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(tcp_listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                      &len) == 0) {
+      tcp_port_ = ntohs(bound.sin_port);
+    }
+  }
+
+  running_.store(true, std::memory_order_release);
+  if (uds_listen_fd_ >= 0) {
+    acceptors_.emplace_back(&Router::AcceptLoop, this, uds_listen_fd_);
+  }
+  if (tcp_listen_fd_ >= 0) {
+    acceptors_.emplace_back(&Router::AcceptLoop, this, tcp_listen_fd_);
+  }
+  health_thread_ = std::thread(&Router::HealthLoop, this);
+  return Status::OK();
+}
+
+Router::~Router() { Stop(); }
+
+void Router::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  {
+    MutexLock lock(health_mu_);
+    health_stop_ = true;
+  }
+  health_cv_.notify_all();
+  if (health_thread_.joinable()) health_thread_.join();
+
+  // shutdown() wakes the blocking accept(2); the loops see running_ false
+  // and exit. The fds are closed after the acceptors are gone.
+  if (uds_listen_fd_ >= 0) ::shutdown(uds_listen_fd_, SHUT_RDWR);
+  if (tcp_listen_fd_ >= 0) ::shutdown(tcp_listen_fd_, SHUT_RDWR);
+  for (std::thread& t : acceptors_) {
+    if (t.joinable()) t.join();
+  }
+  acceptors_.clear();
+  if (uds_listen_fd_ >= 0) {
+    ::close(uds_listen_fd_);
+    uds_listen_fd_ = -1;
+  }
+  if (tcp_listen_fd_ >= 0) {
+    ::close(tcp_listen_fd_);
+    tcp_listen_fd_ = -1;
+  }
+  if (!bound_uds_path_.empty()) {
+    ::unlink(bound_uds_path_.c_str());
+    bound_uds_path_.clear();
+  }
+
+  // Wake every connection thread mid-read. Entries are removed from
+  // conn_fds_ (under conns_mu_) before their fd is closed, so a shutdown
+  // here can never hit a recycled descriptor.
+  std::vector<std::thread> conns;
+  {
+    MutexLock lock(conns_mu_);
+    for (const int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
+    conns.swap(conn_threads_);
+  }
+  for (std::thread& t : conns) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void Router::AcceptLoop(int listen_fd) {
+  while (running_.load(std::memory_order_acquire)) {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      if (!running_.load(std::memory_order_acquire)) return;
+      continue;  // transient accept failure (EMFILE, ECONNABORTED, ...)
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    MutexLock lock(conns_mu_);
+    if (!running_.load(std::memory_order_acquire)) {
+      ::close(fd);
+      return;
+    }
+    conn_fds_.push_back(fd);
+    conn_threads_.emplace_back(&Router::ServeConnection, this, fd);
+  }
+}
+
+void Router::ServeConnection(int fd) {
+  std::vector<std::uint8_t> body;
+  std::vector<std::uint8_t> out;
+  while (running_.load(std::memory_order_acquire)) {
+    std::uint8_t prefix[4];
+    if (!ReadFull(fd, prefix, sizeof(prefix))) break;
+    const std::uint32_t body_len =
+        static_cast<std::uint32_t>(prefix[0]) |
+        (static_cast<std::uint32_t>(prefix[1]) << 8) |
+        (static_cast<std::uint32_t>(prefix[2]) << 16) |
+        (static_cast<std::uint32_t>(prefix[3]) << 24);
+    if (body_len < server::kFrameHeaderSize - 4 ||
+        body_len > server::kMaxPayload + server::kFrameHeaderSize - 4) {
+      break;  // unframeable garbage; no reliable way to resynchronize
+    }
+    body.resize(body_len);
+    if (!ReadFull(fd, body.data(), body_len)) break;
+    out.clear();
+    Result<FrameView> frame = server::DecodeFrameBody(body.data(), body_len);
+    if (!frame.ok()) {
+      // Attributable to no particular request type: echo kResponse, as the
+      // backends do for undecodable frames.
+      server::EncodeErrorResponse(MsgType::kResponse, frame.status(), &out);
+    } else {
+      HandleFrame(frame.value(), &out);
+    }
+    if (!WriteFull(fd, out.data(), out.size())) break;
+  }
+  {
+    MutexLock lock(conns_mu_);
+    conn_fds_.erase(std::remove(conn_fds_.begin(), conn_fds_.end(), fd),
+                    conn_fds_.end());
+  }
+  ::close(fd);
+}
+
+// ---------------------------------------------------------------------------
+// Backend RPC plumbing
+
+Result<Client> Router::AcquireConnection(Backend& backend) {
+  {
+    MutexLock lock(backend.mu);
+    if (!backend.pool.empty()) {
+      Client client = std::move(backend.pool.back());
+      backend.pool.pop_back();
+      return client;
+    }
+  }
+  Result<Client> client =
+      backend.is_unix
+          ? Client::ConnectUnix(backend.path_or_host, options_.rpc_timeout_ms)
+          : Client::ConnectTcp(backend.path_or_host, backend.port,
+                               options_.rpc_timeout_ms);
+  if (!client.ok()) return client.status();
+  MRL_RETURN_IF_ERROR(client.value().SetIoTimeout(options_.rpc_timeout_ms));
+  return client;
+}
+
+template <typename Fn>
+Status Router::WithBackend(int index, Fn&& rpc, bool* transport_failed) {
+  if (transport_failed != nullptr) *transport_failed = false;
+  Backend& backend = *backends_[static_cast<std::size_t>(index)];
+  Result<Client> conn = AcquireConnection(backend);
+  if (!conn.ok()) {
+    health_.ReportFailure(index);
+    if (transport_failed != nullptr) *transport_failed = true;
+    return conn.status();
+  }
+  Client client = std::move(conn).value();
+  const Status status = rpc(client);
+  if (client.connected()) {
+    // The backend answered (even if with its own error): the transport is
+    // healthy.
+    health_.ReportSuccess(index);
+    MutexLock lock(backend.mu);
+    if (backend.pool.size() < kMaxPooledConnections) {
+      backend.pool.push_back(std::move(client));
+    }
+  } else {
+    health_.ReportFailure(index);
+    if (transport_failed != nullptr) *transport_failed = true;
+  }
+  return status;
+}
+
+int Router::ServingIndexOf(std::string_view name) const {
+  const int owner = ring_.OwnerOf(name);
+  if (!options_.replicate) return owner;
+  MutexLock lock(tenants_mu_);
+  auto it = tenants_.find(std::string(name));
+  if (it == tenants_.end() || !it->second.failed_over) return owner;
+  const int replica = ring_.ReplicaOf(name);
+  return replica >= 0 ? replica : owner;
+}
+
+bool Router::failed_over(std::string_view name) const {
+  MutexLock lock(tenants_mu_);
+  auto it = tenants_.find(std::string(name));
+  return it != tenants_.end() && it->second.failed_over;
+}
+
+bool Router::IsPartitioned(std::string_view name) const {
+  for (const std::string& tenant : options_.partitioned) {
+    if (tenant == name) return true;
+  }
+  return false;
+}
+
+template <typename Fn>
+Status Router::ForwardWithFailover(std::string_view name, Fn&& rpc) {
+  const int owner = ring_.OwnerOf(name);
+  int replica = -1;
+  bool known = false;
+  bool use_replica = false;
+  if (options_.replicate) {
+    MutexLock lock(tenants_mu_);
+    auto it = tenants_.find(std::string(name));
+    if (it != tenants_.end() && !it->second.partitioned) {
+      known = true;
+      use_replica = it->second.failed_over;
+      replica = ring_.ReplicaOf(name);
+    }
+  }
+  const int serving = (use_replica && replica >= 0) ? replica : owner;
+  bool transport_failed = false;
+  const Status status = WithBackend(serving, rpc, &transport_failed);
+  if (!transport_failed || use_replica || !known || replica < 0) {
+    return status;
+  }
+  // The primary is unreachable and a warm replica exists: fail over
+  // (sticky) and retry there once.
+  {
+    MutexLock lock(tenants_mu_);
+    auto it = tenants_.find(std::string(name));
+    if (it != tenants_.end()) it->second.failed_over = true;
+  }
+  return WithBackend(replica, rpc);
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch
+
+void Router::HandleFrame(const FrameView& frame,
+                         std::vector<std::uint8_t>* out) {
+  switch (frame.type) {
+    case MsgType::kPing: {
+      // Answered by the router itself: PING probes the node it reaches.
+      const Status status = server::DecodePing(frame.payload,
+                                               frame.payload_len);
+      if (!status.ok()) {
+        return server::EncodeErrorResponse(frame.type, status, out);
+      }
+      return server::EncodeEmptyOk(frame.type, out);
+    }
+    case MsgType::kCreateSketch:
+      return HandleCreate(frame, out);
+    case MsgType::kAddBatch:
+      return HandleAddBatch(frame, out);
+    case MsgType::kQuery:
+      return HandleQuery(frame, out);
+    case MsgType::kQueryMulti:
+      return HandleQueryMulti(frame, out);
+    case MsgType::kSnapshot:
+    case MsgType::kDelete:
+    case MsgType::kFetchSummary:
+      return HandleNameOp(frame, out);
+    case MsgType::kStats:
+      return HandleStats(frame, out);
+    case MsgType::kRestore:
+      return HandleRestore(frame, out);
+    case MsgType::kResponse:
+      break;
+  }
+  server::EncodeErrorResponse(
+      frame.type, Status::InvalidArgument("unexpected response frame"), out);
+}
+
+void Router::HandleCreate(const FrameView& frame,
+                          std::vector<std::uint8_t>* out) {
+  Result<server::CreateSketchRequest> req =
+      server::DecodeCreateSketch(frame.payload, frame.payload_len);
+  if (!req.ok()) {
+    return server::EncodeErrorResponse(frame.type, req.status(), out);
+  }
+  const std::string_view name = req.value().name;
+  const TenantConfig& config = req.value().config;
+
+  if (IsPartitioned(name)) {
+    // Broadcast with derived per-backend seeds: every backend holds one
+    // range partition of the tenant.
+    for (std::size_t i = 0; i < backends_.size(); ++i) {
+      TenantConfig part_config = config;
+      part_config.seed = config.seed + static_cast<std::uint64_t>(i) *
+                                           kSeedStride;
+      const Status status =
+          WithBackend(static_cast<int>(i), [&](Client& client) {
+            return client.CreateSketch(name, part_config);
+          });
+      if (!status.ok()) {
+        return server::EncodeErrorResponse(frame.type, status, out);
+      }
+    }
+    MutexLock lock(tenants_mu_);
+    TenantState& state = tenants_[std::string(name)];
+    state.config = config;
+    state.partitioned = true;
+    return server::EncodeEmptyOk(frame.type, out);
+  }
+
+  const int owner = ring_.OwnerOf(name);
+  const Status status = WithBackend(owner, [&](Client& client) {
+    return client.CreateSketch(name, config);
+  });
+  if (!status.ok()) {
+    return server::EncodeErrorResponse(frame.type, status, out);
+  }
+  bool replica_dirty = false;
+  if (options_.replicate) {
+    // Same config — and critically the same seed — on the replica, so both
+    // copies make identical sampling decisions and stay byte-identical
+    // under the mirrored write stream.
+    const int replica = ring_.ReplicaOf(name);
+    if (replica >= 0) {
+      const Status mirrored = WithBackend(replica, [&](Client& client) {
+        return client.CreateSketch(name, config);
+      });
+      // Any failure (dead replica, name collision from a stale copy) is
+      // repaired by the health thread's SNAPSHOT→RESTORE resync.
+      replica_dirty = !mirrored.ok();
+    }
+  }
+  {
+    MutexLock lock(tenants_mu_);
+    TenantState& state = tenants_[std::string(name)];
+    state.config = config;
+    state.partitioned = false;
+    state.failed_over = false;
+    state.replica_dirty = replica_dirty;
+    if (replica_dirty) ++state.dirty_gen;
+  }
+  server::EncodeEmptyOk(frame.type, out);
+}
+
+void Router::HandleAddBatch(const FrameView& frame,
+                            std::vector<std::uint8_t>* out) {
+  Result<server::AddBatchRequest> req =
+      server::DecodeAddBatch(frame.payload, frame.payload_len);
+  if (!req.ok()) {
+    return server::EncodeErrorResponse(frame.type, req.status(), out);
+  }
+  const std::string_view name = req.value().name;
+  std::vector<double> values;
+  {
+    const Status status = server::DecodeDoublesInto(
+        req.value().values_le, req.value().count, /*reject_nan=*/true,
+        &values);
+    if (!status.ok()) {
+      return server::EncodeErrorResponse(frame.type, status, out);
+    }
+  }
+
+  if (IsPartitioned(name)) {
+    // Deal the batch out in contiguous slices, one per usable backend; the
+    // reply is the tenant's total count across all partitions.
+    std::vector<int> usable;
+    for (std::size_t i = 0; i < backends_.size(); ++i) {
+      if (health_.IsUsable(static_cast<int>(i))) {
+        usable.push_back(static_cast<int>(i));
+      }
+    }
+    if (usable.empty()) {
+      return server::EncodeErrorResponse(
+          frame.type, Status::Internal("no usable backends"), out);
+    }
+    std::uint64_t total = 0;
+    const std::size_t per = (values.size() + usable.size() - 1) /
+                            usable.size();
+    for (std::size_t slot = 0; slot < usable.size(); ++slot) {
+      // Contiguous slices; trailing slots may get an empty one but are
+      // still asked, so `total` covers every partition's count.
+      const std::size_t begin = std::min(slot * per, values.size());
+      const std::size_t end = std::min(values.size(), begin + per);
+      const std::span<const Value> slice(values.data() + begin, end - begin);
+      std::uint64_t count = 0;
+      const Status status = WithBackend(usable[slot], [&](Client& client) {
+        Result<std::uint64_t> r = client.AddBatch(name, slice);
+        if (!r.ok()) return r.status();
+        count = r.value();
+        return Status::OK();
+      });
+      if (!status.ok()) {
+        return server::EncodeErrorResponse(frame.type, status, out);
+      }
+      total += count;
+    }
+    return server::EncodeAddBatchOk(total, out);
+  }
+
+  const int owner = ring_.OwnerOf(name);
+  int replica = -1;
+  bool known = false;
+  bool use_replica = false;
+  if (options_.replicate) {
+    MutexLock lock(tenants_mu_);
+    auto it = tenants_.find(std::string(name));
+    if (it != tenants_.end() && !it->second.partitioned) {
+      known = true;
+      use_replica = it->second.failed_over;
+      replica = ring_.ReplicaOf(name);
+    }
+  }
+
+  std::uint64_t count = 0;
+  const auto add_rpc = [&](Client& client) {
+    Result<std::uint64_t> r = client.AddBatch(name, std::span<const Value>(
+                                                        values));
+    if (!r.ok()) return r.status();
+    count = r.value();
+    return Status::OK();
+  };
+
+  const int serving = (use_replica && replica >= 0) ? replica : owner;
+  bool transport_failed = false;
+  Status status = WithBackend(serving, add_rpc, &transport_failed);
+
+  if (transport_failed && !use_replica && known && replica >= 0) {
+    // Primary died mid-write: promote the replica (sticky) and land the
+    // batch there. The replica holds an identical sketch, so no data that
+    // the client was acknowledged for is lost.
+    {
+      MutexLock lock(tenants_mu_);
+      auto it = tenants_.find(std::string(name));
+      if (it != tenants_.end()) it->second.failed_over = true;
+    }
+    status = WithBackend(replica, add_rpc);
+    use_replica = true;
+  }
+  if (!status.ok()) {
+    return server::EncodeErrorResponse(frame.type, status, out);
+  }
+
+  if (known && !use_replica && replica >= 0) {
+    // Mirror to the replica; a miss only marks it dirty (the health thread
+    // resyncs), it never fails the client's write.
+    const Status mirrored = WithBackend(replica, [&](Client& client) {
+      Result<std::uint64_t> r = client.AddBatch(
+          name, std::span<const Value>(values));
+      return r.ok() ? Status::OK() : r.status();
+    });
+    if (!mirrored.ok()) {
+      MutexLock lock(tenants_mu_);
+      auto it = tenants_.find(std::string(name));
+      if (it != tenants_.end()) {
+        it->second.replica_dirty = true;
+        ++it->second.dirty_gen;
+      }
+    }
+  }
+  server::EncodeAddBatchOk(count, out);
+}
+
+Status Router::FanOutQuery(std::string_view name, std::span<const double> phis,
+                           std::vector<double>* answers) {
+  std::vector<PartialSummary> parts;
+  Status last_error = Status::NotFound("tenant '" + std::string(name) +
+                                       "' not found on any backend");
+  for (std::size_t i = 0; i < backends_.size(); ++i) {
+    if (!health_.IsUsable(static_cast<int>(i))) continue;
+    std::vector<std::uint8_t> blob;
+    const Status status = WithBackend(static_cast<int>(i), [&](Client& client) {
+      return client.FetchSummary(name, &blob);
+    });
+    if (!status.ok()) {
+      // A missing or unreachable partition degrades the answer instead of
+      // failing the query; only an all-miss propagates.
+      last_error = status;
+      continue;
+    }
+    Result<PartialSummary> part = DeserializePartialSummary(
+        std::span<const std::uint8_t>(blob.data(), blob.size()));
+    if (!part.ok()) return part.status();
+    parts.push_back(std::move(part).value());
+  }
+  if (parts.empty()) return last_error;
+
+  std::uint64_t seed = 1;
+  {
+    MutexLock lock(tenants_mu_);
+    auto it = tenants_.find(std::string(name));
+    if (it != tenants_.end()) seed = it->second.config.seed;
+  }
+  Result<std::vector<Value>> merged = MergePartialQuantiles(
+      parts, seed, std::vector<double>(phis.begin(), phis.end()));
+  if (!merged.ok()) return merged.status();
+  *answers = std::move(merged).value();
+  return Status::OK();
+}
+
+void Router::HandleQuery(const FrameView& frame,
+                         std::vector<std::uint8_t>* out) {
+  Result<server::QueryRequest> req =
+      server::DecodeQuery(frame.payload, frame.payload_len);
+  if (!req.ok()) {
+    return server::EncodeErrorResponse(frame.type, req.status(), out);
+  }
+  const std::string_view name = req.value().name;
+  const double phi = req.value().phi;
+
+  if (IsPartitioned(name)) {
+    std::vector<double> answers;
+    const double phis[1] = {phi};
+    const Status status = FanOutQuery(name, phis, &answers);
+    if (!status.ok()) {
+      return server::EncodeErrorResponse(frame.type, status, out);
+    }
+    return server::EncodeQueryOk(answers[0], out);
+  }
+
+  double value = 0;
+  const Status status = ForwardWithFailover(name, [&](Client& client) {
+    Result<double> r = client.Query(name, phi);
+    if (!r.ok()) return r.status();
+    value = r.value();
+    return Status::OK();
+  });
+  if (!status.ok()) {
+    return server::EncodeErrorResponse(frame.type, status, out);
+  }
+  server::EncodeQueryOk(value, out);
+}
+
+void Router::HandleQueryMulti(const FrameView& frame,
+                              std::vector<std::uint8_t>* out) {
+  Result<server::QueryMultiRequest> req =
+      server::DecodeQueryMulti(frame.payload, frame.payload_len);
+  if (!req.ok()) {
+    return server::EncodeErrorResponse(frame.type, req.status(), out);
+  }
+  const std::string_view name = req.value().name;
+  std::vector<double> phis;
+  {
+    const Status status = server::DecodeDoublesInto(
+        req.value().phis_le, req.value().count, /*reject_nan=*/true, &phis);
+    if (!status.ok()) {
+      return server::EncodeErrorResponse(frame.type, status, out);
+    }
+  }
+
+  std::vector<double> answers;
+  Status status;
+  if (IsPartitioned(name)) {
+    status = FanOutQuery(name, phis, &answers);
+  } else {
+    status = ForwardWithFailover(name, [&](Client& client) {
+      answers.clear();
+      return client.QueryMulti(name, phis, &answers);
+    });
+  }
+  if (!status.ok()) {
+    return server::EncodeErrorResponse(frame.type, status, out);
+  }
+  server::EncodeQueryMultiOk(answers, out);
+}
+
+void Router::HandleNameOp(const FrameView& frame,
+                          std::vector<std::uint8_t>* out) {
+  Result<server::NameRequest> req =
+      server::DecodeNameRequest(frame.type, frame.payload, frame.payload_len);
+  if (!req.ok()) {
+    return server::EncodeErrorResponse(frame.type, req.status(), out);
+  }
+  const std::string_view name = req.value().name;
+
+  if (frame.type == MsgType::kDelete) {
+    if (IsPartitioned(name)) {
+      Status first_error = Status::OK();
+      for (std::size_t i = 0; i < backends_.size(); ++i) {
+        if (!health_.IsUsable(static_cast<int>(i))) continue;
+        const Status status =
+            WithBackend(static_cast<int>(i), [&](Client& client) {
+              return client.Delete(name);
+            });
+        if (!status.ok() && status.code() != StatusCode::kNotFound &&
+            first_error.ok()) {
+          first_error = status;
+        }
+      }
+      MutexLock lock(tenants_mu_);
+      tenants_.erase(std::string(name));
+      if (!first_error.ok()) {
+        return server::EncodeErrorResponse(frame.type, first_error, out);
+      }
+      return server::EncodeEmptyOk(frame.type, out);
+    }
+    const Status status = ForwardWithFailover(name, [&](Client& client) {
+      return client.Delete(name);
+    });
+    if (options_.replicate) {
+      // Best effort on the other copy; NotFound / dead replica are fine.
+      const int replica = ring_.ReplicaOf(name);
+      const int serving = ServingIndexOf(name);
+      if (replica >= 0) {
+        const int other = serving == replica ? ring_.OwnerOf(name) : replica;
+        (void)WithBackend(other, [&](Client& client) {
+          return client.Delete(name);
+        });
+      }
+    }
+    {
+      MutexLock lock(tenants_mu_);
+      tenants_.erase(std::string(name));
+    }
+    if (!status.ok()) {
+      return server::EncodeErrorResponse(frame.type, status, out);
+    }
+    return server::EncodeEmptyOk(frame.type, out);
+  }
+
+  if (frame.type == MsgType::kFetchSummary && IsPartitioned(name)) {
+    // Fan out and splice: partials share one k, so the union of their
+    // buffer sets is itself a valid partial summary — this is what lets
+    // routers stack hierarchically.
+    std::vector<PartialSummary> parts;
+    Status last_error = Status::NotFound(
+        "tenant '" + std::string(name) + "' not found on any backend");
+    for (std::size_t i = 0; i < backends_.size(); ++i) {
+      if (!health_.IsUsable(static_cast<int>(i))) continue;
+      std::vector<std::uint8_t> blob;
+      const Status status =
+          WithBackend(static_cast<int>(i), [&](Client& client) {
+            return client.FetchSummary(name, &blob);
+          });
+      if (!status.ok()) {
+        last_error = status;
+        continue;
+      }
+      Result<PartialSummary> part = DeserializePartialSummary(
+          std::span<const std::uint8_t>(blob.data(), blob.size()));
+      if (!part.ok()) {
+        return server::EncodeErrorResponse(frame.type, part.status(), out);
+      }
+      parts.push_back(std::move(part).value());
+    }
+    if (parts.empty()) {
+      return server::EncodeErrorResponse(frame.type, last_error, out);
+    }
+    PartialSummary combined = std::move(parts.front());
+    for (std::size_t i = 1; i < parts.size(); ++i) {
+      if (parts[i].params.k != combined.params.k) {
+        return server::EncodeErrorResponse(
+            frame.type,
+            Status::Internal("partitions disagree on buffer capacity k"),
+            out);
+      }
+      if (parts[i].params.b > combined.params.b) {
+        combined.params = parts[i].params;
+      }
+      combined.count += parts[i].count;
+      for (ShippedBuffer& buf : parts[i].buffers) {
+        combined.buffers.push_back(std::move(buf));
+      }
+    }
+    std::vector<std::uint8_t> blob;
+    SerializePartialSummary(combined, &blob);
+    return server::EncodeFetchSummaryOk(blob, out);
+  }
+
+  if (frame.type == MsgType::kSnapshot && IsPartitioned(name)) {
+    return server::EncodeErrorResponse(
+        frame.type,
+        Status::FailedPrecondition(
+            "partitioned tenants have no single checkpoint; use "
+            "FETCH_SUMMARY or snapshot the backends directly"),
+        out);
+  }
+
+  std::vector<std::uint8_t> blob;
+  const Status status = ForwardWithFailover(name, [&](Client& client) {
+    blob.clear();
+    return frame.type == MsgType::kSnapshot
+               ? client.Snapshot(name, &blob)
+               : client.FetchSummary(name, &blob);
+  });
+  if (!status.ok()) {
+    return server::EncodeErrorResponse(frame.type, status, out);
+  }
+  if (frame.type == MsgType::kSnapshot) {
+    server::EncodeSnapshotOk(blob, out);
+  } else {
+    server::EncodeFetchSummaryOk(blob, out);
+  }
+}
+
+void Router::HandleStats(const FrameView& frame,
+                         std::vector<std::uint8_t>* out) {
+  Result<server::NameRequest> req =
+      server::DecodeNameRequest(frame.type, frame.payload, frame.payload_len);
+  if (!req.ok()) {
+    return server::EncodeErrorResponse(frame.type, req.status(), out);
+  }
+  const std::string_view name = req.value().name;
+
+  if (name.empty() || IsPartitioned(name)) {
+    // Aggregate across the fleet. With replication the totals count each
+    // mirrored copy once per holder — fleet-level occupancy, not distinct
+    // data.
+    server::StatsReply total;
+    bool any = false;
+    Status last_error = Status::Internal("no usable backends");
+    for (std::size_t i = 0; i < backends_.size(); ++i) {
+      if (!health_.IsUsable(static_cast<int>(i))) continue;
+      server::StatsReply reply;
+      const Status status =
+          WithBackend(static_cast<int>(i), [&](Client& client) {
+            Result<server::StatsReply> r = client.Stats(name);
+            if (!r.ok()) return r.status();
+            reply = r.value();
+            return Status::OK();
+          });
+      if (!status.ok()) {
+        last_error = status;
+        continue;
+      }
+      any = true;
+      total.num_tenants += reply.num_tenants;
+      total.total_count += reply.total_count;
+      if (reply.tenant_present) {
+        total.tenant_present = true;
+        total.tenant_kind = reply.tenant_kind;
+        total.tenant_count += reply.tenant_count;
+        total.tenant_memory_elements += reply.tenant_memory_elements;
+      }
+    }
+    if (!any) {
+      return server::EncodeErrorResponse(frame.type, last_error, out);
+    }
+    return server::EncodeStatsOk(total, out);
+  }
+
+  server::StatsReply reply;
+  const Status status = ForwardWithFailover(name, [&](Client& client) {
+    Result<server::StatsReply> r = client.Stats(name);
+    if (!r.ok()) return r.status();
+    reply = r.value();
+    return Status::OK();
+  });
+  if (!status.ok()) {
+    return server::EncodeErrorResponse(frame.type, status, out);
+  }
+  server::EncodeStatsOk(reply, out);
+}
+
+void Router::HandleRestore(const FrameView& frame,
+                           std::vector<std::uint8_t>* out) {
+  Result<server::RestoreRequest> req =
+      server::DecodeRestore(frame.payload, frame.payload_len);
+  if (!req.ok()) {
+    return server::EncodeErrorResponse(frame.type, req.status(), out);
+  }
+  const std::string_view name = req.value().name;
+  if (IsPartitioned(name)) {
+    return server::EncodeErrorResponse(
+        frame.type,
+        Status::FailedPrecondition(
+            "partitioned tenants cannot be restored through the router"),
+        out);
+  }
+  const std::span<const std::uint8_t> blob(req.value().blob,
+                                           req.value().blob_len);
+  const TenantConfig config = req.value().config;
+  const Status status = ForwardWithFailover(name, [&](Client& client) {
+    return client.RestoreTenant(name, config, blob);
+  });
+  if (!status.ok()) {
+    return server::EncodeErrorResponse(frame.type, status, out);
+  }
+  bool replica_dirty = false;
+  bool use_replica = false;
+  {
+    MutexLock lock(tenants_mu_);
+    auto it = tenants_.find(std::string(name));
+    use_replica = it != tenants_.end() && it->second.failed_over;
+  }
+  if (options_.replicate && !use_replica) {
+    const int replica = ring_.ReplicaOf(name);
+    if (replica >= 0) {
+      const Status mirrored = WithBackend(replica, [&](Client& client) {
+        return client.RestoreTenant(name, config, blob);
+      });
+      replica_dirty = !mirrored.ok();
+    }
+  }
+  {
+    MutexLock lock(tenants_mu_);
+    TenantState& state = tenants_[std::string(name)];
+    state.config = config;
+    state.partitioned = false;
+    if (replica_dirty && !state.replica_dirty) {
+      state.replica_dirty = true;
+      ++state.dirty_gen;
+    }
+  }
+  server::EncodeEmptyOk(frame.type, out);
+}
+
+// ---------------------------------------------------------------------------
+// Health and replica resync
+
+void Router::HealthLoop() {
+  const auto interval = std::chrono::milliseconds(
+      options_.health_interval_ms > 0 ? options_.health_interval_ms : 200);
+  for (;;) {
+    {
+      MutexLock lock(health_mu_);
+      health_cv_.wait_for(lock.native(), interval);
+      if (health_stop_) return;
+    }
+    ProbeBackends();
+    ResyncDirtyReplicas();
+  }
+}
+
+void Router::ProbeBackends() {
+  for (std::size_t i = 0; i < backends_.size(); ++i) {
+    // WithBackend feeds the tracker on both outcomes; probing a down
+    // backend is also how its recovery is noticed.
+    (void)WithBackend(static_cast<int>(i),
+                      [](Client& client) { return client.Ping(); });
+  }
+}
+
+void Router::ResyncDirtyReplicas() {
+  if (!options_.replicate) return;
+  struct DirtyTenant {
+    std::string name;
+    TenantConfig config;
+    std::uint64_t gen;
+  };
+  std::vector<DirtyTenant> dirty;
+  {
+    MutexLock lock(tenants_mu_);
+    for (const auto& [name, state] : tenants_) {
+      if (state.replica_dirty && !state.failed_over && !state.partitioned) {
+        dirty.push_back({name, state.config, state.dirty_gen});
+      }
+    }
+  }
+  for (const DirtyTenant& tenant : dirty) {
+    const int owner = ring_.OwnerOf(tenant.name);
+    const int replica = ring_.ReplicaOf(tenant.name);
+    if (replica < 0 || !health_.IsUsable(owner) ||
+        !health_.IsUsable(replica)) {
+      continue;
+    }
+    std::vector<std::uint8_t> blob;
+    Status status = WithBackend(owner, [&](Client& client) {
+      return client.Snapshot(tenant.name, &blob);
+    });
+    if (!status.ok()) continue;
+    status = WithBackend(replica, [&](Client& client) {
+      return client.RestoreTenant(tenant.name, tenant.config,
+                                  std::span<const std::uint8_t>(blob));
+    });
+    if (!status.ok()) continue;
+    MutexLock lock(tenants_mu_);
+    auto it = tenants_.find(tenant.name);
+    // Clear only the generation we shipped: a mirror that failed while the
+    // checkpoint was in flight bumped the generation, and that marking must
+    // win (the snapshot predates the write it records as missing).
+    if (it != tenants_.end() && !it->second.failed_over &&
+        it->second.dirty_gen == tenant.gen) {
+      it->second.replica_dirty = false;
+    }
+  }
+}
+
+}  // namespace router
+}  // namespace mrl

@@ -1,0 +1,220 @@
+#ifndef MRLQUANT_ROUTER_ROUTER_H_
+#define MRLQUANT_ROUTER_ROUTER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "router/hash_ring.h"
+#include "router/health.h"
+#include "server/client.h"
+#include "server/protocol.h"
+#include "util/status.h"
+#include "util/thread_annotations.h"
+
+namespace mrl {
+namespace router {
+
+struct RouterOptions {
+  /// Listeners; at least one must be configured. `tcp_port == 0` binds an
+  /// ephemeral port (read it back with tcp_port()).
+  std::string uds_path;
+  int tcp_port = -1;
+
+  /// Backend addresses, "unix:PATH" or dotted-quad "HOST:PORT". Order is
+  /// the backend index used by HealthTracker and the test hooks.
+  std::vector<std::string> backends;
+
+  /// Mirror every write of a non-partitioned tenant to its ring replica
+  /// (same seed at CREATE, so primary and replica hold byte-identical
+  /// sketches) and fail over to the replica when the primary dies.
+  bool replicate = false;
+
+  /// Virtual nodes per backend on the consistent-hash ring.
+  int vnodes = 64;
+
+  /// Health-probe cadence and the failure budget before a backend is
+  /// declared down (see router/health.h).
+  int health_interval_ms = 200;
+  int fail_threshold = 2;
+
+  /// Per-RPC budget: bounds backend connect and every send/recv, so a hung
+  /// backend surfaces as a failure within this window instead of wedging a
+  /// router thread forever.
+  int rpc_timeout_ms = 2000;
+
+  /// Tenants range-partitioned across ALL backends instead of owned by
+  /// one: CREATE broadcasts (per-backend derived seeds), ADD_BATCH splits
+  /// each batch, and queries fan out FETCH_SUMMARY and merge the partial
+  /// summaries with the Section 6 rules (core/partial.h).
+  std::vector<std::string> partitioned;
+};
+
+/// Stateless distributed front for a fleet of mrlquantd backends. Speaks
+/// the same wire protocol as the backends on its listeners, so existing
+/// clients (mrlquant_client, bench drivers) point at the router unchanged;
+/// tenant placement, §6 fan-out merging, replication, and failover all
+/// happen behind it.
+///
+/// Threading: one acceptor thread per listener, one thread per client
+/// connection (responses are written in request order, preserving the
+/// protocol's pipelining contract), plus one health/resync thread. All
+/// threads are joined by Stop()/the destructor.
+class Router {
+ public:
+  static Result<std::unique_ptr<Router>> Create(RouterOptions options);
+
+  ~Router();
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  void Stop();
+
+  /// Bound TCP port (the ephemeral one when options.tcp_port was 0), or 0
+  /// when no TCP listener exists.
+  std::uint16_t tcp_port() const { return tcp_port_; }
+
+  std::size_t num_backends() const { return ring_.size(); }
+
+  // -- test hooks -----------------------------------------------------------
+
+  /// Ring owner of `name` (ignoring failover) — tests use it to find which
+  /// backend to kill.
+  int OwnerIndexOf(std::string_view name) const { return ring_.OwnerOf(name); }
+  /// Ring replica of `name` (-1 with fewer than two backends).
+  int ReplicaIndexOf(std::string_view name) const {
+    return ring_.ReplicaOf(name);
+  }
+  BackendState backend_state(int index) const { return health_.state(index); }
+  /// Whether `name` has been failed over to its replica.
+  bool failed_over(std::string_view name) const;
+
+ private:
+  /// One backend: parsed address plus a small pool of warm connections.
+  /// Acquire() prefers a pooled connection and dials under the RPC timeout
+  /// otherwise; Release() returns still-healthy connections for reuse.
+  struct Backend {
+    std::string address;  ///< as configured
+    bool is_unix = false;
+    std::string path_or_host;
+    std::uint16_t port = 0;
+    Mutex mu;
+    std::vector<server::Client> pool MRLQUANT_GUARDED_BY(mu);
+  };
+
+  /// Router-side soft state for a tenant created through this router. Lost
+  /// on router restart by design (the router is stateless: placement is
+  /// recomputed from the ring, and this map only accelerates
+  /// replication/failover bookkeeping).
+  struct TenantState {
+    server::TenantConfig config;
+    bool partitioned = false;
+    /// Sticky: once the primary is declared dead mid-write, all traffic for
+    /// this tenant serves from the replica — flapping primaries must not
+    /// split the write stream across divergent copies.
+    bool failed_over = false;
+    /// The replica missed a write; the health thread resyncs it from the
+    /// primary (SNAPSHOT → RESTORE) and clears this. `dirty_gen` bumps on
+    /// every marking so a resync only clears the generation it actually
+    /// shipped — a write that dirtied the replica mid-resync stays dirty.
+    bool replica_dirty = false;
+    std::uint64_t dirty_gen = 0;
+  };
+
+  explicit Router(RouterOptions options);
+  Status Start();
+
+  void AcceptLoop(int listen_fd);
+  void ServeConnection(int fd);
+
+  /// Decodes and dispatches one request frame, appending exactly one
+  /// response frame to *out.
+  void HandleFrame(const server::FrameView& frame,
+                   std::vector<std::uint8_t>* out);
+
+  void HandleCreate(const server::FrameView& frame,
+                    std::vector<std::uint8_t>* out);
+  void HandleAddBatch(const server::FrameView& frame,
+                      std::vector<std::uint8_t>* out);
+  void HandleQuery(const server::FrameView& frame,
+                   std::vector<std::uint8_t>* out);
+  void HandleQueryMulti(const server::FrameView& frame,
+                        std::vector<std::uint8_t>* out);
+  void HandleNameOp(const server::FrameView& frame,
+                    std::vector<std::uint8_t>* out);
+  void HandleStats(const server::FrameView& frame,
+                   std::vector<std::uint8_t>* out);
+  void HandleRestore(const server::FrameView& frame,
+                     std::vector<std::uint8_t>* out);
+
+  /// Fans QUERY/QUERY_MULTI out over a partitioned tenant: FETCH_SUMMARY
+  /// from every usable backend, merge with MergePartialQuantiles.
+  Status FanOutQuery(std::string_view name, std::span<const double> phis,
+                     std::vector<double>* answers);
+
+  /// Pooled connection to `backend`, dialing under the RPC timeout when
+  /// the pool is empty.
+  Result<server::Client> AcquireConnection(Backend& backend);
+
+  /// Runs `rpc` against backend `index` on a pooled connection, feeding the
+  /// health tracker: a connection that survives the call reports success
+  /// and returns to the pool; a transport failure (connection closed by the
+  /// Client, or a failed dial) reports failure, drops the connection, and
+  /// sets *transport_failed. Returns the RPC's own status.
+  template <typename Fn>
+  Status WithBackend(int index, Fn&& rpc, bool* transport_failed = nullptr);
+
+  /// Serving backend for a non-partitioned tenant: the ring owner, or the
+  /// replica once the tenant failed over.
+  int ServingIndexOf(std::string_view name) const;
+
+  /// Forwards an RPC for tenant `name` to its serving backend; on a
+  /// transport failure with replication enabled, fails the tenant over to
+  /// its replica (sticky) and retries there once.
+  template <typename Fn>
+  Status ForwardWithFailover(std::string_view name, Fn&& rpc);
+
+  void HealthLoop();
+  void ProbeBackends();
+  void ResyncDirtyReplicas();
+
+  bool IsPartitioned(std::string_view name) const;
+
+  RouterOptions options_;
+  HashRing ring_;
+  mutable HealthTracker health_;
+  std::vector<std::unique_ptr<Backend>> backends_;
+
+  mutable Mutex tenants_mu_;
+  std::unordered_map<std::string, TenantState> tenants_
+      MRLQUANT_GUARDED_BY(tenants_mu_);
+
+  int uds_listen_fd_ = -1;
+  int tcp_listen_fd_ = -1;
+  std::uint16_t tcp_port_ = 0;
+  std::string bound_uds_path_;
+
+  std::atomic<bool> running_{false};
+  std::vector<std::thread> acceptors_;
+
+  std::thread health_thread_;
+  Mutex health_mu_;
+  std::condition_variable health_cv_;
+  bool health_stop_ MRLQUANT_GUARDED_BY(health_mu_) = false;
+
+  Mutex conns_mu_;
+  std::vector<std::thread> conn_threads_ MRLQUANT_GUARDED_BY(conns_mu_);
+  std::vector<int> conn_fds_ MRLQUANT_GUARDED_BY(conns_mu_);
+};
+
+}  // namespace router
+}  // namespace mrl
+
+#endif  // MRLQUANT_ROUTER_ROUTER_H_

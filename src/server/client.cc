@@ -1,10 +1,13 @@
 #include "server/client.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netdb.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -21,36 +24,86 @@ Status StatusFromErrno(const char* what) {
   return Status::Internal(std::string(what) + ": " + std::strerror(errno));
 }
 
-bool WriteFull(int fd, const std::uint8_t* buf, std::size_t n) {
+enum class IoOutcome { kOk, kEof, kTimeout, kError };
+
+IoOutcome WriteFull(int fd, const std::uint8_t* buf, std::size_t n) {
   std::size_t sent = 0;
   while (sent < n) {
     const ssize_t w = ::send(fd, buf + sent, n - sent, MSG_NOSIGNAL);
     if (w < 0) {
       if (errno == EINTR) continue;
-      return false;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return IoOutcome::kTimeout;
+      return IoOutcome::kError;
     }
     sent += static_cast<std::size_t>(w);
   }
-  return true;
+  return IoOutcome::kOk;
 }
 
-bool ReadFull(int fd, std::uint8_t* buf, std::size_t n) {
+IoOutcome ReadFull(int fd, std::uint8_t* buf, std::size_t n) {
   std::size_t got = 0;
   while (got < n) {
     const ssize_t r = ::recv(fd, buf + got, n - got, 0);
-    if (r == 0) return false;
+    if (r == 0) return IoOutcome::kEof;
     if (r < 0) {
       if (errno == EINTR) continue;
-      return false;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return IoOutcome::kTimeout;
+      return IoOutcome::kError;
     }
     got += static_cast<std::size_t>(r);
   }
-  return true;
+  return IoOutcome::kOk;
+}
+
+/// connect(2) with a deadline: flips the socket nonblocking, polls for
+/// writability, then reads SO_ERROR for the real outcome before restoring
+/// blocking mode. `timeout_ms < 0` is a plain blocking connect.
+Status ConnectWithDeadline(int fd, const sockaddr* addr, socklen_t addrlen,
+                           int timeout_ms) {
+  if (timeout_ms < 0) {
+    if (::connect(fd, addr, addrlen) != 0) return StatusFromErrno("connect");
+    return Status::OK();
+  }
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return StatusFromErrno("fcntl(F_GETFL)");
+  if (::fcntl(fd, F_SETFL, flags | O_NONBLOCK) != 0) {
+    return StatusFromErrno("fcntl(F_SETFL)");
+  }
+  Status status = Status::OK();
+  if (::connect(fd, addr, addrlen) != 0) {
+    if (errno == EINPROGRESS || errno == EAGAIN) {
+      pollfd pfd{fd, POLLOUT, 0};
+      int rc;
+      do {
+        rc = ::poll(&pfd, 1, timeout_ms);
+      } while (rc < 0 && errno == EINTR);
+      if (rc == 0) {
+        status = Status::Internal("connect timed out");
+      } else if (rc < 0) {
+        status = StatusFromErrno("poll");
+      } else {
+        int so_error = 0;
+        socklen_t len = sizeof(so_error);
+        if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &len) != 0) {
+          status = StatusFromErrno("getsockopt(SO_ERROR)");
+        } else if (so_error != 0) {
+          status = Status::Internal(std::string("connect: ") +
+                                    std::strerror(so_error));
+        }
+      }
+    } else {
+      status = StatusFromErrno("connect");
+    }
+  }
+  if (status.ok() && ::fcntl(fd, F_SETFL, flags) != 0) {
+    status = StatusFromErrno("fcntl(F_SETFL)");
+  }
+  return status;
 }
 
 }  // namespace
 
-Result<Client> Client::ConnectUnix(const std::string& path) {
+Result<Client> Client::ConnectUnix(const std::string& path, int timeout_ms) {
   sockaddr_un addr{};
   addr.sun_family = AF_UNIX;
   if (path.empty() || path.size() >= sizeof(addr.sun_path)) {
@@ -59,17 +112,17 @@ Result<Client> Client::ConnectUnix(const std::string& path) {
   std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
   const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
   if (fd < 0) return StatusFromErrno("socket(AF_UNIX)");
-  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
-                sizeof(addr)) != 0) {
-    const Status status = StatusFromErrno("connect");
+  const Status status = ConnectWithDeadline(
+      fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr), timeout_ms);
+  if (!status.ok()) {
     ::close(fd);
     return status;
   }
   return Client(fd);
 }
 
-Result<Client> Client::ConnectTcp(const std::string& host,
-                                  std::uint16_t port) {
+Result<Client> Client::ConnectTcp(const std::string& host, std::uint16_t port,
+                                  int timeout_ms) {
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(port);
@@ -78,15 +131,31 @@ Result<Client> Client::ConnectTcp(const std::string& host,
   }
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) return StatusFromErrno("socket(AF_INET)");
-  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
-                sizeof(addr)) != 0) {
-    const Status status = StatusFromErrno("connect");
+  const Status status = ConnectWithDeadline(
+      fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr), timeout_ms);
+  if (!status.ok()) {
     ::close(fd);
     return status;
   }
   const int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
   return Client(fd);
+}
+
+Status Client::SetIoTimeout(int timeout_ms) {
+  if (fd_ < 0) return Status::FailedPrecondition("client not connected");
+  timeval tv{};
+  if (timeout_ms > 0) {
+    tv.tv_sec = timeout_ms / 1000;
+    tv.tv_usec = static_cast<long>(timeout_ms % 1000) * 1000;
+  }
+  if (::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) != 0) {
+    return StatusFromErrno("setsockopt(SO_RCVTIMEO)");
+  }
+  if (::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv)) != 0) {
+    return StatusFromErrno("setsockopt(SO_SNDTIMEO)");
+  }
+  return Status::OK();
 }
 
 Client::Client(Client&& other) noexcept
@@ -123,17 +192,25 @@ Status Client::CheckNoPipeline() const {
 
 Result<ResponseView> Client::RoundTrip(MsgType sent) {
   if (fd_ < 0) return Status::FailedPrecondition("client not connected");
-  if (!WriteFull(fd_, request_.data(), request_.size())) {
+  const IoOutcome wrote = WriteFull(fd_, request_.data(), request_.size());
+  if (wrote != IoOutcome::kOk) {
+    const Status status = wrote == IoOutcome::kTimeout
+                              ? Status::Internal("send timed out")
+                              : StatusFromErrno("send");
     Close();
-    return StatusFromErrno("send");
+    return status;
   }
   return ReadResponse(sent);
 }
 
 Result<ResponseView> Client::ReadResponse(MsgType sent) {
   std::uint8_t prefix[4];
-  if (!ReadFull(fd_, prefix, sizeof(prefix))) {
+  IoOutcome got = ReadFull(fd_, prefix, sizeof(prefix));
+  if (got != IoOutcome::kOk) {
     Close();
+    if (got == IoOutcome::kTimeout) {
+      return Status::Internal("read timed out awaiting response");
+    }
     return Status::Internal("connection closed while awaiting response");
   }
   const std::uint32_t body_len = static_cast<std::uint32_t>(prefix[0]) |
@@ -146,8 +223,12 @@ Result<ResponseView> Client::ReadResponse(MsgType sent) {
     return Status::Internal("response frame length out of range");
   }
   response_.resize(body_len);
-  if (!ReadFull(fd_, response_.data(), body_len)) {
+  got = ReadFull(fd_, response_.data(), body_len);
+  if (got != IoOutcome::kOk) {
     Close();
+    if (got == IoOutcome::kTimeout) {
+      return Status::Internal("read timed out mid-response");
+    }
     return Status::Internal("connection closed mid-response");
   }
   Result<FrameView> frame = DecodeFrameBody(response_.data(), body_len);
@@ -201,10 +282,14 @@ Status Client::PipelineFlush(std::vector<PipelineReply>* replies) {
     return Status::FailedPrecondition("client not connected");
   }
   if (expected_.empty()) return Status::OK();
-  if (!WriteFull(fd_, request_.data(), request_.size())) {
+  const IoOutcome wrote = WriteFull(fd_, request_.data(), request_.size());
+  if (wrote != IoOutcome::kOk) {
+    const Status status = wrote == IoOutcome::kTimeout
+                              ? Status::Internal("send timed out")
+                              : StatusFromErrno("send");
     expected_.clear();
     Close();
-    return StatusFromErrno("send");
+    return status;
   }
   // Responses arrive on this connection in request order (the pipelining
   // guarantee of docs/wire_protocol.md); read exactly one per queued
@@ -316,6 +401,36 @@ Result<StatsReply> Client::Stats(std::string_view name) {
   if (!response.ok()) return response.status();
   if (!response.value().ok()) return response.value().ToStatus();
   return DecodeStatsOk(response.value());
+}
+
+Status Client::Ping() {
+  if (Status busy = CheckNoPipeline(); !busy.ok()) return busy;
+  request_.clear();
+  EncodePing(&request_);
+  Result<ResponseView> response = RoundTrip(MsgType::kPing);
+  if (!response.ok()) return response.status();
+  return response.value().ToStatus();
+}
+
+Status Client::FetchSummary(std::string_view name,
+                            std::vector<std::uint8_t>* blob) {
+  if (Status busy = CheckNoPipeline(); !busy.ok()) return busy;
+  request_.clear();
+  EncodeNameRequest(MsgType::kFetchSummary, name, &request_);
+  Result<ResponseView> response = RoundTrip(MsgType::kFetchSummary);
+  if (!response.ok()) return response.status();
+  if (!response.value().ok()) return response.value().ToStatus();
+  return DecodeFetchSummaryOk(response.value(), blob);
+}
+
+Status Client::RestoreTenant(std::string_view name, const TenantConfig& config,
+                             std::span<const std::uint8_t> blob) {
+  if (Status busy = CheckNoPipeline(); !busy.ok()) return busy;
+  request_.clear();
+  EncodeRestore(name, config, blob, &request_);
+  Result<ResponseView> response = RoundTrip(MsgType::kRestore);
+  if (!response.ok()) return response.status();
+  return response.value().ToStatus();
 }
 
 }  // namespace server

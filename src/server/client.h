@@ -27,9 +27,13 @@ namespace server {
 /// surface as the server's own Status and the connection stays usable.
 class Client {
  public:
-  static Result<Client> ConnectUnix(const std::string& path);
-  static Result<Client> ConnectTcp(const std::string& host,
-                                   std::uint16_t port);
+  /// `timeout_ms` bounds the connect itself (nonblocking connect + poll);
+  /// negative blocks indefinitely. I/O on the established connection is
+  /// unbounded until SetIoTimeout is called.
+  static Result<Client> ConnectUnix(const std::string& path,
+                                    int timeout_ms = -1);
+  static Result<Client> ConnectTcp(const std::string& host, std::uint16_t port,
+                                   int timeout_ms = -1);
 
   Client(Client&& other) noexcept;
   Client& operator=(Client&& other) noexcept;
@@ -40,6 +44,13 @@ class Client {
 
   bool connected() const { return fd_ >= 0; }
   void Close();
+
+  /// Bounds every subsequent send/recv on this connection (SO_SNDTIMEO /
+  /// SO_RCVTIMEO). A deadline that expires surfaces as Internal mentioning
+  /// "timed out" and closes the connection — a stalled server is a
+  /// transport failure, not a retriable condition on this socket.
+  /// `timeout_ms <= 0` removes the bound.
+  Status SetIoTimeout(int timeout_ms);
 
   Status CreateSketch(std::string_view name, const TenantConfig& config);
   /// Returns the tenant's element count after the batch.
@@ -54,6 +65,15 @@ class Client {
   Status Delete(std::string_view name);
   /// Pass an empty name for registry-wide statistics only.
   Result<StatsReply> Stats(std::string_view name);
+  /// Liveness probe: an empty request the server answers immediately.
+  Status Ping();
+  /// Fetches tenant `name` as a serialized Section 6 partial summary
+  /// (core/partial.h) for router-side fan-out merging.
+  Status FetchSummary(std::string_view name, std::vector<std::uint8_t>* blob);
+  /// Create-or-replace tenant `name` from a Snapshot checkpoint blob —
+  /// replica resync and checkpoint shipping.
+  Status RestoreTenant(std::string_view name, const TenantConfig& config,
+                       std::span<const std::uint8_t> blob);
 
   // -------------------------------------------------------------------------
   // Pipelining (docs/wire_protocol.md, "Request pipelining"): queue any

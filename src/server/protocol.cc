@@ -97,11 +97,40 @@ Status RequireAtEnd(const BinaryReader& reader) {
   return Status::OK();
 }
 
+/// Reads and validates the TenantConfig field block shared by
+/// CREATE_SKETCH and RESTORE.
+Status GetConfig(BinaryReader* reader, TenantConfig* config) {
+  std::uint8_t kind;
+  std::uint32_t num_shards;
+  if (!reader->GetU8(&kind) || !reader->GetDouble(&config->eps) ||
+      !reader->GetDouble(&config->delta) || !reader->GetU32(&num_shards) ||
+      !reader->GetU64(&config->seed)) {
+    return reader->status();
+  }
+  if (!IsKnownSketchKind(kind)) {
+    return Status::InvalidArgument("unknown sketch kind " +
+                                   std::to_string(kind));
+  }
+  config->kind = static_cast<SketchKind>(kind);
+  if (!std::isfinite(config->eps) || config->eps <= 0 || config->eps > 0.5) {
+    return Status::InvalidArgument("eps must be in (0, 0.5]");
+  }
+  if (!std::isfinite(config->delta) || config->delta <= 0 ||
+      config->delta >= 1) {
+    return Status::InvalidArgument("delta must be in (0, 1)");
+  }
+  if (num_shards < 1 || num_shards > 1024) {
+    return Status::InvalidArgument("num_shards must be in [1, 1024]");
+  }
+  config->num_shards = static_cast<std::int32_t>(num_shards);
+  return Status::OK();
+}
+
 }  // namespace
 
 bool IsKnownMsgType(std::uint8_t type) {
   return type >= static_cast<std::uint8_t>(MsgType::kCreateSketch) &&
-         type <= static_cast<std::uint8_t>(MsgType::kResponse);
+         type <= static_cast<std::uint8_t>(MsgType::kRestore);
 }
 
 bool IsKnownSketchKind(std::uint8_t kind) {
@@ -278,9 +307,29 @@ void EncodeQueryMulti(std::string_view name, std::span<const double> phis,
 void EncodeNameRequest(MsgType type, std::string_view name,
                        std::vector<std::uint8_t>* out) {
   MRL_CHECK(type == MsgType::kSnapshot || type == MsgType::kDelete ||
-            type == MsgType::kStats);
+            type == MsgType::kStats || type == MsgType::kFetchSummary);
   FrameBuilder frame(type, out);
   frame.PutName(name);
+  frame.Finish();
+}
+
+void EncodePing(std::vector<std::uint8_t>* out) {
+  FrameBuilder frame(MsgType::kPing, out);
+  frame.Finish();
+}
+
+void EncodeRestore(std::string_view name, const TenantConfig& config,
+                   std::span<const std::uint8_t> blob,
+                   std::vector<std::uint8_t>* out) {
+  FrameBuilder frame(MsgType::kRestore, out);
+  frame.PutName(name);
+  frame.PutU8(static_cast<std::uint8_t>(config.kind));
+  frame.PutDouble(config.eps);
+  frame.PutDouble(config.delta);
+  frame.PutU32(static_cast<std::uint32_t>(config.num_shards));
+  frame.PutU64(config.seed);
+  frame.PutU32(static_cast<std::uint32_t>(blob.size()));
+  frame.PutBytes(blob.data(), blob.size());
   frame.Finish();
 }
 
@@ -291,32 +340,11 @@ Result<CreateSketchRequest> DecodeCreateSketch(const std::uint8_t* payload,
                                                std::size_t len) {
   BinaryReader reader(payload, len);
   CreateSketchRequest req;
-  std::uint8_t kind;
-  std::uint32_t num_shards;
-  if (!GetName(&reader, payload, len, /*allow_empty=*/false, &req.name) ||
-      !reader.GetU8(&kind) || !reader.GetDouble(&req.config.eps) ||
-      !reader.GetDouble(&req.config.delta) || !reader.GetU32(&num_shards) ||
-      !reader.GetU64(&req.config.seed)) {
+  if (!GetName(&reader, payload, len, /*allow_empty=*/false, &req.name)) {
     return reader.status();
   }
+  MRL_RETURN_IF_ERROR(GetConfig(&reader, &req.config));
   MRL_RETURN_IF_ERROR(RequireAtEnd(reader));
-  if (!IsKnownSketchKind(kind)) {
-    return Status::InvalidArgument("unknown sketch kind " +
-                                   std::to_string(kind));
-  }
-  req.config.kind = static_cast<SketchKind>(kind);
-  if (!std::isfinite(req.config.eps) || req.config.eps <= 0 ||
-      req.config.eps > 0.5) {
-    return Status::InvalidArgument("eps must be in (0, 0.5]");
-  }
-  if (!std::isfinite(req.config.delta) || req.config.delta <= 0 ||
-      req.config.delta >= 1) {
-    return Status::InvalidArgument("delta must be in (0, 1)");
-  }
-  if (num_shards < 1 || num_shards > 1024) {
-    return Status::InvalidArgument("num_shards must be in [1, 1024]");
-  }
-  req.config.num_shards = static_cast<std::int32_t>(num_shards);
   return req;
 }
 
@@ -379,6 +407,33 @@ Result<NameRequest> DecodeNameRequest(MsgType type,
     return reader.status();
   }
   MRL_RETURN_IF_ERROR(RequireAtEnd(reader));
+  return req;
+}
+
+Status DecodePing(const std::uint8_t* payload, std::size_t len) {
+  (void)payload;
+  if (len != 0) {
+    return Status::InvalidArgument("PING carries no payload");
+  }
+  return Status::OK();
+}
+
+Result<RestoreRequest> DecodeRestore(const std::uint8_t* payload,
+                                     std::size_t len) {
+  BinaryReader reader(payload, len);
+  RestoreRequest req;
+  if (!GetName(&reader, payload, len, /*allow_empty=*/false, &req.name)) {
+    return reader.status();
+  }
+  MRL_RETURN_IF_ERROR(GetConfig(&reader, &req.config));
+  std::uint32_t blob_len;
+  if (!reader.GetU32(&blob_len)) return reader.status();
+  if (blob_len != reader.Remaining()) {
+    return Status::InvalidArgument(
+        "RESTORE blob length disagrees with payload size");
+  }
+  req.blob = payload + (len - reader.Remaining());
+  req.blob_len = blob_len;
   return req;
 }
 
@@ -468,6 +523,15 @@ void EncodeQueryMultiOk(std::span<const Value> values,
 void EncodeSnapshotOk(std::span<const std::uint8_t> blob,
                       std::vector<std::uint8_t>* out) {
   FrameBuilder frame = BeginResponse(MsgType::kSnapshot, Status::OK(), out);
+  frame.PutU32(static_cast<std::uint32_t>(blob.size()));
+  frame.PutBytes(blob.data(), blob.size());
+  frame.Finish();
+}
+
+void EncodeFetchSummaryOk(std::span<const std::uint8_t> blob,
+                          std::vector<std::uint8_t>* out) {
+  FrameBuilder frame =
+      BeginResponse(MsgType::kFetchSummary, Status::OK(), out);
   frame.PutU32(static_cast<std::uint32_t>(blob.size()));
   frame.PutBytes(blob.data(), blob.size());
   frame.Finish();
@@ -600,6 +664,22 @@ Result<StatsReply> DecodeStatsOk(const ResponseView& response) {
   stats.tenant_present = present != 0;
   stats.tenant_kind = static_cast<SketchKind>(kind);
   return stats;
+}
+
+Status DecodeFetchSummaryOk(const ResponseView& response,
+                            std::vector<std::uint8_t>* out) {
+  MRL_RETURN_IF_ERROR(RequireOkBody(response, MsgType::kFetchSummary));
+  BinaryReader reader(response.body, response.body_len);
+  std::uint32_t blob_len;
+  if (!reader.GetU32(&blob_len)) return reader.status();
+  if (blob_len != reader.Remaining()) {
+    return Status::InvalidArgument(
+        "FETCH_SUMMARY reply length disagrees with payload size");
+  }
+  const std::uint8_t* blob =
+      response.body + (response.body_len - reader.Remaining());
+  out->assign(blob, blob + blob_len);
+  return Status::OK();
 }
 
 }  // namespace server

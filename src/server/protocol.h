@@ -28,8 +28,10 @@ namespace server {
 /// untrusted peers (fuzz/fuzz_protocol_decode.cc).
 /// Version history: 1 = initial protocol (kinds unknown-n, sharded);
 /// 2 = pluggable backends (CREATE_SKETCH/STATS gained the kll and
-/// det_reservoir kinds). Frames carrying any other version are rejected.
-inline constexpr std::uint8_t kProtocolVersion = 2;
+/// det_reservoir kinds); 3 = distributed tier (PING health probe,
+/// FETCH_SUMMARY partial-summary export, RESTORE tenant install — the
+/// router/backend ops). Frames carrying any other version are rejected.
+inline constexpr std::uint8_t kProtocolVersion = 3;
 
 /// Bytes before the payload: length prefix + version + type + reserved + crc.
 inline constexpr std::size_t kFrameHeaderSize = 12;
@@ -52,6 +54,9 @@ enum class MsgType : std::uint8_t {
   kDelete = 6,
   kStats = 7,
   kResponse = 8,
+  kPing = 9,          ///< health probe, empty payload (protocol v3)
+  kFetchSummary = 10, ///< Section 6 partial-summary export (protocol v3)
+  kRestore = 11,      ///< install a tenant from a checkpoint (protocol v3)
 };
 
 /// True for the request/response types above.
@@ -174,10 +179,20 @@ struct QueryMultiRequest {
   std::uint64_t count = 0;
 };
 
-/// SNAPSHOT / DELETE / STATS carry only a name (empty allowed for STATS:
-/// global statistics).
+/// SNAPSHOT / DELETE / STATS / FETCH_SUMMARY carry only a name (empty
+/// allowed for STATS: global statistics).
 struct NameRequest {
   std::string_view name;
+};
+
+/// RESTORE: create-or-replace a tenant from a checkpoint blob — the
+/// router's replica-resync and checkpoint-shipping op. The blob stays in
+/// wire form inside the view (a pointer into the frame buffer).
+struct RestoreRequest {
+  std::string_view name;
+  TenantConfig config;
+  const std::uint8_t* blob = nullptr;
+  std::size_t blob_len = 0;
 };
 
 void EncodeCreateSketch(std::string_view name, const TenantConfig& config,
@@ -190,6 +205,11 @@ void EncodeQueryMulti(std::string_view name, std::span<const double> phis,
                       std::vector<std::uint8_t>* out);
 void EncodeNameRequest(MsgType type, std::string_view name,
                        std::vector<std::uint8_t>* out);
+/// PING: empty payload.
+void EncodePing(std::vector<std::uint8_t>* out);
+void EncodeRestore(std::string_view name, const TenantConfig& config,
+                   std::span<const std::uint8_t> blob,
+                   std::vector<std::uint8_t>* out);
 
 Result<CreateSketchRequest> DecodeCreateSketch(const std::uint8_t* payload,
                                                std::size_t len);
@@ -202,6 +222,10 @@ Result<QueryMultiRequest> DecodeQueryMulti(const std::uint8_t* payload,
 Result<NameRequest> DecodeNameRequest(MsgType type,
                                       const std::uint8_t* payload,
                                       std::size_t len);
+/// PING carries no payload; rejects any trailing bytes.
+Status DecodePing(const std::uint8_t* payload, std::size_t len);
+Result<RestoreRequest> DecodeRestore(const std::uint8_t* payload,
+                                     std::size_t len);
 
 /// Peeks the tenant name at the front of a request payload without fully
 /// decoding it — every request payload begins with a u16-length-prefixed
@@ -267,6 +291,10 @@ void EncodeQueryMultiOk(std::span<const Value> values,
 void EncodeSnapshotOk(std::span<const std::uint8_t> blob,
                       std::vector<std::uint8_t>* out);
 void EncodeStatsOk(const StatsReply& stats, std::vector<std::uint8_t>* out);
+/// FETCH_SUMMARY: u32 length + serialized partial summary
+/// (core/partial.h).
+void EncodeFetchSummaryOk(std::span<const std::uint8_t> blob,
+                          std::vector<std::uint8_t>* out);
 
 Result<ResponseView> DecodeResponse(const std::uint8_t* payload,
                                     std::size_t len);
@@ -277,6 +305,8 @@ Status DecodeQueryMultiOk(const ResponseView& response,
 Status DecodeSnapshotOk(const ResponseView& response,
                         std::vector<std::uint8_t>* out);
 Result<StatsReply> DecodeStatsOk(const ResponseView& response);
+Status DecodeFetchSummaryOk(const ResponseView& response,
+                            std::vector<std::uint8_t>* out);
 
 }  // namespace server
 }  // namespace mrl

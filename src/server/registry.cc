@@ -439,6 +439,64 @@ Status SketchRegistry::Delete(std::string_view name) {
   return Status::OK();
 }
 
+Status SketchRegistry::FetchPartial(std::string_view name,
+                                    std::vector<std::uint8_t>* blob) {
+  std::shared_ptr<Tenant> tenant = FindTenant(name);
+  if (tenant == nullptr) return Status::NotFound("unknown tenant");
+  Tenant& t = *tenant;
+  ReaderLock lock(t.mu);
+  if (!t.sketch->SupportsPartialExport()) {
+    return Status::FailedPrecondition(
+        "backend '" + t.sketch->name() + "' does not support partial export");
+  }
+  PartialSummary summary;
+  MRL_RETURN_IF_ERROR(t.sketch->ExportPartial(&summary));
+  blob->clear();
+  SerializePartialSummary(summary, blob);
+  return Status::OK();
+}
+
+Status SketchRegistry::Install(std::string_view name,
+                               const TenantConfig& config,
+                               std::span<const std::uint8_t> blob) {
+  if (!IsValidTenantName(name)) {
+    return Status::InvalidArgument("invalid tenant name");
+  }
+  MRL_RETURN_IF_ERROR(ValidateConfig(config));
+  // The blob is Snapshot's wire form: a u32-length-prefixed sketch blob,
+  // same framing as a checkpoint entry. Unwrap it before Restore.
+  BinaryReader reader(blob.data(), blob.size());
+  std::vector<std::uint8_t> sketch_blob;
+  MRL_RETURN_IF_ERROR(GetBlob(&reader, &sketch_blob));
+  if (reader.Remaining() != 0) {
+    return Status::InvalidArgument("install: trailing bytes after sketch");
+  }
+  // Create-or-replace: drop any existing instance (NotFound is fine), then
+  // go through Create so the allowed-kinds policy, the eviction cap and
+  // the free-pool recycling all apply to installed tenants too.
+  Status deleted = Delete(name);
+  if (!deleted.ok() && deleted.code() != StatusCode::kNotFound) {
+    return deleted;
+  }
+  MRL_RETURN_IF_ERROR(Create(name, config));
+  std::shared_ptr<Tenant> tenant = FindTenant(name);
+  if (tenant == nullptr) {
+    // A concurrent delete/evict raced the create; surface it as transient.
+    return Status::Internal("tenant vanished during install");
+  }
+  Status restored;
+  {
+    Tenant& t = *tenant;
+    WriterLock lock(t.mu);
+    restored = t.sketch->Restore(std::span<const std::uint8_t>(sketch_blob));
+  }
+  if (!restored.ok()) {
+    (void)Delete(name);
+    return restored;
+  }
+  return Status::OK();
+}
+
 TenantStats SketchRegistry::Stats(std::string_view name) const {
   TenantStats stats;
   std::shared_ptr<Tenant> tenant = FindTenant(name);

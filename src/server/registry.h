@@ -130,6 +130,20 @@ class SketchRegistry {
 
   Status Delete(std::string_view name);
 
+  /// Exports tenant `name` as a serialized Section 6 partial summary
+  /// (core/partial.h) without disturbing the live sketch — the
+  /// FETCH_SUMMARY op a router fans out before merging. FailedPrecondition
+  /// (naming the backend) when the tenant's backend cannot export partials.
+  Status FetchPartial(std::string_view name, std::vector<std::uint8_t>* blob);
+
+  /// Create-or-replace tenant `name` from a checkpoint blob — the RESTORE
+  /// op a router uses for replica resync and checkpoint shipping. Any
+  /// existing tenant is deleted first; on a failed restore the half-made
+  /// tenant is removed again, so the registry never serves a partially
+  /// restored sketch.
+  Status Install(std::string_view name, const TenantConfig& config,
+                 std::span<const std::uint8_t> blob);
+
   /// Per-tenant statistics; `present == false` when unknown.
   TenantStats Stats(std::string_view name) const;
 

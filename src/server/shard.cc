@@ -305,6 +305,28 @@ void Shard::HandleFrame(Conn* conn, MsgType type, const std::uint8_t* payload,
       }
       return EncodeStatsOk(reply, out);
     }
+    case MsgType::kPing: {
+      const Status status = DecodePing(payload, payload_len);
+      if (!status.ok()) return EncodeErrorResponse(type, status, out);
+      return EncodeEmptyOk(type, out);
+    }
+    case MsgType::kFetchSummary: {
+      Result<NameRequest> req = DecodeNameRequest(type, payload, payload_len);
+      if (!req.ok()) return EncodeErrorResponse(type, req.status(), out);
+      const Status status = registry_->FetchPartial(req.value().name, &blob_);
+      if (!status.ok()) return EncodeErrorResponse(type, status, out);
+      return EncodeFetchSummaryOk(blob_, out);
+    }
+    case MsgType::kRestore: {
+      Result<RestoreRequest> req = DecodeRestore(payload, payload_len);
+      if (!req.ok()) return EncodeErrorResponse(type, req.status(), out);
+      const Status status = registry_->Install(
+          req.value().name, req.value().config,
+          std::span<const std::uint8_t>(req.value().blob,
+                                        req.value().blob_len));
+      if (!status.ok()) return EncodeErrorResponse(type, status, out);
+      return EncodeEmptyOk(type, out);
+    }
     case MsgType::kResponse:
       break;  // rejected by ProcessFrames
   }

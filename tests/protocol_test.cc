@@ -195,6 +195,62 @@ TEST(FrameTest, NameRequestsRoundTrip) {
           .ok());
 }
 
+TEST(FrameTest, PingRoundTrip) {
+  std::vector<std::uint8_t> wire;
+  EncodePing(&wire);
+  const FrameView frame = MustDecode(wire);
+  ASSERT_EQ(frame.type, MsgType::kPing);
+  EXPECT_EQ(frame.payload_len, 0u);
+  EXPECT_TRUE(DecodePing(frame.payload, frame.payload_len).ok());
+  // PING is strictly empty; a stray byte is rejected.
+  const std::uint8_t junk[1] = {0};
+  EXPECT_FALSE(DecodePing(junk, 1).ok());
+}
+
+TEST(FrameTest, FetchSummaryRoundTrip) {
+  std::vector<std::uint8_t> wire;
+  EncodeNameRequest(MsgType::kFetchSummary, "t", &wire);
+  const FrameView frame = MustDecode(wire);
+  ASSERT_EQ(frame.type, MsgType::kFetchSummary);
+  Result<NameRequest> req =
+      DecodeNameRequest(MsgType::kFetchSummary, frame.payload,
+                        frame.payload_len);
+  ASSERT_TRUE(req.ok());
+  EXPECT_EQ(req.value().name, "t");
+  // FETCH_SUMMARY needs a tenant; an empty name is rejected.
+  wire.clear();
+  EncodeNameRequest(MsgType::kStats, "", &wire);
+  const FrameView empty = MustDecode(wire);
+  EXPECT_FALSE(DecodeNameRequest(MsgType::kFetchSummary, empty.payload,
+                                 empty.payload_len)
+                   .ok());
+}
+
+TEST(FrameTest, RestoreRoundTrip) {
+  TenantConfig config;
+  config.kind = SketchKind::kSharded;
+  config.eps = 0.02;
+  config.delta = 1e-5;
+  config.num_shards = 3;
+  config.seed = 99;
+  const std::uint8_t blob[4] = {1, 2, 3, 4};
+  std::vector<std::uint8_t> wire;
+  EncodeRestore("t", config, blob, &wire);
+  const FrameView frame = MustDecode(wire);
+  ASSERT_EQ(frame.type, MsgType::kRestore);
+  Result<RestoreRequest> req = DecodeRestore(frame.payload, frame.payload_len);
+  ASSERT_TRUE(req.ok()) << req.status().ToString();
+  EXPECT_EQ(req.value().name, "t");
+  EXPECT_TRUE(req.value().config == config);
+  ASSERT_EQ(req.value().blob_len, sizeof(blob));
+  EXPECT_EQ(std::memcmp(req.value().blob, blob, sizeof(blob)), 0);
+
+  // A blob length that disagrees with the remaining bytes is rejected.
+  std::vector<std::uint8_t> truncated(frame.payload,
+                                      frame.payload + frame.payload_len - 1);
+  EXPECT_FALSE(DecodeRestore(truncated.data(), truncated.size()).ok());
+}
+
 TEST(FrameTest, IncompleteBufferIsOutOfRange) {
   std::vector<std::uint8_t> wire;
   EncodeQuery("t", 0.5, &wire);
@@ -226,7 +282,7 @@ TEST(FrameTest, CorruptionIsRejected) {
   bad = wire;
   bad[5] = 0;  // type below range
   EXPECT_FALSE(DecodeFrame(bad.data(), bad.size()).ok());
-  bad[5] = 9;  // type above range
+  bad[5] = 12;  // type above range (11 = kRestore is the v3 ceiling)
   EXPECT_FALSE(DecodeFrame(bad.data(), bad.size()).ok());
 
   bad = wire;

@@ -30,7 +30,8 @@ using mrl::server::TenantConfig;
 void Usage() {
   std::fprintf(
       stderr,
-      "usage: mrlquant_client (--uds=PATH | --host=IP --port=N) CMD ...\n"
+      "usage: mrlquant_client (--uds=PATH | --host=IP --port=N)\n"
+      "                       [--timeout-ms=N] CMD ...\n"
       "  create NAME [--kind=unknown|sharded|kll|dreservoir] [--eps=E]\n"
       "              [--delta=D]\n"
       "              [--shards=N] [--seed=S]\n"
@@ -40,7 +41,9 @@ void Usage() {
       "  quantiles NAME PHI...\n"
       "  snapshot NAME FILE\n"
       "  delete NAME\n"
-      "  stats [NAME]\n");
+      "  stats [NAME]\n"
+      "  ping                (health probe; --timeout-ms bounds the wait,\n"
+      "                       default 2000)\n");
 }
 
 int Fail(const Status& status) {
@@ -69,30 +72,50 @@ bool FlagValue(const char* arg, const char* name, std::string* out) {
 
 int main(int argc, char** argv) {
   std::string uds, host = "127.0.0.1", port_text;
+  int timeout_ms = -1;
   int i = 1;
   for (; i < argc; ++i) {
     std::string v;
     if (FlagValue(argv[i], "--uds", &uds)) continue;
     if (FlagValue(argv[i], "--host", &host)) continue;
     if (FlagValue(argv[i], "--port", &port_text)) continue;
+    if (FlagValue(argv[i], "--timeout-ms", &v)) {
+      timeout_ms = std::atoi(v.c_str());
+      continue;
+    }
     break;
   }
   if (i >= argc) {
     Usage();
     return 2;
   }
+  const std::string cmd_peek = argv[i];
+  // ping is a liveness probe: never hang on a wedged server, so a bounded
+  // wait is the default rather than opt-in.
+  if (cmd_peek == "ping" && timeout_ms < 0) timeout_ms = 2000;
 
   mrl::Result<Client> connected =
       !uds.empty()
-          ? Client::ConnectUnix(uds)
+          ? Client::ConnectUnix(uds, timeout_ms)
           : Client::ConnectTcp(
-                host, static_cast<std::uint16_t>(
-                          port_text.empty() ? 0 : std::atoi(
-                                                      port_text.c_str())));
+                host,
+                static_cast<std::uint16_t>(
+                    port_text.empty() ? 0 : std::atoi(port_text.c_str())),
+                timeout_ms);
   if (!connected.ok()) return Fail(connected.status());
   Client client = std::move(connected).value();
+  if (timeout_ms > 0) {
+    const Status status = client.SetIoTimeout(timeout_ms);
+    if (!status.ok()) return Fail(status);
+  }
 
   const std::string cmd = argv[i++];
+  if (cmd == "ping") {
+    const Status status = client.Ping();
+    if (!status.ok()) return Fail(status);
+    std::printf("pong\n");
+    return 0;
+  }
   if (cmd == "create") {
     if (i >= argc) {
       Usage();

@@ -1,0 +1,171 @@
+// mrlquant_router: stateless distributed front for mrlquantd backends.
+//
+//   mrlquant_router --uds=/tmp/router.sock \
+//                   --backends=unix:/tmp/b0.sock,unix:/tmp/b1.sock \
+//                   --replicate
+//
+// Speaks the same wire protocol as mrlquantd, so any client (including
+// mrlquant_client) points at the router unchanged. Tenants are placed on
+// backends with a consistent-hash ring; --replicate mirrors writes to a
+// ring replica and fails over when the primary dies; --partition names
+// tenants that are range-partitioned across ALL backends, with queries
+// answered by a Section 6 fan-out merge of partial summaries. Runs until
+// SIGINT/SIGTERM (self-pipe park, like mrlquantd).
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "router/router.h"
+
+namespace {
+
+int g_signal_pipe[2] = {-1, -1};
+
+void HandleSignal(int) {
+  const char byte = 1;
+  [[maybe_unused]] const ssize_t w = write(g_signal_pipe[1], &byte, 1);
+}
+
+void Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --backends=LIST [--uds=PATH] [--port=N] [--replicate]\n"
+      "          [--partition=NAME[,NAME...]] [--vnodes=N]\n"
+      "          [--health-interval-ms=N] [--rpc-timeout-ms=N]\n"
+      "          [--fail-threshold=N]\n"
+      "--backends is a comma-separated list of mrlquantd addresses, each\n"
+      "unix:PATH or HOST:PORT. At least one of --uds / --port is required\n"
+      "(--port=0 binds an ephemeral port).\n"
+      "--replicate mirrors each tenant's writes to a ring replica and\n"
+      "fails over when the primary dies (needs >= 2 backends).\n"
+      "--partition names tenants spread across ALL backends; their\n"
+      "queries merge per-backend partial summaries (Section 6).\n",
+      argv0);
+}
+
+std::vector<std::string> SplitCommas(const std::string& text) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t comma = text.find(',', start);
+    if (comma == std::string::npos) comma = text.size();
+    if (comma > start) parts.push_back(text.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return parts;
+}
+
+bool ParseFlag(const char* arg, const char* name, std::string* out) {
+  const std::size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return false;
+  *out = arg + len + 1;
+  return true;
+}
+
+bool ParseIntFlag(const char* arg, const char* name, long* out) {
+  std::string text;
+  if (!ParseFlag(arg, name, &text)) return false;
+  char* end = nullptr;
+  const long v = std::strtol(text.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') {
+    std::fprintf(stderr, "mrlquant_router: bad integer for %s: %s\n", name,
+                 text.c_str());
+    std::exit(2);
+  }
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  mrl::router::RouterOptions options;
+  for (int i = 1; i < argc; ++i) {
+    std::string text;
+    long value = 0;
+    if (ParseFlag(argv[i], "--uds", &options.uds_path)) continue;
+    if (ParseIntFlag(argv[i], "--port", &value)) {
+      options.tcp_port = static_cast<int>(value);
+      continue;
+    }
+    if (ParseFlag(argv[i], "--backends", &text)) {
+      options.backends = SplitCommas(text);
+      continue;
+    }
+    if (ParseFlag(argv[i], "--partition", &text)) {
+      for (std::string& name : SplitCommas(text)) {
+        options.partitioned.push_back(std::move(name));
+      }
+      continue;
+    }
+    if (std::strcmp(argv[i], "--replicate") == 0) {
+      options.replicate = true;
+      continue;
+    }
+    if (ParseIntFlag(argv[i], "--vnodes", &value)) {
+      options.vnodes = static_cast<int>(value);
+      continue;
+    }
+    if (ParseIntFlag(argv[i], "--health-interval-ms", &value)) {
+      options.health_interval_ms = static_cast<int>(value);
+      continue;
+    }
+    if (ParseIntFlag(argv[i], "--rpc-timeout-ms", &value)) {
+      options.rpc_timeout_ms = static_cast<int>(value);
+      continue;
+    }
+    if (ParseIntFlag(argv[i], "--fail-threshold", &value)) {
+      options.fail_threshold = static_cast<int>(value);
+      continue;
+    }
+    if (std::strcmp(argv[i], "--help") == 0) {
+      Usage(argv[0]);
+      return 0;
+    }
+    std::fprintf(stderr, "mrlquant_router: unknown argument: %s\n", argv[i]);
+    Usage(argv[0]);
+    return 2;
+  }
+
+  if (pipe(g_signal_pipe) != 0) {
+    std::fprintf(stderr, "mrlquant_router: pipe: %s\n", std::strerror(errno));
+    return 1;
+  }
+
+  const std::size_t num_backends = options.backends.size();
+  const bool replicated = options.replicate;
+  auto router = mrl::router::Router::Create(std::move(options));
+  if (!router.ok()) {
+    std::fprintf(stderr, "mrlquant_router: %s\n",
+                 router.status().message().c_str());
+    return 1;
+  }
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  std::fprintf(stderr,
+               "mrlquant_router: serving (pid %ld, %zu backend%s%s",
+               static_cast<long>(getpid()), num_backends,
+               num_backends == 1 ? "" : "s",
+               replicated ? ", replicated" : "");
+  if (router.value()->tcp_port() != 0) {
+    std::fprintf(stderr, ", tcp port %u",
+                 static_cast<unsigned>(router.value()->tcp_port()));
+  }
+  std::fprintf(stderr, ")\n");
+  char byte;
+  while (read(g_signal_pipe[0], &byte, 1) < 0 && errno == EINTR) {
+  }
+  std::fprintf(stderr, "mrlquant_router: shutting down\n");
+  router.value()->Stop();
+  return 0;
+}
